@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the federation layer: FedAvg aggregation,
+//! delay compensation, adaptive assignment and Dirichlet partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedrlnas_data::dirichlet_partition;
+use fedrlnas_fed::average_flat;
+use fedrlnas_netsim::{assign, AssignmentStrategy, Environment};
+use fedrlnas_sync::{compensate_gradient, StalenessModel};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg_average");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(k, n) in &[(10usize, 10_000usize), (50, 10_000), (10, 100_000)] {
+        let vectors: Vec<Vec<f32>> = (0..k)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let weights = vec![1.0f32; k];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_n{n}")),
+            &k,
+            |b, _| b.iter(|| std::hint::black_box(average_flat(&vectors, &weights))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_compensation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_compensation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 100_000usize;
+    let fresh: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let stale: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    group.bench_function("eq13_100k_params", |b| {
+        let mut grads: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        b.iter(|| {
+            compensate_gradient(&mut grads, &fresh, &stale, 0.5);
+            std::hint::black_box(&grads);
+        })
+    });
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(2);
+    let k = 50usize;
+    let sizes: Vec<usize> = (0..k).map(|_| rng.gen_range(50_000..500_000)).collect();
+    let bw: Vec<f64> = (0..k)
+        .map(|_| Environment::Car.trace(1, &mut rng)[0])
+        .collect();
+    for strategy in AssignmentStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| std::hint::black_box(assign(s, &sizes, &bw, &mut rng))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_and_staleness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let labels: Vec<usize> = (0..10_000).map(|i| i % 10).collect();
+    group.bench_function("dirichlet_10k_samples_10_parts", |b| {
+        b.iter(|| std::hint::black_box(dirichlet_partition(&labels, 10, 0.5, &mut rng)))
+    });
+    let model = StalenessModel::severe();
+    group.bench_function("staleness_draw", |b| {
+        b.iter(|| std::hint::black_box(model.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregation,
+    bench_compensation,
+    bench_assignment,
+    bench_partition_and_staleness
+);
+criterion_main!(benches);

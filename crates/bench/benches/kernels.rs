@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the numeric substrate: GEMM, im2col and
+//! the convolution layer — the kernels that dominate search time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedrlnas_nn::{Conv2d, Layer, Mode};
+use fedrlnas_tensor::{gemm, im2col, Conv2dGeometry, Tensor};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[16usize, 64, 128] {
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let mut out = vec![0.0f32; n * n];
+            bench.iter(|| {
+                out.fill(0.0);
+                gemm(n, n, n, &a, &b, &mut out);
+                std::hint::black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(hw, ch) in &[(8usize, 8usize), (16, 16), (32, 16)] {
+        let geom = Conv2dGeometry::new(hw, hw, 3, 1, 1, 1);
+        let img: Vec<f32> = (0..ch * hw * hw).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut cols = vec![0.0f32; geom.col_rows(ch) * geom.out_positions()];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{hw}x{hw}x{ch}")),
+            &hw,
+            |bench, _| {
+                bench.iter(|| {
+                    im2col(&img, ch, &geom, &mut cols).expect("valid geometry");
+                    std::hint::black_box(&cols);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut conv = Conv2d::new(16, 16, 3, 1, 1, 1, 1, &mut rng);
+    let mut dw = Conv2d::new(16, 16, 3, 1, 1, 1, 16, &mut rng);
+    let x = Tensor::randn(&[8, 16, 12, 12], 1.0, &mut rng);
+    group.bench_function("dense_forward", |b| {
+        b.iter(|| std::hint::black_box(conv.forward(&x, Mode::Eval)))
+    });
+    group.bench_function("depthwise_forward", |b| {
+        b.iter(|| std::hint::black_box(dw.forward(&x, Mode::Eval)))
+    });
+    group.bench_function("dense_forward_backward", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x, Mode::Train);
+            std::hint::black_box(conv.backward(&Tensor::ones(y.dims())));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_im2col, bench_conv_layer);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the search machinery, including the paper's
+//! central efficiency claim: a masked (sub-model) pass vs a mixed
+//! (full-supernet, FedNAS-style) pass, and the analytic ∇ log p of Eq. 12
+//! vs its finite-difference equivalent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedrlnas_controller::Alpha;
+use fedrlnas_darts::{ArchMask, Genotype, Supernet, SupernetConfig, NUM_OPS};
+use fedrlnas_nn::Mode;
+use fedrlnas_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_supernet_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supernet");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = SupernetConfig::tiny();
+    let mut net = Supernet::new(config.clone(), &mut rng);
+    let mask = ArchMask::uniform_random(&config, &mut rng);
+    let x = Tensor::randn(&[4, 3, 8, 8], 1.0, &mut rng);
+    group.bench_function("masked_forward_backward", |b| {
+        b.iter(|| {
+            let y = net.forward_masked(&x, &mask, Mode::Train);
+            net.backward_masked(&Tensor::ones(y.dims()));
+            net.zero_grad();
+        })
+    });
+    let edges = config.topology().num_edges();
+    let uniform = vec![vec![1.0 / NUM_OPS as f32; NUM_OPS]; edges];
+    let weights = [uniform.clone(), uniform];
+    group.bench_function("mixed_forward_backward_fednas_cost", |b| {
+        b.iter(|| {
+            let y = net.forward_mixed(&x, &weights, Mode::Train);
+            std::hint::black_box(net.backward_mixed(&Tensor::ones(y.dims())));
+            net.zero_grad();
+        })
+    });
+    group.bench_function("extract_submodel", |b| {
+        b.iter(|| std::hint::black_box(net.extract_submodel(&mask)))
+    });
+    group.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = SupernetConfig::paper(); // full 14-edge alpha
+    let alpha = Alpha::new(&config);
+    let mask = alpha.sample(&mut rng);
+    group.bench_function("sample_mask", |b| {
+        b.iter(|| std::hint::black_box(alpha.sample(&mut rng)))
+    });
+    group.bench_function("grad_log_prob_analytic_eq12", |b| {
+        b.iter(|| std::hint::black_box(alpha.grad_log_prob(&mask)))
+    });
+    // The ablation DESIGN.md §5.1 calls out: the closed form vs central
+    // finite differences over every logit.
+    group.bench_function("grad_log_prob_finite_difference", |b| {
+        let mut probe = alpha.clone();
+        let eps = 1e-3f32;
+        b.iter(|| {
+            let n = probe.logits().len();
+            let mut grad = vec![0.0f32; n];
+            for i in 0..n {
+                let orig = probe.logits().as_slice()[i];
+                probe.logits_mut().as_mut_slice()[i] = orig + eps;
+                let lp = probe.log_prob(&mask);
+                probe.logits_mut().as_mut_slice()[i] = orig - eps;
+                let lm = probe.log_prob(&mask);
+                probe.logits_mut().as_mut_slice()[i] = orig;
+                grad[i] = (lp - lm) / (2.0 * eps);
+            }
+            std::hint::black_box(grad);
+        })
+    });
+    group.bench_function("derive_genotype", |b| {
+        let probs = alpha.probs();
+        b.iter(|| std::hint::black_box(Genotype::from_probs(&probs, config.nodes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_supernet_passes, bench_controller);
+criterion_main!(benches);

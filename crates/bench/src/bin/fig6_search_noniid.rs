@@ -1,0 +1,45 @@
+//! Fig. 6: searching phase on non-i.i.d. (Dir(0.5)) CIFAR10-like data —
+//! similar convergence to the i.i.d. case (Fig. 4), only slower.
+
+use fedrlnas_bench::{budgets, series_csv, write_output, Args};
+use fedrlnas_core::{FederatedModelSearch, SearchConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    let (warmup, steps, _, _) = budgets(args.scale);
+    println!("Fig. 6 — searching phase on non-i.i.d. CIFAR10-like (Dir(0.5))");
+    let mut results = Vec::new();
+    let mut series = Vec::new();
+    for (label, non_iid) in [("iid", false), ("non_iid", true)] {
+        let mut config = SearchConfig::at_scale(args.scale);
+        config.warmup_steps = warmup;
+        config.search_steps = steps; // same budget for a fair speed contrast
+        if non_iid {
+            config.dirichlet_beta = Some(0.5);
+        }
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut search = FederatedModelSearch::new(config, &mut rng);
+        let outcome = search.run(&mut rng);
+        let curve = outcome.search_curve;
+        let tail = curve.tail_accuracy(15).unwrap_or(0.0);
+        // convergence speed: steps to reach 80% of this run's own tail
+        let to_reach = curve.steps_to_reach(tail * 0.8, 25);
+        println!(
+            "  {label}: tail accuracy {tail:.3}, steps to 80% of tail: {}",
+            to_reach.map_or("never".into(), |s| s.to_string())
+        );
+        results.push((tail, to_reach.unwrap_or(usize::MAX)));
+        series.push((label, curve.moving_average(50)));
+    }
+    write_output("fig6_search_noniid.csv", &series_csv(&series));
+    let (iid, non) = (&results[0], &results[1]);
+    println!(
+        "  paper shape: non-i.i.d. reaches comparable accuracy but converges slower: {}",
+        if non.0 > iid.0 * 0.7 && non.1 >= iid.1 {
+            "REPRODUCED"
+        } else {
+            "PARTIAL (stochastic at proxy scale)"
+        }
+    );
+}

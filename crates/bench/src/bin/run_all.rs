@@ -1,0 +1,56 @@
+//! Runs every experiment binary in sequence at the requested scale —
+//! regenerating all tables and figures in one command:
+//!
+//! ```text
+//! cargo run --release -p fedrlnas-bench --bin run_all -- --scale small
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1",
+        "fig3_warmup",
+        "fig4_search_iid",
+        "fig5_alpha_only",
+        "fig6_search_noniid",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig7_latency",
+        "fig8_staleness",
+        "fig9_rounds_cifar10",
+        "fig10_rounds_svhn",
+        "fig11_transfer",
+        "fig12_participants",
+        "table6",
+        "table7_8",
+        "comm_cost",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("  {bin} FAILED ({status})");
+            failures.push(bin);
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!("all {} experiments completed; outputs in target/experiments/", bins.len());
+    } else {
+        println!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

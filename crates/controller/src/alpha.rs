@@ -1,0 +1,260 @@
+//! The architecture-parameter matrix α and its softmax policy.
+
+use fedrlnas_darts::{ArchMask, CellKind, SupernetConfig, NUM_OPS};
+use fedrlnas_tensor::{softmax_rows, Tensor};
+use rand::Rng;
+
+/// Architecture parameters: `N` logits per edge for each of the two cell
+/// kinds, flattened into a single tensor `[2 * edges * N]` so one optimizer
+/// step updates the whole policy.
+///
+/// Row layout: kind-major, then edge, then op — `alpha[(k * E + e) * N + o]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alpha {
+    logits: Tensor,
+    edges: usize,
+}
+
+impl Alpha {
+    /// Creates a uniform policy (all logits zero) for the given supernet
+    /// shape.
+    pub fn new(config: &SupernetConfig) -> Self {
+        let edges = config.topology().num_edges();
+        Alpha {
+            logits: Tensor::zeros(&[2 * edges * NUM_OPS]),
+            edges,
+        }
+    }
+
+    /// Reconstructs a policy from stored flat logits (the delay-compensation
+    /// memory pool keeps `α^t` snapshots as flat vectors; Alg. 1 line 25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.len() != 2 * edges * NUM_OPS`.
+    pub fn from_logits(logits: Tensor, edges: usize) -> Self {
+        assert_eq!(
+            logits.len(),
+            2 * edges * NUM_OPS,
+            "alpha logits length mismatch"
+        );
+        Alpha { logits, edges }
+    }
+
+    /// Number of edges per cell kind.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// The flat logits tensor (kind-major layout).
+    pub fn logits(&self) -> &Tensor {
+        &self.logits
+    }
+
+    /// Mutable access to the flat logits tensor (used by optimizers and the
+    /// delay-compensation memory pool).
+    pub fn logits_mut(&mut self) -> &mut Tensor {
+        &mut self.logits
+    }
+
+    /// Softmax probabilities per `[kind][edge][op]` (Eq. 4).
+    pub fn probs(&self) -> [Vec<Vec<f32>>; 2] {
+        let mut out = [Vec::new(), Vec::new()];
+        for kind in CellKind::ALL {
+            let k = kind.index();
+            let base = k * self.edges * NUM_OPS;
+            let flat = softmax_rows(
+                &self.logits.as_slice()[base..base + self.edges * NUM_OPS],
+                self.edges,
+                NUM_OPS,
+            );
+            out[k] = flat.chunks(NUM_OPS).map(|c| c.to_vec()).collect();
+        }
+        out
+    }
+
+    /// Samples a one-hot operation per edge according to the softmax policy
+    /// (Eq. 5), returning the binary mask in index form.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ArchMask {
+        let probs = self.probs();
+        let mut tables: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for kind in CellKind::ALL {
+            let k = kind.index();
+            tables[k] = probs[k]
+                .iter()
+                .map(|row| sample_categorical(row, rng))
+                .collect();
+        }
+        let [normal, reduction] = tables;
+        ArchMask::new(normal, reduction)
+    }
+
+    /// The most likely architecture under the current policy (argmax per
+    /// edge) — used when the search ends and for greedy evaluation.
+    pub fn argmax_mask(&self) -> ArchMask {
+        let probs = self.probs();
+        let pick = |table: &Vec<Vec<f32>>| {
+            table
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .map(|(i, _)| i)
+                        .expect("non-empty row")
+                })
+                .collect()
+        };
+        ArchMask::new(pick(&probs[0]), pick(&probs[1]))
+    }
+
+    /// Log-probability of sampling `mask` under the current policy:
+    /// `Σ_edges log p(chosen op)`.
+    pub fn log_prob(&self, mask: &ArchMask) -> f32 {
+        let probs = self.probs();
+        let mut lp = 0.0f32;
+        for kind in CellKind::ALL {
+            let k = kind.index();
+            for (e, &o) in mask.ops(kind).iter().enumerate() {
+                lp += probs[k][e][o].max(1e-12).ln();
+            }
+        }
+        lp
+    }
+
+    /// Analytic gradient `∇α log p(mask)` (Eq. 12): for each edge, the row
+    /// is `e_i − p` where `i` is the chosen op. Returns a tensor shaped like
+    /// the logits.
+    pub fn grad_log_prob(&self, mask: &ArchMask) -> Tensor {
+        let probs = self.probs();
+        let mut grad = Tensor::zeros(self.logits.dims());
+        for kind in CellKind::ALL {
+            let k = kind.index();
+            for (e, &chosen) in mask.ops(kind).iter().enumerate() {
+                let base = (k * self.edges + e) * NUM_OPS;
+                for o in 0..NUM_OPS {
+                    let delta = if o == chosen { 1.0 } else { 0.0 };
+                    grad.as_mut_slice()[base + o] = delta - probs[k][e][o];
+                }
+            }
+        }
+        grad
+    }
+
+    /// Probability of edge `e` of `kind` selecting op `o` (convenience for
+    /// tests and reports).
+    pub fn prob(&self, kind: CellKind, e: usize, o: usize) -> f32 {
+        self.probs()[kind.index()][e][o]
+    }
+}
+
+/// Samples an index from an (unnormalized-tolerant) categorical
+/// distribution.
+fn sample_categorical<R: Rng + ?Sized>(weights: &[f32], rng: &mut R) -> usize {
+    let total: f32 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_alpha() -> Alpha {
+        Alpha::new(&SupernetConfig::tiny())
+    }
+
+    #[test]
+    fn uniform_at_init() {
+        let a = tiny_alpha();
+        let p = a.probs();
+        for row in p[0].iter().chain(p[1].iter()) {
+            for v in row {
+                assert!((v - 1.0 / NUM_OPS as f32).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn probs_rows_normalized_after_update() {
+        let mut a = tiny_alpha();
+        a.logits_mut().as_mut_slice()[3] = 5.0;
+        let p = a.probs();
+        let s: f32 = p[0][0].iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(p[0][0][3] > 0.9);
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let mut a = tiny_alpha();
+        // strongly favor op 2 on every edge of both kinds
+        for row in 0..a.logits().len() / NUM_OPS {
+            a.logits_mut().as_mut_slice()[row * NUM_OPS + 2] = 6.0;
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = a.sample(&mut rng);
+        let chosen_2 = mask
+            .ops(CellKind::Normal)
+            .iter()
+            .chain(mask.ops(CellKind::Reduction))
+            .filter(|&&o| o == 2)
+            .count();
+        let total = mask.num_edges() * 2;
+        assert!(chosen_2 * 10 >= total * 9, "{chosen_2}/{total}");
+        assert_eq!(a.argmax_mask().ops(CellKind::Normal)[0], 2);
+    }
+
+    #[test]
+    fn grad_log_prob_matches_finite_difference() {
+        let mut a = tiny_alpha();
+        let mut rng = StdRng::seed_from_u64(1);
+        // random non-uniform logits
+        *a.logits_mut() = Tensor::randn(a.logits().dims(), 0.5, &mut rng);
+        let mask = a.sample(&mut rng);
+        let grad = a.grad_log_prob(&mask);
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 17, a.logits().len() - 1] {
+            let orig = a.logits().as_slice()[idx];
+            a.logits_mut().as_mut_slice()[idx] = orig + eps;
+            let lp = a.log_prob(&mask);
+            a.logits_mut().as_mut_slice()[idx] = orig - eps;
+            let lm = a.log_prob(&mask);
+            a.logits_mut().as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[idx]).abs() < 1e-3,
+                "alpha grad mismatch at {idx}: {num} vs {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_log_prob_rows_sum_to_zero() {
+        let a = tiny_alpha();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mask = a.sample(&mut rng);
+        let grad = a.grad_log_prob(&mask);
+        for row in grad.as_slice().chunks(NUM_OPS) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn categorical_sampler_degenerate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_categorical(&[0.0, 1.0, 0.0], &mut rng), 1);
+        // all-zero weights fall back to a valid index
+        let i = sample_categorical(&[0.0, 0.0], &mut rng);
+        assert!(i < 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! The RL architecture controller (paper §IV).
+//!
+//! The controller is an architecture-parameter matrix α (one row of `N`
+//! logits per edge, per cell kind) defining a softmax policy over candidate
+//! operations (Eq. 4). Sampling the policy yields a one-hot binary mask per
+//! edge (Eq. 5) — an `ArchMask` — and the REINFORCE estimator (Eq. 10)
+//! with the analytic log-probability gradient (Eq. 11–12) updates α from
+//! participant rewards.
+//!
+//! Note: Eq. (11) of the paper contains a typo (the Kronecker delta is
+//! inverted); Eq. (12) shows the intended form `∇α log p_i = e_i − p`,
+//! which is what [`Alpha::grad_log_prob`] implements and what the tests
+//! verify against finite differences.
+//!
+//! # Example
+//!
+//! ```
+//! use fedrlnas_controller::{ControllerConfig, ReinforceController};
+//! use fedrlnas_darts::SupernetConfig;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = SupernetConfig::tiny();
+//! let mut ctl = ReinforceController::new(&net, ControllerConfig::default());
+//! let mask = ctl.sample(&mut rng);
+//! ctl.update(&[(mask, 0.8)]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod alpha;
+mod reinforce;
+
+pub use alpha::Alpha;
+pub use reinforce::{ControllerConfig, ReinforceController};

@@ -1,0 +1,170 @@
+//! Search-state checkpointing.
+//!
+//! Real federated searches run for days (Table V); a production server
+//! must survive restarts. A [`Checkpoint`] captures everything Algorithm 1
+//! needs to resume: the supernet weights θ, the architecture logits α, the
+//! controller baseline and the round counter. The format is a simple
+//! self-describing little-endian binary layout with a magic/version header.
+
+use crate::server::SearchServer;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"FEDRLNA1";
+
+/// A serializable snapshot of the mutable search state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Flat supernet weights in `visit_params` order.
+    pub theta: Vec<f32>,
+    /// Flat architecture logits.
+    pub alpha: Vec<f32>,
+    /// Controller reward baseline `b_t`.
+    pub baseline: f32,
+    /// Completed rounds.
+    pub round: u64,
+}
+
+impl Checkpoint {
+    /// Captures the state of a running server.
+    pub fn capture(server: &mut SearchServer) -> Self {
+        let mut theta = Vec::new();
+        server
+            .supernet_mut()
+            .visit_params(&mut |p| theta.extend_from_slice(p.value.as_slice()));
+        let alpha = server.controller().alpha().logits().as_slice().to_vec();
+        Checkpoint {
+            theta,
+            alpha,
+            baseline: server.controller().baseline(),
+            round: server.rounds_completed() as u64,
+        }
+    }
+
+    /// Restores this snapshot into a freshly constructed server of the
+    /// same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter counts do not match the server's structure.
+    pub fn restore(&self, server: &mut SearchServer) {
+        let mut cursor = 0usize;
+        server.supernet_mut().visit_params(&mut |p| {
+            let n = p.value.len();
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&self.theta[cursor..cursor + n]);
+            cursor += n;
+        });
+        assert_eq!(cursor, self.theta.len(), "theta size mismatch");
+        server.restore_controller_state(&self.alpha, self.baseline);
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.round.to_le_bytes())?;
+        w.write_all(&self.baseline.to_le_bytes())?;
+        for (len, data) in [(self.theta.len(), &self.theta), (self.alpha.len(), &self.alpha)] {
+            w.write_all(&(len as u64).to_le_bytes())?;
+            for v in data {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic header and propagates I/O
+    /// errors.
+    pub fn load<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a fedrlnas checkpoint",
+            ));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let round = u64::from_le_bytes(u64buf);
+        let mut f32buf = [0u8; 4];
+        r.read_exact(&mut f32buf)?;
+        let baseline = f32::from_le_bytes(f32buf);
+        let read_vec = |r: &mut R| -> io::Result<Vec<f32>> {
+            let mut lenbuf = [0u8; 8];
+            r.read_exact(&mut lenbuf)?;
+            let len = u64::from_le_bytes(lenbuf) as usize;
+            let mut out = Vec::with_capacity(len);
+            let mut buf = [0u8; 4];
+            for _ in 0..len {
+                r.read_exact(&mut buf)?;
+                out.push(f32::from_le_bytes(buf));
+            }
+            Ok(out)
+        };
+        let theta = read_vec(&mut r)?;
+        let alpha = read_vec(&mut r)?;
+        Ok(Checkpoint {
+            theta,
+            alpha,
+            baseline,
+            round,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchConfig;
+    use fedrlnas_data::{DatasetSpec, SyntheticDataset};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn server(seed: u64) -> (SearchServer, SyntheticDataset, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data =
+            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(10, 3), &mut rng);
+        let s = SearchServer::new(SearchConfig::tiny(), &data, &mut rng);
+        (s, data, rng)
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let (mut s, data, mut rng) = server(0);
+        s.run_search(&data, 4, &mut rng);
+        let cp = Checkpoint::capture(&mut s);
+        let mut bytes = Vec::new();
+        cp.save(&mut bytes).expect("write to vec");
+        let loaded = Checkpoint::load(bytes.as_slice()).expect("read back");
+        assert_eq!(loaded, cp);
+        assert_eq!(loaded.round, 4);
+    }
+
+    #[test]
+    fn restore_resumes_identical_state() {
+        let (mut s, data, mut rng) = server(1);
+        s.run_search(&data, 3, &mut rng);
+        let cp = Checkpoint::capture(&mut s);
+        // fresh server, same config/partition seed
+        let (mut s2, _, _) = server(1);
+        cp.restore(&mut s2);
+        let cp2 = Checkpoint::capture(&mut s2);
+        assert_eq!(cp.theta, cp2.theta);
+        assert_eq!(cp.alpha, cp2.alpha);
+        assert_eq!(cp.baseline, cp2.baseline);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Checkpoint::load(&b"NOTACKPT........."[..]).is_err());
+        assert!(Checkpoint::load(&b"FE"[..]).is_err());
+    }
+}

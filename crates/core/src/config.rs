@@ -1,0 +1,275 @@
+//! Search configuration (Table I defaults and proxy-scale presets).
+
+use fedrlnas_controller::ControllerConfig;
+use fedrlnas_darts::SupernetConfig;
+use fedrlnas_data::AugmentConfig;
+use fedrlnas_netsim::{AssignmentStrategy, DeviceProfile};
+use fedrlnas_nn::SgdConfig;
+use fedrlnas_sync::{StalenessModel, StalenessStrategy};
+use serde::{Deserialize, Serialize};
+
+/// Proxy scale selector used by the experiment binaries' `--scale` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Smoke-test scale (seconds).
+    Tiny,
+    /// Default experiment scale (minutes).
+    Small,
+    /// Paper-shaped scale (hours on CPU).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `tiny` / `small` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Full configuration of a federated model search run.
+///
+/// Field defaults mirror Table I; the proxy presets scale down the network
+/// and step counts while keeping every ratio that drives the paper's
+/// comparisons (see DESIGN.md).
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchConfig {
+    /// Supernet structure.
+    pub net: SupernetConfig,
+    /// Controller (α) hyperparameters: lr 0.003, wd 1e-4, clip 5, baseline
+    /// decay 0.99 (Table I).
+    pub controller: ControllerConfig,
+    /// θ optimizer: lr 0.025, momentum 0.9, wd 3e-4, clip 5 (Table I).
+    pub theta_sgd: SgdConfig,
+    /// Number of participants `K` (Table I: 10).
+    pub num_participants: usize,
+    /// Mini-batch size (Table I: 256; proxy presets shrink it).
+    pub batch_size: usize,
+    /// Warm-up steps (P1; Table I: 10000).
+    pub warmup_steps: usize,
+    /// Search steps (P2; Table I: 6000, CIFAR10 non-i.i.d. uses 10000).
+    pub search_steps: usize,
+    /// Dirichlet concentration for the non-i.i.d. partition; `None` = i.i.d.
+    pub dirichlet_beta: Option<f64>,
+    /// Participant-side augmentation.
+    pub augment: AugmentConfig,
+    /// Update-delay process.
+    pub staleness: StalenessModel,
+    /// How stale updates are treated.
+    pub strategy: StalenessStrategy,
+    /// Staleness threshold Δ beyond which updates are discarded and memory
+    /// evicted.
+    pub staleness_threshold: usize,
+    /// Sub-model-to-participant assignment (§IV adaptive transmission).
+    pub assignment: AssignmentStrategy,
+    /// Freeze θ and update α alone (the failure mode shown in Fig. 5).
+    pub freeze_theta: bool,
+    /// Share weights through the supernet (disable for the ablation that
+    /// re-initializes sub-model weights every round).
+    pub weight_sharing: bool,
+    /// Participant device class for simulated-time accounting (Table V).
+    pub device: DeviceProfile,
+}
+
+impl SearchConfig {
+    /// Smoke-test configuration: tiny supernet, 4 participants, a handful
+    /// of steps.
+    pub fn tiny() -> Self {
+        SearchConfig {
+            net: SupernetConfig::tiny(),
+            controller: ControllerConfig {
+                // smoke runs last tens of steps, not thousands; scale the
+                // controller lr so policy movement is observable
+                lr: 0.08,
+                ..ControllerConfig::default()
+            },
+            theta_sgd: SgdConfig::default(),
+            num_participants: 4,
+            batch_size: 8,
+            warmup_steps: 5,
+            search_steps: 10,
+            dirichlet_beta: None,
+            augment: AugmentConfig::none(),
+            staleness: StalenessModel::fresh(),
+            strategy: StalenessStrategy::Hard,
+            staleness_threshold: 2,
+            assignment: AssignmentStrategy::Adaptive,
+            freeze_theta: false,
+            weight_sharing: true,
+            device: DeviceProfile::gtx_1080ti(),
+        }
+    }
+
+    /// Default experiment configuration (the `--scale small` preset):
+    /// Table I ratios at proxy size — K = 10 participants, Dir(0.5)
+    /// available via [`SearchConfig::non_iid`].
+    pub fn small() -> Self {
+        SearchConfig {
+            net: SupernetConfig::small(),
+            controller: ControllerConfig {
+                // proxy runs take ~100x fewer steps than the paper's 6000,
+                // so the controller lr scales up to keep total policy
+                // movement comparable
+                lr: 0.05,
+                ..ControllerConfig::default()
+            },
+            theta_sgd: SgdConfig {
+                // the per-op gradient is diluted by the 1/M average (each
+                // op is sampled by few participants per round) and proxy
+                // runs are ~50x shorter than the paper's; compensate with a
+                // larger step
+                lr: 0.1,
+                ..SgdConfig::default()
+            },
+            num_participants: 10,
+            batch_size: 16,
+            warmup_steps: 30,
+            search_steps: 120,
+            dirichlet_beta: None,
+            augment: AugmentConfig::scaled_to(SupernetConfig::small().image_hw),
+            staleness: StalenessModel::fresh(),
+            strategy: StalenessStrategy::Hard,
+            staleness_threshold: 2,
+            assignment: AssignmentStrategy::Adaptive,
+            freeze_theta: false,
+            weight_sharing: true,
+            device: DeviceProfile::gtx_1080ti(),
+        }
+    }
+
+    /// Paper-shaped configuration — Table I verbatim (batch 256, K = 10,
+    /// 10000 warm-up steps, 6000 search steps, full augmentation). Hours
+    /// of CPU time; used only under `--scale paper`.
+    pub fn paper() -> Self {
+        SearchConfig {
+            net: SupernetConfig::paper(),
+            controller: ControllerConfig::default(),
+            theta_sgd: SgdConfig::default(),
+            num_participants: 10,
+            batch_size: 256,
+            warmup_steps: 10_000,
+            search_steps: 6_000,
+            dirichlet_beta: None,
+            augment: AugmentConfig::paper(),
+            staleness: StalenessModel::fresh(),
+            strategy: StalenessStrategy::Hard,
+            staleness_threshold: 2,
+            assignment: AssignmentStrategy::Adaptive,
+            freeze_theta: false,
+            weight_sharing: true,
+            device: DeviceProfile::gtx_1080ti(),
+        }
+    }
+
+    /// Preset by scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => SearchConfig::tiny(),
+            Scale::Small => SearchConfig::small(),
+            Scale::Paper => SearchConfig::paper(),
+        }
+    }
+
+    /// Builder-style: switch to the non-i.i.d. `Dir(0.5)` partition and
+    /// (per §VI-A) lengthen the search, which converges slower on
+    /// non-i.i.d. data.
+    pub fn non_iid(mut self) -> Self {
+        self.dirichlet_beta = Some(0.5);
+        self.search_steps = self.search_steps + self.search_steps * 2 / 3;
+        self
+    }
+
+    /// Builder-style: set the participant count.
+    pub fn with_participants(mut self, k: usize) -> Self {
+        self.num_participants = k;
+        self
+    }
+
+    /// Builder-style: inject a staleness scenario.
+    pub fn with_staleness(mut self, model: StalenessModel, strategy: StalenessStrategy) -> Self {
+        self.staleness = model;
+        self.strategy = strategy;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.net.validate()?;
+        if self.num_participants == 0 {
+            return Err("need at least one participant".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        if self.staleness.max_delay() > self.staleness_threshold {
+            return Err(format!(
+                "staleness model reaches delay {} beyond threshold {}",
+                self.staleness.max_delay(),
+                self.staleness_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(SearchConfig::tiny().validate().is_ok());
+        assert!(SearchConfig::small().validate().is_ok());
+        assert!(SearchConfig::paper().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_preset_matches_table1() {
+        let c = SearchConfig::paper();
+        assert_eq!(c.batch_size, 256);
+        assert_eq!(c.num_participants, 10);
+        assert_eq!(c.warmup_steps, 10_000);
+        assert_eq!(c.search_steps, 6_000);
+        assert!((c.theta_sgd.lr - 0.025).abs() < 1e-9);
+        assert!((c.theta_sgd.momentum - 0.9).abs() < 1e-9);
+        assert!((c.theta_sgd.weight_decay - 3e-4).abs() < 1e-9);
+        assert!((c.controller.lr - 0.003).abs() < 1e-9);
+        assert!((c.controller.weight_decay - 1e-4).abs() < 1e-9);
+        assert!((c.controller.baseline_decay - 0.99).abs() < 1e-9);
+        assert_eq!(c.augment.crop_padding, 4);
+        assert_eq!(c.augment.cutout, 16);
+    }
+
+    #[test]
+    fn non_iid_lengthens_search() {
+        let base = SearchConfig::small();
+        let non = base.clone().non_iid();
+        assert!(non.search_steps > base.search_steps);
+        assert_eq!(non.dirichlet_beta, Some(0.5));
+    }
+
+    #[test]
+    fn validation_catches_bad_staleness_threshold() {
+        let mut c = SearchConfig::tiny();
+        c.staleness = fedrlnas_sync::StalenessModel::severe();
+        c.staleness_threshold = 1;
+        assert!(c.validate().is_err());
+        c.staleness_threshold = 2;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

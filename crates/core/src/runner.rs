@@ -1,0 +1,158 @@
+//! The high-level public API: run all four phases with one call.
+
+use crate::config::SearchConfig;
+use crate::metrics::CurveRecorder;
+use crate::phases::{retrain_centralized, retrain_federated, RetrainReport};
+use crate::server::{LatencyStats, SearchServer};
+use fedrlnas_darts::Genotype;
+use fedrlnas_data::{DatasetSpec, SyntheticDataset};
+use fedrlnas_fed::{CommStats, FedAvgConfig};
+use rand::Rng;
+
+/// Everything a search run produces: the architecture, the curves and the
+/// systems-level statistics every experiment consumes.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Derived architecture (input to P3).
+    pub genotype: Genotype,
+    /// Warm-up curve (Fig. 3).
+    pub warmup_curve: CurveRecorder,
+    /// Search curve (Figs. 4–6, 8, 12).
+    pub search_curve: CurveRecorder,
+    /// Bytes exchanged.
+    pub comm: CommStats,
+    /// Per-round transmission latencies (Fig. 7).
+    pub latency: LatencyStats,
+    /// Simulated wall-clock search time in hours (Table V).
+    pub sim_hours: f64,
+    /// Final per-edge operation probabilities `[kind][edge][op]`.
+    pub alpha_probs: [Vec<Vec<f32>>; 2],
+}
+
+/// One-stop federated model search: owns the dataset and the server, runs
+/// P1+P2, and exposes P3/P4 helpers.
+pub struct FederatedModelSearch {
+    config: SearchConfig,
+    dataset: SyntheticDataset,
+    server: SearchServer,
+}
+
+impl FederatedModelSearch {
+    /// Creates a search over a CIFAR10-like synthetic dataset sized to the
+    /// configured supernet.
+    pub fn new<R: Rng + ?Sized>(config: SearchConfig, rng: &mut R) -> Self {
+        let spec = DatasetSpec::cifar10_like().with_image_hw(config.net.image_hw);
+        let dataset = SyntheticDataset::generate(&spec, rng);
+        Self::with_dataset(config, dataset, rng)
+    }
+
+    /// Creates a search over a caller-provided dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset shape disagrees with the supernet input (see
+    /// [`SearchServer::new`]).
+    pub fn with_dataset<R: Rng + ?Sized>(
+        config: SearchConfig,
+        dataset: SyntheticDataset,
+        rng: &mut R,
+    ) -> Self {
+        let server = SearchServer::new(config.clone(), &dataset, rng);
+        FederatedModelSearch {
+            config,
+            dataset,
+            server,
+        }
+    }
+
+    /// The dataset being searched over.
+    pub fn dataset(&self) -> &SyntheticDataset {
+        &self.dataset
+    }
+
+    /// The underlying server (for fine-grained control).
+    pub fn server_mut(&mut self) -> &mut SearchServer {
+        &mut self.server
+    }
+
+    /// Runs warm-up (P1) and search (P2) to completion and returns the
+    /// outcome.
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SearchOutcome {
+        self.server
+            .run_warmup(&self.dataset, self.config.warmup_steps, rng);
+        self.server
+            .run_search(&self.dataset, self.config.search_steps, rng);
+        SearchOutcome {
+            genotype: self.server.derive_genotype(),
+            warmup_curve: self.server.warmup_curve().clone(),
+            search_curve: self.server.search_curve().clone(),
+            comm: *self.server.comm(),
+            latency: self.server.latency().clone(),
+            sim_hours: self.server.sim_hours(),
+            alpha_probs: self.server.controller().alpha().probs(),
+        }
+    }
+
+    /// P3+P4, centralized: retrains `genotype` from scratch on the same
+    /// dataset and evaluates it (the Table II protocol).
+    pub fn retrain_centralized<R: Rng + ?Sized>(
+        &self,
+        genotype: Genotype,
+        steps: usize,
+        rng: &mut R,
+    ) -> RetrainReport {
+        retrain_centralized(
+            genotype,
+            self.config.net.clone(),
+            &self.dataset,
+            steps,
+            self.config.batch_size,
+            rng,
+        )
+    }
+
+    /// P3+P4, federated: retrains `genotype` with FedAvg under the same
+    /// partition settings and evaluates it (the Tables III–IV protocol).
+    pub fn retrain_federated<R: Rng + ?Sized>(
+        &self,
+        genotype: Genotype,
+        rounds: usize,
+        rng: &mut R,
+    ) -> RetrainReport {
+        retrain_federated(
+            genotype,
+            self.config.net.clone(),
+            &self.dataset,
+            self.config.num_participants,
+            rounds,
+            self.config.dirichlet_beta,
+            FedAvgConfig::default(),
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn full_pipeline_tiny() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut search = FederatedModelSearch::new(SearchConfig::tiny(), &mut rng);
+        let outcome = search.run(&mut rng);
+        assert_eq!(outcome.warmup_curve.len(), 5);
+        assert_eq!(outcome.search_curve.len(), 10);
+        assert!(outcome.sim_hours > 0.0);
+        assert!(outcome.comm.total_bytes() > 0);
+        // P3 + P4 centralized
+        let report = search.retrain_centralized(outcome.genotype.clone(), 10, &mut rng);
+        assert!((0.0..=100.0).contains(&report.error_percent()));
+        // probabilities still normalized after the whole run
+        for row in outcome.alpha_probs[0].iter() {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The search server: Algorithm 1 with adaptive transmission and
+//! delay-compensated soft synchronization.
+
+use crate::config::SearchConfig;
+use crate::metrics::{CurveRecorder, StepMetric};
+use fedrlnas_controller::{Alpha, ReinforceController};
+use fedrlnas_darts::{ArchMask, Genotype, Supernet};
+use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
+use fedrlnas_fed::{CommStats, Participant};
+use fedrlnas_netsim::{assign, Environment};
+use fedrlnas_nn::Sgd;
+use fedrlnas_sync::{
+    compensate_alpha_gradient, compensate_gradient, MemoryPools, RoundSnapshot, StalenessDraw,
+    StalenessStrategy,
+};
+use fedrlnas_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+/// Per-round transmission latency summary (the Fig. 7 metrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Maximum (straggler) download latency per round, seconds.
+    pub max_per_round: Vec<f64>,
+    /// Mean download latency per round, seconds.
+    pub mean_per_round: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Mean of the per-round maxima — the bar height Fig. 7 plots.
+    pub fn mean_of_max(&self) -> f64 {
+        if self.max_per_round.is_empty() {
+            0.0
+        } else {
+            self.max_per_round.iter().sum::<f64>() / self.max_per_round.len() as f64
+        }
+    }
+}
+
+/// A participant update still in flight (its staleness draw said it arrives
+/// `arrival − computed_at` rounds late).
+struct PendingUpdate {
+    arrival: usize,
+    computed_at: usize,
+    participant: usize,
+    mask: ArchMask,
+    sub_grads: Vec<f32>,
+    accuracy: f32,
+}
+
+/// One computed local update ready for aggregation.
+struct Arrival {
+    computed_at: usize,
+    mask: ArchMask,
+    sub_grads: Vec<f32>,
+    accuracy: f32,
+}
+
+/// The RL federated model-search server (Algorithm 1).
+pub struct SearchServer {
+    config: SearchConfig,
+    supernet: Supernet,
+    controller: ReinforceController,
+    participants: Vec<Participant>,
+    pools: MemoryPools,
+    pending: Vec<PendingUpdate>,
+    comm: CommStats,
+    warmup_curve: CurveRecorder,
+    search_curve: CurveRecorder,
+    latency: LatencyStats,
+    theta_sgd: Sgd,
+    round: usize,
+    sim_seconds: f64,
+    initial_theta: Vec<f32>,
+}
+
+impl SearchServer {
+    /// Builds the server: supernet, controller, participants over the
+    /// configured partition of `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation or the dataset shape
+    /// disagrees with the supernet input.
+    pub fn new<R: Rng + ?Sized>(
+        config: SearchConfig,
+        dataset: &SyntheticDataset,
+        rng: &mut R,
+    ) -> Self {
+        config.validate().expect("invalid search config");
+        assert_eq!(
+            dataset.spec().image_hw,
+            config.net.image_hw,
+            "dataset image extent must match the supernet input"
+        );
+        assert_eq!(
+            dataset.spec().num_classes,
+            config.net.num_classes,
+            "dataset classes must match the classifier"
+        );
+        let mut supernet = Supernet::new(config.net.clone(), rng);
+        let controller = ReinforceController::new(&config.net, config.controller);
+        let parts = match config.dirichlet_beta {
+            Some(beta) => dirichlet_partition(dataset.labels(), config.num_participants, beta, rng),
+            None => iid_partition(dataset.len(), config.num_participants, rng),
+        };
+        let participants: Vec<Participant> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, indices)| {
+                Participant::new(
+                    id,
+                    indices,
+                    config.batch_size,
+                    config.augment,
+                    Environment::ALL[id % Environment::ALL.len()],
+                    1.0,
+                    rng,
+                )
+            })
+            .collect();
+        let mut initial_theta = Vec::new();
+        supernet.visit_params(&mut |p| initial_theta.extend_from_slice(p.value.as_slice()));
+        let theta_sgd = Sgd::new(config.theta_sgd);
+        SearchServer {
+            config,
+            supernet,
+            controller,
+            participants,
+            pools: MemoryPools::new(),
+            pending: Vec::new(),
+            comm: CommStats::new(),
+            warmup_curve: CurveRecorder::new(),
+            search_curve: CurveRecorder::new(),
+            latency: LatencyStats::default(),
+            theta_sgd,
+            round: 0,
+            sim_seconds: 0.0,
+            initial_theta,
+        }
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The warm-up (P1) training curve (Fig. 3).
+    pub fn warmup_curve(&self) -> &CurveRecorder {
+        &self.warmup_curve
+    }
+
+    /// The search (P2) training curve (Figs. 4–6, 8, 12).
+    pub fn search_curve(&self) -> &CurveRecorder {
+        &self.search_curve
+    }
+
+    /// Communication tally.
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// Transmission latency statistics (Fig. 7).
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// Simulated wall-clock time consumed so far, in hours (Table V).
+    pub fn sim_hours(&self) -> f64 {
+        self.sim_seconds / 3600.0
+    }
+
+    /// The controller (for inspecting α).
+    pub fn controller(&self) -> &ReinforceController {
+        &self.controller
+    }
+
+    /// Mutable supernet access (used by evaluation helpers and benches).
+    pub fn supernet_mut(&mut self) -> &mut Supernet {
+        &mut self.supernet
+    }
+
+    /// Number of rounds completed across warm-up and search.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
+    }
+
+    /// Restores controller state from a checkpoint: flat α logits and the
+    /// reward baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logits length does not match this configuration.
+    pub fn restore_controller_state(&mut self, alpha: &[f32], baseline: f32) {
+        let logits = Tensor::from_vec(alpha.to_vec(), &[alpha.len()])
+            .expect("flat logits");
+        let edges = self.config.net.topology().num_edges();
+        *self.controller.alpha_mut() = Alpha::from_logits(logits, edges);
+        self.controller.set_baseline(baseline);
+    }
+
+    /// Runs `steps` warm-up rounds (P1): sub-models are sampled from the
+    /// (frozen, still uniform) policy and only θ is trained.
+    pub fn run_warmup<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &SyntheticDataset,
+        steps: usize,
+        rng: &mut R,
+    ) {
+        for _ in 0..steps {
+            self.run_round(dataset, false, rng);
+        }
+    }
+
+    /// Runs `steps` search rounds (P2): θ and α update jointly.
+    pub fn run_search<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &SyntheticDataset,
+        steps: usize,
+        rng: &mut R,
+    ) {
+        for _ in 0..steps {
+            self.run_round(dataset, true, rng);
+        }
+    }
+
+    /// Derives the searched genotype from the current policy.
+    pub fn derive_genotype(&self) -> Genotype {
+        Genotype::from_probs(&self.controller.alpha().probs(), self.config.net.nodes)
+    }
+
+    /// The argmax architecture of the current policy.
+    pub fn argmax_mask(&self) -> ArchMask {
+        self.controller.alpha().argmax_mask()
+    }
+
+    /// One full server round of Algorithm 1. `update_alpha` distinguishes
+    /// warm-up (false) from search (true).
+    pub fn run_round<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &SyntheticDataset,
+        update_alpha: bool,
+        rng: &mut R,
+    ) {
+        let t = self.round;
+        let k = self.participants.len();
+        // Ablation: without weight sharing, every round starts from the
+        // initial (untrained) supernet weights.
+        if !self.config.weight_sharing {
+            let init = self.initial_theta.clone();
+            let mut cursor = 0usize;
+            self.supernet.visit_params(&mut |p| {
+                let n = p.value.len();
+                p.value.as_mut_slice().copy_from_slice(&init[cursor..cursor + n]);
+                cursor += n;
+            });
+        }
+        // --- sample masks and extract sub-models (Alg. 1 lines 5–9) ---
+        let masks: Vec<ArchMask> = (0..k).map(|_| self.controller.sample(rng)).collect();
+        let sizes: Vec<usize> = masks
+            .iter()
+            .map(|m| self.supernet.submodel_bytes(m))
+            .collect();
+        // --- adaptive transmission (lines 10–11) ---
+        let bandwidths: Vec<f64> = self
+            .participants
+            .iter_mut()
+            .map(|p| p.next_bandwidth_mbps(rng))
+            .collect();
+        let outcome = assign(self.config.assignment, &sizes, &bandwidths, rng);
+        self.latency.max_per_round.push(outcome.max_latency());
+        self.latency.mean_per_round.push(outcome.mean_latency());
+        // mask each participant actually trains
+        let assigned_masks: Vec<ArchMask> = (0..k)
+            .map(|p| masks[outcome.model_for_participant[p]].clone())
+            .collect();
+        // --- memory pools (lines 4, 6–7) ---
+        if matches!(self.config.strategy, StalenessStrategy::DelayCompensated { .. })
+            || matches!(self.config.strategy, StalenessStrategy::Use)
+        {
+            let mut theta = Vec::with_capacity(self.initial_theta.len());
+            self.supernet
+                .visit_params(&mut |p| theta.extend_from_slice(p.value.as_slice()));
+            self.pools.save(
+                t,
+                RoundSnapshot {
+                    theta,
+                    alpha: self.controller.alpha().logits().as_slice().to_vec(),
+                    masks: assigned_masks.clone(),
+                },
+            );
+        }
+        // --- participants train in parallel (lines 12–14, 37–42) ---
+        let mut submodels: Vec<_> = assigned_masks
+            .iter()
+            .map(|m| self.supernet.extract_submodel(m))
+            .collect();
+        let seed_base: u64 = rng.gen();
+        let reports: Vec<(f32, f32, Vec<f32>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .participants
+                .iter_mut()
+                .zip(submodels.iter_mut())
+                .map(|(p, sub)| {
+                    scope.spawn(move |_| {
+                        let mut prng = rand::rngs::StdRng::seed_from_u64(
+                            seed_base ^ (p.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let report = p.local_update(sub, dataset, &mut prng);
+                        let mut grads = Vec::new();
+                        sub.visit_params(&mut |pp| grads.extend_from_slice(pp.grad.as_slice()));
+                        (report.accuracy, report.loss, grads)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("participant thread panicked"))
+                .collect()
+        })
+        .expect("scoped threads join");
+        // communication: sub-model down, gradients + reward up
+        for (i, size) in sizes.iter().enumerate() {
+            let _ = i;
+            self.comm.record_down(*size);
+            self.comm.record_up(*size + 4);
+        }
+        // simulated time: slowest participant (compute + download) + server
+        // overhead
+        let mut round_secs = 0.0f64;
+        for p in 0..k {
+            let macs =
+                self.supernet.flops_masked(&assigned_masks[p]) * self.config.batch_size as u64;
+            let compute =
+                self.config.device.train_step_secs(macs) / self.participants[p].speed_factor();
+            let total = compute + outcome.latencies[p];
+            if total > round_secs {
+                round_secs = total;
+            }
+        }
+        self.sim_seconds += round_secs + self.config.device.round_overhead_secs;
+        // --- staleness: decide when each update arrives (soft sync) ---
+        let mut arrivals: Vec<Arrival> = Vec::with_capacity(k);
+        for (p, (acc, _loss, grads)) in reports.iter().enumerate() {
+            let draw = if matches!(self.config.strategy, StalenessStrategy::Hard) {
+                StalenessDraw::Fresh
+            } else {
+                self.config.staleness.sample(rng)
+            };
+            match draw {
+                StalenessDraw::Fresh => arrivals.push(Arrival {
+                    computed_at: t,
+                    mask: assigned_masks[p].clone(),
+                    sub_grads: grads.clone(),
+                    accuracy: *acc,
+                }),
+                StalenessDraw::Stale(tau) => self.pending.push(PendingUpdate {
+                    arrival: t + tau,
+                    computed_at: t,
+                    participant: p,
+                    mask: assigned_masks[p].clone(),
+                    sub_grads: grads.clone(),
+                    accuracy: *acc,
+                }),
+                StalenessDraw::Dropped => {}
+            }
+        }
+        // late updates arriving this round (lines 16–31)
+        let (due, still_pending): (Vec<PendingUpdate>, Vec<PendingUpdate>) = std::mem::take(
+            &mut self.pending,
+        )
+        .into_iter()
+        .partition(|u| u.arrival <= t);
+        self.pending = still_pending;
+        for u in due {
+            let tau = t - u.computed_at;
+            if tau > self.config.staleness_threshold {
+                continue; // line 23: ignore update
+            }
+            let _ = u.participant;
+            match self.config.strategy {
+                StalenessStrategy::Throw => {} // discard stale data
+                StalenessStrategy::Use | StalenessStrategy::DelayCompensated { .. } => {
+                    arrivals.push(Arrival {
+                        computed_at: u.computed_at,
+                        mask: u.mask,
+                        sub_grads: u.sub_grads,
+                        accuracy: u.accuracy,
+                    });
+                }
+                StalenessStrategy::Hard => unreachable!("hard sync never defers"),
+            }
+        }
+        // --- aggregate (lines 17–33) ---
+        let theta_len = self.initial_theta.len();
+        let mut theta_grad = vec![0.0f32; theta_len];
+        let mut alpha_grad = Tensor::zeros(self.controller.alpha().logits().dims());
+        let mut m = 0usize;
+        let accuracies: Vec<f32> = arrivals.iter().map(|a| a.accuracy).collect();
+        let rewards = if update_alpha {
+            self.controller.baselined_rewards(&accuracies)
+        } else {
+            vec![0.0; arrivals.len()]
+        };
+        let lambda = match self.config.strategy {
+            StalenessStrategy::DelayCompensated { lambda } => lambda,
+            _ => 0.0,
+        };
+        // current flat theta for compensation
+        let mut current_theta = Vec::with_capacity(theta_len);
+        self.supernet
+            .visit_params(&mut |p| current_theta.extend_from_slice(p.value.as_slice()));
+        let current_alpha = self.controller.alpha().logits().as_slice().to_vec();
+        let edges = self.config.net.topology().num_edges();
+        for (arrival, reward) in arrivals.into_iter().zip(rewards) {
+            let ranges = self.supernet.submodel_param_ranges(&arrival.mask);
+            let mut grads = arrival.sub_grads;
+            let mut glog = if arrival.computed_at == t {
+                self.controller.alpha().grad_log_prob(&arrival.mask)
+            } else {
+                // stale: gradients relate to the old α and θ (lines 24–28)
+                let stale_alpha_logits = self
+                    .pools
+                    .get(arrival.computed_at)
+                    .map(|s| s.alpha.clone())
+                    .unwrap_or_else(|| current_alpha.clone());
+                let stale_alpha = Alpha::from_logits(
+                    Tensor::from_vec(stale_alpha_logits.clone(), &[stale_alpha_logits.len()])
+                        .expect("flat logits"),
+                    edges,
+                );
+                let mut glog = stale_alpha.grad_log_prob(&arrival.mask);
+                if lambda > 0.0 {
+                    // Eq. (13) on θ
+                    let fresh_w: Vec<f32> = ranges
+                        .iter()
+                        .flat_map(|&(off, len)| current_theta[off..off + len].iter().copied())
+                        .collect();
+                    if let Some(stale_w) =
+                        self.pools.pruned_theta(arrival.computed_at, &ranges)
+                    {
+                        compensate_gradient(&mut grads, &fresh_w, &stale_w, lambda);
+                    }
+                    // Eq. (15) on α
+                    compensate_alpha_gradient(
+                        glog.as_mut_slice(),
+                        &current_alpha,
+                        &stale_alpha_logits,
+                        lambda,
+                    );
+                }
+                glog
+            };
+            // accumulate θ gradient at the sub-model's slots
+            let mut cursor = 0usize;
+            for &(off, len) in &ranges {
+                for i in 0..len {
+                    theta_grad[off + i] += grads[cursor + i];
+                }
+                cursor += len;
+            }
+            // accumulate α gradient: R_m ∇ log p(g_m)
+            glog.scale(reward);
+            alpha_grad.add_assign(&glog).expect("alpha shapes agree");
+            m += 1;
+        }
+        if m > 0 {
+            let inv_m = 1.0 / m as f32;
+            // θ update (line 32–33)
+            if !self.config.freeze_theta {
+                let mut cursor = 0usize;
+                self.supernet.visit_params(&mut |p| {
+                    let n = p.grad.len();
+                    for (g, v) in p
+                        .grad
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(&theta_grad[cursor..cursor + n])
+                    {
+                        *g = v * inv_m;
+                    }
+                    cursor += n;
+                });
+                let supernet = &mut self.supernet;
+                self.theta_sgd.step_visitor(|f| supernet.visit_params(f));
+                supernet.zero_grad();
+            }
+            // α update (line 33)
+            if update_alpha {
+                alpha_grad.scale(inv_m);
+                self.controller.ascend(&alpha_grad);
+            }
+        }
+        // --- record the curve over this round's computed updates ---
+        let mean_acc = reports.iter().map(|r| r.0).sum::<f32>() / k as f32;
+        let mean_loss = reports.iter().map(|r| r.1).sum::<f32>() / k as f32;
+        let metric = StepMetric {
+            step: t,
+            mean_accuracy: mean_acc,
+            mean_loss,
+            contributors: m,
+        };
+        if update_alpha {
+            self.search_curve.record(metric);
+        } else {
+            self.warmup_curve.record(metric);
+        }
+        // --- eviction (lines 34–35) ---
+        self.pools.evict(t, self.config.staleness_threshold);
+        self.comm.end_round();
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchConfig;
+    use fedrlnas_data::DatasetSpec;
+    use fedrlnas_sync::StalenessModel;
+    use rand::rngs::StdRng;
+
+    fn dataset(rng: &mut StdRng) -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(12, 4), rng)
+    }
+
+    #[test]
+    fn rounds_advance_and_record() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = dataset(&mut rng);
+        let mut server = SearchServer::new(SearchConfig::tiny(), &data, &mut rng);
+        server.run_warmup(&data, 3, &mut rng);
+        server.run_search(&data, 4, &mut rng);
+        assert_eq!(server.warmup_curve().len(), 3);
+        assert_eq!(server.search_curve().len(), 4);
+        assert_eq!(server.comm().rounds, 7);
+        assert!(server.comm().total_bytes() > 0);
+        assert!(server.sim_hours() > 0.0);
+        assert_eq!(server.latency().max_per_round.len(), 7);
+    }
+
+    #[test]
+    fn warmup_does_not_move_alpha() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = dataset(&mut rng);
+        let mut server = SearchServer::new(SearchConfig::tiny(), &data, &mut rng);
+        let before = server.controller().alpha().logits().clone();
+        server.run_warmup(&data, 3, &mut rng);
+        assert_eq!(server.controller().alpha().logits(), &before);
+        server.run_search(&data, 3, &mut rng);
+        assert_ne!(server.controller().alpha().logits(), &before);
+    }
+
+    #[test]
+    fn freeze_theta_keeps_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = dataset(&mut rng);
+        let mut config = SearchConfig::tiny();
+        config.freeze_theta = true;
+        let mut server = SearchServer::new(config, &data, &mut rng);
+        let mut before = Vec::new();
+        server
+            .supernet_mut()
+            .visit_params(&mut |p| before.extend_from_slice(p.value.as_slice()));
+        server.run_search(&data, 3, &mut rng);
+        let mut after = Vec::new();
+        server
+            .supernet_mut()
+            .visit_params(&mut |p| after.extend_from_slice(p.value.as_slice()));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn stale_updates_survive_with_dc_and_die_with_throw() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = dataset(&mut rng);
+        // All updates stale by exactly 1 round.
+        let all_stale = StalenessModel::new(vec![0.0, 1.0]);
+        let mut dc_cfg = SearchConfig::tiny();
+        dc_cfg.staleness = all_stale.clone();
+        dc_cfg.strategy = StalenessStrategy::delay_compensated();
+        let mut server = SearchServer::new(dc_cfg, &data, &mut rng);
+        server.run_search(&data, 4, &mut rng);
+        // first round has no arrivals; later rounds apply last round's
+        let contributors: Vec<usize> = server
+            .search_curve()
+            .steps()
+            .iter()
+            .map(|s| s.contributors)
+            .collect();
+        assert_eq!(contributors[0], 0);
+        assert!(contributors[1..].iter().any(|&c| c > 0), "{contributors:?}");
+
+        let mut throw_cfg = SearchConfig::tiny();
+        throw_cfg.staleness = all_stale;
+        throw_cfg.strategy = StalenessStrategy::Throw;
+        let mut server = SearchServer::new(throw_cfg, &data, &mut rng);
+        server.run_search(&data, 3, &mut rng);
+        assert!(server
+            .search_curve()
+            .steps()
+            .iter()
+            .all(|s| s.contributors == 0));
+    }
+
+    #[test]
+    fn genotype_derivable_after_search() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = dataset(&mut rng);
+        let mut server = SearchServer::new(SearchConfig::tiny(), &data, &mut rng);
+        server.run_search(&data, 2, &mut rng);
+        let g = server.derive_genotype();
+        assert_eq!(g.nodes(), server.config().net.nodes);
+        let mask = server.argmax_mask();
+        assert_eq!(mask.num_edges(), server.config().net.topology().num_edges());
+    }
+}

@@ -1,0 +1,41 @@
+//! The DARTS cell search space used by the paper (§IV-A), built from
+//! scratch: candidate operations, the weight-sharing supernet, binary-mask
+//! sub-model sampling and genotype derivation.
+//!
+//! The paper adopts the DARTS design space: a model is a stack of *cells*,
+//! each cell a DAG whose edges carry one of `N = 8` candidate operations
+//! (Fig. 1). The **supernet** holds weights for every `(cell, edge, op)`
+//! triple. The server samples a one-hot binary mask `g` per edge (Eq. 5),
+//! prunes the supernet into a **sub-model** with exactly one operation per
+//! edge (Eq. 6) and ships only that sub-model to a participant — the
+//! `1/N`-cost property the paper's efficiency claims rest on.
+//!
+//! # Example
+//!
+//! ```
+//! use fedrlnas_darts::{ArchMask, Supernet, SupernetConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let config = SupernetConfig::tiny();
+//! let mut net = Supernet::new(config.clone(), &mut rng);
+//! let mask = ArchMask::uniform_random(&config, &mut rng);
+//! let mut sub = net.extract_submodel(&mask);
+//! assert!(sub.param_bytes() < net.param_bytes());
+//! ```
+
+#![warn(missing_docs)]
+
+mod cell;
+mod genotype;
+mod model;
+mod ops;
+mod submodel;
+mod supernet;
+
+pub use cell::{concat_channels, split_channels, CellKind, CellTopology};
+pub use genotype::{Genotype, GenotypeEdge};
+pub use model::DerivedModel;
+pub use ops::{CandidateOp, DilConvOp, FactorizedReduce, IdentityOp, OpKind, ReluConvBn, SepConvOp, ZeroOp, NUM_OPS};
+pub use submodel::{ArchMask, SubModel};
+pub use supernet::{Supernet, SupernetConfig};

@@ -1,0 +1,406 @@
+//! Concrete networks built from a derived [`Genotype`], used for the
+//! retraining phase (P3) and the transfer experiments (Fig. 11, Tables
+//! VII/VIII).
+
+use crate::cell::{dag_backward, dag_forward, CellKind, EdgeRun};
+use crate::genotype::Genotype;
+use crate::ops::{CandidateOp, ReluConvBn};
+use crate::supernet::SupernetConfig;
+use fedrlnas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Mode, Param, Linear};
+use fedrlnas_tensor::Tensor;
+use rand::Rng;
+
+#[derive(Clone)]
+struct DerivedCell {
+    #[allow(dead_code)] // structural metadata kept for debugging
+    kind: CellKind,
+    pre0: ReluConvBn,
+    pre1: ReluConvBn,
+    /// `(src, dst, op)` triples sorted by destination node.
+    edges: Vec<(usize, usize, CandidateOp)>,
+    nodes: usize,
+    channels: usize,
+    pre_out_dims: (Vec<usize>, Vec<usize>),
+}
+
+impl DerivedCell {
+    fn forward(&mut self, s0: &Tensor, s1: &Tensor, mode: Mode) -> Tensor {
+        let batch = s0.dims()[0];
+        let mut d0 = vec![batch];
+        d0.extend(self.pre0.output_shape(&s0.dims()[1..]));
+        let mut d1 = vec![batch];
+        d1.extend(self.pre1.output_shape(&s1.dims()[1..]));
+        self.pre_out_dims = (d0, d1);
+        let mut runs: Vec<EdgeRun<'_>> = self
+            .edges
+            .iter_mut()
+            .map(|(src, dst, op)| EdgeRun {
+                src: *src,
+                dst: *dst,
+                op,
+            })
+            .collect();
+        dag_forward(&mut self.pre0, &mut self.pre1, &mut runs, self.nodes, s0, s1, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> (Tensor, Tensor) {
+        let mut runs: Vec<EdgeRun<'_>> = self
+            .edges
+            .iter_mut()
+            .map(|(src, dst, op)| EdgeRun {
+                src: *src,
+                dst: *dst,
+                op,
+            })
+            .collect();
+        dag_backward(
+            &mut self.pre0,
+            &mut self.pre1,
+            &mut runs,
+            self.nodes,
+            self.channels,
+            (&self.pre_out_dims.0, &self.pre_out_dims.1),
+            grad_out,
+        )
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.pre0.visit_params(f);
+        self.pre1.visit_params(f);
+        for (_, _, op) in &mut self.edges {
+            op.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.pre0.visit_buffers(f);
+        self.pre1.visit_buffers(f);
+        for (_, _, op) in &mut self.edges {
+            op.visit_buffers(f);
+        }
+    }
+}
+
+/// A freshly initialized network realizing a derived genotype: stem →
+/// derived cells (two edges per node) → global pool → classifier.
+///
+/// Unlike a [`crate::SubModel`], a `DerivedModel` does **not** share weights
+/// with any supernet — P3 of the paper retrains the searched structure from
+/// scratch.
+#[derive(Clone)]
+pub struct DerivedModel {
+    genotype: Genotype,
+    config: SupernetConfig,
+    stem_conv: Conv2d,
+    stem_bn: BatchNorm2d,
+    cells: Vec<DerivedCell>,
+    gap: GlobalAvgPool,
+    classifier: Linear,
+}
+
+impl std::fmt::Debug for DerivedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DerivedModel({} cells, {})", self.cells.len(), self.genotype)
+    }
+}
+
+impl DerivedModel {
+    /// Builds the genotype as a trainable network under the given
+    /// structural configuration (channel plan, cell count, classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` differs from the genotype's node count or
+    /// the configuration fails validation.
+    pub fn new<R: Rng + ?Sized>(
+        genotype: Genotype,
+        config: SupernetConfig,
+        rng: &mut R,
+    ) -> Self {
+        config.validate().expect("invalid derived-model config");
+        assert_eq!(
+            config.nodes,
+            genotype.nodes(),
+            "genotype nodes must match config"
+        );
+        let stem_c = config.init_channels * config.stem_multiplier;
+        let stem_conv = Conv2d::new(config.input_channels, stem_c, 3, 1, 1, 1, 1, rng);
+        let stem_bn = BatchNorm2d::new(stem_c);
+        let mut cells = Vec::with_capacity(config.num_cells);
+        let mut c_prev_prev = stem_c;
+        let mut c_prev = stem_c;
+        let mut c_cur = config.init_channels;
+        let mut prev_is_reduction = false;
+        for i in 0..config.num_cells {
+            let kind = config.cell_kind(i);
+            if kind == CellKind::Reduction {
+                c_cur *= 2;
+            }
+            let pre0 = ReluConvBn::new(c_prev_prev, c_cur, if prev_is_reduction { 2 } else { 1 }, rng);
+            let pre1 = ReluConvBn::new(c_prev, c_cur, 1, rng);
+            let mut edges = Vec::new();
+            for (node, pair) in genotype.edges(kind).iter().enumerate() {
+                for ge in pair {
+                    let stride = if kind == CellKind::Reduction && ge.src < 2 {
+                        2
+                    } else {
+                        1
+                    };
+                    edges.push((
+                        ge.src,
+                        2 + node,
+                        CandidateOp::build(ge.op, c_cur, stride, rng),
+                    ));
+                }
+            }
+            cells.push(DerivedCell {
+                kind,
+                pre0,
+                pre1,
+                edges,
+                nodes: config.nodes,
+                channels: c_cur,
+                pre_out_dims: (Vec::new(), Vec::new()),
+            });
+            prev_is_reduction = kind == CellKind::Reduction;
+            c_prev_prev = c_prev;
+            c_prev = c_cur * config.nodes;
+        }
+        let classifier = Linear::new(c_prev, config.num_classes, rng);
+        DerivedModel {
+            genotype,
+            config,
+            stem_conv,
+            stem_bn,
+            cells,
+            gap: GlobalAvgPool::new(),
+            classifier,
+        }
+    }
+
+    /// The genotype this model realizes.
+    pub fn genotype(&self) -> &Genotype {
+        &self.genotype
+    }
+
+    /// The structural configuration.
+    pub fn config(&self) -> &SupernetConfig {
+        &self.config
+    }
+
+    /// Forward pass producing classifier logits.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let stem = self.stem_bn.forward(&self.stem_conv.forward(x, mode), mode);
+        let mut s0 = stem.clone();
+        let mut s1 = stem;
+        for cell in &mut self.cells {
+            let out = cell.forward(&s0, &s1, mode);
+            s0 = s1;
+            s1 = out;
+        }
+        let pooled = self.gap.forward(&s1, mode);
+        self.classifier.forward(&pooled, mode)
+    }
+
+    /// Backward pass accumulating parameter gradients.
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        let l = self.cells.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; l + 2];
+        let idx = |i: isize| -> usize {
+            if i >= 0 {
+                i as usize
+            } else {
+                (l as isize - 1 - i) as usize
+            }
+        };
+        let g = self.classifier.backward(grad_logits);
+        let g = self.gap.backward(&g);
+        grads[idx(l as isize - 1)] = Some(g);
+        for i in (0..l).rev() {
+            let g = grads[i].take().expect("cell output consumed");
+            let (d0, d1) = self.cells[i].backward(&g);
+            for (offset, d) in [(i as isize - 2, d0), (i as isize - 1, d1)] {
+                let slot = &mut grads[idx(offset)];
+                match slot {
+                    Some(acc) => acc.add_assign(&d).expect("state shapes agree"),
+                    None => *slot = Some(d),
+                }
+            }
+        }
+        let mut d_stem = grads[idx(-1)].take().expect("stem feeds cell 0");
+        if let Some(d2) = grads[idx(-2)].take() {
+            d_stem.add_assign(&d2).expect("stem grads share shape");
+        }
+        let g = self.stem_bn.backward(&d_stem);
+        self.stem_conv.backward(&g);
+    }
+
+    /// Visits every parameter in stable order (for the optimizer and the
+    /// federated runtime).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem_conv.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for cell in &mut self.cells {
+            cell.visit_params(f);
+        }
+        self.classifier.visit_params(f);
+    }
+
+    /// Visits every non-trainable buffer (BatchNorm running statistics) in
+    /// stable order.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.stem_conv.visit_buffers(f);
+        self.stem_bn.visit_buffers(f);
+        for cell in &mut self.cells {
+            cell.visit_buffers(f);
+        }
+        self.classifier.visit_buffers(f);
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Serialized weight size in bytes.
+    pub fn param_bytes(&mut self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Multiply–accumulate count of one forward pass per sample — feeds the
+    /// device time model (Table V) when baselines train derived models.
+    pub fn flops(&self) -> u64 {
+        let mut shape = vec![
+            self.config.input_channels,
+            self.config.image_hw,
+            self.config.image_hw,
+        ];
+        let mut total = self.stem_conv.flops(&shape);
+        shape = self.stem_conv.output_shape(&shape);
+        total += self.stem_bn.flops(&shape);
+        let mut s0 = shape.clone();
+        let mut s1 = shape;
+        for cell in &self.cells {
+            total += cell.pre0.flops(&s0) + cell.pre1.flops(&s1);
+            let pre_out = cell.pre1.output_shape(&s1);
+            let mut node_shape = pre_out.clone();
+            for (_, _, op) in &cell.edges {
+                total += op.flops(&pre_out);
+                node_shape = op.output_shape(&pre_out);
+            }
+            let out_c = cell.channels * cell.nodes;
+            s0 = s1;
+            s1 = vec![out_c, node_shape[1], node_shape[2]];
+        }
+        total + self.classifier.flops(&s1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellTopology;
+    use crate::ops::NUM_OPS;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn any_genotype(nodes: usize, seed: u64) -> Genotype {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = CellTopology::new(nodes).num_edges();
+        let random_table = |rng: &mut StdRng| {
+            (0..edges)
+                .map(|_| (0..NUM_OPS).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect()
+        };
+        let probs = [random_table(&mut rng), random_table(&mut rng)];
+        Genotype::from_probs(&probs, nodes)
+    }
+
+    #[test]
+    fn derived_model_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = SupernetConfig::tiny();
+        let genotype = any_genotype(config.nodes, 7);
+        let mut model = DerivedModel::new(genotype, config, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        let logits = model.forward(&x, Mode::Train);
+        assert_eq!(logits.dims(), &[2, 10]);
+        assert!(logits.all_finite());
+        model.backward(&Tensor::ones(logits.dims()));
+        let mut total = 0.0f32;
+        model.visit_params(&mut |p| total += p.grad.norm());
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn derived_smaller_than_supernet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SupernetConfig::tiny();
+        let mut supernet = crate::Supernet::new(config.clone(), &mut rng);
+        let genotype = any_genotype(config.nodes, 8);
+        let mut model = DerivedModel::new(genotype, config, &mut rng);
+        assert!(model.param_count() < supernet.param_count());
+    }
+
+    #[test]
+    fn flops_positive_and_scale_with_channels() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let genotype = any_genotype(2, 12);
+        let small = DerivedModel::new(genotype.clone(), SupernetConfig::tiny(), &mut rng);
+        let mut wide_cfg = SupernetConfig::tiny();
+        wide_cfg.init_channels *= 2;
+        let wide = DerivedModel::new(genotype, wide_cfg, &mut rng);
+        assert!(small.flops() > 0);
+        assert!(wide.flops() > small.flops());
+    }
+
+    #[test]
+    #[should_panic(expected = "genotype nodes must match config")]
+    fn node_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let genotype = any_genotype(3, 9);
+        let config = SupernetConfig::tiny(); // nodes = 2
+        let _ = DerivedModel::new(genotype, config, &mut rng);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        use fedrlnas_nn::{CrossEntropy, Sgd, SgdConfig};
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = SupernetConfig::tiny();
+        let genotype = any_genotype(config.nodes, 10);
+        let mut model = DerivedModel::new(genotype, config, &mut rng);
+        let x = Tensor::randn(&[8, 3, 8, 8], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+        let mut ce = CrossEntropy::new();
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            clip: 5.0,
+        });
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            model.zero_grad();
+            let logits = model.forward(&x, Mode::Train);
+            let out = ce.forward(&logits, &labels);
+            losses.push(out.loss);
+            let dl = ce.backward();
+            model.backward(&dl);
+            sgd.step_visitor(|f| model.visit_params(f));
+        }
+        let first = losses[0];
+        let last = *losses.last().expect("nonempty");
+        assert!(
+            last < first * 0.8,
+            "loss should fall substantially: {first} -> {last}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the search-space invariants the whole system
+//! relies on.
+
+use fedrlnas_darts::{
+    ArchMask, CandidateOp, CellKind, CellTopology, DerivedModel, Genotype, OpKind, Supernet,
+    SupernetConfig, NUM_OPS,
+};
+use fedrlnas_nn::{Layer, Mode};
+use fedrlnas_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_op_pair_shape_compatible(
+        a in 0usize..NUM_OPS,
+        b in 0usize..NUM_OPS,
+        stride in 1usize..3,
+        c in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        // any two candidate ops on the same edge geometry must produce
+        // identical output shapes — the property that lets masks swap ops
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut op_a = CandidateOp::build(OpKind::ALL[a], c, stride, &mut rng);
+        let mut op_b = CandidateOp::build(OpKind::ALL[b], c, stride, &mut rng);
+        let x = Tensor::randn(&[1, c, 6, 6], 1.0, &mut rng);
+        let ya = op_a.forward(&x, Mode::Eval);
+        let yb = op_b.forward(&x, Mode::Eval);
+        prop_assert_eq!(ya.dims(), yb.dims());
+    }
+
+    #[test]
+    fn topology_edge_indexing_bijective(nodes in 1usize..6) {
+        let t = CellTopology::new(nodes);
+        let mut seen = std::collections::HashSet::new();
+        for e in 0..t.num_edges() {
+            let (src, dst) = t.edge_endpoints(e);
+            prop_assert!(src < dst);
+            prop_assert!(dst >= 2 && dst < 2 + nodes);
+            prop_assert!(seen.insert((src, dst)), "duplicate edge {src}->{dst}");
+        }
+        // incoming_edges ranges tile 0..num_edges exactly
+        let mut cursor = 0;
+        for i in 0..nodes {
+            let r = t.incoming_edges(i);
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, t.num_edges());
+    }
+
+    #[test]
+    fn genotype_compact_string_round_trips_for_any_probs(
+        nodes in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = CellTopology::new(nodes).num_edges();
+        let table = |rng: &mut StdRng| -> Vec<Vec<f32>> {
+            (0..edges)
+                .map(|_| (0..NUM_OPS).map(|_| rng.gen_range(0.01..1.0f32)).collect())
+                .collect()
+        };
+        let probs = [table(&mut rng), table(&mut rng)];
+        let g = Genotype::from_probs(&probs, nodes);
+        let parsed = Genotype::parse_compact(&g.to_compact_string());
+        prop_assert_eq!(parsed.expect("well-formed"), g);
+    }
+
+    #[test]
+    fn derived_model_realizes_any_derived_genotype(
+        nodes in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = CellTopology::new(nodes).num_edges();
+        let table = |rng: &mut StdRng| -> Vec<Vec<f32>> {
+            (0..edges)
+                .map(|_| (0..NUM_OPS).map(|_| rng.gen_range(0.01..1.0f32)).collect())
+                .collect()
+        };
+        let probs = [table(&mut rng), table(&mut rng)];
+        let genotype = Genotype::from_probs(&probs, nodes);
+        let mut config = SupernetConfig::tiny();
+        config.nodes = nodes;
+        let mut model = DerivedModel::new(genotype, config, &mut rng);
+        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        let y = model.forward(&x, Mode::Train);
+        prop_assert_eq!(y.dims(), &[1usize, 10][..]);
+        prop_assert!(y.all_finite());
+        model.backward(&Tensor::ones(y.dims()));
+        prop_assert!(model.flops() > 0);
+    }
+
+    #[test]
+    fn submodel_bytes_bounded_by_supernet(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SupernetConfig::tiny();
+        let mut net = Supernet::new(config.clone(), &mut rng);
+        let mask = ArchMask::uniform_random(&config, &mut rng);
+        let sub = net.submodel_bytes(&mask);
+        let full = net.param_bytes();
+        prop_assert!(sub <= full);
+        prop_assert!(sub > 0);
+        // the all-Zero mask lower-bounds every mask's size
+        let floor = net.submodel_bytes(&ArchMask::all_op(&config, OpKind::Zero));
+        prop_assert!(sub >= floor);
+    }
+
+    #[test]
+    fn mask_ops_consistent_between_kinds(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SupernetConfig::tiny();
+        let mask = ArchMask::uniform_random(&config, &mut rng);
+        for kind in CellKind::ALL {
+            prop_assert_eq!(mask.ops(kind).len(), mask.num_edges());
+            for (e, &o) in mask.ops(kind).iter().enumerate() {
+                prop_assert_eq!(mask.op_kind(kind, e), OpKind::ALL[o]);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The participant: local data shard, local training, transmission state.
+
+use crate::trainable::TrainableModel;
+use fedrlnas_data::{AugmentConfig, Loader, SyntheticDataset};
+use fedrlnas_netsim::{BandwidthTrace, Environment};
+use fedrlnas_nn::{CrossEntropy, Mode, Sgd, SgdConfig};
+use rand::Rng;
+
+/// What a participant returns to the server after one local update
+/// (Algorithm 1 lines 37–42): the reward — training accuracy computed in
+/// the same pass as the gradients — plus bookkeeping. The gradients
+/// themselves stay inside the model the caller handed in, mirroring the
+/// upload of `∇θ L_k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalReport {
+    /// Reporting participant id.
+    pub participant: usize,
+    /// Mean training loss over the local batch.
+    pub loss: f32,
+    /// Training accuracy on the batch — the reward `R(θ_k)`.
+    pub accuracy: f32,
+    /// Samples consumed.
+    pub samples: usize,
+}
+
+/// One federated participant: a shard of the training data, an
+/// augmentation pipeline, a bandwidth trace and a relative compute speed.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    id: usize,
+    loader: Loader,
+    trace: BandwidthTrace,
+    /// Relative local compute speed (1.0 = reference device); used by the
+    /// staleness and latency simulations.
+    speed_factor: f64,
+}
+
+impl Participant {
+    /// Creates a participant over shard `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is empty or `batch_size == 0` (propagated from
+    /// [`Loader::new`]).
+    pub fn new<R: Rng + ?Sized>(
+        id: usize,
+        indices: Vec<usize>,
+        batch_size: usize,
+        augment: AugmentConfig,
+        env: Environment,
+        speed_factor: f64,
+        rng: &mut R,
+    ) -> Self {
+        Participant {
+            id,
+            loader: Loader::new(indices, batch_size, augment),
+            trace: BandwidthTrace::new(env, rng),
+            speed_factor,
+        }
+    }
+
+    /// Participant id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Shard size.
+    pub fn shard_len(&self) -> usize {
+        self.loader.len()
+    }
+
+    /// Relative compute speed.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Advances the bandwidth trace one round and returns the new downlink
+    /// rate in Mbps.
+    pub fn next_bandwidth_mbps<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.trace.next_mbps(rng)
+    }
+
+    /// Current bandwidth without advancing the trace.
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.trace.current_mbps()
+    }
+
+    /// One local update (the paper's participant side of Algorithm 1):
+    /// draws a batch, runs forward + backward once, and leaves the
+    /// gradients in `model`. Returns the reward and loss.
+    pub fn local_update<R: Rng + ?Sized>(
+        &mut self,
+        model: &mut dyn TrainableModel,
+        dataset: &SyntheticDataset,
+        rng: &mut R,
+    ) -> LocalReport {
+        let (x, y) = self.loader.next_batch(dataset, rng);
+        let mut ce = CrossEntropy::new();
+        model.zero_grad();
+        let logits = model.forward(&x, Mode::Train);
+        let out = ce.forward(&logits, &y);
+        let dl = ce.backward();
+        model.backward(&dl);
+        LocalReport {
+            participant: self.id,
+            loss: out.loss,
+            accuracy: out.accuracy(),
+            samples: out.total,
+        }
+    }
+
+    /// Several local SGD steps on a private copy of the global model —
+    /// the FedAvg participant update used for retraining (P3) and the
+    /// fixed-model baselines. Returns mean loss/accuracy over the steps.
+    pub fn local_sgd_steps<R: Rng + ?Sized>(
+        &mut self,
+        model: &mut dyn TrainableModel,
+        dataset: &SyntheticDataset,
+        steps: usize,
+        sgd_config: SgdConfig,
+        rng: &mut R,
+    ) -> LocalReport {
+        let mut sgd = Sgd::new(sgd_config);
+        let mut ce = CrossEntropy::new();
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f32;
+        let mut samples = 0usize;
+        for _ in 0..steps.max(1) {
+            let (x, y) = self.loader.next_batch(dataset, rng);
+            model.zero_grad();
+            let logits = model.forward(&x, Mode::Train);
+            let out = ce.forward(&logits, &y);
+            let dl = ce.backward();
+            model.backward(&dl);
+            sgd.step_visitor(|f| model.visit_params(f));
+            loss_sum += out.loss;
+            acc_sum += out.accuracy();
+            samples += out.total;
+        }
+        let n = steps.max(1) as f32;
+        LocalReport {
+            participant: self.id,
+            loss: loss_sum / n,
+            accuracy: acc_sum / n,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedrlnas_darts::{ArchMask, Supernet, SupernetConfig};
+    use fedrlnas_data::DatasetSpec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup() -> (SyntheticDataset, Participant, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data =
+            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(10, 2), &mut rng);
+        let p = Participant::new(
+            3,
+            (0..40).collect(),
+            8,
+            AugmentConfig::none(),
+            Environment::Foot,
+            1.0,
+            &mut rng,
+        );
+        (data, p, rng)
+    }
+
+    #[test]
+    fn local_update_leaves_gradients() {
+        let (data, mut p, mut rng) = setup();
+        let config = SupernetConfig::tiny();
+        let net = Supernet::new(config.clone(), &mut rng);
+        let mask = ArchMask::uniform_random(&config, &mut rng);
+        let mut sub = net.extract_submodel(&mask);
+        let report = p.local_update(&mut sub, &data, &mut rng);
+        assert_eq!(report.participant, 3);
+        assert_eq!(report.samples, 8);
+        assert!(report.loss.is_finite());
+        assert!((0.0..=1.0).contains(&report.accuracy));
+        let mut g = 0.0f32;
+        fedrlnas_darts::SubModel::visit_params(&mut sub, &mut |p| g += p.grad.norm());
+        assert!(g > 0.0, "gradients must remain in the model");
+    }
+
+    #[test]
+    fn local_sgd_improves_loss_on_easy_data() {
+        let (data, mut p, mut rng) = setup();
+        let config = SupernetConfig::tiny();
+        let net = Supernet::new(config.clone(), &mut rng);
+        let mask = ArchMask::uniform_random(&config, &mut rng);
+        let mut sub = net.extract_submodel(&mask);
+        let first = p.local_sgd_steps(
+            &mut sub,
+            &data,
+            5,
+            SgdConfig::default(),
+            &mut rng,
+        );
+        let later = p.local_sgd_steps(
+            &mut sub,
+            &data,
+            25,
+            SgdConfig::default(),
+            &mut rng,
+        );
+        assert!(
+            later.loss < first.loss * 1.2,
+            "loss should not explode: {} -> {}",
+            first.loss,
+            later.loss
+        );
+    }
+
+    #[test]
+    fn bandwidth_trace_advances() {
+        let (_, mut p, mut rng) = setup();
+        let b1 = p.next_bandwidth_mbps(&mut rng);
+        let b2 = p.next_bandwidth_mbps(&mut rng);
+        assert!(b1 > 0.0 && b2 > 0.0);
+        assert_eq!(p.bandwidth_mbps(), b2);
+    }
+}

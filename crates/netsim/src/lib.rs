@@ -1,0 +1,40 @@
+//! Network and device simulation for the adaptive-transmission and
+//! search-time experiments.
+//!
+//! The paper drives its transmission experiments (Fig. 7) with the
+//! 4G/LTE bandwidth logs of van der Hooft et al., collected on foot,
+//! bicycle, bus, car, train and tram, and reports search time (Table V) on
+//! GTX 1080 Ti and Jetson TX2 hardware. Neither the logs nor the hardware
+//! are available here, so this crate provides the documented substitutions:
+//!
+//! * [`BandwidthTrace`] — an AR(1) stochastic process per environment whose
+//!   mean/dispersion/stability are calibrated to the published summary
+//!   statistics of that dataset (cars/trains vary far more than walking);
+//! * [`DeviceProfile`] — an analytic compute model (effective MAC/s plus
+//!   per-round overhead) used to convert measured workload FLOPs into
+//!   simulated search hours.
+//!
+//! # Example
+//!
+//! ```
+//! use fedrlnas_netsim::{assign, AssignmentStrategy, Environment};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let bw: Vec<f64> = (0..4)
+//!     .map(|_| Environment::Car.trace(1, &mut rng)[0])
+//!     .collect();
+//! let sizes = vec![100_000, 250_000, 150_000, 50_000];
+//! let out = assign(AssignmentStrategy::Adaptive, &sizes, &bw, &mut rng);
+//! assert_eq!(out.latencies.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod assign;
+mod device;
+mod trace;
+
+pub use assign::{assign, AssignmentOutcome, AssignmentStrategy};
+pub use device::{DeviceProfile, SearchWorkload};
+pub use trace::{BandwidthTrace, Environment};

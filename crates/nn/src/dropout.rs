@@ -1,0 +1,217 @@
+//! Stochastic regularization: inverted dropout and DropPath.
+//!
+//! DARTS retrains derived models with drop-path (stochastic depth on cell
+//! edges); the paper inherits that recipe in P3. `DropPath` zeroes an
+//! entire sample's residual branch with probability `p`, scaling survivors
+//! by `1/(1-p)` so the expectation is unchanged.
+
+use crate::layer::{Layer, Mode};
+use fedrlnas_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout over individual activations.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<bool>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+        }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask.clear();
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        self.mask = (0..x.len()).map(|_| self.rng.gen_range(0.0..1.0) < keep).collect();
+        let scale = 1.0 / keep;
+        let mut out = x.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if self.mask.is_empty() {
+            return grad_out.clone();
+        }
+        assert_eq!(grad_out.len(), self.mask.len(), "dropout shape mismatch");
+        let scale = 1.0 / (1.0 - self.p);
+        let mut dx = grad_out.clone();
+        for (v, &m) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        dx
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        input.iter().product::<usize>() as u64
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+}
+
+/// DropPath (stochastic depth): zeroes whole samples of a branch during
+/// training with probability `p` and rescales survivors.
+#[derive(Debug, Clone)]
+pub struct DropPath {
+    p: f32,
+    rng: StdRng,
+    kept: Vec<bool>,
+    in_dims: Vec<usize>,
+}
+
+impl DropPath {
+    /// Creates a drop-path layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        DropPath {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            kept: Vec::new(),
+            in_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for DropPath {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.kept.clear();
+            return x.clone();
+        }
+        let dims = x.dims();
+        let n = dims[0];
+        let per = x.len() / n.max(1);
+        let keep = 1.0 - self.p;
+        self.kept = (0..n).map(|_| self.rng.gen_range(0.0..1.0) < keep).collect();
+        self.in_dims = dims.to_vec();
+        let scale = 1.0 / keep;
+        let mut out = x.clone();
+        for (i, &kept) in self.kept.iter().enumerate() {
+            let seg = &mut out.as_mut_slice()[i * per..(i + 1) * per];
+            if kept {
+                for v in seg.iter_mut() {
+                    *v *= scale;
+                }
+            } else {
+                seg.fill(0.0);
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if self.kept.is_empty() {
+            return grad_out.clone();
+        }
+        let n = self.in_dims[0];
+        let per = grad_out.len() / n.max(1);
+        let scale = 1.0 / (1.0 - self.p);
+        let mut dx = grad_out.clone();
+        for (i, &kept) in self.kept.iter().enumerate() {
+            let seg = &mut dx.as_mut_slice()[i * per..(i + 1) * per];
+            if kept {
+                for v in seg.iter_mut() {
+                    *v *= scale;
+                }
+            } else {
+                seg.fill(0.0);
+            }
+        }
+        dx
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        input.iter().product::<usize>() as u64
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::ones(&[2, 4]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+        let mut dp = DropPath::new(0.5, 0);
+        assert_eq!(dp.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 1);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // backward routes through the same mask
+        let dx = d.backward(&Tensor::ones(&[1, 10_000]));
+        assert_eq!(
+            dx.as_slice().iter().filter(|v| **v == 0.0).count(),
+            y.as_slice().iter().filter(|v| **v == 0.0).count()
+        );
+    }
+
+    #[test]
+    fn droppath_kills_whole_samples() {
+        let mut dp = DropPath::new(0.5, 2);
+        let x = Tensor::ones(&[64, 2, 2, 2]);
+        let y = dp.forward(&x, Mode::Train);
+        let per = 8;
+        let mut dropped = 0;
+        for i in 0..64 {
+            let seg = &y.as_slice()[i * per..(i + 1) * per];
+            let all_zero = seg.iter().all(|v| *v == 0.0);
+            let all_scaled = seg.iter().all(|v| (*v - 2.0).abs() < 1e-6);
+            assert!(all_zero || all_scaled, "sample {i} partially dropped");
+            if all_zero {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 10 && dropped < 54, "dropped {dropped}/64");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Weight initialization helpers.
+
+/// He (Kaiming) normal standard deviation for a layer with `fan_in` inputs,
+/// appropriate before ReLU nonlinearities.
+///
+/// ```
+/// assert!((fedrlnas_nn::he_std(8) - 0.5).abs() < 1e-6);
+/// ```
+pub fn he_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in.max(1) as f32).sqrt()
+}
+
+/// Xavier (Glorot) normal standard deviation for a layer with the given
+/// fan-in and fan-out, appropriate for linear outputs.
+pub fn xavier_std(fan_in: usize, fan_out: usize) -> f32 {
+    (2.0 / (fan_in + fan_out).max(1) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_decreases_with_fan_in() {
+        assert!(he_std(4) > he_std(16));
+        assert!(he_std(0) > 0.0); // guarded against division by zero
+    }
+
+    #[test]
+    fn xavier_symmetric() {
+        assert_eq!(xavier_std(3, 5), xavier_std(5, 3));
+    }
+}

@@ -1,0 +1,165 @@
+//! Softmax cross-entropy loss with accuracy computed in the same pass.
+//!
+//! The paper's participant update (Alg. 1, lines 37–42) computes the reward
+//! `R(θ)` — training accuracy — "through the same backward propagation" as
+//! the gradients, which is exactly what [`CrossEntropy::forward`] provides.
+
+use fedrlnas_tensor::{argmax_rows, log_softmax_rows, softmax_rows, Tensor};
+
+/// Result of a loss forward pass: mean loss, correct predictions and batch
+/// size, from which accuracy (the RL reward) is derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Number of correctly classified samples.
+    pub correct: usize,
+    /// Batch size.
+    pub total: usize,
+}
+
+impl LossOutput {
+    /// Classification accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.total as f32
+        }
+    }
+}
+
+/// Softmax cross-entropy over `[n, classes]` logits with integer labels.
+#[derive(Debug, Clone, Default)]
+pub struct CrossEntropy {
+    cached_probs: Option<(Vec<f32>, Vec<usize>, usize, usize)>,
+}
+
+impl CrossEntropy {
+    /// Creates the loss module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes mean loss and accuracy; caches softmax probabilities for
+    /// [`CrossEntropy::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2, `labels.len()` differs from the
+    /// batch size, or any label is out of range.
+    pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        let dims = logits.dims();
+        assert_eq!(dims.len(), 2, "cross entropy expects [n, classes]");
+        let (n, c) = (dims[0], dims[1]);
+        assert_eq!(labels.len(), n, "label count mismatch");
+        assert!(labels.iter().all(|&l| l < c), "label out of range");
+        let log_probs = log_softmax_rows(logits.as_slice(), n, c);
+        let mut loss = 0.0f32;
+        for (i, &label) in labels.iter().enumerate() {
+            loss -= log_probs[i * c + label];
+        }
+        loss /= n.max(1) as f32;
+        let preds = argmax_rows(logits.as_slice(), n, c);
+        let correct = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+        let probs = softmax_rows(logits.as_slice(), n, c);
+        self.cached_probs = Some((probs, labels.to_vec(), n, c));
+        LossOutput {
+            loss,
+            correct,
+            total: n,
+        }
+    }
+
+    /// Gradient of the mean loss with respect to the logits:
+    /// `(softmax - one_hot) / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CrossEntropy::forward`].
+    pub fn backward(&mut self) -> Tensor {
+        let (probs, labels, n, c) = self
+            .cached_probs
+            .take()
+            .expect("cross entropy backward called before forward");
+        let mut grad = Tensor::from_vec(probs, &[n, c]).expect("cached shape is consistent");
+        let inv_n = 1.0 / n.max(1) as f32;
+        for (i, &label) in labels.iter().enumerate() {
+            grad.as_mut_slice()[i * c + label] -= 1.0;
+        }
+        grad.scale(inv_n);
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let mut ce = CrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let out = ce.forward(&logits, &[0, 1]);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.correct, 2);
+        assert_eq!(out.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_log_c_loss() {
+        let mut ce = CrossEntropy::new();
+        let logits = Tensor::zeros(&[3, 4]);
+        let out = ce.forward(&logits, &[0, 1, 2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut ce = CrossEntropy::new();
+        let mut logits =
+            Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        ce.forward(&logits, &labels);
+        let grad = ce.backward();
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let orig = logits.as_slice()[i];
+            logits.as_mut_slice()[i] = orig + eps;
+            let lp = ce.forward(&logits, &labels).loss;
+            logits.as_mut_slice()[i] = orig - eps;
+            let lm = ce.forward(&logits, &labels).loss;
+            logits.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: {num} vs {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut ce = CrossEntropy::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        ce.forward(&logits, &[1, 2]);
+        let grad = ce.backward();
+        for r in 0..2 {
+            let s: f32 = grad.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let mut ce = CrossEntropy::new();
+        let logits = Tensor::zeros(&[1, 2]);
+        ce.forward(&logits, &[5]);
+    }
+}

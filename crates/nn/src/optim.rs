@@ -1,0 +1,323 @@
+//! Optimizers: SGD with momentum/weight-decay and Adam, plus global
+//! gradient-norm clipping.
+//!
+//! Table I of the paper fixes the training hyperparameters this module
+//! implements: SGD with momentum 0.9, weight decay 3e-4 and gradient clip 5
+//! for model weights θ, and a separate optimizer for the architecture
+//! parameters α (learning rate 3e-3, weight decay 1e-4, clip 5).
+
+use crate::layer::Param;
+use fedrlnas_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Decoupled L2 weight decay added to the gradient.
+    pub weight_decay: f32,
+    /// Global gradient-norm clip applied before the step (`f32::INFINITY`
+    /// disables clipping).
+    pub clip: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        // Table I defaults for θ.
+        SgdConfig {
+            lr: 0.025,
+            momentum: 0.9,
+            weight_decay: 3e-4,
+            clip: 5.0,
+        }
+    }
+}
+
+/// Stochastic gradient descent with momentum, weight decay and gradient
+/// clipping, operating on an ordered parameter list.
+///
+/// Velocity buffers are keyed by position, so the same optimizer must always
+/// be fed the same parameter sequence (which [`crate::Layer::visit_params`]
+/// guarantees for a fixed network).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd {
+            config,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+
+    /// Sets the learning rate (used by cosine schedules in retraining).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then leaves the gradients untouched (callers zero them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list's shapes change between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        // global norm clip across all parameters
+        if self.config.clip.is_finite() {
+            let grads: Vec<&mut Tensor> =
+                params.iter_mut().map(|p| &mut p.grad).collect();
+            clip_global_norm(grads, self.config.clip);
+        }
+        if self.velocity.len() != params.len() {
+            assert!(
+                self.velocity.is_empty(),
+                "sgd: parameter list changed length between steps"
+            );
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            assert_eq!(
+                self.velocity[i].dims(),
+                p.value.dims(),
+                "sgd: parameter shape changed between steps"
+            );
+            let wd = self.config.weight_decay;
+            let lr = self.config.lr;
+            let mom = self.config.momentum;
+            let v = &mut self.velocity[i];
+            for ((vj, gj), wj) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice().iter())
+                .zip(p.value.as_mut_slice().iter_mut())
+            {
+                let g = gj + wd * *wj;
+                *vj = mom * *vj + g;
+                *wj -= lr * *vj;
+            }
+        }
+    }
+}
+
+impl Sgd {
+    /// Visitor-based variant of [`Sgd::step`] for networks that expose
+    /// parameters through a `visit_params`-style callback (the supernet,
+    /// sub-models and derived models all do).
+    ///
+    /// `visit` must traverse the same parameters in the same order on every
+    /// invocation; it is called twice per step (norm pass, update pass).
+    pub fn step_visitor(&mut self, mut visit: impl FnMut(&mut dyn FnMut(&mut Param))) {
+        let mut sq = 0.0f32;
+        visit(&mut |p: &mut Param| {
+            sq += p.grad.as_slice().iter().map(|v| v * v).sum::<f32>();
+        });
+        let norm = sq.sqrt();
+        let clip_scale = if self.config.clip.is_finite() && norm > self.config.clip && norm > 0.0
+        {
+            self.config.clip / norm
+        } else {
+            1.0
+        };
+        let mut i = 0usize;
+        let lr = self.config.lr;
+        let mom = self.config.momentum;
+        let wd = self.config.weight_decay;
+        let velocity = &mut self.velocity;
+        visit(&mut |p: &mut Param| {
+            if velocity.len() <= i {
+                velocity.push(Tensor::zeros(p.value.dims()));
+            }
+            assert_eq!(
+                velocity[i].dims(),
+                p.value.dims(),
+                "sgd: parameter order changed between steps"
+            );
+            let v = &mut velocity[i];
+            for ((vj, gj), wj) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice().iter())
+                .zip(p.value.as_mut_slice().iter_mut())
+            {
+                let g = gj * clip_scale + wd * *wj;
+                *vj = mom * *vj + g;
+                *wj -= lr * *vj;
+            }
+            i += 1;
+        });
+    }
+}
+
+/// Adam optimizer over a single flat tensor; used for the architecture
+/// parameters α, mirroring DARTS/ProxylessNAS practice.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Tensor,
+    v: Tensor,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for a parameter of the given shape.
+    pub fn new(dims: &[usize], lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.5,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            m: Tensor::zeros(dims),
+            v: Tensor::zeros(dims),
+            t: 0,
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one Adam step to `value` given `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from the construction shape.
+    pub fn step(&mut self, value: &mut Tensor, grad: &Tensor) {
+        assert_eq!(value.dims(), self.m.dims(), "adam: value shape mismatch");
+        assert_eq!(grad.dims(), self.m.dims(), "adam: grad shape mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..value.len() {
+            let g = grad.as_slice()[i] + self.weight_decay * value.as_slice()[i];
+            let m = &mut self.m.as_mut_slice()[i];
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            let v = &mut self.v.as_mut_slice()[i];
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / b1t;
+            let v_hat = *v / b2t;
+            value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Clips the *global* L2 norm of a set of gradients to `max_norm`, exactly
+/// as `torch.nn.utils.clip_grad_norm_` does; returns the scale applied.
+pub fn clip_global_norm(grads: Vec<&mut Tensor>, max_norm: f32) -> f32 {
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let s = max_norm / total;
+        for g in grads {
+            g.scale(s);
+        }
+        s
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_plain_step() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        p.grad = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip: f32::INFINITY,
+        });
+        sgd.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            clip: f32::INFINITY,
+        });
+        p.grad = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        sgd.step(&mut [&mut p]); // v=1, w=-1
+        sgd.step(&mut [&mut p]); // v=1.9, w=-2.9
+        assert!((p.value.as_slice()[0] + 2.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let mut p = Param::new(Tensor::from_vec(vec![10.0], &[1]).unwrap());
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.1,
+            clip: f32::INFINITY,
+        });
+        sgd.step(&mut [&mut p]); // g = 0 + 0.1*10 = 1, w = 10 - 0.1 = 9.9
+        assert!((p.value.as_slice()[0] - 9.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_clips_global_norm() {
+        let mut a = Param::new(Tensor::zeros(&[1]));
+        let mut b = Param::new(Tensor::zeros(&[1]));
+        a.grad = Tensor::from_vec(vec![30.0], &[1]).unwrap();
+        b.grad = Tensor::from_vec(vec![40.0], &[1]).unwrap(); // norm 50
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip: 5.0,
+        });
+        sgd.step(&mut [&mut a, &mut b]);
+        // clipped to norm 5: grads become (3, 4)
+        assert!((a.value.as_slice()[0] + 3.0).abs() < 1e-5);
+        assert!((b.value.as_slice()[0] + 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_moves_toward_minimum() {
+        // minimize (x - 3)^2 with Adam
+        let mut x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let mut adam = Adam::new(&[1], 0.1, 0.0);
+        for _ in 0..500 {
+            let g = Tensor::from_vec(vec![2.0 * (x.as_slice()[0] - 3.0)], &[1]).unwrap();
+            adam.step(&mut x, &g);
+        }
+        assert!((x.as_slice()[0] - 3.0).abs() < 0.05, "x = {}", x.as_slice()[0]);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut g = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let s = clip_global_norm(vec![&mut g], 10.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(g.as_slice(), &[1.0, 1.0]);
+    }
+}

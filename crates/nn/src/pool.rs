@@ -1,0 +1,378 @@
+//! Pooling layers: max, average and global average pooling.
+
+use crate::layer::{Layer, Mode};
+use fedrlnas_tensor::{Conv2dGeometry, Tensor};
+
+/// 2-D max pooling over NCHW tensors.
+///
+/// `max_pool_3x3` is one of the eight DARTS candidate operations; reduction
+/// cells use `stride = 2`.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    // backward cache: flat input index of the max per output element
+    argmax: Vec<usize>,
+    in_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0 && stride > 0);
+        MaxPool2d {
+            kernel,
+            stride,
+            padding,
+            argmax: Vec::new(),
+            in_dims: Vec::new(),
+        }
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(h, w, self.kernel, self.stride, self.padding, 1)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "maxpool expects NCHW");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let geom = self.geometry(h, w);
+        let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
+        let mut argmax = vec![0usize; out.len()];
+        let mut o = 0usize;
+        for i in 0..n {
+            for ch in 0..c {
+                let plane_base = (i * c + ch) * h * w;
+                let plane = &x.as_slice()[plane_base..plane_base + h * w];
+                for oy in 0..geom.out_h {
+                    for ox in 0..geom.out_w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let ix =
+                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx = iy as usize * w + ix as usize;
+                                // `!(x <= best)` is `x > best || x.is_nan()`:
+                                // NaN inputs propagate (matching PyTorch)
+                                // instead of silently vanishing to -inf
+                                if !(plane[idx] <= best) {
+                                    best = plane[idx];
+                                    best_idx = plane_base + idx;
+                                }
+                            }
+                        }
+                        out.as_mut_slice()[o] = best;
+                        argmax[o] = best_idx;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.argmax = argmax;
+            self.in_dims = dims.to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_out.len(),
+            self.argmax.len(),
+            "maxpool backward called before forward or shape mismatch"
+        );
+        let mut dx = Tensor::zeros(&self.in_dims);
+        for (g, &idx) in grad_out.as_slice().iter().zip(self.argmax.iter()) {
+            dx.as_mut_slice()[idx] += g;
+        }
+        dx
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let geom = self.geometry(input[1], input[2]);
+        (input[0] * geom.out_positions() * self.kernel * self.kernel) as u64
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let geom = self.geometry(input[1], input[2]);
+        vec![input[0], geom.out_h, geom.out_w]
+    }
+}
+
+/// 2-D average pooling over NCHW tensors, excluding padded cells from the
+/// divisor (PyTorch `count_include_pad=False`, as used by DARTS).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_dims: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0 && stride > 0);
+        AvgPool2d {
+            kernel,
+            stride,
+            padding,
+            in_dims: Vec::new(),
+        }
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(h, w, self.kernel, self.stride, self.padding, 1)
+    }
+
+    /// Iterates the in-bounds window cells for an output position, returning
+    /// (flat plane index, window size).
+    fn window(
+        &self,
+        h: usize,
+        w: usize,
+        oy: usize,
+        ox: usize,
+    ) -> (Vec<usize>, usize) {
+        let mut cells = Vec::with_capacity(self.kernel * self.kernel);
+        for ky in 0..self.kernel {
+            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            for kx in 0..self.kernel {
+                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                cells.push(iy as usize * w + ix as usize);
+            }
+        }
+        let len = cells.len();
+        (cells, len)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "avgpool expects NCHW");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let geom = self.geometry(h, w);
+        let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
+        let mut o = 0usize;
+        for i in 0..n {
+            for ch in 0..c {
+                let plane_base = (i * c + ch) * h * w;
+                let plane = &x.as_slice()[plane_base..plane_base + h * w];
+                for oy in 0..geom.out_h {
+                    for ox in 0..geom.out_w {
+                        let (cells, len) = self.window(h, w, oy, ox);
+                        let sum: f32 = cells.iter().map(|&idx| plane[idx]).sum();
+                        out.as_mut_slice()[o] = sum / len.max(1) as f32;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.in_dims = dims.to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.in_dims.is_empty(),
+            "avgpool backward called before forward"
+        );
+        let (n, c, h, w) = (
+            self.in_dims[0],
+            self.in_dims[1],
+            self.in_dims[2],
+            self.in_dims[3],
+        );
+        let geom = self.geometry(h, w);
+        let mut dx = Tensor::zeros(&self.in_dims);
+        let mut o = 0usize;
+        for i in 0..n {
+            for ch in 0..c {
+                let plane_base = (i * c + ch) * h * w;
+                for oy in 0..geom.out_h {
+                    for ox in 0..geom.out_w {
+                        let g = grad_out.as_slice()[o];
+                        let (cells, len) = self.window(h, w, oy, ox);
+                        let share = g / len.max(1) as f32;
+                        for idx in cells {
+                            dx.as_mut_slice()[plane_base + idx] += share;
+                        }
+                        o += 1;
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let geom = self.geometry(input[1], input[2]);
+        (input[0] * geom.out_positions() * self.kernel * self.kernel) as u64
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let geom = self.geometry(input[1], input[2]);
+        vec![input[0], geom.out_h, geom.out_w]
+    }
+}
+
+/// Global average pooling: NCHW → NC, used before the final classifier.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    in_dims: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "global avg pool expects NCHW");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, c]);
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                out.as_mut_slice()[i * c + ch] =
+                    x.as_slice()[base..base + plane].iter().sum::<f32>() / plane as f32;
+            }
+        }
+        if mode == Mode::Train {
+            self.in_dims = dims.to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.in_dims.is_empty(),
+            "global avg pool backward called before forward"
+        );
+        let (n, c, h, w) = (
+            self.in_dims[0],
+            self.in_dims[1],
+            self.in_dims[2],
+            self.in_dims[3],
+        );
+        let plane = h * w;
+        let mut dx = Tensor::zeros(&self.in_dims);
+        for i in 0..n {
+            for ch in 0..c {
+                let g = grad_out.as_slice()[i * c + ch] / plane as f32;
+                let base = (i * c + ch) * plane;
+                dx.as_mut_slice()[base..base + plane].fill(g);
+            }
+        }
+        dx
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        input.iter().product::<usize>() as u64
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn maxpool_known_values() {
+        let mut pool = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x, Mode::Train);
+        let dx = pool.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_same_stride1_keeps_shape() {
+        let mut pool = AvgPool2d::new(3, 1, 1);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+        // with count_include_pad=false, averaging ones gives ones everywhere
+        for v in y.as_slice() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn avgpool_grad_check() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pool = AvgPool2d::new(3, 2, 1);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        let err = crate::grad_check_input(&mut pool, &x, 1e-3);
+        assert!(err < 1e-2, "avgpool grad error {err}");
+    }
+
+    #[test]
+    fn global_avg_pool_and_grad() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let y = pool.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 3]);
+        let err = crate::grad_check_input(&mut pool, &x, 1e-3);
+        assert!(err < 1e-2, "gap grad error {err}");
+    }
+
+    #[test]
+    fn strided_output_shapes() {
+        let pool = MaxPool2d::new(3, 2, 1);
+        assert_eq!(pool.output_shape(&[8, 8, 8]), vec![8, 4, 4]);
+        let pool = AvgPool2d::new(3, 2, 1);
+        assert_eq!(pool.output_shape(&[8, 7, 7]), vec![8, 4, 4]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the layer contracts: `output_shape` agrees
+//! with `forward`, backward returns input-shaped gradients, gradients stay
+//! finite on finite inputs.
+
+use fedrlnas_nn::{
+    AvgPool2d, BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, ReLU,
+};
+use fedrlnas_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Builds one of the layer kinds under test for `c` channels.
+fn build_layer(kind: usize, c: usize, stride: usize, rng: &mut StdRng) -> Box<dyn Layer> {
+    match kind {
+        0 => Box::new(Conv2d::new(c, c + 1, 3, stride, 1, 1, 1, rng)),
+        1 => Box::new(Conv2d::new(c, c, 3, stride, 2, 2, c, rng)), // dilated depthwise
+        2 => Box::new(MaxPool2d::new(3, stride, 1)),
+        3 => Box::new(AvgPool2d::new(3, stride, 1)),
+        4 => Box::new(ReLU::new()),
+        _ => Box::new(BatchNorm2d::new(c)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn output_shape_matches_forward(
+        kind in 0usize..6,
+        c in 1usize..4,
+        hw in 5usize..9,
+        n in 1usize..3,
+        stride_sel in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let stride = if kind >= 4 { 1 } else { 1 + stride_sel }; // relu/bn are stride-free
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = build_layer(kind, c, stride, &mut rng);
+        let x = Tensor::randn(&[n, c, hw, hw], 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Train);
+        let predicted = layer.output_shape(&[c, hw, hw]);
+        let mut want = vec![n];
+        want.extend(predicted);
+        prop_assert_eq!(y.dims(), &want[..]);
+        prop_assert!(y.all_finite());
+        // backward returns input-shaped, finite gradients
+        let dx = layer.backward(&Tensor::ones(y.dims()));
+        prop_assert_eq!(dx.dims(), x.dims());
+        prop_assert!(dx.all_finite());
+    }
+
+    #[test]
+    fn linear_shapes_and_finiteness(
+        nin in 1usize..10,
+        nout in 1usize..10,
+        batch in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lin = Linear::new(nin, nout, &mut rng);
+        let x = Tensor::randn(&[batch, nin], 1.0, &mut rng);
+        let y = lin.forward(&x, Mode::Train);
+        prop_assert_eq!(y.dims(), &[batch, nout]);
+        let dx = lin.backward(&Tensor::ones(y.dims()));
+        prop_assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn global_pool_is_mean(c in 1usize..5, hw in 2usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::randn(&[2, c, hw, hw], 1.0, &mut rng);
+        let y = gap.forward(&x, Mode::Eval);
+        let plane = hw * hw;
+        for i in 0..2 {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                let mean: f32 =
+                    x.as_slice()[base..base + plane].iter().sum::<f32>() / plane as f32;
+                prop_assert!((y.as_slice()[i * c + ch] - mean).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_idempotent(len in 1usize..64, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut relu = ReLU::new();
+        let x = Tensor::randn(&[1, 1, 1, len], 1.0, &mut rng);
+        let once = relu.forward(&x, Mode::Eval);
+        let twice = relu.forward(&once, Mode::Eval);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn batchnorm_shift_invariant_in_train(c in 1usize..4, shift in -5.0f32..5.0, seed in 0u64..200) {
+        // train-mode BN output is invariant to a constant per-batch shift
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bn1 = BatchNorm2d::new(c);
+        let mut bn2 = BatchNorm2d::new(c);
+        let x = Tensor::randn(&[3, c, 4, 4], 1.0, &mut rng);
+        let shifted = x.map(|v| v + shift);
+        let a = bn1.forward(&x, Mode::Train);
+        let b = bn2.forward(&shifted, Mode::Train);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-3, "{} vs {}", u, v);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Soft synchronization with delay compensation (paper §V).
+//!
+//! In the paper's deployment, stragglers would block every round (hard
+//! synchronization) or their updates would arrive rounds late (staleness).
+//! The server therefore (a) waits only for "most" participants, (b) keeps
+//! memory pools of past `θ`, `α` and masks `g`, and (c) repairs each stale
+//! update with a second-order Taylor approximation before applying it:
+//!
+//! * weights (Eq. 13):  `h ≈ h + λ · h ⊙ h ⊙ (w_fresh − w_stale)`
+//! * architecture (Eq. 15): `∇log p ≈ ∇log p + λ · ∇log p ⊙ ∇log p ⊙ (α_fresh − α_stale)`
+//!
+//! This crate provides the staleness process (how late each participant's
+//! update arrives), the memory pools with `Δ`-eviction (Alg. 1 lines 34–35)
+//! and the compensation arithmetic; the search server in `fedrlnas-core`
+//! wires them into Algorithm 1.
+//!
+//! # Example
+//!
+//! ```
+//! use fedrlnas_sync::{compensate_gradient, StalenessModel, StalenessStrategy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = StalenessModel::severe();
+//! let draw = model.sample(&mut rng); // Fresh, Stale(τ) or Dropped
+//! let _ = draw;
+//!
+//! let mut g = vec![1.0, -2.0];
+//! compensate_gradient(&mut g, &[1.5, 0.5], &[1.0, 1.0], 0.5);
+//! assert!((g[0] - (1.0 + 0.5 * 1.0 * 0.5)).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod compensate;
+mod memory;
+mod staleness;
+
+pub use compensate::{compensate_alpha_gradient, compensate_gradient, StalenessStrategy};
+pub use memory::{MemoryPools, RoundSnapshot};
+pub use staleness::{StalenessDraw, StalenessModel};

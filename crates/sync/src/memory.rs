@@ -1,0 +1,144 @@
+//! Memory pools Θ, 𝔸 and 𝔾 for delay compensation (Alg. 1 lines 4–7 and
+//! 34–35).
+
+use fedrlnas_darts::ArchMask;
+use std::collections::BTreeMap;
+
+/// One round's saved server state: the flat supernet weights `θ^t`, the
+/// architecture logits `α^t` and the per-participant masks `g_k^t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSnapshot {
+    /// Flat supernet parameters, in `visit_params` order.
+    pub theta: Vec<f32>,
+    /// Flat architecture logits.
+    pub alpha: Vec<f32>,
+    /// The mask sampled for each participant this round.
+    pub masks: Vec<ArchMask>,
+}
+
+/// Bounded history of server state keyed by round, evicted past the
+/// staleness threshold Δ.
+///
+/// The paper notes it is cheaper to store `(θ, α, g)` and re-prune than to
+/// store every past sub-model — which is exactly what
+/// [`MemoryPools::pruned_theta`] does.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPools {
+    snapshots: BTreeMap<usize, RoundSnapshot>,
+}
+
+impl MemoryPools {
+    /// Creates empty pools.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Saves round `t`'s state (Alg. 1 lines 4, 7).
+    pub fn save(&mut self, t: usize, snapshot: RoundSnapshot) {
+        self.snapshots.insert(t, snapshot);
+    }
+
+    /// The snapshot of round `t`, if still retained.
+    pub fn get(&self, t: usize) -> Option<&RoundSnapshot> {
+        self.snapshots.get(&t)
+    }
+
+    /// The mask participant `k` received in round `t`.
+    pub fn mask(&self, t: usize, k: usize) -> Option<&ArchMask> {
+        self.snapshots.get(&t).and_then(|s| s.masks.get(k))
+    }
+
+    /// Extracts the sub-model weights `prune(θ^t, g)` from a stored round
+    /// using pre-computed flat ranges (from
+    /// `Supernet::submodel_param_ranges`).
+    pub fn pruned_theta(&self, t: usize, ranges: &[(usize, usize)]) -> Option<Vec<f32>> {
+        let snap = self.snapshots.get(&t)?;
+        let mut out = Vec::with_capacity(ranges.iter().map(|r| r.1).sum());
+        for &(off, len) in ranges {
+            out.extend_from_slice(&snap.theta[off..off + len]);
+        }
+        Some(out)
+    }
+
+    /// Evicts every round strictly older than `t.saturating_sub(delta)`
+    /// (Alg. 1 lines 34–35).
+    pub fn evict(&mut self, t: usize, delta: usize) {
+        let cutoff = t.saturating_sub(delta);
+        self.snapshots = self.snapshots.split_off(&cutoff);
+    }
+
+    /// Number of retained rounds.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Returns `true` when no rounds are retained.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Approximate retained memory in bytes (θ + α snapshots).
+    pub fn approx_bytes(&self) -> usize {
+        self.snapshots
+            .values()
+            .map(|s| (s.theta.len() + s.alpha.len()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(v: f32) -> RoundSnapshot {
+        RoundSnapshot {
+            theta: vec![v; 4],
+            alpha: vec![v; 2],
+            masks: vec![],
+        }
+    }
+
+    #[test]
+    fn save_get_round_trip() {
+        let mut pools = MemoryPools::new();
+        pools.save(3, snap(3.0));
+        assert_eq!(pools.get(3).expect("saved").theta[0], 3.0);
+        assert!(pools.get(2).is_none());
+    }
+
+    #[test]
+    fn eviction_respects_delta() {
+        let mut pools = MemoryPools::new();
+        for t in 0..10 {
+            pools.save(t, snap(t as f32));
+        }
+        pools.evict(9, 3);
+        assert!(pools.get(5).is_none());
+        assert!(pools.get(6).is_some());
+        assert_eq!(pools.len(), 4); // rounds 6..=9
+    }
+
+    #[test]
+    fn pruned_theta_applies_ranges() {
+        let mut pools = MemoryPools::new();
+        pools.save(
+            0,
+            RoundSnapshot {
+                theta: vec![10.0, 11.0, 12.0, 13.0, 14.0],
+                alpha: vec![],
+                masks: vec![],
+            },
+        );
+        let pruned = pools.pruned_theta(0, &[(1, 2), (4, 1)]).expect("round 0");
+        assert_eq!(pruned, vec![11.0, 12.0, 14.0]);
+        assert!(pools.pruned_theta(1, &[(0, 1)]).is_none());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut pools = MemoryPools::new();
+        assert!(pools.is_empty());
+        pools.save(0, snap(0.0));
+        assert_eq!(pools.approx_bytes(), 6 * 4);
+    }
+}

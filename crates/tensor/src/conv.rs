@@ -1,0 +1,285 @@
+//! Convolution lowering: `im2col` / `col2im` with stride, padding and
+//! dilation.
+//!
+//! The DARTS candidate operations include separable and dilated convolutions
+//! (Fig. 1 of the paper); both are expressed through the general geometry in
+//! [`Conv2dGeometry`]. Grouped convolution (used for the depthwise stage of
+//! separable convs) is handled by the `nn` crate slicing channels before
+//! calling into these kernels.
+
+use crate::shape::ShapeError;
+
+/// Static geometry of a 2-D convolution over NCHW tensors.
+///
+/// ```
+/// use fedrlnas_tensor::Conv2dGeometry;
+/// let g = Conv2dGeometry::new(8, 8, 3, 1, 1, 1);
+/// assert_eq!(g.out_h, 8); // "same" padding at stride 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding in both directions.
+    pub padding: usize,
+    /// Dilation in both directions.
+    pub dilation: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Computes output extents from input extents and kernel hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effective kernel does not fit in the padded input (the
+    /// output would be empty), which always indicates a configuration bug.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        dilation: usize,
+    ) -> Self {
+        let eff = dilation * (kernel - 1) + 1;
+        assert!(
+            in_h + 2 * padding >= eff && in_w + 2 * padding >= eff,
+            "conv geometry: effective kernel {eff} larger than padded input {}x{}",
+            in_h + 2 * padding,
+            in_w + 2 * padding
+        );
+        let out_h = (in_h + 2 * padding - eff) / stride + 1;
+        let out_w = (in_w + 2 * padding - eff) / stride + 1;
+        Conv2dGeometry {
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+            dilation,
+            out_h,
+            out_w,
+        }
+    }
+
+    /// Number of output spatial positions.
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Number of rows of the `im2col` matrix for `channels` input channels
+    /// (`channels * kernel * kernel`).
+    pub fn col_rows(&self, channels: usize) -> usize {
+        channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers one image (CHW, `channels * in_h * in_w` elements) to a column
+/// matrix of shape `[channels * k * k, out_h * out_w]`, row-major in `out`.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `image` or `out` have the wrong length.
+pub fn im2col(
+    image: &[f32],
+    channels: usize,
+    geom: &Conv2dGeometry,
+    out: &mut [f32],
+) -> Result<(), ShapeError> {
+    let expect_in = channels * geom.in_h * geom.in_w;
+    let expect_out = geom.col_rows(channels) * geom.out_positions();
+    if image.len() != expect_in {
+        return Err(ShapeError::new(format!(
+            "im2col: image has {} elements, expected {expect_in}",
+            image.len()
+        )));
+    }
+    if out.len() != expect_out {
+        return Err(ShapeError::new(format!(
+            "im2col: out has {} elements, expected {expect_out}",
+            out.len()
+        )));
+    }
+    let k = geom.kernel;
+    let positions = geom.out_positions();
+    let mut row = 0usize;
+    for c in 0..channels {
+        let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let dst = &mut out[row * positions..(row + 1) * positions];
+                let mut p = 0usize;
+                for oy in 0..geom.out_h {
+                    let iy = (oy * geom.stride + ky * geom.dilation) as isize
+                        - geom.padding as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        dst[p..p + geom.out_w].fill(0.0);
+                        p += geom.out_w;
+                        continue;
+                    }
+                    let base = iy as usize * geom.in_w;
+                    for ox in 0..geom.out_w {
+                        let ix = (ox * geom.stride + kx * geom.dilation) as isize
+                            - geom.padding as isize;
+                        dst[p] = if ix < 0 || ix >= geom.in_w as isize {
+                            0.0
+                        } else {
+                            plane[base + ix as usize]
+                        };
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Inverse of [`im2col`] used in the backward pass: scatters the column
+/// matrix gradient back into an image gradient, **accumulating** overlapping
+/// contributions.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if `cols` or `image_grad` have the wrong length.
+pub fn col2im(
+    cols: &[f32],
+    channels: usize,
+    geom: &Conv2dGeometry,
+    image_grad: &mut [f32],
+) -> Result<(), ShapeError> {
+    let expect_img = channels * geom.in_h * geom.in_w;
+    let expect_cols = geom.col_rows(channels) * geom.out_positions();
+    if image_grad.len() != expect_img {
+        return Err(ShapeError::new(format!(
+            "col2im: image_grad has {} elements, expected {expect_img}",
+            image_grad.len()
+        )));
+    }
+    if cols.len() != expect_cols {
+        return Err(ShapeError::new(format!(
+            "col2im: cols has {} elements, expected {expect_cols}",
+            cols.len()
+        )));
+    }
+    let k = geom.kernel;
+    let positions = geom.out_positions();
+    let mut row = 0usize;
+    for c in 0..channels {
+        let plane =
+            &mut image_grad[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let src = &cols[row * positions..(row + 1) * positions];
+                let mut p = 0usize;
+                for oy in 0..geom.out_h {
+                    let iy = (oy * geom.stride + ky * geom.dilation) as isize
+                        - geom.padding as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        p += geom.out_w;
+                        continue;
+                    }
+                    let base = iy as usize * geom.in_w;
+                    for ox in 0..geom.out_w {
+                        let ix = (ox * geom.stride + kx * geom.dilation) as isize
+                            - geom.padding as isize;
+                        if ix >= 0 && ix < geom.in_w as isize {
+                            plane[base + ix as usize] += src[p];
+                        }
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_same_padding() {
+        let g = Conv2dGeometry::new(8, 8, 3, 1, 1, 1);
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        let g2 = Conv2dGeometry::new(8, 8, 3, 2, 1, 1);
+        assert_eq!((g2.out_h, g2.out_w), (4, 4));
+        // dilated 3x3 with dilation 2 needs padding 2 for "same"
+        let g3 = Conv2dGeometry::new(8, 8, 3, 1, 2, 2);
+        assert_eq!((g3.out_h, g3.out_w), (8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "conv geometry")]
+    fn geometry_rejects_oversized_kernel() {
+        let _ = Conv2dGeometry::new(2, 2, 5, 1, 0, 1);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is the identity layout.
+        let g = Conv2dGeometry::new(2, 3, 1, 1, 0, 1);
+        let img: Vec<f32> = (0..12).map(|v| v as f32).collect(); // 2 channels
+        let mut out = vec![0.0; 12];
+        im2col(&img, 2, &g, &mut out).unwrap();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn im2col_known_3x3() {
+        // Single channel 3x3 image, 3x3 kernel, padding 1: center column of
+        // the output at position (1,1) must equal the whole image.
+        let g = Conv2dGeometry::new(3, 3, 3, 1, 1, 1);
+        let img: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut out = vec![0.0; 9 * 9];
+        im2col(&img, 1, &g, &mut out).unwrap();
+        // Row 4 of the col matrix corresponds to kernel offset (1,1) (the
+        // center tap); at stride 1 pad 1 it reproduces the image exactly.
+        assert_eq!(&out[4 * 9..5 * 9], &img[..]);
+        // Row 0 is the top-left tap: first row/col come from padding (zeros).
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[4 * 9 + 4], 5.0);
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the adjoint property that makes
+        // the conv backward pass correct.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Conv2dGeometry::new(5, 4, 3, 2, 1, 1);
+        let c = 3usize;
+        let x: Vec<f32> = (0..c * 20).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cols_len = g.col_rows(c) * g.out_positions();
+        let y: Vec<f32> = (0..cols_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut cols = vec![0.0; cols_len];
+        im2col(&x, c, &g, &mut cols).unwrap();
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut xg = vec![0.0; x.len()];
+        col2im(&y, c, &g, &mut xg).unwrap();
+        let rhs: f32 = x.iter().zip(&xg).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn length_validation() {
+        let g = Conv2dGeometry::new(4, 4, 3, 1, 1, 1);
+        let mut out = vec![0.0; g.col_rows(1) * g.out_positions()];
+        assert!(im2col(&[0.0; 15], 1, &g, &mut out).is_err());
+        let mut img = vec![0.0; 15];
+        assert!(col2im(&out, 1, &g, &mut img).is_err());
+    }
+}

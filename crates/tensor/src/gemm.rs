@@ -1,0 +1,130 @@
+//! Cache-blocked single-precision GEMM.
+//!
+//! The convolution layers lower to matrix multiplication via
+//! [`im2col`](crate::im2col), so this kernel dominates training time. A
+//! simple register/cache blocking scheme keeps the inner loop over `k`
+//! contiguous in both operands, which is enough for the proxy-scale
+//! workloads in this reproduction.
+
+/// Computes `c += a * b` for row-major matrices where `a` is `m x k`,
+/// `b` is `k x n` and `c` is `m x n`.
+///
+/// `c` is **accumulated into**, not overwritten; callers wanting a plain
+/// product should zero `c` first (as [`Tensor::matmul`](crate::Tensor::matmul)
+/// does).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "gemm: a too short");
+    assert!(b.len() >= k * n, "gemm: b too short");
+    assert!(c.len() >= m * n, "gemm: c too short");
+    // Block sizes chosen so that a block of `b` fits comfortably in L1/L2 for
+    // the small matrices produced by proxy-scale conv layers.
+    const MC: usize = 32;
+    const KC: usize = 128;
+    let mut i0 = 0;
+    while i0 < m {
+        let i_max = (i0 + MC).min(m);
+        let mut k0 = 0;
+        while k0 < k {
+            let k_max = (k0 + KC).min(k);
+            for i in i0..i_max {
+                let arow = &a[i * k..i * k + k];
+                let crow = &mut c[i * n..i * n + n];
+                for p in k0..k_max {
+                    let av = arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..p * n + n];
+                    // Innermost loop: contiguous over both `brow` and `crow`;
+                    // the optimizer auto-vectorizes this axpy.
+                    for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * *bv;
+                    }
+                }
+            }
+            k0 = k_max;
+        }
+        i0 = i_max;
+    }
+}
+
+/// Computes `c = a * b + bias_broadcast` where `bias` has length `m` and is
+/// broadcast across each output row (one bias per output row/channel).
+///
+/// This fused form is used by the convolution layer where `m` is the output
+/// channel count.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_bias(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32]) {
+    assert!(bias.len() >= m, "gemm_bias: bias too short");
+    assert!(c.len() >= m * n, "gemm_bias: c too short");
+    for i in 0..m {
+        c[i * n..(i + 1) * n].fill(bias[i]);
+    }
+    gemm(m, n, k, a, b, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive_various_sizes() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (33, 17, 129), (64, 64, 64), (2, 200, 3)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut c = vec![0.0; m * n];
+            gemm(m, n, k, &a, &b, &mut c);
+            let want = naive(m, n, k, &a, &b);
+            for (x, y) in c.iter().zip(want.iter()) {
+                assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y} at ({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_per_row() {
+        let a = [1.0, 1.0]; // 2x1
+        let b = [1.0, 2.0, 3.0]; // 1x3
+        let bias = [10.0, 20.0];
+        let mut c = vec![0.0; 6];
+        gemm_bias(2, 3, 1, &a, &b, &bias, &mut c);
+        assert_eq!(c, vec![11.0, 12.0, 13.0, 21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: a too short")]
+    fn panics_on_short_input() {
+        let mut c = vec![0.0; 4];
+        gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

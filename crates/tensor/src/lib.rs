@@ -1,0 +1,40 @@
+//! Dense `f32` tensor substrate for the `fedrlnas` workspace.
+//!
+//! This crate is the numerical foundation for every other crate in the
+//! reproduction of *Federated Model Search via Reinforcement Learning*
+//! (ICDCS 2021). It deliberately implements only what the rest of the
+//! workspace needs, from scratch:
+//!
+//! * [`Tensor`] — an owned, row-major, dense `f32` tensor with shape
+//!   arithmetic and element-wise operations,
+//! * [`gemm`] — a cache-blocked single-precision matrix multiply used by the
+//!   convolution and linear layers,
+//! * [`im2col`]/[`col2im`] — the lowering used to express convolutions (with
+//!   stride, padding, dilation and groups) as GEMM,
+//! * reductions, softmax and argmax kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use fedrlnas_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok::<(), fedrlnas_tensor::ShapeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod gemm;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use gemm::{gemm, gemm_bias};
+pub use ops::{argmax_rows, log_softmax_rows, softmax_inplace, softmax_rows};
+pub use shape::{Shape, ShapeError};
+pub use tensor::Tensor;

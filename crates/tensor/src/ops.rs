@@ -1,0 +1,125 @@
+//! Row-wise softmax, log-softmax and argmax kernels.
+//!
+//! These operate on logically 2-D data (`rows x cols` in a flat slice) and
+//! are used by the classifier loss and by the architecture controller's
+//! policy (Eq. 4 of the paper).
+
+/// Numerically stable softmax over a single slice, in place.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn softmax_inplace(x: &mut [f32]) {
+    assert!(!x.is_empty(), "softmax of empty slice");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Row-wise softmax of a `rows x cols` matrix, returning a new buffer.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols` or `cols == 0`.
+pub fn softmax_rows(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(x.len(), rows * cols, "softmax_rows: bad extent");
+    let mut out = x.to_vec();
+    for r in 0..rows {
+        softmax_inplace(&mut out[r * cols..(r + 1) * cols]);
+    }
+    out
+}
+
+/// Row-wise log-softmax of a `rows x cols` matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols` or `cols == 0`.
+pub fn log_softmax_rows(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(x.len(), rows * cols, "log_softmax_rows: bad extent");
+    assert!(cols > 0, "log_softmax_rows: zero cols");
+    let mut out = x.to_vec();
+    for r in 0..rows {
+        let row = &mut out[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element in each row of a `rows x cols` matrix.
+///
+/// Ties resolve to the lowest index, matching `Iterator::max_by` semantics
+/// reversed; deterministic for reproducibility.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols` or `cols == 0`.
+pub fn argmax_rows(x: &[f32], rows: usize, cols: usize) -> Vec<usize> {
+    assert_eq!(x.len(), rows * cols, "argmax_rows: bad extent");
+    assert!(cols > 0, "argmax_rows: zero cols");
+    (0..rows)
+        .map(|r| {
+            let row = &x[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (i, v) in row.iter().enumerate() {
+                if *v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut x = [1.0, 2.0, 3.0];
+        softmax_inplace(&mut x);
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let mut x = [1000.0, 1000.0];
+        softmax_inplace(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = [0.3, -1.2, 2.0, 0.0, 0.0, 0.0];
+        let ls = log_softmax_rows(&x, 2, 3);
+        let s = softmax_rows(&x, 2, 3);
+        for (a, b) in ls.iter().zip(s.iter()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_basic_and_ties() {
+        let x = [0.0, 5.0, 1.0, 7.0, 7.0, 0.0];
+        assert_eq!(argmax_rows(&x, 2, 3), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad extent")]
+    fn extent_checked() {
+        let _ = softmax_rows(&[0.0; 5], 2, 3);
+    }
+}

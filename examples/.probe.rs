@@ -1,0 +1,24 @@
+//! probe: does FedAvg retraining learn?
+use fedrlnas::core::{retrain_federated, SearchConfig};
+use fedrlnas::darts::{CellTopology, Genotype, NUM_OPS};
+use fedrlnas::data::{DatasetSpec, SyntheticDataset};
+use fedrlnas::fed::FedAvgConfig;
+use rand::{rngs::StdRng, SeedableRng};
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = SearchConfig::small();
+    let net = config.net.clone();
+    let spec = DatasetSpec::cifar10_like().with_image_hw(net.image_hw);
+    let data = SyntheticDataset::generate(&spec, &mut rng);
+    let edges = CellTopology::new(net.nodes).num_edges();
+    let uniform = vec![vec![1.0 / NUM_OPS as f32; NUM_OPS]; edges];
+    let g = Genotype::from_probs(&[uniform.clone(), uniform], net.nodes);
+    for (label, fed) in [
+        ("default(lr.1,m.5,ls2)", FedAvgConfig::default()),
+        ("lr.05,m.9,ls4", FedAvgConfig { local_steps: 4, sgd: fedrlnas::nn::SgdConfig{lr:0.05,momentum:0.9,weight_decay:1e-4,clip:5.0}, ..FedAvgConfig::default() }),
+    ] {
+        let r = retrain_federated(g.clone(), net.clone(), &data, 10, 40, None, fed, &mut rng);
+        println!("{label}: final train acc {:.3}, test acc {:.3}",
+            r.curve.tail_accuracy(5).unwrap_or(0.0), r.test_accuracy);
+    }
+}

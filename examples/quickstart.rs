@@ -1,0 +1,40 @@
+//! Quickstart: run the full RL-based federated model search pipeline —
+//! warm-up (P1), search (P2), centralized retraining (P3) and evaluation
+//! (P4) — at smoke-test scale.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedrlnas::core::{FederatedModelSearch, SearchConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut config = SearchConfig::tiny();
+    config.warmup_steps = 10;
+    config.search_steps = 30;
+    println!(
+        "searching over a {}-cell supernet with {} participants...",
+        config.net.num_cells, config.num_participants
+    );
+
+    let mut search = FederatedModelSearch::new(config, &mut rng);
+    let outcome = search.run(&mut rng);
+
+    println!("search finished:");
+    println!("  genotype: {}", outcome.genotype);
+    println!(
+        "  search-phase accuracy (50-step moving avg): {:.3}",
+        outcome.search_curve.final_accuracy(50).unwrap_or(0.0)
+    );
+    println!("  communication: {}", outcome.comm);
+    println!("  simulated search time: {:.2} h", outcome.sim_hours);
+
+    let report = search.retrain_centralized(outcome.genotype, 60, &mut rng);
+    println!(
+        "retrained from scratch: test error {:.2}% ({} parameters)",
+        report.error_percent(),
+        report.param_count
+    );
+}

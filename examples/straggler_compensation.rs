@@ -1,0 +1,44 @@
+//! Stragglers in the wild: most updates arrive late (the paper's severe
+//! 70 % staleness scenario). Compare throwing stale updates away, using
+//! them as-is, and the paper's delay-compensated soft synchronization.
+//!
+//! ```text
+//! cargo run --release --example straggler_compensation
+//! ```
+
+use fedrlnas::core::{FederatedModelSearch, SearchConfig};
+use fedrlnas::sync::{StalenessModel, StalenessStrategy};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let scenarios: Vec<(&str, StalenessModel, StalenessStrategy)> = vec![
+        ("hard sync (no staleness)", StalenessModel::fresh(), StalenessStrategy::Hard),
+        ("throw stale away", StalenessModel::severe(), StalenessStrategy::Throw),
+        ("use stale as-is", StalenessModel::severe(), StalenessStrategy::Use),
+        (
+            "delay-compensated (ours)",
+            StalenessModel::severe(),
+            StalenessStrategy::delay_compensated(),
+        ),
+    ];
+    println!("searching under severe staleness (30% fresh / 40% +1 / 20% +2 / 10% dropped):\n");
+    for (label, model, strategy) in scenarios {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut config = SearchConfig::tiny().with_staleness(model, strategy);
+        config.warmup_steps = 10;
+        config.search_steps = 50;
+        let mut search = FederatedModelSearch::new(config, &mut rng);
+        let outcome = search.run(&mut rng);
+        println!(
+            "  {label:<28} tail search accuracy {:.3}  (updates applied in last round: {})",
+            outcome.search_curve.tail_accuracy(10).unwrap_or(0.0),
+            outcome
+                .search_curve
+                .steps()
+                .last()
+                .map(|s| s.contributors)
+                .unwrap_or(0),
+        );
+    }
+    println!("\nthe delay-compensated run should track the hard-sync accuracy most closely.");
+}

@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+for bin in table3 table4 fig8_staleness fig9_rounds_cifar10 table5 fig7_latency comm_cost fig10_rounds_svhn fig11_transfer table6 table7_8 fig12_participants; do
+  echo ""
+  echo "================ $bin ================"
+  ./target/release/$bin --scale small --seed 42
+done
+echo "ALL REMAINING DONE"

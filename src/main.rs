@@ -1,0 +1,187 @@
+//! `fedrlnas` — command-line front end for the federated model search.
+//!
+//! ```text
+//! fedrlnas search  [--scale tiny|small|paper] [--seed N] [--non-iid]
+//!                  [--participants K] [--staleness none|slight|severe]
+//!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
+//!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
+//! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
+//!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
+//! fedrlnas info    [--scale ...]
+//! ```
+
+use fedrlnas::core::{
+    retrain_centralized, retrain_federated, Checkpoint, FederatedModelSearch, Scale, SearchConfig,
+};
+use fedrlnas::darts::Genotype;
+use fedrlnas::data::{DatasetSpec, SyntheticDataset};
+use fedrlnas::fed::FedAvgConfig;
+use fedrlnas::sync::{StalenessModel, StalenessStrategy};
+use rand::{rngs::StdRng, SeedableRng};
+use std::process::ExitCode;
+
+fn flag(argv: &[String], name: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == name)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+fn present(argv: &[String], name: &str) -> bool {
+    argv.iter().any(|a| a == name)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fedrlnas <search|retrain|info> [options]\n\
+         run `fedrlnas info` for the active configuration; see crate docs for all flags"
+    );
+    ExitCode::FAILURE
+}
+
+fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
+    let scale = match flag(argv, "--scale").as_deref() {
+        None => Scale::Small,
+        Some(s) => Scale::parse(s).ok_or(format!("unknown scale {s:?}"))?,
+    };
+    let mut config = SearchConfig::at_scale(scale);
+    if present(argv, "--non-iid") {
+        config = config.non_iid();
+    }
+    if let Some(k) = flag(argv, "--participants") {
+        let k: usize = k.parse().map_err(|e| format!("bad participant count: {e}"))?;
+        config = config.with_participants(k);
+    }
+    let staleness = match flag(argv, "--staleness").as_deref() {
+        None | Some("none") => StalenessModel::fresh(),
+        Some("slight") => StalenessModel::slight(),
+        Some("severe") => StalenessModel::severe(),
+        Some(other) => return Err(format!("unknown staleness {other:?}")),
+    };
+    let strategy = match flag(argv, "--strategy").as_deref() {
+        None | Some("hard") => StalenessStrategy::Hard,
+        Some("use") => StalenessStrategy::Use,
+        Some("throw") => StalenessStrategy::Throw,
+        Some("dc") => StalenessStrategy::delay_compensated(),
+        Some(other) => return Err(format!("unknown strategy {other:?}")),
+    };
+    config = config.with_staleness(staleness, strategy);
+    if let Some(a) = flag(argv, "--assignment") {
+        use fedrlnas::netsim::AssignmentStrategy;
+        config.assignment = match a.as_str() {
+            "adaptive" => AssignmentStrategy::Adaptive,
+            "average" => AssignmentStrategy::AverageSize,
+            "random" => AssignmentStrategy::Random,
+            other => return Err(format!("unknown assignment {other:?}")),
+        };
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn dataset_for(argv: &[String], config: &SearchConfig, seed: u64) -> Result<SyntheticDataset, String> {
+    let spec = match flag(argv, "--dataset").as_deref() {
+        None | Some("cifar10") => DatasetSpec::cifar10_like(),
+        Some("svhn") => DatasetSpec::svhn_like(),
+        Some(other) => return Err(format!("unknown dataset {other:?}")),
+    }
+    .with_image_hw(config.net.image_hw);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+    Ok(SyntheticDataset::generate(&spec, &mut rng))
+}
+
+fn cmd_search(argv: &[String]) -> Result<(), String> {
+    let seed: u64 = flag(argv, "--seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let config = build_config(argv)?;
+    let dataset = dataset_for(argv, &config, seed)?;
+    println!(
+        "searching: K = {}, {} warm-up + {} search steps, staleness {:?}, strategy {}, assignment {}",
+        config.num_participants,
+        config.warmup_steps,
+        config.search_steps,
+        config.staleness.stale_fraction(),
+        config.strategy,
+        config.assignment,
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
+    let outcome = search.run(&mut rng);
+    println!("genotype: {}", outcome.genotype);
+    println!("genotype (compact): {}", outcome.genotype.to_compact_string());
+    println!(
+        "search accuracy (moving avg): {:.3}",
+        outcome.search_curve.final_accuracy(50).unwrap_or(0.0)
+    );
+    println!("communication: {}", outcome.comm);
+    println!("mean straggler latency: {:.3} s", outcome.latency.mean_of_max());
+    println!("simulated search time: {:.2} h", outcome.sim_hours);
+    if let Some(path) = flag(argv, "--curve") {
+        let mut file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        outcome
+            .search_curve
+            .write_csv(&mut file, 50)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("curve written to {path}");
+    }
+    if let Some(path) = flag(argv, "--checkpoint") {
+        let cp = Checkpoint::capture(search.server_mut());
+        let mut file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        cp.save(&mut file).map_err(|e| format!("write {path}: {e}"))?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_retrain(argv: &[String]) -> Result<(), String> {
+    let seed: u64 = flag(argv, "--seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let compact = flag(argv, "--genotype").ok_or("retrain requires --genotype \"<compact>\"")?;
+    let genotype = Genotype::parse_compact(&compact)?;
+    let mut config = build_config(argv)?;
+    config.net.nodes = genotype.nodes();
+    let dataset = dataset_for(argv, &config, seed)?;
+    let steps: usize = flag(argv, "--steps").map_or(Ok(300), |s| s.parse()).map_err(|e| format!("bad steps: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = if present(argv, "--federated") {
+        retrain_federated(
+            genotype,
+            config.net.clone(),
+            &dataset,
+            config.num_participants,
+            steps,
+            config.dirichlet_beta,
+            FedAvgConfig::default(),
+            &mut rng,
+        )
+    } else {
+        retrain_centralized(genotype, config.net.clone(), &dataset, steps, config.batch_size, &mut rng)
+    };
+    println!(
+        "retrained: test error {:.2}% ({} parameters)",
+        report.error_percent(),
+        report.param_count
+    );
+    Ok(())
+}
+
+fn cmd_info(argv: &[String]) -> Result<(), String> {
+    let config = build_config(argv)?;
+    println!("{config:#?}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("search") => cmd_search(&argv),
+        Some("retrain") => cmd_retrain(&argv),
+        Some("info") => cmd_info(&argv),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

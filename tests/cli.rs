@@ -1,0 +1,64 @@
+//! Integration tests for the `fedrlnas` command-line front end.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fedrlnas"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("spawn fedrlnas");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn info_prints_config() {
+    let out = bin().args(["info", "--scale", "tiny"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SearchConfig"), "{text}");
+    assert!(text.contains("num_participants: 4"), "{text}");
+}
+
+#[test]
+fn bad_flag_values_are_rejected() {
+    for args in [
+        vec!["search", "--scale", "huge"],
+        vec!["search", "--staleness", "extreme"],
+        vec!["search", "--strategy", "yolo"],
+        vec!["retrain"], // missing --genotype
+        vec!["retrain", "--genotype", "not-a-genotype"],
+    ] {
+        let out = bin().args(&args).output().expect("spawn");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn search_then_retrain_round_trip() {
+    // tiny end-to-end: search emits a compact genotype, retrain consumes it
+    let out = bin()
+        .args(["search", "--scale", "tiny", "--seed", "3"])
+        .output()
+        .expect("spawn search");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let compact = text
+        .lines()
+        .find_map(|l| l.strip_prefix("genotype (compact): "))
+        .expect("search prints a compact genotype")
+        .trim()
+        .to_string();
+    let out = bin()
+        .args(["retrain", "--genotype", &compact, "--scale", "tiny", "--steps", "5"])
+        .output()
+        .expect("spawn retrain");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("test error"), "{text}");
+}

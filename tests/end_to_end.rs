@@ -1,0 +1,88 @@
+//! End-to-end integration tests spanning the whole workspace: the four
+//! phases of the paper's protocol run to completion and produce sane,
+//! reproducible results.
+
+use fedrlnas::core::{FederatedModelSearch, SearchConfig};
+use fedrlnas::darts::CellKind;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn tiny_config() -> SearchConfig {
+    let mut c = SearchConfig::tiny();
+    c.warmup_steps = 6;
+    c.search_steps = 20;
+    c
+}
+
+#[test]
+fn full_pipeline_produces_valid_outcome() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut search = FederatedModelSearch::new(tiny_config(), &mut rng);
+    let outcome = search.run(&mut rng);
+    // curves populated
+    assert_eq!(outcome.warmup_curve.len(), 6);
+    assert_eq!(outcome.search_curve.len(), 20);
+    // all metrics finite and in range
+    for s in outcome.search_curve.steps() {
+        assert!(s.mean_loss.is_finite());
+        assert!((0.0..=1.0).contains(&s.mean_accuracy));
+    }
+    // genotype realizable and retrainable
+    let report = search.retrain_centralized(outcome.genotype.clone(), 15, &mut rng);
+    assert!((0.0..=100.0).contains(&report.error_percent()));
+    assert!(report.param_count > 0);
+    // systems accounting populated
+    assert!(outcome.comm.total_bytes() > 0);
+    assert_eq!(outcome.comm.rounds, 26);
+    assert!(outcome.sim_hours > 0.0);
+    assert_eq!(outcome.latency.max_per_round.len(), 26);
+}
+
+#[test]
+fn search_moves_the_policy_away_from_uniform() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut config = tiny_config();
+    config.search_steps = 40;
+    let mut search = FederatedModelSearch::new(config, &mut rng);
+    let outcome = search.run(&mut rng);
+    let uniform = 1.0 / fedrlnas::darts::NUM_OPS as f32;
+    let max_dev = outcome.alpha_probs[CellKind::Normal.index()]
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|p| (p - uniform).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_dev > 1e-3, "policy never moved (max deviation {max_dev})");
+    // but still a valid distribution
+    for row in &outcome.alpha_probs[0] {
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn same_seed_same_outcome() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut search = FederatedModelSearch::new(tiny_config(), &mut rng);
+        let outcome = search.run(&mut rng);
+        (
+            outcome.genotype.clone(),
+            outcome.search_curve.steps().last().map(|s| s.mean_accuracy),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "genotypes must match across identical runs");
+    assert_eq!(a.1, b.1, "curves must match across identical runs");
+}
+
+#[test]
+fn federated_retraining_works_non_iid() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut config = tiny_config().non_iid();
+    config.search_steps = 15;
+    let mut search = FederatedModelSearch::new(config, &mut rng);
+    let outcome = search.run(&mut rng);
+    let report = search.retrain_federated(outcome.genotype, 6, &mut rng);
+    assert_eq!(report.curve.len(), 6);
+    assert!((0.0..=1.0).contains(&report.test_accuracy));
+    assert!(!report.eval_points.is_empty());
+}

@@ -1,0 +1,94 @@
+//! Integration tests for the soft-synchronization layer wired into the
+//! full search server.
+
+use fedrlnas::core::{FederatedModelSearch, SearchConfig, SearchServer};
+use fedrlnas::data::{DatasetSpec, SyntheticDataset};
+use fedrlnas::sync::{StalenessModel, StalenessStrategy};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn base_config(steps: usize) -> SearchConfig {
+    let mut c = SearchConfig::tiny();
+    c.warmup_steps = 4;
+    c.search_steps = steps;
+    c
+}
+
+#[test]
+fn throw_applies_only_fresh_updates() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(10, 3), &mut rng);
+    // 50% fresh, 50% one round late
+    let model = StalenessModel::new(vec![0.5, 0.5]);
+    let mut config = base_config(8);
+    config.staleness = model;
+    config.strategy = StalenessStrategy::Throw;
+    let mut server = SearchServer::new(config, &data, &mut rng);
+    server.run_search(&data, 8, &mut rng);
+    // with K=4 and p(fresh)=0.5, contributors stay well below K on average
+    let total: usize = server
+        .search_curve()
+        .steps()
+        .iter()
+        .map(|s| s.contributors)
+        .sum();
+    assert!(total < 8 * 4, "throw must discard stale updates ({total})");
+}
+
+#[test]
+fn delay_compensated_applies_more_updates_than_throw() {
+    let run = |strategy: StalenessStrategy| -> usize {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data =
+            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(10, 3), &mut rng);
+        let mut config = base_config(10);
+        config.staleness = StalenessModel::severe();
+        config.strategy = strategy;
+        let mut server = SearchServer::new(config, &data, &mut rng);
+        server.run_search(&data, 10, &mut rng);
+        server
+            .search_curve()
+            .steps()
+            .iter()
+            .map(|s| s.contributors)
+            .sum()
+    };
+    let dc = run(StalenessStrategy::delay_compensated());
+    let throw = run(StalenessStrategy::Throw);
+    assert!(dc > throw, "DC must salvage stale updates (dc {dc} vs throw {throw})");
+}
+
+#[test]
+fn hard_sync_never_defers() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(10, 3), &mut rng);
+    let config = base_config(6);
+    let mut server = SearchServer::new(config, &data, &mut rng);
+    server.run_search(&data, 6, &mut rng);
+    assert!(server
+        .search_curve()
+        .steps()
+        .iter()
+        .all(|s| s.contributors == 4));
+}
+
+#[test]
+fn all_strategies_complete_a_full_pipeline() {
+    for strategy in [
+        StalenessStrategy::Hard,
+        StalenessStrategy::Use,
+        StalenessStrategy::Throw,
+        StalenessStrategy::DelayCompensated { lambda: 1.0 },
+    ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut config = base_config(8);
+        if !matches!(strategy, StalenessStrategy::Hard) {
+            config.staleness = StalenessModel::severe();
+        }
+        config.strategy = strategy;
+        let mut search = FederatedModelSearch::new(config, &mut rng);
+        let outcome = search.run(&mut rng);
+        assert_eq!(outcome.search_curve.len(), 8, "{strategy} broke the loop");
+        let report = search.retrain_centralized(outcome.genotype, 8, &mut rng);
+        assert!(report.test_accuracy.is_finite(), "{strategy} broke retraining");
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests: structural invariants that must hold
+//! for arbitrary masks, partitions and staleness distributions.
+
+use fedrlnas::controller::Alpha;
+use fedrlnas::darts::{ArchMask, CellKind, Supernet, SupernetConfig, NUM_OPS};
+use fedrlnas::data::dirichlet_partition;
+use fedrlnas::fed::{flat_params, TrainableModel};
+use fedrlnas::nn::Mode;
+use fedrlnas::sync::compensate_gradient;
+use fedrlnas::tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_mask() -> impl Strategy<Value = ArchMask> {
+    let config = SupernetConfig::tiny();
+    let edges = config.topology().num_edges();
+    (
+        proptest::collection::vec(0..NUM_OPS, edges),
+        proptest::collection::vec(0..NUM_OPS, edges),
+    )
+        .prop_map(|(n, r)| ArchMask::new(n, r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_mask_yields_consistent_submodel(mask in arb_mask(), seed in 0u64..50) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SupernetConfig::tiny();
+        let mut net = Supernet::new(config, &mut rng);
+        let mut sub = net.extract_submodel(&mask);
+        // sub-model params are exactly the ranges the supernet reports
+        let ranges = net.submodel_param_ranges(&mask);
+        let mut full = Vec::new();
+        net.visit_params(&mut |p| full.extend_from_slice(p.value.as_slice()));
+        let pruned: Vec<f32> = ranges
+            .iter()
+            .flat_map(|&(off, len)| full[off..off + len].iter().copied())
+            .collect();
+        prop_assert_eq!(pruned, flat_params(&mut sub));
+        // forward agrees with the masked supernet
+        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        let a = net.forward_masked(&x, &mask, Mode::Eval);
+        let b = TrainableModel::forward(&mut sub, &x, Mode::Eval);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn alpha_grad_log_prob_rows_sum_zero_for_any_mask(mask in arb_mask(), scale in -2.0f32..2.0) {
+        let config = SupernetConfig::tiny();
+        let mut alpha = Alpha::new(&config);
+        // arbitrary logits
+        for (i, v) in alpha.logits_mut().as_mut_slice().iter_mut().enumerate() {
+            *v = scale * ((i % 7) as f32 - 3.0) / 3.0;
+        }
+        let grad = alpha.grad_log_prob(&mask);
+        for row in grad.as_slice().chunks(NUM_OPS) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+        // the chosen op always has the (only) positive gradient entry
+        let probs = alpha.probs();
+        for kind in CellKind::ALL {
+            for (e, &chosen) in mask.ops(kind).iter().enumerate() {
+                let base = (kind.index() * mask.num_edges() + e) * NUM_OPS;
+                let g = grad.as_slice()[base + chosen];
+                prop_assert!((g - (1.0 - probs[kind.index()][e][chosen])).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_partition_is_exact_cover(
+        classes in 2usize..6,
+        per_class in 5usize..20,
+        k in 1usize..8,
+        beta in 0.1f64..5.0,
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<usize> = (0..classes * per_class).map(|i| i / per_class).collect();
+        let parts = dirichlet_partition(&labels, k, beta, &mut rng);
+        prop_assert_eq!(parts.len(), k);
+        let mut all: Vec<usize> = parts.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        prop_assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn delay_compensation_is_identity_without_drift(
+        g in proptest::collection::vec(-3.0f32..3.0, 1..40),
+        lambda in 0.0f32..2.0,
+    ) {
+        let w: Vec<f32> = g.iter().map(|v| v * 0.7 + 0.1).collect();
+        let mut comp = g.clone();
+        compensate_gradient(&mut comp, &w, &w, lambda);
+        prop_assert_eq!(comp, g);
+    }
+
+    #[test]
+    fn delay_compensation_linear_in_lambda(
+        g0 in -2.0f32..2.0,
+        wf in -2.0f32..2.0,
+        ws in -2.0f32..2.0,
+    ) {
+        let at = |lambda: f32| {
+            let mut g = vec![g0];
+            compensate_gradient(&mut g, &[wf], &[ws], lambda);
+            g[0]
+        };
+        let half = at(0.5);
+        let full = at(1.0);
+        let zero = at(0.0);
+        prop_assert!((half - (zero + full) / 2.0).abs() < 1e-4);
+    }
+}
