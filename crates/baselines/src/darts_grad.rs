@@ -204,8 +204,7 @@ mod tests {
     #[test]
     fn darts_runs_and_derives() {
         let mut rng = StdRng::seed_from_u64(1);
-        let data =
-            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
+        let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
         for order in [DartsOrder::First, DartsOrder::Second] {
             let mut search = DartsSearch::new(SupernetConfig::tiny(), order, &mut rng);
             let genotype = search.run(&data, 3, 8, &mut rng);

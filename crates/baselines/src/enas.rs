@@ -57,8 +57,7 @@ impl EnasSearch {
         self.supernet.zero_grad();
         for _ in 0..m.max(1) {
             let mask = self.controller.sample(rng);
-            let indices: Vec<usize> =
-                (0..batch.min(n)).map(|_| rng.gen_range(0..n)).collect();
+            let indices: Vec<usize> = (0..batch.min(n)).map(|_| rng.gen_range(0..n)).collect();
             let (x, y) = dataset.batch(&indices);
             let logits = self.supernet.forward_masked(&x, &mask, Mode::Train);
             let out = ce.forward(&logits, &y);
@@ -112,8 +111,7 @@ mod tests {
     #[test]
     fn enas_runs_and_derives() {
         let mut rng = StdRng::seed_from_u64(0);
-        let data =
-            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
+        let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
         let mut search = EnasSearch::new(
             SupernetConfig::tiny(),
             ControllerConfig::default(),
@@ -122,6 +120,10 @@ mod tests {
         let genotype = search.run(&data, 4, 3, 8, &mut rng);
         assert_eq!(genotype.nodes(), 2);
         assert_eq!(search.curve().len(), 4);
-        assert!(search.curve().steps().iter().all(|s| s.mean_loss.is_finite()));
+        assert!(search
+            .curve()
+            .steps()
+            .iter()
+            .all(|s| s.mean_loss.is_finite()));
     }
 }

@@ -7,9 +7,9 @@
 use fedrlnas_core::{CurveRecorder, StepMetric};
 use fedrlnas_darts::{DerivedModel, Genotype, GenotypeEdge, OpKind, SupernetConfig};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
-use fedrlnas_fed::{evaluate_model, CommStats};
 #[allow(unused_imports)]
 use fedrlnas_fed::TrainableModel as _;
+use fedrlnas_fed::{evaluate_model, CommStats};
 use fedrlnas_nn::{CrossEntropy, Mode, Sgd, SgdConfig};
 use rand::Rng;
 
@@ -160,11 +160,7 @@ impl EvoFedNas {
 
     /// One generation: evaluate all candidates on (round-robin) shards,
     /// keep the top half, refill with mutated/crossed-over children.
-    pub fn generation<R: Rng + ?Sized>(
-        &mut self,
-        dataset: &SyntheticDataset,
-        rng: &mut R,
-    ) -> f32 {
+    pub fn generation<R: Rng + ?Sized>(&mut self, dataset: &SyntheticDataset, rng: &mut R) -> f32 {
         let pop = self.population.clone();
         let mut scored: Vec<(f32, Genotype)> = pop
             .into_iter()
@@ -283,8 +279,7 @@ mod tests {
     #[test]
     fn spaces_differ_in_size() {
         let mut rng = StdRng::seed_from_u64(0);
-        let data =
-            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(6, 2), &mut rng);
+        let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(6, 2), &mut rng);
         let big = EvoFedNas::new(
             EvoSpace::Big,
             SupernetConfig::tiny(),

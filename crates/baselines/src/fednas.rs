@@ -7,9 +7,7 @@
 use fedrlnas_controller::Alpha;
 use fedrlnas_core::{CurveRecorder, StepMetric};
 use fedrlnas_darts::{Genotype, Supernet, SupernetConfig, NUM_OPS};
-use fedrlnas_data::{
-    dirichlet_partition, iid_partition, AugmentConfig, Loader, SyntheticDataset,
-};
+use fedrlnas_data::{dirichlet_partition, iid_partition, AugmentConfig, Loader, SyntheticDataset};
 use fedrlnas_fed::CommStats;
 use fedrlnas_nn::{Adam, CrossEntropy, Mode, Sgd, SgdConfig};
 use fedrlnas_tensor::Tensor;
@@ -132,7 +130,11 @@ impl FedNasSearch {
                     .map(|v| v * v)
                     .sum::<f32>()
                     .sqrt();
-                let scale = if norm > dp.clip && norm > 0.0 { dp.clip / norm } else { 1.0 };
+                let scale = if norm > dp.clip && norm > 0.0 {
+                    dp.clip / norm
+                } else {
+                    1.0
+                };
                 let sigma = dp.noise_multiplier * dp.clip;
                 for t in dw.iter_mut() {
                     for e in t.iter_mut() {
@@ -240,8 +242,7 @@ mod tests {
     #[test]
     fn fednas_round_and_comm_cost() {
         let mut rng = StdRng::seed_from_u64(0);
-        let data =
-            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
+        let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
         let mut search =
             FedNasSearch::new(SupernetConfig::tiny(), &data, 3, 8, Some(0.5), &mut rng);
         let genotype = search.run(&data, 2, &mut rng);
@@ -256,8 +257,7 @@ mod tests {
     #[test]
     fn dp_fnas_still_searches_but_noisier() {
         let mut rng = StdRng::seed_from_u64(1);
-        let data =
-            SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
+        let data = SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(8, 2), &mut rng);
         let mut private = FedNasSearch::new(SupernetConfig::tiny(), &data, 2, 8, None, &mut rng)
             .with_privacy(DpConfig {
                 clip: 1.0,

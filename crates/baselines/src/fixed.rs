@@ -29,7 +29,12 @@ pub struct SimpleCnn {
 
 impl std::fmt::Debug for SimpleCnn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimpleCnn({} -> {})", self.conv1.in_channels(), self.classifier.out_features())
+        write!(
+            f,
+            "SimpleCnn({} -> {})",
+            self.conv1.in_channels(),
+            self.classifier.out_features()
+        )
     }
 }
 
@@ -61,10 +66,16 @@ impl SimpleCnn {
 
 impl TrainableModel for SimpleCnn {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let h = self.relu1.forward(&self.bn1.forward(&self.conv1.forward(x, mode), mode), mode);
-        let h = self.relu2.forward(&self.bn2.forward(&self.conv2.forward(&h, mode), mode), mode);
+        let h = self
+            .relu1
+            .forward(&self.bn1.forward(&self.conv1.forward(x, mode), mode), mode);
+        let h = self
+            .relu2
+            .forward(&self.bn2.forward(&self.conv2.forward(&h, mode), mode), mode);
         let h = self.pool.forward(&h, mode);
-        let h = self.relu3.forward(&self.bn3.forward(&self.conv3.forward(&h, mode), mode), mode);
+        let h = self
+            .relu3
+            .forward(&self.bn3.forward(&self.conv3.forward(&h, mode), mode), mode);
         let h = self.gap.forward(&h, mode);
         self.classifier.forward(&h, mode)
     }
@@ -72,10 +83,16 @@ impl TrainableModel for SimpleCnn {
     fn backward(&mut self, grad_logits: &Tensor) {
         let g = self.classifier.backward(grad_logits);
         let g = self.gap.backward(&g);
-        let g = self.conv3.backward(&self.bn3.backward(&self.relu3.backward(&g)));
+        let g = self
+            .conv3
+            .backward(&self.bn3.backward(&self.relu3.backward(&g)));
         let g = self.pool.backward(&g);
-        let g = self.conv2.backward(&self.bn2.backward(&self.relu2.backward(&g)));
-        let _ = self.conv1.backward(&self.bn1.backward(&self.relu1.backward(&g)));
+        let g = self
+            .conv2
+            .backward(&self.bn2.backward(&self.relu2.backward(&g)));
+        let _ = self
+            .conv1
+            .backward(&self.bn1.backward(&self.relu1.backward(&g)));
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -120,8 +137,14 @@ impl ResidualBlock {
     }
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let h = self.bn1.forward(&self.conv1.forward(&self.relu1.forward(x, mode), mode), mode);
-        let h = self.bn2.forward(&self.conv2.forward(&self.relu2.forward(&h, mode), mode), mode);
+        let h = self.bn1.forward(
+            &self.conv1.forward(&self.relu1.forward(x, mode), mode),
+            mode,
+        );
+        let h = self.bn2.forward(
+            &self.conv2.forward(&self.relu2.forward(&h, mode), mode),
+            mode,
+        );
         h.add(x).expect("residual shapes match")
     }
 
@@ -178,7 +201,9 @@ impl ResNetProxy {
         ResNetProxy {
             stem: Conv2d::new(in_channels, width, 3, 1, 1, 1, 1, rng),
             stem_bn: BatchNorm2d::new(width),
-            blocks: (0..blocks).map(|_| ResidualBlock::new(width, rng)).collect(),
+            blocks: (0..blocks)
+                .map(|_| ResidualBlock::new(width, rng))
+                .collect(),
             gap: GlobalAvgPool::new(),
             classifier: Linear::new(width, classes, rng),
         }

@@ -65,14 +65,14 @@ fn bench_controller(c: &mut Criterion) {
         b.iter(|| {
             let n = probe.logits().len();
             let mut grad = vec![0.0f32; n];
-            for i in 0..n {
+            for (i, g) in grad.iter_mut().enumerate().take(n) {
                 let orig = probe.logits().as_slice()[i];
                 probe.logits_mut().as_mut_slice()[i] = orig + eps;
                 let lp = probe.log_prob(&mask);
                 probe.logits_mut().as_mut_slice()[i] = orig - eps;
                 let lm = probe.log_prob(&mask);
                 probe.logits_mut().as_mut_slice()[i] = orig;
-                grad[i] = (lp - lm) / (2.0 * eps);
+                *g = (lp - lm) / (2.0 * eps);
             }
             std::hint::black_box(grad);
         })

@@ -1,0 +1,287 @@
+//! Before/after kernel benchmark emitting `BENCH_kernels.json`.
+//!
+//! Compares the seed's scalar kernels ("before": [`gemm_naive`] plus
+//! per-call column-buffer allocation and a separate bias pass) against the
+//! packed, SIMD-dispatched GEMM with fused bias and reusable workspaces
+//! ("after": [`gemm`]/[`gemm_bias`] through [`Conv2d`]), at
+//! supernet-realistic shapes (DARTS cells on 32x32 inputs with 16/32/64
+//! channels). Reports the median of `REPS` timed runs per shape, in
+//! nanoseconds, as JSON.
+//!
+//! Usage: `cargo run --release -p fedrlnas-bench --bin bench_kernels`
+//! (writes `BENCH_kernels.json` in the current directory; pass `--out
+//! <path>` to override).
+
+use fedrlnas_nn::{Conv2d, Layer, Mode};
+use fedrlnas_tensor::{gemm, gemm_naive, im2col, Conv2dGeometry, Tensor};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 15;
+
+fn median_ns(mut f: impl FnMut()) -> u64 {
+    f(); // warmup: page in buffers, resolve the SIMD dispatch, grow arenas
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[REPS / 2]
+}
+
+fn randv(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+struct Row {
+    label: String,
+    before_ns: u64,
+    after_ns: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.before_ns as f64 / self.after_ns.max(1) as f64
+    }
+}
+
+/// GEMM shapes as the conv lowering produces them: `m` = output channels per
+/// group, `n` = spatial positions, `k` = `cin/groups * kh * kw`.
+fn bench_gemm_shapes(rng: &mut StdRng) -> Vec<Row> {
+    let shapes: &[(usize, usize, usize)] = &[
+        (16, 1024, 144), // 16ch 3x3 cell on 32x32
+        (32, 256, 288),  // 32ch 3x3 cell on 16x16
+        (64, 64, 576),   // 64ch 3x3 cell on 8x8
+        (64, 256, 64),   // 1x1 pointwise, 64ch on 16x16
+        (128, 128, 128), // square reference point
+    ];
+    shapes
+        .iter()
+        .map(|&(m, n, k)| {
+            let a = randv(m * k, rng);
+            let b = randv(k * n, rng);
+            let mut c = vec![0.0f32; m * n];
+            let before_ns = median_ns(|| {
+                c.fill(0.0);
+                gemm_naive(m, n, k, &a, &b, &mut c);
+                std::hint::black_box(&c);
+            });
+            let after_ns = median_ns(|| {
+                c.fill(0.0);
+                gemm(m, n, k, &a, &b, &mut c);
+                std::hint::black_box(&c);
+            });
+            Row {
+                label: format!("gemm_{m}x{n}x{k}"),
+                before_ns,
+                after_ns,
+            }
+        })
+        .collect()
+}
+
+/// The seed's conv-forward code shape: allocate the column buffer per call,
+/// broadcast the bias in a separate pass, then accumulate with the scalar
+/// GEMM. Kept here (not in the library) purely as the "before" measurement.
+#[allow(clippy::too_many_arguments)]
+fn conv_forward_baseline(
+    x: &Tensor,
+    weight: &[f32],
+    bias: &[f32],
+    cout: usize,
+    cin: usize,
+    kernel: usize,
+    geom: &Conv2dGeometry,
+    out: &mut [f32],
+) {
+    let dims = x.dims();
+    let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let col_rows = cin * kernel * kernel;
+    let positions = geom.out_positions();
+    let mut cols = vec![0.0f32; col_rows * positions];
+    let img_len = cin * h * w;
+    for i in 0..n {
+        let image = &x.as_slice()[i * img_len..(i + 1) * img_len];
+        im2col(image, cin, geom, &mut cols).expect("valid geometry");
+        let dst = &mut out[i * cout * positions..(i + 1) * cout * positions];
+        for oc in 0..cout {
+            dst[oc * positions..(oc + 1) * positions].fill(bias[oc]);
+        }
+        gemm_naive(cout, positions, col_rows, weight, &cols, dst);
+    }
+}
+
+/// The seed's conv-backward code shape: per-call `cols`/`dcols`/`wt`
+/// allocations, explicit dW loops, scalar GEMM for the column gradient.
+#[allow(clippy::too_many_arguments)]
+fn conv_backward_baseline(
+    x: &Tensor,
+    weight: &[f32],
+    grad_out: &[f32],
+    cout: usize,
+    cin: usize,
+    kernel: usize,
+    geom: &Conv2dGeometry,
+    dweight: &mut [f32],
+    dbias: &mut [f32],
+    dx: &mut [f32],
+) {
+    let dims = x.dims();
+    let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let col_rows = cin * kernel * kernel;
+    let positions = geom.out_positions();
+    let mut cols = vec![0.0f32; col_rows * positions];
+    let mut dcols = vec![0.0f32; col_rows * positions];
+    let mut wt = vec![0.0f32; col_rows * cout];
+    for r in 0..cout {
+        for q in 0..col_rows {
+            wt[q * cout + r] = weight[r * col_rows + q];
+        }
+    }
+    let img_len = cin * h * w;
+    for i in 0..n {
+        let image = &x.as_slice()[i * img_len..(i + 1) * img_len];
+        im2col(image, cin, geom, &mut cols).expect("valid geometry");
+        let go = &grad_out[i * cout * positions..(i + 1) * cout * positions];
+        for oc in 0..cout {
+            let go_row = &go[oc * positions..(oc + 1) * positions];
+            let dw_row = &mut dweight[oc * col_rows..(oc + 1) * col_rows];
+            for (q, dwv) in dw_row.iter_mut().enumerate() {
+                let col_row = &cols[q * positions..(q + 1) * positions];
+                let mut acc = 0.0f32;
+                for p in 0..positions {
+                    acc += go_row[p] * col_row[p];
+                }
+                *dwv += acc;
+            }
+            dbias[oc] += go_row.iter().sum::<f32>();
+        }
+        dcols.fill(0.0);
+        gemm_naive(col_rows, positions, cout, &wt, go, &mut dcols);
+        let dgin = &mut dx[i * img_len..(i + 1) * img_len];
+        fedrlnas_tensor::col2im(&dcols, cin, geom, dgin).expect("valid geometry");
+    }
+}
+
+/// Dense (groups = 1) supernet convolutions: `(channels, spatial, batch)`.
+fn bench_conv_shapes(rng: &mut StdRng) -> (Vec<Row>, Vec<Row>) {
+    let shapes: &[(usize, usize, usize)] = &[(16, 32, 8), (32, 16, 8), (64, 8, 8)];
+    let mut fwd = Vec::new();
+    let mut fwd_bwd = Vec::new();
+    for &(ch, hw, batch) in shapes {
+        let label = format!("conv3x3_{ch}ch_{hw}x{hw}_b{batch}");
+        let geom = Conv2dGeometry::new(hw, hw, 3, 1, 1, 1);
+        let x = Tensor::randn(&[batch, ch, hw, hw], 1.0, rng);
+        let weight = randv(ch * ch * 9, rng);
+        let bias = randv(ch, rng);
+        let mut out = vec![0.0f32; batch * ch * geom.out_positions()];
+        let before_ns = median_ns(|| {
+            conv_forward_baseline(&x, &weight, &bias, ch, ch, 3, &geom, &mut out);
+            std::hint::black_box(&out);
+        });
+
+        let mut conv = Conv2d::new(ch, ch, 3, 1, 1, 1, 1, rng);
+        let after_ns = median_ns(|| {
+            std::hint::black_box(conv.forward(&x, Mode::Eval));
+        });
+        fwd.push(Row {
+            label: label.clone(),
+            before_ns,
+            after_ns,
+        });
+
+        // Training step (forward + backward): seed code shape vs the layer.
+        let grad = Tensor::ones(&[batch, ch, geom.out_h, geom.out_w]);
+        let mut dweight = vec![0.0f32; weight.len()];
+        let mut dbias = vec![0.0f32; bias.len()];
+        let mut dx = vec![0.0f32; x.len()];
+        let before_train_ns = median_ns(|| {
+            conv_forward_baseline(&x, &weight, &bias, ch, ch, 3, &geom, &mut out);
+            conv_backward_baseline(
+                &x,
+                &weight,
+                grad.as_slice(),
+                ch,
+                ch,
+                3,
+                &geom,
+                &mut dweight,
+                &mut dbias,
+                &mut dx,
+            );
+            std::hint::black_box((&out, &dx));
+        });
+        let after_train_ns = median_ns(|| {
+            let y = conv.forward(&x, Mode::Train);
+            std::hint::black_box(conv.backward(&grad));
+            std::hint::black_box(y);
+        });
+        fwd_bwd.push(Row {
+            label,
+            before_ns: before_train_ns,
+            after_ns: after_train_ns,
+        });
+    }
+    (fwd, fwd_bwd)
+}
+
+fn section(out: &mut String, name: &str, rows: &[Row], last: bool) {
+    writeln!(out, "  \"{name}\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"shape\": \"{}\", \"before_ns\": {}, \"after_ns\": {}, \"speedup\": {:.2}}}{comma}",
+            r.label, r.before_ns, r.after_ns, r.speedup()
+        )
+        .unwrap();
+    }
+    writeln!(out, "  ]{}", if last { "" } else { "," }).unwrap();
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let mut rng = StdRng::seed_from_u64(42);
+    eprintln!("timing gemm shapes (median of {REPS})...");
+    let gemm_rows = bench_gemm_shapes(&mut rng);
+    eprintln!("timing conv shapes (median of {REPS})...");
+    let (fwd_rows, train_rows) = bench_conv_shapes(&mut rng);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"description\": \"median ns per kernel; before = seed scalar GEMM + per-call allocation, after = packed SIMD GEMM + fused bias + reused workspace\","
+    )
+    .unwrap();
+    writeln!(json, "  \"reps\": {REPS},").unwrap();
+    section(&mut json, "gemm", &gemm_rows, false);
+    section(&mut json, "conv_forward", &fwd_rows, false);
+    section(&mut json, "conv_forward_backward", &train_rows, true);
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    for rows in [&gemm_rows, &fwd_rows, &train_rows] {
+        for r in rows {
+            eprintln!(
+                "{:38} {:>10} -> {:>10} ns  ({:.2}x)",
+                r.label,
+                r.before_ns,
+                r.after_ns,
+                r.speedup()
+            );
+        }
+    }
+}

@@ -14,7 +14,10 @@ fn main() {
     config.warmup_steps = 0;
     let rounds = 5usize;
     let data = dataset_for("cifar10", &config.net, args.seed);
-    println!("Communication cost per round, measured over {rounds} rounds (K = {})", config.num_participants);
+    println!(
+        "Communication cost per round, measured over {rounds} rounds (K = {})",
+        config.num_participants
+    );
 
     // ours
     let mut rng = StdRng::seed_from_u64(args.seed);
@@ -40,7 +43,11 @@ fn main() {
         "Measured communication per round",
         &["method", "MB/round", "relative"],
     );
-    t.row(&["Ours (sub-models)".into(), mb(ours_per_round as usize), "1.0x".into()]);
+    t.row(&[
+        "Ours (sub-models)".into(),
+        mb(ours_per_round as usize),
+        "1.0x".into(),
+    ]);
     t.row(&[
         "FedNAS (supernet)".into(),
         mb(fednas_per_round as usize),
@@ -50,6 +57,10 @@ fn main() {
     write_output("comm_cost.csv", &t.to_csv());
     println!(
         "\n  paper shape: our per-round traffic is a small fraction of FedNAS's: {}",
-        if ours_per_round * 2.0 < fednas_per_round { "REPRODUCED" } else { "PARTIAL" }
+        if ours_per_round * 2.0 < fednas_per_round {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
 }

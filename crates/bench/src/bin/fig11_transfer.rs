@@ -48,7 +48,10 @@ fn main() {
     let ours_train: Vec<f32> = ours.curve.steps().iter().map(|s| s.mean_accuracy).collect();
     write_output(
         "fig11_transfer.csv",
-        &series_csv(&[("ours_train", ours_train.clone()), ("resnet_train", res_train.clone())]),
+        &series_csv(&[
+            ("ours_train", ours_train.clone()),
+            ("resnet_train", res_train.clone()),
+        ]),
     );
     let mut val_csv = String::from("round,ours_val,resnet_val\n");
     for (i, (r, v)) in ours.eval_points.iter().enumerate() {
@@ -59,11 +62,14 @@ fn main() {
 
     let ours_train_final = ours.curve.tail_accuracy(5).unwrap_or(0.0);
     let res_train_final = {
-        let n = res_train.len().min(5).max(1);
+        let n = res_train.len().clamp(1, 5);
         res_train[res_train.len() - n..].iter().sum::<f32>() / n as f32
     };
     println!("  training acc — ours {ours_train_final:.3}, ResNet152* {res_train_final:.3}");
-    println!("  validation acc — ours {:.3}, ResNet152* {res_acc:.3}", ours.test_accuracy);
+    println!(
+        "  validation acc — ours {:.3}, ResNet152* {res_acc:.3}",
+        ours.test_accuracy
+    );
     println!(
         "  paper shape: transferred searched model generalizes at least as well as the pre-defined model (val): {}",
         if ours.test_accuracy >= res_acc - 0.02 {

@@ -2,7 +2,7 @@
 //! (10/20/50, the dataset split equally) with seed-spread error bars.
 
 use fedrlnas_bench::{budgets, write_output, Args, Table};
-use fedrlnas_core::{FederatedModelSearch, SearchConfig, Scale};
+use fedrlnas_core::{FederatedModelSearch, Scale, SearchConfig};
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -14,7 +14,10 @@ fn main() {
         _ => &[10, 20, 50],
     };
     let seeds: &[u64] = &[args.seed, args.seed + 1];
-    println!("Fig. 12 — searching-phase performance vs participants {ks:?} ({steps} steps, {} seeds)", seeds.len());
+    println!(
+        "Fig. 12 — searching-phase performance vs participants {ks:?} ({steps} steps, {} seeds)",
+        seeds.len()
+    );
     let mut t = Table::new(
         "Fig. 12 — tail search accuracy vs K",
         &["K", "mean tail acc", "std", "steps to 0.8x final"],
@@ -61,7 +64,10 @@ fn main() {
     }
     t.print();
     write_output("fig12_participants.csv", &t.to_csv());
-    let named: Vec<(&str, Vec<f32>)> = curves.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let named: Vec<(&str, Vec<f32>)> = curves
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     write_output("fig12_curves.csv", &fedrlnas_bench::series_csv(&named));
     let first = means.first().expect("at least one K");
     let last = means.last().expect("at least one K");

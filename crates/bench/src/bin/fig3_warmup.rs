@@ -13,7 +13,10 @@ fn main() {
     let mut config = SearchConfig::at_scale(args.scale);
     config.warmup_steps = warmup;
     config.search_steps = 0;
-    println!("Fig. 3 — warm-up phase on i.i.d. CIFAR10-like ({warmup} steps, K = {})", config.num_participants);
+    println!(
+        "Fig. 3 — warm-up phase on i.i.d. CIFAR10-like ({warmup} steps, K = {})",
+        config.num_participants
+    );
     let mut search = FederatedModelSearch::new(config, &mut rng);
     let outcome = search.run(&mut rng);
     let curve = &outcome.warmup_curve;

@@ -43,8 +43,10 @@ fn main() {
             println!("  baseline decay β = {beta}: tail accuracy {tail:.3}");
             series.push((format!("beta_{beta}"), smooth));
         }
-        let named: Vec<(&str, Vec<f32>)> =
-            series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let named: Vec<(&str, Vec<f32>)> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         write_output("fig4_ablate_beta.csv", &series_csv(&named));
         return;
     }
@@ -57,7 +59,11 @@ fn main() {
         println!("  weight sharing OFF: tail accuracy {tail_fresh:.3}");
         println!(
             "  supernet sharing required for convergence: {}",
-            if tail_shared > tail_fresh { "REPRODUCED" } else { "NOT reproduced" }
+            if tail_shared > tail_fresh {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
         );
         write_output(
             "fig4_ablate_weight_sharing.csv",
@@ -75,6 +81,10 @@ fn main() {
     println!("  start {first:.3} -> tail {tail:.3}");
     println!(
         "  paper shape: search phase converges: {}",
-        if tail > first { "REPRODUCED" } else { "NOT reproduced at this scale" }
+        if tail > first {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced at this scale"
+        }
     );
 }

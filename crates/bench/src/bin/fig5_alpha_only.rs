@@ -27,6 +27,10 @@ fn main() {
     write_output("fig5_alpha_only.csv", &series_csv(&series));
     println!(
         "  paper shape: α-only yields much lower accuracy than joint: {}",
-        if tails[0] < tails[1] { "REPRODUCED" } else { "NOT reproduced at this scale" }
+        if tails[0] < tails[1] {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced at this scale"
+        }
     );
 }

@@ -34,9 +34,19 @@ fn main() {
     let rounds = 300usize;
     let mut rng = StdRng::seed_from_u64(args.seed);
     let supernet = Supernet::new(config.net.clone(), &mut rng);
-    println!("Fig. 7 — maximal transmission latency per environment mix (K = {k}, {rounds} rounds)");
+    println!(
+        "Fig. 7 — maximal transmission latency per environment mix (K = {k}, {rounds} rounds)"
+    );
     let mixes = [
-        "foot", "bicycle", "tram", "bus", "car", "train", "bus+car", "foot+train", "all-mixed",
+        "foot",
+        "bicycle",
+        "tram",
+        "bus",
+        "car",
+        "train",
+        "bus+car",
+        "foot+train",
+        "all-mixed",
     ];
     let mut t = Table::new(
         "Fig. 7 — mean of per-round MAX latency (seconds)",
@@ -45,8 +55,10 @@ fn main() {
     let mut adaptive_wins = 0usize;
     for mix in mixes {
         let envs = mix_envs(mix, k);
-        let mut traces: Vec<BandwidthTrace> =
-            envs.iter().map(|e| BandwidthTrace::new(*e, &mut rng)).collect();
+        let mut traces: Vec<BandwidthTrace> = envs
+            .iter()
+            .map(|e| BandwidthTrace::new(*e, &mut rng))
+            .collect();
         let mut sums = [0.0f64; 3];
         for _ in 0..rounds {
             // fresh sub-model sizes and bandwidths each round; identical

@@ -39,8 +39,10 @@ fn main() {
             println!("  lambda = {lambda}: tail accuracy {tail:.3}");
             series.push((format!("lambda_{lambda}"), smooth));
         }
-        let named: Vec<(&str, Vec<f32>)> =
-            series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let named: Vec<(&str, Vec<f32>)> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         write_output("fig8_ablate_lambda.csv", &series_csv(&named));
         return;
     }
@@ -49,7 +51,11 @@ fn main() {
     let mut tails = Vec::new();
     let mut series = Vec::new();
     let scenarios: Vec<(&str, StalenessModel, StalenessStrategy)> = vec![
-        ("no_staleness", StalenessModel::fresh(), StalenessStrategy::Hard),
+        (
+            "no_staleness",
+            StalenessModel::fresh(),
+            StalenessStrategy::Hard,
+        ),
         (
             "delay_compensated",
             StalenessModel::severe(),
@@ -66,7 +72,13 @@ fn main() {
         series.push((label, smooth));
     }
     write_output("fig8_staleness.csv", &series_csv(&series));
-    let get = |tag: &str| tails.iter().find(|(l, _)| *l == tag).map(|(_, v)| *v).unwrap_or(0.0);
+    let get = |tag: &str| {
+        tails
+            .iter()
+            .find(|(l, _)| *l == tag)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
     println!(
         "\n  paper shape: DC >= use >= throw: {}",
         if get("delay_compensated") >= get("use") - 0.02 && get("use") >= get("throw") - 0.02 {
@@ -79,6 +91,10 @@ fn main() {
         "  paper shape: DC close to the staleness-free run ({:.3} vs {:.3}): {}",
         get("delay_compensated"),
         get("no_staleness"),
-        if get("delay_compensated") >= get("no_staleness") - 0.1 { "REPRODUCED" } else { "PARTIAL" }
+        if get("delay_compensated") >= get("no_staleness") - 0.1 {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
 }

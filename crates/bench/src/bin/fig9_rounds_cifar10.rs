@@ -55,8 +55,12 @@ fn main() {
         train_fixed_federated(resnet, &data, k, rounds, beta, args.seed);
 
     let ours_train: Vec<f32> = ours.curve.steps().iter().map(|s| s.mean_accuracy).collect();
-    let fednas_train: Vec<f32> =
-        fednas_report.curve.steps().iter().map(|s| s.mean_accuracy).collect();
+    let fednas_train: Vec<f32> = fednas_report
+        .curve
+        .steps()
+        .iter()
+        .map(|s| s.mean_accuracy)
+        .collect();
     write_output(
         "fig9_rounds_cifar10.csv",
         &series_csv(&[
@@ -69,15 +73,24 @@ fn main() {
         let mut s = String::from("round,ours_val,fednas_val,resnet_val\n");
         for i in 0..ours.eval_points.len() {
             let r = ours.eval_points[i].0;
-            let f = fednas_report.eval_points.get(i).map(|p| p.1).unwrap_or(f32::NAN);
+            let f = fednas_report
+                .eval_points
+                .get(i)
+                .map(|p| p.1)
+                .unwrap_or(f32::NAN);
             let rv = res_eval.get(i).map(|p| p.1).unwrap_or(f32::NAN);
-            s.push_str(&format!("{r},{:.4},{f:.4},{rv:.4}\n", ours.eval_points[i].1));
+            s.push_str(&format!(
+                "{r},{:.4},{f:.4},{rv:.4}\n",
+                ours.eval_points[i].1
+            ));
         }
         s
     };
     write_output("fig9_rounds_cifar10_val.csv", &val_csv);
-    println!("  final test acc — ours {:.3}, FedNAS {:.3}, ResNet152* {:.3}",
-        ours.test_accuracy, fednas_report.test_accuracy, res_acc);
+    println!(
+        "  final test acc — ours {:.3}, FedNAS {:.3}, ResNet152* {:.3}",
+        ours.test_accuracy, fednas_report.test_accuracy, res_acc
+    );
     // convergence speed: rounds to reach 90% of own final train accuracy
     let speed = |c: &fedrlnas_core::CurveRecorder| {
         let tail = c.tail_accuracy(5).unwrap_or(0.0);

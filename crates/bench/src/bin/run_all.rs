@@ -48,7 +48,10 @@ fn main() {
     }
     println!("\n================ summary ================");
     if failures.is_empty() {
-        println!("all {} experiments completed; outputs in target/experiments/", bins.len());
+        println!(
+            "all {} experiments completed; outputs in target/experiments/",
+            bins.len()
+        );
     } else {
         println!("failed experiments: {failures:?}");
         std::process::exit(1);

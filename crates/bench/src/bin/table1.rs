@@ -14,25 +14,101 @@ fn main() {
         &["name", "paper value", &format!("{:?} value", args.scale)],
     );
     let rows: Vec<(&str, String, String)> = vec![
-        ("batch size", paper.batch_size.to_string(), scaled.batch_size.to_string()),
-        ("# participant (K)", paper.num_participants.to_string(), scaled.num_participants.to_string()),
-        ("learning rate (θ)", paper.theta_sgd.lr.to_string(), scaled.theta_sgd.lr.to_string()),
-        ("momentum (θ)", paper.theta_sgd.momentum.to_string(), scaled.theta_sgd.momentum.to_string()),
-        ("weight decay (θ)", paper.theta_sgd.weight_decay.to_string(), scaled.theta_sgd.weight_decay.to_string()),
-        ("gradient clip (θ)", paper.theta_sgd.clip.to_string(), scaled.theta_sgd.clip.to_string()),
-        ("learning rate (α)", paper.controller.lr.to_string(), scaled.controller.lr.to_string()),
-        ("weight decay (α)", paper.controller.weight_decay.to_string(), scaled.controller.weight_decay.to_string()),
-        ("gradient clip (α)", paper.controller.clip.to_string(), scaled.controller.clip.to_string()),
-        ("baseline decay (α)", paper.controller.baseline_decay.to_string(), scaled.controller.baseline_decay.to_string()),
-        ("cutout", paper.augment.cutout.to_string(), scaled.augment.cutout.to_string()),
-        ("random clip", paper.augment.crop_padding.to_string(), scaled.augment.crop_padding.to_string()),
-        ("random horizontal flapping", paper.augment.flip_prob.to_string(), scaled.augment.flip_prob.to_string()),
-        ("# warm-up steps", paper.warmup_steps.to_string(), scaled.warmup_steps.to_string()),
-        ("# searching steps", paper.search_steps.to_string(), scaled.search_steps.to_string()),
-        ("supernet cells", paper.net.num_cells.to_string(), scaled.net.num_cells.to_string()),
-        ("supernet nodes/cell", paper.net.nodes.to_string(), scaled.net.nodes.to_string()),
-        ("init channels", paper.net.init_channels.to_string(), scaled.net.init_channels.to_string()),
-        ("image size", paper.net.image_hw.to_string(), scaled.net.image_hw.to_string()),
+        (
+            "batch size",
+            paper.batch_size.to_string(),
+            scaled.batch_size.to_string(),
+        ),
+        (
+            "# participant (K)",
+            paper.num_participants.to_string(),
+            scaled.num_participants.to_string(),
+        ),
+        (
+            "learning rate (θ)",
+            paper.theta_sgd.lr.to_string(),
+            scaled.theta_sgd.lr.to_string(),
+        ),
+        (
+            "momentum (θ)",
+            paper.theta_sgd.momentum.to_string(),
+            scaled.theta_sgd.momentum.to_string(),
+        ),
+        (
+            "weight decay (θ)",
+            paper.theta_sgd.weight_decay.to_string(),
+            scaled.theta_sgd.weight_decay.to_string(),
+        ),
+        (
+            "gradient clip (θ)",
+            paper.theta_sgd.clip.to_string(),
+            scaled.theta_sgd.clip.to_string(),
+        ),
+        (
+            "learning rate (α)",
+            paper.controller.lr.to_string(),
+            scaled.controller.lr.to_string(),
+        ),
+        (
+            "weight decay (α)",
+            paper.controller.weight_decay.to_string(),
+            scaled.controller.weight_decay.to_string(),
+        ),
+        (
+            "gradient clip (α)",
+            paper.controller.clip.to_string(),
+            scaled.controller.clip.to_string(),
+        ),
+        (
+            "baseline decay (α)",
+            paper.controller.baseline_decay.to_string(),
+            scaled.controller.baseline_decay.to_string(),
+        ),
+        (
+            "cutout",
+            paper.augment.cutout.to_string(),
+            scaled.augment.cutout.to_string(),
+        ),
+        (
+            "random clip",
+            paper.augment.crop_padding.to_string(),
+            scaled.augment.crop_padding.to_string(),
+        ),
+        (
+            "random horizontal flapping",
+            paper.augment.flip_prob.to_string(),
+            scaled.augment.flip_prob.to_string(),
+        ),
+        (
+            "# warm-up steps",
+            paper.warmup_steps.to_string(),
+            scaled.warmup_steps.to_string(),
+        ),
+        (
+            "# searching steps",
+            paper.search_steps.to_string(),
+            scaled.search_steps.to_string(),
+        ),
+        (
+            "supernet cells",
+            paper.net.num_cells.to_string(),
+            scaled.net.num_cells.to_string(),
+        ),
+        (
+            "supernet nodes/cell",
+            paper.net.nodes.to_string(),
+            scaled.net.nodes.to_string(),
+        ),
+        (
+            "init channels",
+            paper.net.init_channels.to_string(),
+            scaled.net.init_channels.to_string(),
+        ),
+        (
+            "image size",
+            paper.net.image_hw.to_string(),
+            scaled.net.image_hw.to_string(),
+        ),
     ];
     for (name, p, s) in rows {
         t.row(&[name.to_string(), p, s]);

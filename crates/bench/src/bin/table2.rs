@@ -44,7 +44,14 @@ fn main() {
         let mut search = DartsSearch::new(net.clone(), order, &mut rng);
         // mixed-op steps cost ~N× a masked step; match compute, not steps
         let genotype = search.run(&data, (steps / 4).max(2), base.batch_size, &mut rng);
-        let report = eval_centralized(genotype.clone(), net.clone(), &data, retrain, base.batch_size, args.seed);
+        let report = eval_centralized(
+            genotype.clone(),
+            net.clone(),
+            &data,
+            retrain,
+            base.batch_size,
+            args.seed,
+        );
         t.row(&[
             label.into(),
             error_pct(report.test_accuracy),
@@ -59,11 +66,20 @@ fn main() {
     // ENAS (centralized RL)
     {
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0xE0);
-        let mut ctl = ControllerConfig::default();
-        ctl.lr = base.controller.lr;
+        let ctl = ControllerConfig {
+            lr: base.controller.lr,
+            ..Default::default()
+        };
         let mut search = EnasSearch::new(net.clone(), ctl, &mut rng);
         let genotype = search.run(&data, steps, 4, base.batch_size, &mut rng);
-        let report = eval_centralized(genotype.clone(), net.clone(), &data, retrain, base.batch_size, args.seed);
+        let report = eval_centralized(
+            genotype.clone(),
+            net.clone(),
+            &data,
+            retrain,
+            base.batch_size,
+            args.seed,
+        );
         t.row(&[
             "ENAS".into(),
             error_pct(report.test_accuracy),
@@ -101,10 +117,26 @@ fn main() {
     t.section("Delay-Compensated Federated Model Search");
     let mut staleness_errors = Vec::new();
     for (label, model, strategy) in [
-        ("use (70% staleness)", StalenessModel::severe(), StalenessStrategy::Use),
-        ("throw (70% staleness)", StalenessModel::severe(), StalenessStrategy::Throw),
-        ("Ours (70% staleness)", StalenessModel::severe(), StalenessStrategy::delay_compensated()),
-        ("Ours (10% staleness)", StalenessModel::slight(), StalenessStrategy::delay_compensated()),
+        (
+            "use (70% staleness)",
+            StalenessModel::severe(),
+            StalenessStrategy::Use,
+        ),
+        (
+            "throw (70% staleness)",
+            StalenessModel::severe(),
+            StalenessStrategy::Throw,
+        ),
+        (
+            "Ours (70% staleness)",
+            StalenessModel::severe(),
+            StalenessStrategy::delay_compensated(),
+        ),
+        (
+            "Ours (10% staleness)",
+            StalenessModel::slight(),
+            StalenessStrategy::delay_compensated(),
+        ),
     ] {
         let config = base.clone().with_staleness(model, strategy);
         let (outcome, data_back) = search_ours(config, data.clone(), args.seed);
@@ -131,7 +163,12 @@ fn main() {
     write_output("table2.csv", &t.to_csv());
 
     // shape checks mirroring the paper's ordering
-    let find = |tag: &str| staleness_errors.iter().find(|(l, _)| l.contains(tag)).map(|(_, e)| *e);
+    let find = |tag: &str| {
+        staleness_errors
+            .iter()
+            .find(|(l, _)| l.contains(tag))
+            .map(|(_, e)| *e)
+    };
     let (dc70, use70, throw70) = (
         find("Ours (70").unwrap_or(f32::NAN),
         find("use").unwrap_or(f32::NAN),
@@ -139,12 +176,18 @@ fn main() {
     );
     println!(
         "\n  paper shape: DC(70%) better than use(70%) and throw(70%): {}",
-        if dc70 <= use70 && dc70 <= throw70 { "REPRODUCED" } else { "PARTIAL (stochastic at proxy scale)" }
+        if dc70 <= use70 && dc70 <= throw70 {
+            "REPRODUCED"
+        } else {
+            "PARTIAL (stochastic at proxy scale)"
+        }
     );
     println!(
-        "  paper shape: DC(70%) close to staleness-free Ours ({} vs {:.2}): {}",
-        format!("{dc70:.2}"),
-        ours_err,
-        if (dc70 - ours_err).abs() < 12.0 { "REPRODUCED" } else { "PARTIAL" }
+        "  paper shape: DC(70%) close to staleness-free Ours ({dc70:.2} vs {ours_err:.2}): {}",
+        if (dc70 - ours_err).abs() < 12.0 {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
 }

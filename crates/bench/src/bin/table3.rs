@@ -24,7 +24,9 @@ fn main() {
     let net = base.net.clone();
     let k = base.num_participants;
     let data = dataset_for("cifar10", &net, args.seed);
-    println!("Table III — federated evaluation on i.i.d. CIFAR10-like (K = {k}, {rounds} FedAvg rounds)");
+    println!(
+        "Table III — federated evaluation on i.i.d. CIFAR10-like (K = {k}, {rounds} FedAvg rounds)"
+    );
     let mut t = Table::new(
         "Table III — Federated Evaluation Accuracies of Searched Models",
         &["method", "error(%)", "params", "strategy", "FL", "NAS"],
@@ -36,24 +38,49 @@ fn main() {
     {
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0F);
         let model = SimpleCnn::new(3, net.init_channels, net.num_classes, &mut rng);
-        let (acc, params, _, _) =
-            train_fixed_federated(model, &data, k, rounds, None, args.seed);
-        t.row(&["FedAvg".into(), error_pct(acc), params.to_string(), "hand".into(), "yes".into(), "".into()]);
+        let (acc, params, _, _) = train_fixed_federated(model, &data, k, rounds, None, args.seed);
+        t.row(&[
+            "FedAvg".into(),
+            error_pct(acc),
+            params.to_string(),
+            "hand".into(),
+            "yes".into(),
+            "".into(),
+        ]);
         println!("  FedAvg: error {}%", error_pct(acc));
         errors.push(("FedAvg", (1.0 - acc) * 100.0));
     }
     // EvoFedNAS big / small
-    for (label, space) in [("EvoFedNAS(big)", EvoSpace::Big), ("EvoFedNAS(small)", EvoSpace::Small)] {
+    for (label, space) in [
+        ("EvoFedNAS(big)", EvoSpace::Big),
+        ("EvoFedNAS(small)", EvoSpace::Small),
+    ] {
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0xE7);
         let gens = (steps / 16).clamp(2, 12);
         let mut evo = EvoFedNas::new(
-            space, net.clone(), &data, k, 8, 4, base.batch_size, None, &mut rng,
+            space,
+            net.clone(),
+            &data,
+            k,
+            8,
+            4,
+            base.batch_size,
+            None,
+            &mut rng,
         );
         let genotype = evo.run(&data, gens, &mut rng);
         // EvoFedNAS widens/narrows channels: evaluate in its own plan
         let mut evo_net = net.clone();
         evo_net.init_channels *= space.channel_multiplier();
-        let report = eval_federated(genotype.clone(), evo_net.clone(), &data, k, rounds, None, args.seed);
+        let report = eval_federated(
+            genotype.clone(),
+            evo_net.clone(),
+            &data,
+            k,
+            rounds,
+            None,
+            args.seed,
+        );
         t.row(&[
             label.into(),
             error_pct(report.test_accuracy),
@@ -68,8 +95,15 @@ fn main() {
     // Ours
     {
         let (outcome, data_back) = search_ours(base.clone(), data.clone(), args.seed);
-        let report =
-            eval_federated(outcome.genotype.clone(), net.clone(), &data_back, k, rounds, None, args.seed);
+        let report = eval_federated(
+            outcome.genotype.clone(),
+            net.clone(),
+            &data_back,
+            k,
+            rounds,
+            None,
+            args.seed,
+        );
         t.row(&[
             "Ours".into(),
             error_pct(report.test_accuracy),
@@ -83,12 +117,20 @@ fn main() {
     }
     t.section("Delay-Compensated Federated Model Search");
     {
-        let config = base
-            .clone()
-            .with_staleness(StalenessModel::slight(), StalenessStrategy::delay_compensated());
+        let config = base.clone().with_staleness(
+            StalenessModel::slight(),
+            StalenessStrategy::delay_compensated(),
+        );
         let (outcome, data_back) = search_ours(config, data.clone(), args.seed);
-        let report =
-            eval_federated(outcome.genotype.clone(), net.clone(), &data_back, k, rounds, None, args.seed);
+        let report = eval_federated(
+            outcome.genotype.clone(),
+            net.clone(),
+            &data_back,
+            k,
+            rounds,
+            None,
+            args.seed,
+        );
         t.row(&[
             "Ours (10% staleness)".into(),
             error_pct(report.test_accuracy),
@@ -97,19 +139,36 @@ fn main() {
             "yes".into(),
             "yes".into(),
         ]);
-        println!("  Ours (10% staleness): error {}%", error_pct(report.test_accuracy));
+        println!(
+            "  Ours (10% staleness): error {}%",
+            error_pct(report.test_accuracy)
+        );
         errors.push(("Ours10", report.error_percent()));
     }
     t.print();
     write_output("table3.csv", &t.to_csv());
 
-    let err = |tag: &str| errors.iter().find(|(l, _)| *l == tag).map(|(_, e)| *e).unwrap_or(f32::NAN);
+    let err = |tag: &str| {
+        errors
+            .iter()
+            .find(|(l, _)| *l == tag)
+            .map(|(_, e)| *e)
+            .unwrap_or(f32::NAN)
+    };
     println!(
         "\n  paper shape: searched models beat hand-designed FedAvg: {}",
-        if err("Ours") < err("FedAvg") { "REPRODUCED" } else { "PARTIAL (stochastic at proxy scale)" }
+        if err("Ours") < err("FedAvg") {
+            "REPRODUCED"
+        } else {
+            "PARTIAL (stochastic at proxy scale)"
+        }
     );
     println!(
         "  paper shape: EvoFedNAS(big) beats EvoFedNAS(small): {}",
-        if err("EvoFedNAS(big)") <= err("EvoFedNAS(small)") { "REPRODUCED" } else { "PARTIAL" }
+        if err("EvoFedNAS(big)") <= err("EvoFedNAS(small)") {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
 }

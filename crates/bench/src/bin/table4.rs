@@ -37,7 +37,13 @@ fn main() {
             let model = ResNetProxy::paper_proxy(3, net.num_classes, &mut rng);
             let (acc, params, _, _) =
                 train_fixed_federated(model, &data, k, rounds, beta, args.seed);
-            t.row(&["FedAvg*".into(), error_pct(acc), params.to_string(), "hand".into(), "".into()]);
+            t.row(&[
+                "FedAvg*".into(),
+                error_pct(acc),
+                params.to_string(),
+                "hand".into(),
+                "".into(),
+            ]);
             println!("  [{ds}] FedAvg*: error {}%", error_pct(acc));
             if ds == "cifar10" {
                 cifar_errors.push(("FedAvg*".into(), (1.0 - acc) * 100.0));
@@ -49,8 +55,15 @@ fn main() {
             let mut search =
                 FedNasSearch::new(net.clone(), &data, k, base.batch_size, beta, &mut rng);
             let genotype = search.run(&data, (steps / 6).max(2), &mut rng);
-            let report =
-                eval_federated(genotype.clone(), net.clone(), &data, k, rounds, beta, args.seed);
+            let report = eval_federated(
+                genotype.clone(),
+                net.clone(),
+                &data,
+                k,
+                rounds,
+                beta,
+                args.seed,
+            );
             t.row(&[
                 "FedNAS".into(),
                 error_pct(report.test_accuracy),
@@ -58,22 +71,41 @@ fn main() {
                 "grad".into(),
                 "yes".into(),
             ]);
-            println!("  [{ds}] FedNAS: error {}%", error_pct(report.test_accuracy));
+            println!(
+                "  [{ds}] FedNAS: error {}%",
+                error_pct(report.test_accuracy)
+            );
             cifar_errors.push(("FedNAS".into(), report.error_percent()));
             // EvoFedNAS big/small
-            for (label, space) in
-                [("EvoFedNAS(big)", EvoSpace::Big), ("EvoFedNAS(small)", EvoSpace::Small)]
-            {
+            for (label, space) in [
+                ("EvoFedNAS(big)", EvoSpace::Big),
+                ("EvoFedNAS(small)", EvoSpace::Small),
+            ] {
                 let mut rng = StdRng::seed_from_u64(args.seed ^ 0xE8);
                 let gens = (steps / 16).clamp(2, 12);
                 let mut evo = EvoFedNas::new(
-                    space, net.clone(), &data, k, 8, 4, base.batch_size, beta, &mut rng,
+                    space,
+                    net.clone(),
+                    &data,
+                    k,
+                    8,
+                    4,
+                    base.batch_size,
+                    beta,
+                    &mut rng,
                 );
                 let g = evo.run(&data, gens, &mut rng);
                 let mut evo_net = net.clone();
                 evo_net.init_channels *= space.channel_multiplier();
-                let report =
-                    eval_federated(g.clone(), evo_net.clone(), &data, k, rounds, beta, args.seed);
+                let report = eval_federated(
+                    g.clone(),
+                    evo_net.clone(),
+                    &data,
+                    k,
+                    rounds,
+                    beta,
+                    args.seed,
+                );
                 t.row(&[
                     label.into(),
                     error_pct(report.test_accuracy),
@@ -81,7 +113,10 @@ fn main() {
                     "evol".into(),
                     "yes".into(),
                 ]);
-                println!("  [{ds}] {label}: error {}%", error_pct(report.test_accuracy));
+                println!(
+                    "  [{ds}] {label}: error {}%",
+                    error_pct(report.test_accuracy)
+                );
                 cifar_errors.push((label.into(), report.error_percent()));
             }
         }
@@ -122,10 +157,18 @@ fn main() {
     };
     println!(
         "\n  paper shape: Ours beats the pre-defined FedAvg* on non-i.i.d. CIFAR10: {}",
-        if err("Ours") < err("FedAvg*") { "REPRODUCED" } else { "PARTIAL (stochastic at proxy scale)" }
+        if err("Ours") < err("FedAvg*") {
+            "REPRODUCED"
+        } else {
+            "PARTIAL (stochastic at proxy scale)"
+        }
     );
     println!(
         "  paper shape: Ours competitive with FedNAS at far lower communication: {}",
-        if err("Ours") < err("FedNAS") + 10.0 { "REPRODUCED (see table5 for the cost side)" } else { "PARTIAL" }
+        if err("Ours") < err("FedNAS") + 10.0 {
+            "REPRODUCED (see table5 for the cost side)"
+        } else {
+            "PARTIAL"
+        }
     );
 }

@@ -38,14 +38,16 @@ fn main() {
     let rounds = SearchConfig::paper().search_steps + SearchConfig::paper().warmup_steps;
     let mean_bw = 20.0;
 
-    let ours = |device: DeviceProfile| SearchWorkload {
-        macs_per_sample: sub_macs,
-        batch_size: SearchConfig::paper().batch_size,
-        rounds,
-        payload_bytes: sub_bytes,
-        mean_bandwidth_mbps: mean_bw,
-    }
-    .hours_on(&device);
+    let ours = |device: DeviceProfile| {
+        SearchWorkload {
+            macs_per_sample: sub_macs,
+            batch_size: SearchConfig::paper().batch_size,
+            rounds,
+            payload_bytes: sub_bytes,
+            mean_bandwidth_mbps: mean_bw,
+        }
+        .hours_on(&device)
+    };
     let fednas_hours = SearchWorkload {
         macs_per_sample: mixed_macs,
         batch_size: SearchConfig::paper().batch_size,
@@ -71,31 +73,59 @@ fn main() {
         "Table V — Search Time on CIFAR10-like",
         &["method", "search time (hours)", "sub-net size (MB)"],
     );
-    t.row(&["FedNAS (RTX 2080 Ti x16)".into(), format!("{fednas_hours:.2}"), mb(supernet_bytes)]);
-    t.row(&["EvoFedNAS".into(), format!("{evo_hours:.2}"), mb(sub_bytes * 2)]);
+    t.row(&[
+        "FedNAS (RTX 2080 Ti x16)".into(),
+        format!("{fednas_hours:.2}"),
+        mb(supernet_bytes),
+    ]);
+    t.row(&[
+        "EvoFedNAS".into(),
+        format!("{evo_hours:.2}"),
+        mb(sub_bytes * 2),
+    ]);
     let ours_fast = ours(DeviceProfile::gtx_1080ti());
     let ours_tx2 = ours(DeviceProfile::jetson_tx2());
-    t.row(&["Ours (1080 Ti)".into(), format!("{ours_fast:.2}"), mb(sub_bytes)]);
+    t.row(&[
+        "Ours (1080 Ti)".into(),
+        format!("{ours_fast:.2}"),
+        mb(sub_bytes),
+    ]);
     t.row(&["Ours (TX2)".into(), format!("{ours_tx2:.2}"), mb(sub_bytes)]);
     t.print();
 
     println!("\n  efficiency accounting (§VI-C):");
     println!("  supernet weights: {} MB", mb(supernet_bytes));
-    println!("  average sub-model: {} MB ({:.1}x smaller)", mb(sub_bytes), supernet_bytes as f64 / sub_bytes as f64);
+    println!(
+        "  average sub-model: {} MB ({:.1}x smaller)",
+        mb(sub_bytes),
+        supernet_bytes as f64 / sub_bytes as f64
+    );
     println!("  sub-model forward MACs/sample: {sub_macs}");
     write_output("table5.csv", &t.to_csv());
 
     println!(
         "\n  paper shape: ours(1080Ti) < FedNAS and << EvoFedNAS: {}",
-        if ours_fast < fednas_hours && ours_fast < evo_hours { "REPRODUCED" } else { "PARTIAL" }
+        if ours_fast < fednas_hours && ours_fast < evo_hours {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
     println!(
         "  paper shape: TX2 ~4x slower than 1080 Ti ({:.1}x): {}",
         ours_tx2 / ours_fast,
-        if (2.0..8.0).contains(&(ours_tx2 / ours_fast)) { "REPRODUCED" } else { "PARTIAL" }
+        if (2.0..8.0).contains(&(ours_tx2 / ours_fast)) {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
     println!(
         "  paper shape: sub-model much smaller than supernet: {}",
-        if sub_bytes * 2 < supernet_bytes { "REPRODUCED" } else { "PARTIAL" }
+        if sub_bytes * 2 < supernet_bytes {
+            "REPRODUCED"
+        } else {
+            "PARTIAL"
+        }
     );
 }

@@ -4,7 +4,7 @@
 
 use fedrlnas_bench::protocol::eval_federated;
 use fedrlnas_bench::{budgets, error_pct, write_output, Args, Table};
-use fedrlnas_core::{FederatedModelSearch, SearchConfig, Scale};
+use fedrlnas_core::{FederatedModelSearch, Scale, SearchConfig};
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -57,6 +57,10 @@ fn main() {
     println!(
         "\n  paper shape: accuracy approximately flat in K (spread {:.3}): {}",
         max - min,
-        if max - min < 0.2 { "REPRODUCED" } else { "PARTIAL (stochastic at proxy scale)" }
+        if max - min < 0.2 {
+            "REPRODUCED"
+        } else {
+            "PARTIAL (stochastic at proxy scale)"
+        }
     );
 }

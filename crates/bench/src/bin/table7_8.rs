@@ -82,7 +82,10 @@ fn main() {
             error_pct(report.test_accuracy),
             genotype_params(&g, &target_net, args.seed).to_string(),
         ]);
-        println!("  random arch on target: error {}%", error_pct(report.test_accuracy));
+        println!(
+            "  random arch on target: error {}%",
+            error_pct(report.test_accuracy)
+        );
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0x78);
         let cnn = SimpleCnn::new(3, target_net.init_channels, 20, &mut rng);
         let (acc, params, _, _) = train_fixed_federated(

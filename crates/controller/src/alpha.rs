@@ -132,9 +132,9 @@ impl Alpha {
             let k = kind.index();
             for (e, &chosen) in mask.ops(kind).iter().enumerate() {
                 let base = (k * self.edges + e) * NUM_OPS;
-                for o in 0..NUM_OPS {
+                for (o, &p) in probs[k][e].iter().enumerate() {
                     let delta = if o == chosen { 1.0 } else { 0.0 };
-                    grad.as_mut_slice()[base + o] = delta - probs[k][e][o];
+                    grad.as_mut_slice()[base + o] = delta - p;
                 }
             }
         }

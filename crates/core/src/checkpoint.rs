@@ -68,7 +68,10 @@ impl Checkpoint {
         w.write_all(MAGIC)?;
         w.write_all(&self.round.to_le_bytes())?;
         w.write_all(&self.baseline.to_le_bytes())?;
-        for (len, data) in [(self.theta.len(), &self.theta), (self.alpha.len(), &self.alpha)] {
+        for (len, data) in [
+            (self.theta.len(), &self.theta),
+            (self.alpha.len(), &self.alpha),
+        ] {
             w.write_all(&(len as u64).to_le_bytes())?;
             for v in data {
                 w.write_all(&v.to_le_bytes())?;

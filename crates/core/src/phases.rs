@@ -153,8 +153,7 @@ mod tests {
         let data =
             SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(20, 8), &mut rng);
         let net = SupernetConfig::tiny();
-        let report =
-            retrain_centralized(genotype(net.nodes), net, &data, 40, 16, &mut rng);
+        let report = retrain_centralized(genotype(net.nodes), net, &data, 40, 16, &mut rng);
         assert!(report.test_accuracy > 0.15, "{}", report.test_accuracy);
         assert_eq!(report.curve.len(), 40);
         assert!(!report.eval_points.is_empty());

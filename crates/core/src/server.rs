@@ -191,8 +191,7 @@ impl SearchServer {
     ///
     /// Panics if the logits length does not match this configuration.
     pub fn restore_controller_state(&mut self, alpha: &[f32], baseline: f32) {
-        let logits = Tensor::from_vec(alpha.to_vec(), &[alpha.len()])
-            .expect("flat logits");
+        let logits = Tensor::from_vec(alpha.to_vec(), &[alpha.len()]).expect("flat logits");
         let edges = self.config.net.topology().num_edges();
         *self.controller.alpha_mut() = Alpha::from_logits(logits, edges);
         self.controller.set_baseline(baseline);
@@ -250,7 +249,9 @@ impl SearchServer {
             let mut cursor = 0usize;
             self.supernet.visit_params(&mut |p| {
                 let n = p.value.len();
-                p.value.as_mut_slice().copy_from_slice(&init[cursor..cursor + n]);
+                p.value
+                    .as_mut_slice()
+                    .copy_from_slice(&init[cursor..cursor + n]);
                 cursor += n;
             });
         }
@@ -274,8 +275,10 @@ impl SearchServer {
             .map(|p| masks[outcome.model_for_participant[p]].clone())
             .collect();
         // --- memory pools (lines 4, 6–7) ---
-        if matches!(self.config.strategy, StalenessStrategy::DelayCompensated { .. })
-            || matches!(self.config.strategy, StalenessStrategy::Use)
+        if matches!(
+            self.config.strategy,
+            StalenessStrategy::DelayCompensated { .. }
+        ) || matches!(self.config.strategy, StalenessStrategy::Use)
         {
             let mut theta = Vec::with_capacity(self.initial_theta.len());
             self.supernet
@@ -327,9 +330,8 @@ impl SearchServer {
         // simulated time: slowest participant (compute + download) + server
         // overhead
         let mut round_secs = 0.0f64;
-        for p in 0..k {
-            let macs =
-                self.supernet.flops_masked(&assigned_masks[p]) * self.config.batch_size as u64;
+        for (p, mask) in assigned_masks.iter().enumerate().take(k) {
+            let macs = self.supernet.flops_masked(mask) * self.config.batch_size as u64;
             let compute =
                 self.config.device.train_step_secs(macs) / self.participants[p].speed_factor();
             let total = compute + outcome.latencies[p];
@@ -365,11 +367,10 @@ impl SearchServer {
             }
         }
         // late updates arriving this round (lines 16–31)
-        let (due, still_pending): (Vec<PendingUpdate>, Vec<PendingUpdate>) = std::mem::take(
-            &mut self.pending,
-        )
-        .into_iter()
-        .partition(|u| u.arrival <= t);
+        let (due, still_pending): (Vec<PendingUpdate>, Vec<PendingUpdate>) =
+            std::mem::take(&mut self.pending)
+                .into_iter()
+                .partition(|u| u.arrival <= t);
         self.pending = still_pending;
         for u in due {
             let tau = t - u.computed_at;
@@ -435,9 +436,7 @@ impl SearchServer {
                         .iter()
                         .flat_map(|&(off, len)| current_theta[off..off + len].iter().copied())
                         .collect();
-                    if let Some(stale_w) =
-                        self.pools.pruned_theta(arrival.computed_at, &ranges)
-                    {
+                    if let Some(stale_w) = self.pools.pruned_theta(arrival.computed_at, &ranges) {
                         compensate_gradient(&mut grads, &fresh_w, &stale_w, lambda);
                     }
                     // Eq. (15) on α

@@ -240,8 +240,7 @@ pub(crate) fn dag_backward(
     pre_dims: (&[usize], &[usize]),
     grad_out: &Tensor,
 ) -> (Tensor, Tensor) {
-    let node_grads =
-        split_channels(grad_out, node_channels).expect("grad matches concat layout");
+    let node_grads = split_channels(grad_out, node_channels).expect("grad matches concat layout");
     let mut d_states: Vec<Option<Tensor>> = vec![None; 2 + nodes];
     for (i, g) in node_grads.into_iter().enumerate() {
         d_states[2 + i] = Some(g);

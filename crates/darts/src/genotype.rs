@@ -147,15 +147,18 @@ impl Genotype {
             return Err("genotype needs at least one node".into());
         }
         let mut parse_cell = |label: &str| -> Result<Vec<[GenotypeEdge; 2]>, String> {
-            let body = parts.next().ok_or_else(|| format!("missing {label} cell"))?;
+            let body = parts
+                .next()
+                .ok_or_else(|| format!("missing {label} cell"))?;
             let edges: Vec<GenotypeEdge> = body
                 .split(',')
                 .map(|tok| {
                     let (src, op) = tok
                         .split_once(':')
                         .ok_or_else(|| format!("malformed edge {tok:?}"))?;
-                    let src: usize =
-                        src.parse().map_err(|e| format!("bad src in {tok:?}: {e}"))?;
+                    let src: usize = src
+                        .parse()
+                        .map_err(|e| format!("bad src in {tok:?}: {e}"))?;
                     let op: usize = op.parse().map_err(|e| format!("bad op in {tok:?}: {e}"))?;
                     let op = *OpKind::ALL
                         .get(op)
@@ -180,10 +183,7 @@ impl Genotype {
                     }
                 }
             }
-            Ok(edges
-                .chunks(2)
-                .map(|pair| [pair[0], pair[1]])
-                .collect())
+            Ok(edges.chunks(2).map(|pair| [pair[0], pair[1]]).collect())
         };
         let normal = parse_cell("normal")?;
         let reduction = parse_cell("reduction")?;

@@ -36,6 +36,9 @@ mod supernet;
 pub use cell::{concat_channels, split_channels, CellKind, CellTopology};
 pub use genotype::{Genotype, GenotypeEdge};
 pub use model::DerivedModel;
-pub use ops::{CandidateOp, DilConvOp, FactorizedReduce, IdentityOp, OpKind, ReluConvBn, SepConvOp, ZeroOp, NUM_OPS};
+pub use ops::{
+    CandidateOp, DilConvOp, FactorizedReduce, IdentityOp, OpKind, ReluConvBn, SepConvOp, ZeroOp,
+    NUM_OPS,
+};
 pub use submodel::{ArchMask, SubModel};
 pub use supernet::{Supernet, SupernetConfig};

@@ -6,7 +6,7 @@ use crate::cell::{dag_backward, dag_forward, CellKind, EdgeRun};
 use crate::genotype::Genotype;
 use crate::ops::{CandidateOp, ReluConvBn};
 use crate::supernet::SupernetConfig;
-use fedrlnas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Mode, Param, Linear};
+use fedrlnas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Mode, Param};
 use fedrlnas_tensor::Tensor;
 use rand::Rng;
 
@@ -40,7 +40,15 @@ impl DerivedCell {
                 op,
             })
             .collect();
-        dag_forward(&mut self.pre0, &mut self.pre1, &mut runs, self.nodes, s0, s1, mode)
+        dag_forward(
+            &mut self.pre0,
+            &mut self.pre1,
+            &mut runs,
+            self.nodes,
+            s0,
+            s1,
+            mode,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> (Tensor, Tensor) {
@@ -100,7 +108,12 @@ pub struct DerivedModel {
 
 impl std::fmt::Debug for DerivedModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DerivedModel({} cells, {})", self.cells.len(), self.genotype)
+        write!(
+            f,
+            "DerivedModel({} cells, {})",
+            self.cells.len(),
+            self.genotype
+        )
     }
 }
 
@@ -112,11 +125,7 @@ impl DerivedModel {
     ///
     /// Panics if `config.nodes` differs from the genotype's node count or
     /// the configuration fails validation.
-    pub fn new<R: Rng + ?Sized>(
-        genotype: Genotype,
-        config: SupernetConfig,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(genotype: Genotype, config: SupernetConfig, rng: &mut R) -> Self {
         config.validate().expect("invalid derived-model config");
         assert_eq!(
             config.nodes,
@@ -136,7 +145,12 @@ impl DerivedModel {
             if kind == CellKind::Reduction {
                 c_cur *= 2;
             }
-            let pre0 = ReluConvBn::new(c_prev_prev, c_cur, if prev_is_reduction { 2 } else { 1 }, rng);
+            let pre0 = ReluConvBn::new(
+                c_prev_prev,
+                c_cur,
+                if prev_is_reduction { 2 } else { 1 },
+                rng,
+            );
             let pre1 = ReluConvBn::new(c_prev, c_cur, 1, rng);
             let mut edges = Vec::new();
             for (node, pair) in genotype.edges(kind).iter().enumerate() {

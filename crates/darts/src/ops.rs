@@ -57,7 +57,10 @@ impl OpKind {
 
     /// Canonical index of this operation in [`OpKind::ALL`].
     pub fn index(self) -> usize {
-        OpKind::ALL.iter().position(|&o| o == self).expect("op in ALL")
+        OpKind::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("op in ALL")
     }
 
     /// Short lowercase name matching the DARTS genotype convention.
@@ -236,10 +239,24 @@ pub struct SepConvOp {
 
 impl SepConvOp {
     /// Creates a separable convolution preserving `channels`.
-    pub fn new<R: Rng + ?Sized>(channels: usize, kernel: usize, stride: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
         SepConvOp {
             relu: ReLU::new(),
-            depthwise: Conv2d::new(channels, channels, kernel, stride, kernel / 2, 1, channels, rng),
+            depthwise: Conv2d::new(
+                channels,
+                channels,
+                kernel,
+                stride,
+                kernel / 2,
+                1,
+                channels,
+                rng,
+            ),
             pointwise: Conv2d::new(channels, channels, 1, 1, 0, 1, 1, rng),
             bn: BatchNorm2d::new(channels),
         }
@@ -302,11 +319,25 @@ pub struct DilConvOp {
 
 impl DilConvOp {
     /// Creates a dilated separable convolution preserving `channels`.
-    pub fn new<R: Rng + ?Sized>(channels: usize, kernel: usize, stride: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
         // "same" padding for dilation 2: pad = k - 1 (effective kernel 2k-1)
         DilConvOp {
             relu: ReLU::new(),
-            depthwise: Conv2d::new(channels, channels, kernel, stride, kernel - 1, 2, channels, rng),
+            depthwise: Conv2d::new(
+                channels,
+                channels,
+                kernel,
+                stride,
+                kernel - 1,
+                2,
+                channels,
+                rng,
+            ),
             pointwise: Conv2d::new(channels, channels, 1, 1, 0, 1, 1, rng),
             bn: BatchNorm2d::new(channels),
         }

@@ -104,7 +104,15 @@ impl SubCell {
         let mut d1 = vec![batch];
         d1.extend(self.pre1.output_shape(&s1.dims()[1..]));
         self.pre_out_dims = (d0, d1);
-        dag_forward(&mut self.pre0, &mut self.pre1, &mut runs, topo.nodes(), s0, s1, mode)
+        dag_forward(
+            &mut self.pre0,
+            &mut self.pre1,
+            &mut runs,
+            topo.nodes(),
+            s0,
+            s1,
+            mode,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> (Tensor, Tensor) {
@@ -157,7 +165,12 @@ pub struct SubModel {
 
 impl std::fmt::Debug for SubModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SubModel({} cells, mask {:?})", self.cells.len(), self.mask)
+        write!(
+            f,
+            "SubModel({} cells, mask {:?})",
+            self.cells.len(),
+            self.mask
+        )
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::cell::{dag_backward, dag_forward, CellKind, CellTopology, EdgeRun};
 use crate::ops::{CandidateOp, OpKind, ReluConvBn, NUM_OPS};
-use crate::submodel::{ArchMask, SubModel, SubCell};
+use crate::submodel::{ArchMask, SubCell, SubModel};
 use fedrlnas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Mode, Param};
 use fedrlnas_tensor::Tensor;
 use rand::Rng;
@@ -195,7 +195,15 @@ impl SuperCell {
                 op: &mut edge_ops[ops[e]],
             });
         }
-        let out = dag_forward(&mut self.pre0, &mut self.pre1, &mut runs, topo.nodes(), s0, s1, mode);
+        let out = dag_forward(
+            &mut self.pre0,
+            &mut self.pre1,
+            &mut runs,
+            topo.nodes(),
+            s0,
+            s1,
+            mode,
+        );
         self.pre_out_dims = (
             {
                 let mut d = s0.dims().to_vec();
@@ -323,11 +331,7 @@ impl SuperCell {
             .take()
             .unwrap_or_else(|| Tensor::zeros(&self.pre_out_dims.1));
         self.mixed_outputs.clear();
-        (
-            self.pre0.backward(&d0),
-            self.pre1.backward(&d1),
-            d_weights,
-        )
+        (self.pre0.backward(&d0), self.pre1.backward(&d1), d_weights)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -675,8 +679,10 @@ impl Supernet {
         self.stem_bn
             .visit_params(&mut |p| include(p, true, &mut ranges));
         for cell in &mut self.cells {
-            cell.pre0.visit_params(&mut |p| include(p, true, &mut ranges));
-            cell.pre1.visit_params(&mut |p| include(p, true, &mut ranges));
+            cell.pre0
+                .visit_params(&mut |p| include(p, true, &mut ranges));
+            cell.pre1
+                .visit_params(&mut |p| include(p, true, &mut ranges));
             let ops = mask.ops(cell.kind);
             for (e, edge_ops) in cell.edges.iter_mut().enumerate() {
                 for (o, op) in edge_ops.iter_mut().enumerate() {
@@ -904,10 +910,12 @@ mod tests {
         // an all-zero mask (every edge = Zero op) has strictly fewer flops
         let zero_mask = ArchMask::all_op(net.config(), OpKind::Zero);
         let f0 = net.flops_masked(&zero_mask);
-        assert!(f0 < f1 || {
-            // extremely unlikely: random mask chose all zeros
-            let m2 = ArchMask::uniform_random(net.config(), &mut rng);
-            net.flops_masked(&m2) > f0
-        });
+        assert!(
+            f0 < f1 || {
+                // extremely unlikely: random mask chose all zeros
+                let m2 = ArchMask::uniform_random(net.config(), &mut rng);
+                net.flops_masked(&m2) > f0
+            }
+        );
     }
 }

@@ -129,10 +129,7 @@ impl ClassPattern {
         let theta = std::f32::consts::PI * (class as f32 / spec.num_classes as f32)
             + 0.15 * unit(&mut state);
         let freq = 1.0 + 2.0 * unit(&mut state);
-        let blob = (
-            0.2 + 0.6 * unit(&mut state),
-            0.2 + 0.6 * unit(&mut state),
-        );
+        let blob = (0.2 + 0.6 * unit(&mut state), 0.2 + 0.6 * unit(&mut state));
         let color = [
             0.3 + 0.4 * unit(&mut state),
             0.3 + 0.4 * unit(&mut state),
@@ -256,7 +253,12 @@ impl SyntheticDataset {
         }
         let t = Tensor::from_vec(
             data,
-            &[indices.len(), self.spec.channels, self.spec.image_hw, self.spec.image_hw],
+            &[
+                indices.len(),
+                self.spec.channels,
+                self.spec.image_hw,
+                self.spec.image_hw,
+            ],
         )
         .expect("image_len consistent with dims");
         (t, out_labels)
@@ -279,8 +281,7 @@ fn render_sample<R: Rng + ?Sized>(spec: &DatasetSpec, pat: &ClassPattern, rng: &
             let v = y as f32 / hw as f32;
             // oriented stripes: high-frequency structure a conv kernel can
             // pick up but pooling smears out
-            let stripe =
-                (std::f32::consts::TAU * pat.freq * (u * dirx + v * diry) + phase).sin();
+            let stripe = (std::f32::consts::TAU * pat.freq * (u * dirx + v * diry) + phase).sin();
             // localized blob: low-frequency structure pooling preserves
             let dx = u - (pat.blob.0 + jx);
             let dy = v - (pat.blob.1 + jy);
@@ -381,7 +382,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / d.test_len() as f64;
-        assert!(acc > 0.3, "nearest-centroid accuracy {acc} barely above chance");
+        assert!(
+            acc > 0.3,
+            "nearest-centroid accuracy {acc} barely above chance"
+        );
     }
 
     #[test]

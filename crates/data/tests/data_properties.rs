@@ -1,11 +1,11 @@
 //! Property-based tests for dataset generation, partitioning and
 //! augmentation.
 
+use fedrlnas_data::AugmentConfig;
 use fedrlnas_data::{
     cutout, dirichlet_partition, horizontal_flip, iid_partition, label_skew, random_crop,
     DatasetSpec, Loader, SyntheticDataset,
 };
-use fedrlnas_data::AugmentConfig;
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 

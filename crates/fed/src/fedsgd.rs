@@ -118,11 +118,7 @@ impl<M: TrainableModel> FedSgdTrainer<M> {
     /// gradient on the current global weights, and the server applies the
     /// average. Returns the mean training accuracy of the selected
     /// participants.
-    pub fn run_round<R: Rng + ?Sized>(
-        &mut self,
-        dataset: &SyntheticDataset,
-        rng: &mut R,
-    ) -> f32 {
+    pub fn run_round<R: Rng + ?Sized>(&mut self, dataset: &SyntheticDataset, rng: &mut R) -> f32 {
         let n = self.selected_per_round();
         let k = self.participants.len();
         // sample n distinct participants (partial Fisher–Yates)
@@ -139,13 +135,15 @@ impl<M: TrainableModel> FedSgdTrainer<M> {
         self.global.zero_grad();
         let mut acc_sum = 0.0f32;
         for &p in selected {
-            let report = self.participants[p].local_update(&mut NoZero(&mut self.global), dataset, rng);
+            let report =
+                self.participants[p].local_update(&mut NoZero(&mut self.global), dataset, rng);
             acc_sum += report.accuracy;
             self.comm.record_down(model_bytes);
             self.comm.record_up(model_bytes);
         }
         let inv_n = 1.0 / n as f32;
-        self.global.visit_params(&mut |p: &mut Param| p.grad.scale(inv_n));
+        self.global
+            .visit_params(&mut |p: &mut Param| p.grad.scale(inv_n));
         let global = &mut self.global;
         self.server_sgd.step_visitor(|f| global.visit_params(f));
         global.zero_grad();
@@ -166,7 +164,11 @@ impl<M: TrainableModel> FedSgdTrainer<M> {
 struct NoZero<'a, M: TrainableModel>(&'a mut M);
 
 impl<M: TrainableModel> TrainableModel for NoZero<'_, M> {
-    fn forward(&mut self, x: &fedrlnas_tensor::Tensor, mode: fedrlnas_nn::Mode) -> fedrlnas_tensor::Tensor {
+    fn forward(
+        &mut self,
+        x: &fedrlnas_tensor::Tensor,
+        mode: fedrlnas_nn::Mode,
+    ) -> fedrlnas_tensor::Tensor {
         self.0.forward(x, mode)
     }
 
@@ -205,7 +207,9 @@ mod tests {
         let (data, model, mut rng) = setup();
         let mut trainer = FedSgdTrainer::new(model, &data, 4, FedSgdConfig::default(), &mut rng);
         let mut before = Vec::new();
-        trainer.global_mut().visit_params(&mut |p| before.push(p.value.clone()));
+        trainer
+            .global_mut()
+            .visit_params(&mut |p| before.push(p.value.clone()));
         let acc = trainer.run_round(&data, &mut rng);
         assert!((0.0..=1.0).contains(&acc));
         let mut moved = false;

@@ -194,20 +194,8 @@ mod tests {
         let net = Supernet::new(config.clone(), &mut rng);
         let mask = ArchMask::uniform_random(&config, &mut rng);
         let mut sub = net.extract_submodel(&mask);
-        let first = p.local_sgd_steps(
-            &mut sub,
-            &data,
-            5,
-            SgdConfig::default(),
-            &mut rng,
-        );
-        let later = p.local_sgd_steps(
-            &mut sub,
-            &data,
-            25,
-            SgdConfig::default(),
-            &mut rng,
-        );
+        let first = p.local_sgd_steps(&mut sub, &data, 5, SgdConfig::default(), &mut rng);
+        let later = p.local_sgd_steps(&mut sub, &data, 25, SgdConfig::default(), &mut rng);
         assert!(
             later.loss < first.loss * 1.2,
             "loss should not explode: {} -> {}",

@@ -3,9 +3,9 @@
 
 use crate::comm::CommStats;
 use crate::participant::Participant;
-use crate::trainable::{average_flat, evaluate_model, flat_state, set_flat_state, TrainableModel};
 #[cfg(test)]
 use crate::trainable::flat_params;
+use crate::trainable::{average_flat, evaluate_model, flat_state, set_flat_state, TrainableModel};
 use fedrlnas_data::{dirichlet_partition, iid_partition, AugmentConfig, SyntheticDataset};
 use fedrlnas_netsim::Environment;
 use fedrlnas_nn::SgdConfig;
@@ -159,8 +159,13 @@ impl<M: TrainableModel + Clone + Send> FedAvgTrainer<M> {
         let mut acc = 0.0f32;
         for p in &mut self.participants {
             let mut local = self.global.clone();
-            let report =
-                p.local_sgd_steps(&mut local, dataset, self.config.local_steps, self.config.sgd, rng);
+            let report = p.local_sgd_steps(
+                &mut local,
+                dataset,
+                self.config.local_steps,
+                self.config.sgd,
+                rng,
+            );
             loss += report.loss;
             acc += report.accuracy;
             locals.push(flat_state(&mut local));
@@ -276,8 +281,7 @@ mod tests {
     #[test]
     fn round_updates_global_and_comm() {
         let (data, model, mut rng) = build();
-        let mut trainer =
-            FedAvgTrainer::new(model, &data, 4, FedAvgConfig::default(), &mut rng);
+        let mut trainer = FedAvgTrainer::new(model, &data, 4, FedAvgConfig::default(), &mut rng);
         let before = flat_params(trainer.global_mut());
         let m = trainer.run_round(&data, &mut rng);
         let after = flat_params(trainer.global_mut());
@@ -302,8 +306,7 @@ mod tests {
     #[test]
     fn parallel_round_matches_structure_of_sequential() {
         let (data, model, mut rng) = build();
-        let mut trainer =
-            FedAvgTrainer::new(model, &data, 4, FedAvgConfig::default(), &mut rng);
+        let mut trainer = FedAvgTrainer::new(model, &data, 4, FedAvgConfig::default(), &mut rng);
         let m = trainer.run_round_parallel(&data, 42);
         assert!(m.train_loss.is_finite());
         assert!((0.0..=1.0).contains(&m.train_accuracy));
@@ -316,8 +319,7 @@ mod tests {
         // running statistics at their initialization, so evaluation ran on
         // garbage normalization and collapsed to chance accuracy
         let (data, model, mut rng) = build();
-        let mut trainer =
-            FedAvgTrainer::new(model, &data, 3, FedAvgConfig::default(), &mut rng);
+        let mut trainer = FedAvgTrainer::new(model, &data, 3, FedAvgConfig::default(), &mut rng);
         let before = flat_state(trainer.global_mut());
         let n_params = flat_params(trainer.global_mut()).len();
         trainer.run_round(&data, &mut rng);

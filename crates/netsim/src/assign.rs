@@ -129,8 +129,7 @@ pub fn assign<R: Rng + ?Sized>(
             m
         }
     };
-    let avg_size: usize =
-        (model_sizes.iter().sum::<usize>() as f64 / k as f64).round() as usize;
+    let avg_size: usize = (model_sizes.iter().sum::<usize>() as f64 / k as f64).round() as usize;
     let latencies: Vec<f64> = (0..k)
         .map(|p| {
             let bytes = match strategy {

@@ -84,8 +84,7 @@ impl SearchWorkload {
     /// uses `device` and participants run in parallel (the round time is
     /// one participant's compute + transmission + overhead).
     pub fn hours_on(&self, device: &DeviceProfile) -> f64 {
-        let compute =
-            device.train_step_secs(self.macs_per_sample * self.batch_size as u64);
+        let compute = device.train_step_secs(self.macs_per_sample * self.batch_size as u64);
         let transmit = (self.payload_bytes as f64 * 8.0) / (self.mean_bandwidth_mbps * 1e6);
         let per_round = compute + transmit + device.round_overhead_secs;
         per_round * self.rounds as f64 / 3600.0

@@ -155,8 +155,7 @@ mod tests {
         let cv = |env: Environment, rng: &mut StdRng| {
             let t = env.trace(10_000, rng);
             let mean: f64 = t.iter().sum::<f64>() / t.len() as f64;
-            let var: f64 =
-                t.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / t.len() as f64;
             var.sqrt() / mean
         };
         assert!(cv(Environment::Car, &mut rng) > cv(Environment::Foot, &mut rng));

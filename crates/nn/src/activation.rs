@@ -79,8 +79,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut relu = ReLU::new();
         // keep values away from the kink at 0 for finite differences
-        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng)
-            .map(|v| if v.abs() < 0.05 { 0.2 } else { v });
+        let x =
+            Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng)
+                .map(|v| if v.abs() < 0.05 { 0.2 } else { v });
         let err = crate::grad_check_input(&mut relu, &x, 1e-3);
         assert!(err < 1e-2, "relu grad error {err}");
     }

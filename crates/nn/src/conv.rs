@@ -7,13 +7,16 @@
 
 use crate::init::he_std;
 use crate::layer::{Layer, Mode, Param};
-use fedrlnas_tensor::{col2im, gemm, im2col, Conv2dGeometry, Tensor};
+use fedrlnas_tensor::{col2im, gemm, gemm_bias, im2col, Conv2dGeometry, Tensor, Workspace};
 use rand::Rng;
 
 /// A grouped 2-D convolution over NCHW tensors with bias.
 ///
 /// Weight layout is `[out_channels, in_channels / groups * k * k]`; the
-/// forward pass lowers each sample and group to GEMM via `im2col`.
+/// forward pass lowers each sample and group to GEMM via `im2col`. The
+/// column/transpose scratch lives in a per-layer [`Workspace`] so repeated
+/// steps with the same geometry allocate nothing; cloning the layer (e.g.
+/// for a federated participant thread) starts with an empty workspace.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     in_channels: usize,
@@ -26,6 +29,7 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    workspace: Workspace,
 }
 
 impl Conv2d {
@@ -48,13 +52,13 @@ impl Conv2d {
     ) -> Self {
         assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && groups > 0);
         assert_eq!(in_channels % groups, 0, "in_channels must divide by groups");
-        assert_eq!(out_channels % groups, 0, "out_channels must divide by groups");
+        assert_eq!(
+            out_channels % groups,
+            0,
+            "out_channels must divide by groups"
+        );
         let fan_in = in_channels / groups * kernel * kernel;
-        let weight = Param::new(Tensor::randn(
-            &[out_channels, fan_in],
-            he_std(fan_in),
-            rng,
-        ));
+        let weight = Param::new(Tensor::randn(&[out_channels, fan_in], he_std(fan_in), rng));
         let bias = Param::new(Tensor::zeros(&[out_channels]));
         Conv2d {
             in_channels,
@@ -67,6 +71,7 @@ impl Conv2d {
             weight,
             bias,
             cached_input: None,
+            workspace: Workspace::new(),
         }
     }
 
@@ -81,7 +86,14 @@ impl Conv2d {
     }
 
     fn geometry(&self, in_h: usize, in_w: usize) -> Conv2dGeometry {
-        Conv2dGeometry::new(in_h, in_w, self.kernel, self.stride, self.padding, self.dilation)
+        Conv2dGeometry::new(
+            in_h,
+            in_w,
+            self.kernel,
+            self.stride,
+            self.padding,
+            self.dilation,
+        )
     }
 }
 
@@ -98,22 +110,22 @@ impl Layer for Conv2d {
         let col_rows = cin_g * kk;
         let positions = geom.out_positions();
         let mut out = Tensor::zeros(&[n, self.out_channels, geom.out_h, geom.out_w]);
-        let mut cols = vec![0.0f32; col_rows * positions];
+        // Reused scratch: `im2col` writes every element (padding included), so
+        // stale contents from the previous step are harmless.
+        let cols = self.workspace.buffer(col_rows * positions);
         let img_len = c * h * w;
         for i in 0..n {
             let image = &x.as_slice()[i * img_len..(i + 1) * img_len];
             for g in 0..self.groups {
                 let gin = &image[g * cin_g * h * w..(g + 1) * cin_g * h * w];
-                im2col(gin, cin_g, &geom, &mut cols).expect("im2col geometry verified above");
-                let w_g = &self.weight.value.as_slice()[g * cout_g * col_rows..(g + 1) * cout_g * col_rows];
+                im2col(gin, cin_g, &geom, cols).expect("im2col geometry verified above");
+                let w_g = &self.weight.value.as_slice()
+                    [g * cout_g * col_rows..(g + 1) * cout_g * col_rows];
+                let bias_g = &self.bias.value.as_slice()[g * cout_g..(g + 1) * cout_g];
                 let out_base = i * self.out_channels * positions + g * cout_g * positions;
                 let dst = &mut out.as_mut_slice()[out_base..out_base + cout_g * positions];
-                // bias broadcast then accumulate the GEMM
-                for oc in 0..cout_g {
-                    let b = self.bias.value.as_slice()[g * cout_g + oc];
-                    dst[oc * positions..(oc + 1) * positions].fill(b);
-                }
-                gemm(cout_g, positions, col_rows, w_g, &cols, dst);
+                // Bias is fused into the GEMM epilogue: one pass over dst.
+                gemm_bias(cout_g, positions, col_rows, w_g, cols, bias_g, dst);
             }
         }
         if mode == Mode::Train {
@@ -143,10 +155,18 @@ impl Layer for Conv2d {
             "conv2d backward gradient shape mismatch"
         );
         let mut dx = Tensor::zeros(&dims);
-        let mut cols = vec![0.0f32; col_rows * positions];
-        let mut dcols = vec![0.0f32; col_rows * positions];
-        // Transposed weight per group for dX: [col_rows, cout_g].
-        let mut wt = vec![0.0f32; col_rows * cout_g];
+        // Reused scratch (stale contents fine): `cols` is fully written by
+        // im2col, `wt` and `got` are fully written per group/sample below,
+        // `dcols` is zeroed before each accumulate-GEMM and `dwt` at each
+        // group start. Slot 0 is the same buffer `forward` uses for `cols` —
+        // same length, so no growth between passes.
+        let [cols, dcols, wt, got, dwt] = self.workspace.buffers([
+            col_rows * positions,
+            col_rows * positions,
+            col_rows * cout_g,
+            positions * cout_g,
+            col_rows * cout_g,
+        ]);
         let img_len = c * h * w;
         for g in 0..self.groups {
             let w_g =
@@ -156,44 +176,41 @@ impl Layer for Conv2d {
                     wt[q * cout_g + r] = w_g[r * col_rows + q];
                 }
             }
+            // dW_g += go [cout_g, P] x cols^T [P, col_rows], computed in its
+            // transposed form dW_g^T += cols [col_rows, P] x go^T [P, cout_g]
+            // so the packed GEMM does the reduction over positions; `dwt`
+            // accumulates across the batch and is scattered into the gradient
+            // once per group.
+            dwt.fill(0.0);
             for i in 0..n {
                 let image = &x.as_slice()[i * img_len..(i + 1) * img_len];
                 let gin = &image[g * cin_g * h * w..(g + 1) * cin_g * h * w];
-                im2col(gin, cin_g, &geom, &mut cols).expect("geometry verified in forward");
+                im2col(gin, cin_g, &geom, cols).expect("geometry verified in forward");
                 let go_base = i * self.out_channels * positions + g * cout_g * positions;
                 let go = &grad_out.as_slice()[go_base..go_base + cout_g * positions];
-                // dW_g += go [cout_g, P] x cols^T [P, col_rows]
-                // implemented as explicit loops over P to avoid materializing cols^T
-                {
-                    let dwg = &mut self.weight.grad.as_mut_slice()
-                        [g * cout_g * col_rows..(g + 1) * cout_g * col_rows];
-                    for oc in 0..cout_g {
-                        let go_row = &go[oc * positions..(oc + 1) * positions];
-                        let dw_row = &mut dwg[oc * col_rows..(oc + 1) * col_rows];
-                        for (q, dwv) in dw_row.iter_mut().enumerate() {
-                            let col_row = &cols[q * positions..(q + 1) * positions];
-                            let mut acc = 0.0f32;
-                            for p in 0..positions {
-                                acc += go_row[p] * col_row[p];
-                            }
-                            *dwv += acc;
-                        }
+                for oc in 0..cout_g {
+                    let go_row = &go[oc * positions..(oc + 1) * positions];
+                    for (p, &v) in go_row.iter().enumerate() {
+                        got[p * cout_g + oc] = v;
                     }
+                    // db += sum over positions
+                    self.bias.grad.as_mut_slice()[g * cout_g + oc] += go_row.iter().sum::<f32>();
                 }
-                // db += sum over positions
-                {
-                    let db = self.bias.grad.as_mut_slice();
-                    for oc in 0..cout_g {
-                        let go_row = &go[oc * positions..(oc + 1) * positions];
-                        db[g * cout_g + oc] += go_row.iter().sum::<f32>();
-                    }
-                }
+                gemm(col_rows, cout_g, positions, cols, got, dwt);
                 // dcols = W^T x go, then scatter with col2im
                 dcols.fill(0.0);
-                gemm(col_rows, positions, cout_g, &wt, go, &mut dcols);
+                gemm(col_rows, positions, cout_g, wt, go, dcols);
                 let dgin = &mut dx.as_mut_slice()
                     [i * img_len + g * cin_g * h * w..i * img_len + (g + 1) * cin_g * h * w];
-                col2im(&dcols, cin_g, &geom, dgin).expect("geometry verified in forward");
+                col2im(dcols, cin_g, &geom, dgin).expect("geometry verified in forward");
+            }
+            let dwg = &mut self.weight.grad.as_mut_slice()
+                [g * cout_g * col_rows..(g + 1) * cout_g * col_rows];
+            for oc in 0..cout_g {
+                let dw_row = &mut dwg[oc * col_rows..(oc + 1) * col_rows];
+                for (q, dwv) in dw_row.iter_mut().enumerate() {
+                    *dwv += dwt[q * cout_g + oc];
+                }
             }
         }
         dx
@@ -244,7 +261,10 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]).unwrap();
         let y = conv.forward(&x, Mode::Eval);
         // out = 1*x_c0 + 2*x_c1 + 0.5
-        assert_eq!(y.as_slice(), &[1.0 + 2.0 * 3.0 + 0.5, 2.0 + 2.0 * 4.0 + 0.5]);
+        assert_eq!(
+            y.as_slice(),
+            &[1.0 + 2.0 * 3.0 + 0.5, 2.0 + 2.0 * 4.0 + 0.5]
+        );
     }
 
     #[test]

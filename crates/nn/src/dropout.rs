@@ -26,7 +26,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -47,7 +50,9 @@ impl Layer for Dropout {
             return x.clone();
         }
         let keep = 1.0 - self.p;
-        self.mask = (0..x.len()).map(|_| self.rng.gen_range(0.0..1.0) < keep).collect();
+        self.mask = (0..x.len())
+            .map(|_| self.rng.gen_range(0.0..1.0) < keep)
+            .collect();
         let scale = 1.0 / keep;
         let mut out = x.clone();
         for (v, &m) in out.as_mut_slice().iter_mut().zip(&self.mask) {
@@ -95,7 +100,10 @@ impl DropPath {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         DropPath {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -115,7 +123,9 @@ impl Layer for DropPath {
         let n = dims[0];
         let per = x.len() / n.max(1);
         let keep = 1.0 - self.p;
-        self.kept = (0..n).map(|_| self.rng.gen_range(0.0..1.0) < keep).collect();
+        self.kept = (0..n)
+            .map(|_| self.rng.gen_range(0.0..1.0) < keep)
+            .collect();
         self.in_dims = dims.to_vec();
         let scale = 1.0 / keep;
         let mut out = x.clone();

@@ -2,13 +2,14 @@
 
 use crate::init::xavier_std;
 use crate::layer::{Layer, Mode, Param};
-use fedrlnas_tensor::{gemm, Tensor};
+use fedrlnas_tensor::{gemm, Tensor, Workspace};
 use rand::Rng;
 
 /// A fully connected layer mapping `[n, in_features]` to `[n, out_features]`.
 ///
 /// Serves as the final classifier after global average pooling in every
-/// network of the workspace.
+/// network of the workspace. Transpose scratch is kept in a per-layer
+/// [`Workspace`] so steady-state steps allocate nothing beyond the output.
 #[derive(Debug, Clone)]
 pub struct Linear {
     in_features: usize,
@@ -17,6 +18,7 @@ pub struct Linear {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    workspace: Workspace,
 }
 
 impl Linear {
@@ -39,6 +41,7 @@ impl Linear {
             weight,
             bias,
             cached_input: None,
+            workspace: Workspace::new(),
         }
     }
 
@@ -61,8 +64,11 @@ impl Layer for Linear {
         assert_eq!(f, self.in_features, "linear feature mismatch");
         let mut out = Tensor::zeros(&[n, self.out_features]);
         // out[i, o] = sum_f x[i, f] * w[o, f] + b[o]
-        // computed as X [n, f] x W^T [f, o]; build W^T once.
-        let mut wt = vec![0.0f32; self.in_features * self.out_features];
+        // computed as X [n, f] x W^T [f, o]; build W^T once (reused scratch,
+        // fully overwritten below).
+        let [wt, _] = self
+            .workspace
+            .buffers([self.in_features * self.out_features, 0]);
         let w = self.weight.value.as_slice();
         for o in 0..self.out_features {
             for ff in 0..self.in_features {
@@ -78,7 +84,7 @@ impl Layer for Linear {
             self.out_features,
             self.in_features,
             x.as_slice(),
-            &wt,
+            wt,
             out.as_mut_slice(),
         );
         if mode == Mode::Train {
@@ -95,7 +101,8 @@ impl Layer for Linear {
         let n = x.dims()[0];
         assert_eq!(grad_out.dims(), &[n, self.out_features]);
         // dW[o, f] += sum_i dout[i, o] * x[i, f]  => dout^T [o, n] x X [n, f]
-        let mut dout_t = vec![0.0f32; self.out_features * n];
+        // (slot 1 of the workspace; slot 0 is forward's W^T scratch)
+        let [_, dout_t] = self.workspace.buffers([0, self.out_features * n]);
         for i in 0..n {
             for o in 0..self.out_features {
                 dout_t[o * n + i] = grad_out.as_slice()[i * self.out_features + o];
@@ -105,15 +112,14 @@ impl Layer for Linear {
             self.out_features,
             self.in_features,
             n,
-            &dout_t,
+            dout_t,
             x.as_slice(),
             self.weight.grad.as_mut_slice(),
         );
         // db[o] += sum_i dout[i, o]
         for i in 0..n {
             for o in 0..self.out_features {
-                self.bias.grad.as_mut_slice()[o] +=
-                    grad_out.as_slice()[i * self.out_features + o];
+                self.bias.grad.as_mut_slice()[o] += grad_out.as_slice()[i * self.out_features + o];
             }
         }
         // dX = dout [n, o] x W [o, f]

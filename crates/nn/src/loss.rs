@@ -121,8 +121,7 @@ mod tests {
     #[test]
     fn gradient_matches_finite_difference() {
         let mut ce = CrossEntropy::new();
-        let mut logits =
-            Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let mut logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
         let labels = [2usize, 0];
         ce.forward(&logits, &labels);
         let grad = ce.backward();

@@ -67,9 +67,13 @@ impl Layer for BatchNorm2d {
         let mut out = Tensor::zeros(dims);
         match mode {
             Mode::Train => {
-                let mut x_hat = Tensor::zeros(dims);
-                let mut inv_std = vec![0.0f32; c];
-                for ch in 0..c {
+                // Reuse the previous step's cache allocations when the
+                // geometry is unchanged; every element is overwritten below.
+                let (mut x_hat, mut inv_std) = match self.cache.take() {
+                    Some(cache) if cache.dims == dims => (cache.x_hat, cache.inv_std),
+                    _ => (Tensor::zeros(dims), vec![0.0f32; c]),
+                };
+                for (ch, istd_slot) in inv_std.iter_mut().enumerate() {
                     let mut mean = 0.0f32;
                     for i in 0..n {
                         let base = (i * c + ch) * plane;
@@ -86,7 +90,7 @@ impl Layer for BatchNorm2d {
                     }
                     var /= count;
                     let istd = 1.0 / (var + self.eps).sqrt();
-                    inv_std[ch] = istd;
+                    *istd_slot = istd;
                     self.running_mean[ch] =
                         (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
                     self.running_var[ch] =
@@ -134,7 +138,11 @@ impl Layer for BatchNorm2d {
             .as_ref()
             .expect("batchnorm backward called before forward (Train mode)");
         let dims = &cache.dims;
-        assert_eq!(grad_out.dims(), &dims[..], "batchnorm backward shape mismatch");
+        assert_eq!(
+            grad_out.dims(),
+            &dims[..],
+            "batchnorm backward shape mismatch"
+        );
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
         let count = (n * plane) as f32;
@@ -207,8 +215,8 @@ mod tests {
                 vals.extend_from_slice(&y.as_slice()[base..base + 25]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -76,8 +76,7 @@ impl Sgd {
     pub fn step(&mut self, params: &mut [&mut Param]) {
         // global norm clip across all parameters
         if self.config.clip.is_finite() {
-            let grads: Vec<&mut Tensor> =
-                params.iter_mut().map(|p| &mut p.grad).collect();
+            let grads: Vec<&mut Tensor> = params.iter_mut().map(|p| &mut p.grad).collect();
             clip_global_norm(grads, self.config.clip);
         }
         if self.velocity.len() != params.len() {
@@ -85,7 +84,10 @@ impl Sgd {
                 self.velocity.is_empty(),
                 "sgd: parameter list changed length between steps"
             );
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             assert_eq!(
@@ -124,8 +126,7 @@ impl Sgd {
             sq += p.grad.as_slice().iter().map(|v| v * v).sum::<f32>();
         });
         let norm = sq.sqrt();
-        let clip_scale = if self.config.clip.is_finite() && norm > self.config.clip && norm > 0.0
-        {
+        let clip_scale = if self.config.clip.is_finite() && norm > self.config.clip && norm > 0.0 {
             self.config.clip / norm
         } else {
             1.0
@@ -310,7 +311,11 @@ mod tests {
             let g = Tensor::from_vec(vec![2.0 * (x.as_slice()[0] - 3.0)], &[1]).unwrap();
             adam.step(&mut x, &g);
         }
-        assert!((x.as_slice()[0] - 3.0).abs() < 0.05, "x = {}", x.as_slice()[0]);
+        assert!(
+            (x.as_slice()[0] - 3.0).abs() < 0.05,
+            "x = {}",
+            x.as_slice()[0]
+        );
     }
 
     #[test]

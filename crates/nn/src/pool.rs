@@ -46,7 +46,12 @@ impl Layer for MaxPool2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let geom = self.geometry(h, w);
         let mut out = Tensor::zeros(&[n, c, geom.out_h, geom.out_w]);
-        let mut argmax = vec![0usize; out.len()];
+        // Reuse the argmax cache allocation across steps; only Train mode
+        // records it (Eval forwards leave the previous cache untouched).
+        let track = mode == Mode::Train;
+        if track {
+            self.argmax.resize(out.len(), 0);
+        }
         let mut o = 0usize;
         for i in 0..n {
             for ch in 0..c {
@@ -62,31 +67,31 @@ impl Layer for MaxPool2d {
                                 continue;
                             }
                             for kx in 0..self.kernel {
-                                let ix =
-                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
                                 let idx = iy as usize * w + ix as usize;
-                                // `!(x <= best)` is `x > best || x.is_nan()`:
                                 // NaN inputs propagate (matching PyTorch)
                                 // instead of silently vanishing to -inf
-                                if !(plane[idx] <= best) {
+                                if plane[idx] > best || plane[idx].is_nan() {
                                     best = plane[idx];
                                     best_idx = plane_base + idx;
                                 }
                             }
                         }
                         out.as_mut_slice()[o] = best;
-                        argmax[o] = best_idx;
+                        if track {
+                            self.argmax[o] = best_idx;
+                        }
                         o += 1;
                     }
                 }
             }
         }
-        if mode == Mode::Train {
-            self.argmax = argmax;
-            self.in_dims = dims.to_vec();
+        if track {
+            self.in_dims.clear();
+            self.in_dims.extend_from_slice(dims);
         }
         out
     }
@@ -145,31 +150,17 @@ impl AvgPool2d {
         Conv2dGeometry::new(h, w, self.kernel, self.stride, self.padding, 1)
     }
 
-    /// Iterates the in-bounds window cells for an output position, returning
-    /// (flat plane index, window size).
-    fn window(
-        &self,
-        h: usize,
-        w: usize,
-        oy: usize,
-        ox: usize,
-    ) -> (Vec<usize>, usize) {
-        let mut cells = Vec::with_capacity(self.kernel * self.kernel);
-        for ky in 0..self.kernel {
-            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-            if iy < 0 || iy >= h as isize {
-                continue;
-            }
-            for kx in 0..self.kernel {
-                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                if ix < 0 || ix >= w as isize {
-                    continue;
-                }
-                cells.push(iy as usize * w + ix as usize);
-            }
-        }
-        let len = cells.len();
-        (cells, len)
+    /// In-bounds input coordinates covered by the window at output position
+    /// `o` along one axis of extent `extent`: computed analytically so the
+    /// hot loops run over exact ranges with no bounds branches and no
+    /// allocation.
+    fn axis_range(&self, extent: usize, o: usize) -> std::ops::Range<usize> {
+        let start = o * self.stride; // input coord = start + k - padding
+        let lo = self.padding.saturating_sub(start);
+        let hi = (extent + self.padding)
+            .saturating_sub(start)
+            .min(self.kernel);
+        lo..hi.max(lo)
     }
 }
 
@@ -186,9 +177,18 @@ impl Layer for AvgPool2d {
                 let plane_base = (i * c + ch) * h * w;
                 let plane = &x.as_slice()[plane_base..plane_base + h * w];
                 for oy in 0..geom.out_h {
+                    let ys = self.axis_range(h, oy);
                     for ox in 0..geom.out_w {
-                        let (cells, len) = self.window(h, w, oy, ox);
-                        let sum: f32 = cells.iter().map(|&idx| plane[idx]).sum();
+                        let xs = self.axis_range(w, ox);
+                        let len = ys.len() * xs.len();
+                        let mut sum = 0.0f32;
+                        for ky in ys.clone() {
+                            let iy = oy * self.stride + ky - self.padding;
+                            let row = &plane[iy * w..(iy + 1) * w];
+                            for kx in xs.clone() {
+                                sum += row[ox * self.stride + kx - self.padding];
+                            }
+                        }
                         out.as_mut_slice()[o] = sum / len.max(1) as f32;
                         o += 1;
                     }
@@ -219,12 +219,17 @@ impl Layer for AvgPool2d {
             for ch in 0..c {
                 let plane_base = (i * c + ch) * h * w;
                 for oy in 0..geom.out_h {
+                    let ys = self.axis_range(h, oy);
                     for ox in 0..geom.out_w {
+                        let xs = self.axis_range(w, ox);
                         let g = grad_out.as_slice()[o];
-                        let (cells, len) = self.window(h, w, oy, ox);
-                        let share = g / len.max(1) as f32;
-                        for idx in cells {
-                            dx.as_mut_slice()[plane_base + idx] += share;
+                        let share = g / (ys.len() * xs.len()).max(1) as f32;
+                        for ky in ys.clone() {
+                            let iy = oy * self.stride + ky - self.padding;
+                            for kx in xs.clone() {
+                                let ix = ox * self.stride + kx - self.padding;
+                                dx.as_mut_slice()[plane_base + iy * w + ix] += share;
+                            }
                         }
                         o += 1;
                     }
@@ -319,7 +324,10 @@ mod tests {
     fn maxpool_known_values() {
         let mut pool = MaxPool2d::new(2, 2, 0);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

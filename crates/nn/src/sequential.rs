@@ -114,10 +114,15 @@ mod tests {
 
     #[test]
     fn grad_check_through_stack() {
-        let mut rng = StdRng::seed_from_u64(1);
+        // Seed chosen so the conv pre-activations feeding the second ReLU
+        // clear the kink at 0 by a wide margin; central differences with
+        // eps = 1e-2 otherwise straddle it and report a bogus error (the
+        // input map below only protects the *first* ReLU).
+        let mut rng = StdRng::seed_from_u64(10);
         let mut s = stack(&mut rng);
-        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng)
-            .map(|v| if v.abs() < 0.05 { 0.2 } else { v });
+        let x =
+            Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng)
+                .map(|v| if v.abs() < 0.05 { 0.2 } else { v });
         let err = crate::grad_check_input(&mut s, &x, 1e-2);
         assert!(err < 2e-2, "sequential grad error {err}");
     }

@@ -93,6 +93,45 @@ proptest! {
     }
 
     #[test]
+    fn conv_workspace_reuse_is_bit_identical(
+        cin in 1usize..4,
+        cout_mul in 1usize..3,
+        hw in 4usize..9,
+        stride in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        // A conv whose workspace has been through a full train step on one
+        // batch must produce *bit-identical* results on the next batch
+        // compared to a fresh layer (clone => empty workspace) with the same
+        // parameters: reused scratch may be stale but must never leak into
+        // outputs or gradients.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cout = cin * cout_mul;
+        let mut reused = Conv2d::new(cin, cout, 3, stride, 1, 1, 1, &mut rng);
+        let fresh = reused.clone();
+        let x1 = Tensor::randn(&[2, cin, hw, hw], 1.0, &mut rng);
+        let x2 = Tensor::randn(&[3, cin, hw, hw], 2.0, &mut rng); // different batch size & scale
+        // Warm the reused workspace on x1 (forward + backward).
+        let y1 = reused.forward(&x1, Mode::Train);
+        reused.backward(&Tensor::ones(y1.dims()));
+        reused.zero_grad();
+        // Same step on x2 from both layers.
+        let mut fresh = fresh;
+        let y_reused = reused.forward(&x2, Mode::Train);
+        let y_fresh = fresh.forward(&x2, Mode::Train);
+        prop_assert_eq!(y_reused.as_slice(), y_fresh.as_slice());
+        let dx_reused = reused.backward(&Tensor::ones(y_reused.dims()));
+        let dx_fresh = fresh.backward(&Tensor::ones(y_fresh.dims()));
+        prop_assert_eq!(dx_reused.as_slice(), dx_fresh.as_slice());
+        // Parameter gradients must match bit-for-bit as well.
+        let mut grads_reused: Vec<Vec<f32>> = Vec::new();
+        reused.visit_params(&mut |p| grads_reused.push(p.grad.as_slice().to_vec()));
+        let mut grads_fresh: Vec<Vec<f32>> = Vec::new();
+        fresh.visit_params(&mut |p| grads_fresh.push(p.grad.as_slice().to_vec()));
+        prop_assert_eq!(grads_reused, grads_fresh);
+    }
+
+    #[test]
     fn batchnorm_shift_invariant_in_train(c in 1usize..4, shift in -5.0f32..5.0, seed in 0u64..200) {
         // train-mode BN output is invariant to a constant per-batch shift
         let mut rng = StdRng::seed_from_u64(seed);

@@ -60,11 +60,7 @@ pub fn compensate_gradient(
 ) {
     assert_eq!(stale_grad.len(), fresh_weights.len(), "length mismatch");
     assert_eq!(stale_grad.len(), stale_weights.len(), "length mismatch");
-    for ((g, wf), ws) in stale_grad
-        .iter_mut()
-        .zip(fresh_weights)
-        .zip(stale_weights)
-    {
+    for ((g, wf), ws) in stale_grad.iter_mut().zip(fresh_weights).zip(stale_weights) {
         *g += lambda * *g * *g * (wf - ws);
     }
 }

@@ -112,31 +112,36 @@ pub fn im2col(
     }
     let k = geom.kernel;
     let positions = geom.out_positions();
+    let (out_h, out_w, in_w) = (geom.out_h, geom.out_w, geom.in_w);
     let mut row = 0usize;
     for c in 0..channels {
         let plane = &image[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
         for ky in 0..k {
+            let (oy_lo, oy_hi, sy) = valid_out_range(ky, geom, geom.in_h, out_h);
             for kx in 0..k {
+                let (ox_lo, ox_hi, sx) = valid_out_range(kx, geom, in_w, out_w);
                 let dst = &mut out[row * positions..(row + 1) * positions];
-                let mut p = 0usize;
-                for oy in 0..geom.out_h {
-                    let iy = (oy * geom.stride + ky * geom.dilation) as isize
-                        - geom.padding as isize;
-                    if iy < 0 || iy >= geom.in_h as isize {
-                        dst[p..p + geom.out_w].fill(0.0);
-                        p += geom.out_w;
-                        continue;
-                    }
-                    let base = iy as usize * geom.in_w;
-                    for ox in 0..geom.out_w {
-                        let ix = (ox * geom.stride + kx * geom.dilation) as isize
-                            - geom.padding as isize;
-                        dst[p] = if ix < 0 || ix >= geom.in_w as isize {
-                            0.0
-                        } else {
-                            plane[base + ix as usize]
-                        };
-                        p += 1;
+                // Padding regions written as contiguous zero fills; the
+                // in-bounds interior needs no per-element bounds checks.
+                dst[..oy_lo * out_w].fill(0.0);
+                dst[oy_hi * out_w..].fill(0.0);
+                for oy in oy_lo..oy_hi {
+                    let base = ((oy * geom.stride) as isize + sy) as usize * in_w;
+                    let drow = &mut dst[oy * out_w..(oy + 1) * out_w];
+                    drow[..ox_lo].fill(0.0);
+                    drow[ox_hi..].fill(0.0);
+                    if ox_hi == ox_lo {
+                        // Tap entirely in horizontal padding; the index
+                        // arithmetic below would underflow.
+                    } else if geom.stride == 1 {
+                        // Contiguous input run: a straight memcpy.
+                        let s = base + ((ox_lo as isize + sx) as usize);
+                        drow[ox_lo..ox_hi].copy_from_slice(&plane[s..s + (ox_hi - ox_lo)]);
+                    } else {
+                        for (ox, d) in drow[ox_lo..ox_hi].iter_mut().enumerate() {
+                            let ix = (((ox_lo + ox) * geom.stride) as isize + sx) as usize;
+                            *d = plane[base + ix];
+                        }
                     }
                 }
                 row += 1;
@@ -144,6 +149,31 @@ pub fn im2col(
         }
     }
     Ok(())
+}
+
+/// Output-coordinate range `[lo, hi)` whose input coordinate
+/// `o * stride + koff * dilation - padding` lands inside `[0, in_extent)`,
+/// plus the constant shift term. Hoists the bounds logic out of the hot
+/// im2col/col2im loops.
+fn valid_out_range(
+    koff: usize,
+    geom: &Conv2dGeometry,
+    in_extent: usize,
+    out_extent: usize,
+) -> (usize, usize, isize) {
+    let shift = (koff * geom.dilation) as isize - geom.padding as isize;
+    let lo = if shift >= 0 {
+        0
+    } else {
+        ((-shift) as usize).div_ceil(geom.stride)
+    };
+    let hi = if (in_extent as isize) <= shift {
+        0
+    } else {
+        (in_extent as isize - 1 - shift) as usize / geom.stride + 1
+    };
+    let lo = lo.min(out_extent);
+    (lo, hi.clamp(lo, out_extent), shift)
 }
 
 /// Inverse of [`im2col`] used in the backward pass: scatters the column
@@ -175,29 +205,34 @@ pub fn col2im(
     }
     let k = geom.kernel;
     let positions = geom.out_positions();
+    let (out_h, out_w, in_w) = (geom.out_h, geom.out_w, geom.in_w);
     let mut row = 0usize;
     for c in 0..channels {
-        let plane =
-            &mut image_grad[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        let plane = &mut image_grad[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
         for ky in 0..k {
+            let (oy_lo, oy_hi, sy) = valid_out_range(ky, geom, geom.in_h, out_h);
             for kx in 0..k {
+                let (ox_lo, ox_hi, sx) = valid_out_range(kx, geom, in_w, out_w);
                 let src = &cols[row * positions..(row + 1) * positions];
-                let mut p = 0usize;
-                for oy in 0..geom.out_h {
-                    let iy = (oy * geom.stride + ky * geom.dilation) as isize
-                        - geom.padding as isize;
-                    if iy < 0 || iy >= geom.in_h as isize {
-                        p += geom.out_w;
-                        continue;
-                    }
-                    let base = iy as usize * geom.in_w;
-                    for ox in 0..geom.out_w {
-                        let ix = (ox * geom.stride + kx * geom.dilation) as isize
-                            - geom.padding as isize;
-                        if ix >= 0 && ix < geom.in_w as isize {
-                            plane[base + ix as usize] += src[p];
+                // Out-of-bounds taps hit padding: nothing to accumulate.
+                for oy in oy_lo..oy_hi {
+                    let base = ((oy * geom.stride) as isize + sy) as usize * in_w;
+                    let srow = &src[oy * out_w..(oy + 1) * out_w];
+                    if ox_hi == ox_lo {
+                        // Tap entirely in horizontal padding; the index
+                        // arithmetic below would underflow.
+                    } else if geom.stride == 1 {
+                        // Contiguous accumulate: auto-vectorizes.
+                        let s = base + ((ox_lo as isize + sx) as usize);
+                        let drow = &mut plane[s..s + (ox_hi - ox_lo)];
+                        for (d, v) in drow.iter_mut().zip(&srow[ox_lo..ox_hi]) {
+                            *d += v;
                         }
-                        p += 1;
+                    } else {
+                        for (ox, v) in srow[ox_lo..ox_hi].iter().enumerate() {
+                            let ix = (((ox_lo + ox) * geom.stride) as isize + sx) as usize;
+                            plane[base + ix] += v;
+                        }
                     }
                 }
                 row += 1;
@@ -271,6 +306,35 @@ mod tests {
         let mut xg = vec![0.0; x.len()];
         col2im(&y, c, &g, &mut xg).unwrap();
         let rhs: f32 = x.iter().zip(&xg).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn tap_entirely_in_padding_is_zero() {
+        // 2x2 input, dilated 3x3 kernel, padding 2: the (.., 2) taps read
+        // column index 2*2-2 = 2 >= in_w for every output, i.e. an entirely
+        // out-of-bounds tap. Regression test: the fast path must emit zeros
+        // (not panic) for such rows, and col2im must skip them.
+        let g = Conv2dGeometry::new(2, 2, 3, 1, 2, 2);
+        let img = [1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![f32::NAN; g.col_rows(1) * g.out_positions()];
+        im2col(&img, 1, &g, &mut cols).unwrap();
+        let positions = g.out_positions();
+        // kernel tap (ky=2, kx=2) is row 8: fully zero.
+        assert!(cols[8 * positions..9 * positions].iter().all(|&v| v == 0.0));
+        let mut back = vec![0.0; 4];
+        col2im(&cols, 1, &g, &mut back).unwrap();
+        // adjoint still holds on this geometry
+        let mut y = vec![0.0; cols.len()];
+        for (i, v) in y.iter_mut().enumerate() {
+            *v = (i % 7) as f32 - 3.0;
+        }
+        let mut cols2 = vec![0.0; cols.len()];
+        im2col(&img, 1, &g, &mut cols2).unwrap();
+        let lhs: f32 = cols2.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut xg = vec![0.0; 4];
+        col2im(&y, 1, &g, &mut xg).unwrap();
+        let rhs: f32 = img.iter().zip(&xg).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

@@ -1,10 +1,44 @@
-//! Cache-blocked single-precision GEMM.
+//! Packed, register-tiled, optionally multithreaded single-precision GEMM.
 //!
 //! The convolution layers lower to matrix multiplication via
-//! [`im2col`](crate::im2col), so this kernel dominates training time. A
-//! simple register/cache blocking scheme keeps the inner loop over `k`
-//! contiguous in both operands, which is enough for the proxy-scale
-//! workloads in this reproduction.
+//! [`im2col`](crate::im2col), so this kernel dominates training time. The
+//! implementation follows the classic BLIS/GotoBLAS decomposition:
+//!
+//! * `k` is split into depth blocks of [`KC`]; for each block, `b` is packed
+//!   once into contiguous column panels of width [`NR`] and `a` into row
+//!   panels of height [`MR`] (both zero-padded at the edges so the
+//!   microkernel never branches on tile shape);
+//! * an [`MR`]`x`[`NR`] register-tiled microkernel accumulates over the
+//!   packed panels with a fully unrolled inner loop the optimizer
+//!   auto-vectorizes;
+//! * row panels are distributed across scoped threads
+//!   (`crossbeam::thread::scope`) when the global thread knob
+//!   ([`crate::num_threads`], env `FEDRLNAS_NUM_THREADS`) allows and the
+//!   problem is big enough to amortize spawning. Each thread packs and
+//!   writes a disjoint slice of `c`, so no synchronization is needed.
+//!
+//! Small problems skip packing entirely and use the cache-blocked scalar
+//! loop ([`gemm_naive`]), which is faster below the packing break-even and
+//! also serves as the reference/baseline kernel for tests and benchmarks.
+
+use crate::threading::num_threads;
+
+/// Microkernel tile height (rows of `c` per register tile). Packed row
+/// panels are always MR tall; narrower ISAs process the tile in row halves
+/// or quarters to stay within their register budget.
+const MR: usize = 8;
+/// Microkernel tile width (columns of `c` per register tile); one AVX-512
+/// register or two AVX2 registers of `f32` lanes.
+const NR: usize = 16;
+/// Depth blocking: packed panels cover `KC` values of `k` at a time.
+const KC: usize = 256;
+/// Problems with `m*n*k` at or below this run the scalar kernel; packing
+/// traffic (`m*k + k*n` extra writes+reads) isn't amortized below it.
+const SMALL: usize = 16 * 1024;
+/// Minimum per-thread row panels before the threaded path engages.
+const MIN_PANELS_PER_THREAD: usize = 4;
+/// Minimum total work (`m*n*k`) before threads are considered at all.
+const PARALLEL_WORK_FLOOR: usize = 1 << 18;
 
 /// Computes `c += a * b` for row-major matrices where `a` is `m x k`,
 /// `b` is `k x n` and `c` is `m x n`.
@@ -20,16 +54,48 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert!(a.len() >= m * k, "gemm: a too short");
     assert!(b.len() >= k * n, "gemm: b too short");
     assert!(c.len() >= m * n, "gemm: c too short");
-    // Block sizes chosen so that a block of `b` fits comfortably in L1/L2 for
-    // the small matrices produced by proxy-scale conv layers.
+    gemm_dispatch(m, n, k, a, b, None, c);
+}
+
+/// Computes `c = a * b + bias_broadcast` where `bias` has length `m` and is
+/// broadcast across each output row (one bias per output row/channel).
+///
+/// Unlike [`gemm`] this **overwrites** `c`. The bias is fused into the packed
+/// kernel's epilogue (the first depth-block's tile writeback adds it), so
+/// there is no separate fill-then-accumulate pass over `c`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_bias(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "gemm_bias: a too short");
+    assert!(b.len() >= k * n, "gemm_bias: b too short");
+    assert!(bias.len() >= m, "gemm_bias: bias too short");
+    assert!(c.len() >= m * n, "gemm_bias: c too short");
+    gemm_dispatch(m, n, k, a, b, Some(bias), c);
+}
+
+/// The seed's cache-blocked scalar kernel: `c += a * b`.
+///
+/// Kept as the small-problem path (packing doesn't pay below
+/// [`SMALL`] flops), as the numerical reference for property tests, and as
+/// the "before" baseline for `BENCH_kernels.json`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn gemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "gemm: a too short");
+    assert!(b.len() >= k * n, "gemm: b too short");
+    assert!(c.len() >= m * n, "gemm: c too short");
     const MC: usize = 32;
-    const KC: usize = 128;
+    const KCN: usize = 128;
     let mut i0 = 0;
     while i0 < m {
         let i_max = (i0 + MC).min(m);
         let mut k0 = 0;
         while k0 < k {
-            let k_max = (k0 + KC).min(k);
+            let k_max = (k0 + KCN).min(k);
             for i in i0..i_max {
                 let arow = &a[i * k..i * k + k];
                 let crow = &mut c[i * n..i * n + n];
@@ -52,29 +118,405 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     }
 }
 
-/// Computes `c = a * b + bias_broadcast` where `bias` has length `m` and is
-/// broadcast across each output row (one bias per output row/channel).
-///
-/// This fused form is used by the convolution layer where `m` is the output
-/// channel count.
-///
-/// # Panics
-///
-/// Panics if any slice is shorter than its implied extent.
-pub fn gemm_bias(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32]) {
-    assert!(bias.len() >= m, "gemm_bias: bias too short");
-    assert!(c.len() >= m * n, "gemm_bias: c too short");
-    for i in 0..m {
-        c[i * n..(i + 1) * n].fill(bias[i]);
+fn gemm_dispatch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    if m == 0 || n == 0 {
+        return;
     }
-    gemm(m, n, k, a, b, c);
+    if k == 0 || m * n * k <= SMALL {
+        if let Some(bias) = bias {
+            for i in 0..m {
+                c[i * n..(i + 1) * n].fill(bias[i]);
+            }
+        }
+        gemm_naive(m, n, k, a, b, c);
+        return;
+    }
+    gemm_packed(m, n, k, a, b, bias, c);
+}
+
+fn ensure_len(v: &mut Vec<f32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+}
+
+/// Packs `kc` rows (`k0..k0+kc`) of `b` into NR-wide column panels:
+/// `out[panel][p][0..NR] = b[(k0+p) * n + panel*NR ..]`, zero-padded past `n`.
+/// Every lane of the used prefix is written, so stale scratch is fine.
+fn pack_b(b: &[f32], k0: usize, kc: usize, n: usize, out: &mut Vec<f32>) {
+    let n_panels = n.div_ceil(NR);
+    ensure_len(out, n_panels * kc * NR);
+    for panel in 0..n_panels {
+        let j0 = panel * NR;
+        let width = NR.min(n - j0);
+        let dst_base = panel * kc * NR;
+        for p in 0..kc {
+            let src = &b[(k0 + p) * n + j0..(k0 + p) * n + j0 + width];
+            out[dst_base + p * NR..dst_base + p * NR + width].copy_from_slice(src);
+            if width < NR {
+                out[dst_base + p * NR + width..dst_base + (p + 1) * NR].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Packs rows `r0..r0+rows` of `a` (depth `k0..k0+kc`) into MR-tall row
+/// panels: `out[panel][p][0..MR] = a[(r0+panel*MR+i) * k + k0+p]`, zero-padded
+/// past `rows`. Every lane of the used prefix is written.
+fn pack_a(a: &[f32], r0: usize, rows: usize, k0: usize, kc: usize, k: usize, out: &mut Vec<f32>) {
+    let m_panels = rows.div_ceil(MR);
+    ensure_len(out, m_panels * kc * MR);
+    for panel in 0..m_panels {
+        let i0 = r0 + panel * MR;
+        let height = MR.min(r0 + rows - i0);
+        let dst_base = panel * kc * MR;
+        if height < MR {
+            out[dst_base..dst_base + kc * MR].fill(0.0);
+        }
+        for i in 0..height {
+            let src = &a[(i0 + i) * k + k0..(i0 + i) * k + k0 + kc];
+            for (p, &v) in src.iter().enumerate() {
+                out[dst_base + p * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// Accumulates `ROWS` rows of an `MR x NR` tile over packed panels.
+///
+/// `a_panel` is `kc * MR` (k-major, stride `MR`), `b_panel` is `kc * NR`
+/// (k-major); `row_off` selects which rows of the tile this pass covers.
+/// The fixed-size accumulator array lives in registers; the unrolled body
+/// auto-vectorizes under whatever SIMD width the instantiation enables (see
+/// the `#[target_feature]` wrappers below). `ROWS` is the register-budget
+/// knob: 8 rows = 8 zmm accumulators on AVX-512, 4 rows = 8 ymm on AVX2.
+#[inline(always)]
+fn microkernel_rows<const ROWS: usize>(
+    kc: usize,
+    a_panel: &[f32],
+    row_off: usize,
+    b_panel: &[f32],
+    acc: &mut [[f32; NR]; ROWS],
+) {
+    debug_assert!(a_panel.len() >= kc * MR && b_panel.len() >= kc * NR);
+    debug_assert!(row_off + ROWS <= MR);
+    for (ap, bp) in a_panel
+        .chunks_exact(MR)
+        .zip(b_panel.chunks_exact(NR))
+        .take(kc)
+    {
+        let ap: &[f32; MR] = ap.try_into().expect("chunks_exact stride");
+        let bp: &[f32; NR] = bp.try_into().expect("chunks_exact stride");
+        for i in 0..ROWS {
+            let ai = ap[row_off + i];
+            for j in 0..NR {
+                acc[i][j] += ai * bp[j];
+            }
+        }
+    }
+}
+
+/// Splits the MR-tall accumulator into `MR / ROWS` register-sized passes.
+#[inline(always)]
+fn microkernel_split<const ROWS: usize>(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    for (half, chunk) in acc.chunks_exact_mut(ROWS).enumerate() {
+        let chunk: &mut [[f32; NR]; ROWS] = chunk.try_into().expect("MR divisible by ROWS");
+        microkernel_rows::<ROWS>(kc, a_panel, half * ROWS, b_panel, chunk);
+    }
+}
+
+/// Baseline-ISA instantiation (SSE2 on x86-64): two rows per pass keeps the
+/// 4-lane accumulator set inside the 16 xmm registers.
+fn microkernel_generic(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    microkernel_split::<2>(kc, a_panel, b_panel, acc);
+}
+
+/// AVX2+FMA instantiation, explicit intrinsics. NR = 16 is two ymm vectors
+/// per row; doing all 8 rows at once would need 16 accumulator registers
+/// (the whole file), so the tile is processed in two 4-row passes: 8 ymm
+/// accumulators + 2 b-vectors + 1 broadcast stays within the 16 registers.
+/// The b panel is read twice but is L1-resident (`KC * NR * 4` = 16 KiB).
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports `avx2` and `fma` (checked once in
+/// [`select_microkernel`] via `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(a_panel.len() >= kc * MR && b_panel.len() >= kc * NR);
+    for half in 0..2 {
+        let row0 = half * 4;
+        let mut acc_lo = [_mm256_setzero_ps(); 4];
+        let mut acc_hi = [_mm256_setzero_ps(); 4];
+        let mut ap = a_panel.as_ptr();
+        let mut bp = b_panel.as_ptr();
+        for _ in 0..kc {
+            // SAFETY: panels hold `kc` groups of MR / NR lanes (debug-asserted
+            // above, guaranteed by pack_a/pack_b).
+            let b_lo = _mm256_loadu_ps(bp);
+            let b_hi = _mm256_loadu_ps(bp.add(8));
+            for i in 0..4 {
+                let av = _mm256_broadcast_ss(&*ap.add(row0 + i));
+                acc_lo[i] = _mm256_fmadd_ps(av, b_lo, acc_lo[i]);
+                acc_hi[i] = _mm256_fmadd_ps(av, b_hi, acc_hi[i]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for i in 0..4 {
+            let dst = acc[row0 + i].as_mut_ptr();
+            _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), acc_lo[i]));
+            _mm256_storeu_ps(
+                dst.add(8),
+                _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), acc_hi[i]),
+            );
+        }
+    }
+}
+
+/// AVX-512 instantiation, explicit intrinsics: the full 8 x 16 tile in one
+/// pass — 8 zmm accumulators (one register per row), enough independent FMA
+/// chains to hide the FMA latency at 2 issues/cycle.
+///
+/// Intrinsics rather than the autovectorized body: at 8 rows LLVM's loop
+/// vectorizer flips to vectorizing *across rows* with gather/scatter on the
+/// in-memory accumulator, which is ~4x slower than the scalar baseline.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports `avx512f` (checked once in
+/// [`select_microkernel`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512(
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(a_panel.len() >= kc * MR && b_panel.len() >= kc * NR);
+    let mut acc_v = [_mm512_setzero_ps(); MR];
+    let mut ap = a_panel.as_ptr();
+    let mut bp = b_panel.as_ptr();
+    for _ in 0..kc {
+        // SAFETY: panels hold `kc` groups of MR / NR lanes (debug-asserted
+        // above, guaranteed by pack_a/pack_b).
+        let bv = _mm512_loadu_ps(bp);
+        for (i, accv) in acc_v.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(*ap.add(i));
+            *accv = _mm512_fmadd_ps(av, bv, *accv);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for (row, accv) in acc.iter_mut().zip(acc_v) {
+        let dst = row.as_mut_ptr();
+        _mm512_storeu_ps(dst, _mm512_add_ps(_mm512_loadu_ps(dst), accv));
+    }
+}
+
+/// The resolved microkernel. The pointee is either the safe generic build or
+/// a `#[target_feature]` build whose requirements were verified at selection
+/// time, so calling through the pointer is sound everywhere in this process.
+type Microkernel = fn(usize, &[f32], &[f32], &mut [[f32; NR]; MR]);
+
+fn select_microkernel() -> Microkernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature verified on this CPU for the process lifetime.
+            return |kc, a, b, acc| unsafe { microkernel_avx512(kc, a, b, acc) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: features verified on this CPU for the process lifetime.
+            return |kc, a, b, acc| unsafe { microkernel_avx2(kc, a, b, acc) };
+        }
+    }
+    microkernel_generic
+}
+
+/// Process-wide cached microkernel choice (function pointers are tiny; an
+/// `OnceLock` avoids re-running cpuid per call).
+fn microkernel() -> Microkernel {
+    static KERNEL: std::sync::OnceLock<Microkernel> = std::sync::OnceLock::new();
+    *KERNEL.get_or_init(select_microkernel)
+}
+
+/// Writes one microtile back into `c_rows` (a slice starting at the row
+/// panel's first row). `first_block` selects the epilogue: on the first depth
+/// block a fused-bias kernel overwrites `c` with `acc + bias`, later blocks
+/// (and plain accumulate-GEMM) add into it.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn store_tile(
+    c_rows: &mut [f32],
+    n: usize,
+    local_row: usize,
+    height: usize,
+    j0: usize,
+    width: usize,
+    acc: &[[f32; NR]; MR],
+    bias_row0: Option<&[f32]>,
+) {
+    for i in 0..height {
+        let dst = &mut c_rows[(local_row + i) * n + j0..(local_row + i) * n + j0 + width];
+        match bias_row0 {
+            Some(bias) => {
+                let bv = bias[i];
+                for (d, &v) in dst.iter_mut().zip(acc[i][..width].iter()) {
+                    *d = v + bv;
+                }
+            }
+            None => {
+                for (d, &v) in dst.iter_mut().zip(acc[i][..width].iter()) {
+                    *d += v;
+                }
+            }
+        }
+    }
+}
+
+/// Computes all row panels in `rows` (relative to `c_rows`' first row) for
+/// one packed depth block.
+#[allow(clippy::too_many_arguments)]
+fn compute_rows(
+    a: &[f32],
+    b_packed: &[f32],
+    c_rows: &mut [f32],
+    r0: usize,
+    rows: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    bias: Option<&[f32]>,
+    a_buf: &mut Vec<f32>,
+) {
+    debug_assert!(r0 + rows <= m);
+    let kernel = microkernel();
+    pack_a(a, r0, rows, k0, kc, k, a_buf);
+    let m_panels = rows.div_ceil(MR);
+    let n_panels = n.div_ceil(NR);
+    for ip in 0..m_panels {
+        let row = ip * MR;
+        let height = MR.min(rows - row);
+        let a_panel = &a_buf[ip * kc * MR..(ip + 1) * kc * MR];
+        let tile_bias = bias.map(|bs| &bs[r0 + row..r0 + row + height]);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let width = NR.min(n - j0);
+            let b_panel = &b_packed[jp * kc * NR..(jp + 1) * kc * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            kernel(kc, a_panel, b_panel, &mut acc);
+            store_tile(c_rows, n, row, height, j0, width, &acc, tile_bias);
+        }
+    }
+}
+
+std::thread_local! {
+    /// Per-thread packing scratch `(a_buf, b_buf)`, grow-only, reused across
+    /// calls so steady-state GEMM does not allocate.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+) {
+    let total_panels = m.div_ceil(MR);
+    let mut threads = if m * n * k >= PARALLEL_WORK_FLOOR {
+        num_threads().min(total_panels.div_ceil(MIN_PANELS_PER_THREAD))
+    } else {
+        1
+    };
+    threads = threads.max(1);
+
+    PACK_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (a_buf, b_buf) = &mut *scratch;
+        let mut k0 = 0;
+        let mut first_block = true;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            pack_b(b, k0, kc, n, b_buf);
+            let block_bias = if first_block { bias } else { None };
+            if threads == 1 {
+                compute_rows(a, b_buf, c, 0, m, m, n, k, k0, kc, block_bias, a_buf);
+            } else {
+                // Contiguous MR-aligned row ranges, one per thread; each
+                // thread gets a disjoint &mut slice of c, so workers never
+                // share mutable state.
+                let panels_per_thread = total_panels.div_ceil(threads);
+                let rows_per_thread = panels_per_thread * MR;
+                let b_packed: &[f32] = b_buf;
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    let mut rest = &mut c[..m * n];
+                    let mut r0 = 0;
+                    while r0 < m {
+                        let rows = rows_per_thread.min(m - r0);
+                        let (chunk, tail) = rest.split_at_mut(rows * n);
+                        rest = tail;
+                        handles.push(scope.spawn(move |_| {
+                            let mut a_local = Vec::new();
+                            compute_rows(
+                                a,
+                                b_packed,
+                                chunk,
+                                r0,
+                                rows,
+                                m,
+                                n,
+                                k,
+                                k0,
+                                kc,
+                                block_bias,
+                                &mut a_local,
+                            );
+                        }));
+                        r0 += rows;
+                    }
+                    for h in handles {
+                        h.join().expect("gemm worker panicked");
+                    }
+                })
+                .expect("gemm thread scope");
+            }
+            first_block = false;
+            k0 += kc;
+        }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
         let mut c = vec![0.0; m * n];
         for i in 0..m {
             for j in 0..n {
@@ -86,20 +528,69 @@ mod tests {
         c
     }
 
+    fn random_mats(m: usize, n: usize, k: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (a, b)
+    }
+
     #[test]
     fn matches_naive_various_sizes() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (33, 17, 129), (64, 64, 64), (2, 200, 3)] {
-            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Spans both dispatch paths (small-scalar and packed) and edge tiles
+        // (m, n, k not multiples of MR/NR/KC).
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (33, 17, 129),
+            (64, 64, 64),
+            (2, 200, 3),
+            (41, 67, 300),
+            (128, 96, 257),
+        ] {
+            let (a, b) = random_mats(m, n, k, 42);
             let mut c = vec![0.0; m * n];
             gemm(m, n, k, &a, &b, &mut c);
-            let want = naive(m, n, k, &a, &b);
+            let want = reference(m, n, k, &a, &b);
             for (x, y) in c.iter().zip(want.iter()) {
                 assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y} at ({m},{n},{k})");
             }
         }
+    }
+
+    #[test]
+    fn packed_path_matches_reference_directly() {
+        // Bypass the dispatcher so the packed kernel is exercised even for
+        // shapes the dispatcher would route to the scalar loop.
+        for &(m, n, k) in &[(1, 1, 1), (4, 8, 16), (5, 9, 17), (7, 3, 301), (12, 40, 64)] {
+            let (a, b) = random_mats(m, n, k, 7);
+            let mut c = vec![0.0; m * n];
+            gemm_packed(m, n, k, &a, &b, None, &mut c);
+            let want = reference(m, n, k, &a, &b);
+            for (x, y) in c.iter().zip(want.iter()) {
+                assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y} at ({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let (m, n, k) = (61, 77, 150);
+        let (a, b) = random_mats(m, n, k, 3);
+        let want = reference(m, n, k, &a, &b);
+        let saved = crate::num_threads();
+        for threads in [1, 2, 3, 5] {
+            crate::set_num_threads(threads);
+            let mut c = vec![0.0; m * n];
+            // Force the packed path and drop the work floor out of the way by
+            // calling it directly.
+            gemm_packed(m, n, k, &a, &b, None, &mut c);
+            for (x, y) in c.iter().zip(want.iter()) {
+                assert!((x - y).abs() < 1e-3, "threads={threads}: {x} vs {y}");
+            }
+        }
+        crate::set_num_threads(saved);
     }
 
     #[test]
@@ -119,6 +610,61 @@ mod tests {
         let mut c = vec![0.0; 6];
         gemm_bias(2, 3, 1, &a, &b, &bias, &mut c);
         assert_eq!(c, vec![11.0, 12.0, 13.0, 21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    fn bias_fusion_matches_two_pass() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for &(m, n, k) in &[(5, 9, 17), (33, 40, 300), (17, 129, 64)] {
+            let (a, b) = random_mats(m, n, k, 11);
+            let mut rng = StdRng::seed_from_u64(99);
+            let bias: Vec<f32> = (0..m).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            // fused epilogue, forced through the packed path
+            let mut fused = vec![f32::NAN; m * n]; // NAN: proves overwrite
+            gemm_packed(m, n, k, &a, &b, Some(&bias), &mut fused);
+            // two-pass reference: fill rows then accumulate
+            let mut two_pass = vec![0.0; m * n];
+            for i in 0..m {
+                two_pass[i * n..(i + 1) * n].fill(bias[i]);
+            }
+            gemm_naive(m, n, k, &a, &b, &mut two_pass);
+            for (x, y) in fused.iter().zip(two_pass.iter()) {
+                assert!((x - y).abs() < 1e-3, "({m},{n},{k}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bias_overwrites_stale_c() {
+        // Large enough for the packed path via the public entry point.
+        let (m, n, k) = (16, 64, 64);
+        let (a, b) = random_mats(m, n, k, 5);
+        let bias = vec![0.25f32; m];
+        let mut c1 = vec![123.0f32; m * n];
+        let mut c2 = vec![-55.0f32; m * n];
+        gemm_bias(m, n, k, &a, &b, &bias, &mut c1);
+        gemm_bias(m, n, k, &a, &b, &bias, &mut c2);
+        assert_eq!(c1, c2, "gemm_bias must not depend on prior c contents");
+    }
+
+    #[test]
+    fn multiple_k_blocks_accumulate_once() {
+        // k > KC exercises the multi-depth-block path; bias must be applied
+        // exactly once.
+        let (m, n, k) = (9, 21, 2 * KC + 37);
+        let (a, b) = random_mats(m, n, k, 21);
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let mut fused = vec![0.0; m * n];
+        gemm_packed(m, n, k, &a, &b, Some(&bias), &mut fused);
+        let mut want = reference(m, n, k, &a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                want[i * n + j] += bias[i];
+            }
+        }
+        for (x, y) in fused.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 2e-3, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //!
 //! * [`Tensor`] — an owned, row-major, dense `f32` tensor with shape
 //!   arithmetic and element-wise operations,
-//! * [`gemm`] — a cache-blocked single-precision matrix multiply used by the
-//!   convolution and linear layers,
+//! * [`gemm`]/[`gemm_bias`] — a packed, register-tiled, optionally
+//!   multithreaded single-precision matrix multiply used by the convolution
+//!   and linear layers (thread count via [`set_num_threads`] or
+//!   `FEDRLNAS_NUM_THREADS`),
 //! * [`im2col`]/[`col2im`] — the lowering used to express convolutions (with
 //!   stride, padding, dilation and groups) as GEMM,
+//! * [`Workspace`] — a grow-only scratch arena layers reuse across steps so
+//!   the hot path performs no per-call allocations,
 //! * reductions, softmax and argmax kernels.
 //!
 //! # Example
@@ -32,9 +36,13 @@ mod gemm;
 mod ops;
 mod shape;
 mod tensor;
+mod threading;
+mod workspace;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
-pub use gemm::{gemm, gemm_bias};
+pub use gemm::{gemm, gemm_bias, gemm_naive};
 pub use ops::{argmax_rows, log_softmax_rows, softmax_inplace, softmax_rows};
 pub use shape::{Shape, ShapeError};
 pub use tensor::Tensor;
+pub use threading::{num_threads, set_num_threads};
+pub use workspace::Workspace;

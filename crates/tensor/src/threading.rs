@@ -1,0 +1,67 @@
+//! Global kernel thread-count knob.
+//!
+//! The packed GEMM parallelizes across row panels with scoped threads. The
+//! federation layer *also* runs participants on their own threads, so naive
+//! nesting would oversubscribe the machine (P participants × T kernel
+//! threads). This module provides one process-wide knob that both layers
+//! consult:
+//!
+//! * env var `FEDRLNAS_NUM_THREADS` — read once, at first use;
+//! * [`set_num_threads`] — programmatic override, e.g. the federation server
+//!   sets it to `max(1, cores / participants)` before spawning participant
+//!   threads.
+//!
+//! The default is the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = uninitialized (resolve from env/hardware on first read).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("FEDRLNAS_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads compute kernels may use (always ≥ 1).
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = default_threads();
+    // Racing initializers compute the same value; first store wins is fine.
+    NUM_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Sets the kernel thread count for the whole process (clamped to ≥ 1).
+///
+/// Call this *before* spawning worker threads that themselves run kernels;
+/// e.g. with `P` federated participants training concurrently, set
+/// `cores / P` so the product stays at the hardware width.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_round_trips_and_clamps() {
+        let before = num_threads();
+        assert!(before >= 1);
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1, "zero clamps to one");
+        set_num_threads(before);
+    }
+}

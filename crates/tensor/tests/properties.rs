@@ -1,8 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
-use fedrlnas_tensor::{
-    argmax_rows, col2im, gemm, im2col, softmax_rows, Conv2dGeometry, Tensor,
-};
+use fedrlnas_tensor::{argmax_rows, col2im, gemm, im2col, softmax_rows, Conv2dGeometry, Tensor};
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
@@ -106,6 +104,65 @@ proptest! {
         gemm(m, n, k, &sa, &b, &mut c2);
         for (x, y) in c1.iter().zip(c2.iter()) {
             prop_assert!((x * s - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn packed_gemm_matches_triple_loop(
+        // Sizes straddle the microkernel tile edges (MR = 8, NR = 16) and the
+        // small-problem dispatch threshold, so edge tiles, zero-padded panels
+        // and both dispatch paths are all exercised.
+        m in 1usize..40, n in 1usize..40, k in 1usize..70, seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, &a, &b, &mut c);
+        // reference triple loop
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f32;
+                for p in 0..k {
+                    want += a[i * k + p] * b[p * n + j];
+                }
+                prop_assert!(
+                    (c[i * n + j] - want).abs() < 1e-3,
+                    "({}, {}): {} vs {}", i, j, c[i * n + j], want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_gemm_matches_triple_loop(
+        threads in 1usize..5, seed in 0u64..100,
+    ) {
+        use fedrlnas_tensor::{num_threads, set_num_threads};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Big enough to clear the parallel work floor (m*n*k >= 2^18) with
+        // several row panels per worker.
+        let (m, n, k) = (48, 64, 96);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let saved = num_threads();
+        set_num_threads(threads);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, n, k, &a, &b, &mut c);
+        set_num_threads(saved);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f32;
+                for p in 0..k {
+                    want += a[i * k + p] * b[p * n + j];
+                }
+                prop_assert!(
+                    (c[i * n + j] - want).abs() < 1e-3,
+                    "threads={}: {} vs {}", threads, c[i * n + j], want
+                );
+            }
         }
     }
 

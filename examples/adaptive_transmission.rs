@@ -19,7 +19,11 @@ fn main() {
     // half the participants on buses, half in cars — the "Bus+Car" mix
     let mut traces: Vec<BandwidthTrace> = (0..k)
         .map(|i| {
-            let env = if i < k / 2 { Environment::Bus } else { Environment::Car };
+            let env = if i < k / 2 {
+                Environment::Bus
+            } else {
+                Environment::Car
+            };
             BandwidthTrace::new(env, &mut rng)
         })
         .collect();
@@ -36,7 +40,11 @@ fn main() {
     }
     println!("mean straggler (max) download latency over {rounds} rounds, Bus+Car mix:");
     for (i, strategy) in AssignmentStrategy::ALL.iter().enumerate() {
-        println!("  {:<10} {:.4} s", strategy.to_string(), totals[i] / rounds as f64);
+        println!(
+            "  {:<10} {:.4} s",
+            strategy.to_string(),
+            totals[i] / rounds as f64
+        );
     }
     println!("\nadaptive assignment (largest sub-model -> fastest link) should be lowest.");
 }

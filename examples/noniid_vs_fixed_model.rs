@@ -42,7 +42,12 @@ fn main() {
     );
 
     // 3. train a hand-designed CNN on the same shards
-    let fixed = SimpleCnn::new(3, config.net.init_channels, config.net.num_classes, &mut rng);
+    let fixed = SimpleCnn::new(
+        3,
+        config.net.init_channels,
+        config.net.num_classes,
+        &mut rng,
+    );
     let mut trainer = FedAvgTrainer::new(
         fixed,
         search.dataset(),
@@ -59,6 +64,9 @@ fn main() {
     let fixed_acc = trainer.evaluate(search.dataset());
 
     println!("after {rounds} FedAvg rounds on non-i.i.d. shards:");
-    println!("  searched architecture: test accuracy {:.3}", ours.test_accuracy);
+    println!(
+        "  searched architecture: test accuracy {:.3}",
+        ours.test_accuracy
+    );
     println!("  hand-designed CNN:     test accuracy {fixed_acc:.3}");
 }

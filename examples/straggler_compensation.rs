@@ -12,9 +12,21 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let scenarios: Vec<(&str, StalenessModel, StalenessStrategy)> = vec![
-        ("hard sync (no staleness)", StalenessModel::fresh(), StalenessStrategy::Hard),
-        ("throw stale away", StalenessModel::severe(), StalenessStrategy::Throw),
-        ("use stale as-is", StalenessModel::severe(), StalenessStrategy::Use),
+        (
+            "hard sync (no staleness)",
+            StalenessModel::fresh(),
+            StalenessStrategy::Hard,
+        ),
+        (
+            "throw stale away",
+            StalenessModel::severe(),
+            StalenessStrategy::Throw,
+        ),
+        (
+            "use stale as-is",
+            StalenessModel::severe(),
+            StalenessStrategy::Use,
+        ),
         (
             "delay-compensated (ours)",
             StalenessModel::severe(),

@@ -49,7 +49,9 @@ fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
         config = config.non_iid();
     }
     if let Some(k) = flag(argv, "--participants") {
-        let k: usize = k.parse().map_err(|e| format!("bad participant count: {e}"))?;
+        let k: usize = k
+            .parse()
+            .map_err(|e| format!("bad participant count: {e}"))?;
         config = config.with_participants(k);
     }
     let staleness = match flag(argv, "--staleness").as_deref() {
@@ -79,7 +81,11 @@ fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
     Ok(config)
 }
 
-fn dataset_for(argv: &[String], config: &SearchConfig, seed: u64) -> Result<SyntheticDataset, String> {
+fn dataset_for(
+    argv: &[String],
+    config: &SearchConfig,
+    seed: u64,
+) -> Result<SyntheticDataset, String> {
     let spec = match flag(argv, "--dataset").as_deref() {
         None | Some("cifar10") => DatasetSpec::cifar10_like(),
         Some("svhn") => DatasetSpec::svhn_like(),
@@ -91,7 +97,9 @@ fn dataset_for(argv: &[String], config: &SearchConfig, seed: u64) -> Result<Synt
 }
 
 fn cmd_search(argv: &[String]) -> Result<(), String> {
-    let seed: u64 = flag(argv, "--seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let seed: u64 = flag(argv, "--seed")
+        .map_or(Ok(42), |s| s.parse())
+        .map_err(|e| format!("bad seed: {e}"))?;
     let config = build_config(argv)?;
     let dataset = dataset_for(argv, &config, seed)?;
     println!(
@@ -107,13 +115,19 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
     let outcome = search.run(&mut rng);
     println!("genotype: {}", outcome.genotype);
-    println!("genotype (compact): {}", outcome.genotype.to_compact_string());
+    println!(
+        "genotype (compact): {}",
+        outcome.genotype.to_compact_string()
+    );
     println!(
         "search accuracy (moving avg): {:.3}",
         outcome.search_curve.final_accuracy(50).unwrap_or(0.0)
     );
     println!("communication: {}", outcome.comm);
-    println!("mean straggler latency: {:.3} s", outcome.latency.mean_of_max());
+    println!(
+        "mean straggler latency: {:.3} s",
+        outcome.latency.mean_of_max()
+    );
     println!("simulated search time: {:.2} h", outcome.sim_hours);
     if let Some(path) = flag(argv, "--curve") {
         let mut file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
@@ -126,20 +140,25 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     if let Some(path) = flag(argv, "--checkpoint") {
         let cp = Checkpoint::capture(search.server_mut());
         let mut file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
-        cp.save(&mut file).map_err(|e| format!("write {path}: {e}"))?;
+        cp.save(&mut file)
+            .map_err(|e| format!("write {path}: {e}"))?;
         println!("checkpoint written to {path}");
     }
     Ok(())
 }
 
 fn cmd_retrain(argv: &[String]) -> Result<(), String> {
-    let seed: u64 = flag(argv, "--seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let seed: u64 = flag(argv, "--seed")
+        .map_or(Ok(42), |s| s.parse())
+        .map_err(|e| format!("bad seed: {e}"))?;
     let compact = flag(argv, "--genotype").ok_or("retrain requires --genotype \"<compact>\"")?;
     let genotype = Genotype::parse_compact(&compact)?;
     let mut config = build_config(argv)?;
     config.net.nodes = genotype.nodes();
     let dataset = dataset_for(argv, &config, seed)?;
-    let steps: usize = flag(argv, "--steps").map_or(Ok(300), |s| s.parse()).map_err(|e| format!("bad steps: {e}"))?;
+    let steps: usize = flag(argv, "--steps")
+        .map_or(Ok(300), |s| s.parse())
+        .map_err(|e| format!("bad steps: {e}"))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let report = if present(argv, "--federated") {
         retrain_federated(
@@ -153,7 +172,14 @@ fn cmd_retrain(argv: &[String]) -> Result<(), String> {
             &mut rng,
         )
     } else {
-        retrain_centralized(genotype, config.net.clone(), &dataset, steps, config.batch_size, &mut rng)
+        retrain_centralized(
+            genotype,
+            config.net.clone(),
+            &dataset,
+            steps,
+            config.batch_size,
+            &mut rng,
+        )
     };
     println!(
         "retrained: test error {:.2}% ({} parameters)",

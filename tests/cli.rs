@@ -16,7 +16,10 @@ fn no_args_prints_usage_and_fails() {
 
 #[test]
 fn info_prints_config() {
-    let out = bin().args(["info", "--scale", "tiny"]).output().expect("spawn");
+    let out = bin()
+        .args(["info", "--scale", "tiny"])
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("SearchConfig"), "{text}");
@@ -46,7 +49,11 @@ fn search_then_retrain_round_trip() {
         .args(["search", "--scale", "tiny", "--seed", "3"])
         .output()
         .expect("spawn search");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let compact = text
         .lines()
@@ -55,10 +62,22 @@ fn search_then_retrain_round_trip() {
         .trim()
         .to_string();
     let out = bin()
-        .args(["retrain", "--genotype", &compact, "--scale", "tiny", "--steps", "5"])
+        .args([
+            "retrain",
+            "--genotype",
+            &compact,
+            "--scale",
+            "tiny",
+            "--steps",
+            "5",
+        ])
         .output()
         .expect("spawn retrain");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("test error"), "{text}");
 }

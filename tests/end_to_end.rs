@@ -50,7 +50,10 @@ fn search_moves_the_policy_away_from_uniform() {
         .flat_map(|row| row.iter())
         .map(|p| (p - uniform).abs())
         .fold(0.0f32, f32::max);
-    assert!(max_dev > 1e-3, "policy never moved (max deviation {max_dev})");
+    assert!(
+        max_dev > 1e-3,
+        "policy never moved (max deviation {max_dev})"
+    );
     // but still a valid distribution
     for row in &outcome.alpha_probs[0] {
         assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-4);

@@ -51,7 +51,10 @@ fn participant_gradients_equal_direct_training() {
             max_err = max_err.max((u - v).abs());
         }
     }
-    assert!(max_err < 1e-4, "protocol diverges from direct training by {max_err}");
+    assert!(
+        max_err < 1e-4,
+        "protocol diverges from direct training by {max_err}"
+    );
 }
 
 #[test]
@@ -91,7 +94,13 @@ fn fedavg_with_one_participant_is_local_sgd() {
         &mut StdRng::seed_from_u64(99),
     );
     let mut local = sub.clone();
-    p.local_sgd_steps(&mut local, &data, 3, SgdConfig::default(), &mut StdRng::seed_from_u64(7));
+    p.local_sgd_steps(
+        &mut local,
+        &data,
+        3,
+        SgdConfig::default(),
+        &mut StdRng::seed_from_u64(7),
+    );
     let direct_params = flat_params(&mut local);
     assert_eq!(fed_params.len(), direct_params.len());
     let max_err = fed_params
@@ -99,7 +108,10 @@ fn fedavg_with_one_participant_is_local_sgd() {
         .zip(&direct_params)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    assert!(max_err < 1e-5, "K=1 FedAvg deviates from local SGD by {max_err}");
+    assert!(
+        max_err < 1e-5,
+        "K=1 FedAvg deviates from local SGD by {max_err}"
+    );
 }
 
 #[test]
@@ -110,7 +122,10 @@ fn weight_average_of_identical_models_is_identity() {
     let mask = ArchMask::uniform_random(&config, &mut rng);
     let mut sub = net.extract_submodel(&mask);
     let flat = flat_params(&mut sub);
-    let avg = average_flat(&[flat.clone(), flat.clone(), flat.clone()], &[1.0, 2.0, 3.0]);
+    let avg = average_flat(
+        &[flat.clone(), flat.clone(), flat.clone()],
+        &[1.0, 2.0, 3.0],
+    );
     for (a, b) in avg.iter().zip(&flat) {
         assert!((a - b).abs() < 1e-6);
     }

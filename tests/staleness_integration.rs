@@ -54,7 +54,10 @@ fn delay_compensated_applies_more_updates_than_throw() {
     };
     let dc = run(StalenessStrategy::delay_compensated());
     let throw = run(StalenessStrategy::Throw);
-    assert!(dc > throw, "DC must salvage stale updates (dc {dc} vs throw {throw})");
+    assert!(
+        dc > throw,
+        "DC must salvage stale updates (dc {dc} vs throw {throw})"
+    );
 }
 
 #[test]
@@ -89,6 +92,9 @@ fn all_strategies_complete_a_full_pipeline() {
         let outcome = search.run(&mut rng);
         assert_eq!(outcome.search_curve.len(), 8, "{strategy} broke the loop");
         let report = search.retrain_centralized(outcome.genotype, 8, &mut rng);
-        assert!(report.test_accuracy.is_finite(), "{strategy} broke retraining");
+        assert!(
+            report.test_accuracy.is_finite(),
+            "{strategy} broke retraining"
+        );
     }
 }

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Re-implements the macro/builder surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`) over a simple harness: per sample, the closure is run in a
+//! timed batch of at least ~1 ms, and the per-iteration median across
+//! samples is printed as `<group>/<id> ... median <t>`. No plots, no
+//! statistics beyond the median — enough to compare kernels run-to-run.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value, e.g. a matrix size.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Times closures; handed to the bench body by `bench_function`.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+    sample_floor: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration time. The return value is
+    /// passed through `black_box` semantics by the caller's own use.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, faults pages).
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            loop {
+                black_box(f());
+                iters += 1;
+                if start.elapsed() >= self.sample_floor {
+                    break;
+                }
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples.push(per_iter);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return f64::NAN;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("bench times are finite"));
+        s[s.len() / 2]
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    sample_floor: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes samples by a fixed
+    /// floor rather than a total measurement budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is one untimed iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+            sample_floor: self.sample_floor,
+        };
+        f(&mut b);
+        println!("{}/{:<24} median {}", self.name, id.0, human(b.median_ns()));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (separator line, mirroring criterion's summary).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 10,
+            sample_floor: Duration::from_millis(1),
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

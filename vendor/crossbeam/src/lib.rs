@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`]/[`thread::Scope::spawn`] are provided, implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped-thread API). The one intentional difference: the spawn
+//! closure receives the [`thread::Scope`] *by value* (it is `Copy`) instead
+//! of by reference — every call site in this workspace ignores the argument
+//! (`|_|`), so the difference is invisible.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// A scope handle that can spawn borrowing threads. `Copy`, so it can be
+    /// moved into spawned closures freely.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a scoped thread; joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or panic
+        /// payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives this scope
+        /// (by value) so it can spawn nested work, mirroring crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow from the caller's
+    /// stack. Always returns `Ok`: panics in scoped threads propagate on
+    /// `join` (or when the scope unwinds), as with std scoped threads.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let mut values = vec![0u64; 4];
+            let out: Vec<u64> = super::scope(|scope| {
+                let handles: Vec<_> = values
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        scope.spawn(move |_| {
+                            *v = i as u64 + 1;
+                            *v * 10
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(values, vec![1, 2, 3, 4]);
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Collection strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `S` and size `L`.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+/// Produces vectors whose length is drawn from `len` (exact or a range) and
+/// whose elements are drawn from `element`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, numeric-range and tuple strategies,
+//! [`collection::vec`], [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are drawn from a
+//! deterministic per-test RNG (seeded by hashing the test name), so failures
+//! reproduce exactly; there is **no shrinking** — a failing case reports the
+//! sampled values via the normal assert panic message instead.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this workspace's properties are numeric
+        // kernels where 48 well-spread cases already cover the edge tiles,
+        // and test time matters in CI.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Produces a dependent strategy from each value (e.g. a matrix whose
+    /// length depends on sampled dimensions).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy adapter mapping values through a function.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.sample_value(rng))
+    }
+}
+
+/// Strategy adapter chaining into a dependent strategy.
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.sample_value(rng)).sample_value(rng)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// Strategy yielding a fixed value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// Builds the deterministic RNG for one property test. Public for the
+/// [`proptest!`] macro expansion, not for direct use.
+#[doc(hidden)]
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    // Discard the first draw; FNV of short similar names clusters otherwise.
+    let _ = rng.next_u64();
+    rng
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs `cases` times with fresh deterministically-seeded samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut proptest_rng = $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+            for proptest_case in 0..config.cases {
+                let _ = proptest_case;
+                $(let $pat = $crate::Strategy::sample_value(&($strat), &mut proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

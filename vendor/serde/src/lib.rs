@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and metric
+//! structs so future PRs can wire real serialization, but nothing calls
+//! `serialize`/`deserialize` yet. This stub keeps those derives compiling
+//! offline: the traits are markers (no required methods) and the derive
+//! macros emit empty impls.
+
+#![warn(missing_docs)]
+
+/// Marker form of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

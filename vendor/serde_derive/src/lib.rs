@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses just enough of the derive input (without `syn`) to find the type
+//! name, then emits an empty impl of the marker trait from the vendored
+//! `serde` stub. Generic types fall back to emitting nothing, which is still
+//! sound because the traits are pure markers; every derived type in this
+//! workspace is non-generic today.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the identifier following the first `struct`/`enum`/`union`
+/// keyword, or `None` if the type is generic (next token is `<`) or the
+/// input doesn't look like a type definition.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None; // generic: skip impl emission
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
