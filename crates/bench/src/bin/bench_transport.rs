@@ -1,0 +1,196 @@
+//! Distributed-runtime benchmark emitting `BENCH_transport.json`.
+//!
+//! Measures the wire format and both transports at the payload sizes the
+//! federation actually ships: the full supernet (what naive FedAvg-NAS
+//! would download) and an extracted sub-model (what adaptive transmission
+//! downloads). Reports:
+//!
+//! * encode/decode throughput of `DownloadSubmodel` frames in MB/s;
+//! * full round latency — download out, train skipped, gradient upload
+//!   back — over the in-memory channel transport vs loopback TCP.
+//!
+//! Usage: `cargo run --release -p fedrlnas-bench --bin bench_transport`
+//! (writes `BENCH_transport.json` in the current directory; pass `--out
+//! <path>` to override).
+
+use fedrlnas_controller::Alpha;
+use fedrlnas_core::SearchConfig;
+use fedrlnas_darts::{ArchMask, Supernet};
+use fedrlnas_rpc::{decode, encode, ChannelTransport, Message, TcpTransport, Transport};
+use rand::{rngs::StdRng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 25;
+
+fn median_ns(mut f: impl FnMut()) -> u64 {
+    f(); // warmup
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[REPS / 2]
+}
+
+struct Payload {
+    label: String,
+    download: Message,
+    frame_bytes: usize,
+    grad_len: usize,
+}
+
+/// Builds the two payloads of interest from the tiny supernet: the whole
+/// supernet's parameters and one uniformly sampled sub-model's.
+fn payloads(rng: &mut StdRng) -> Vec<Payload> {
+    let config = SearchConfig::tiny();
+    let mut supernet = Supernet::new(config.net.clone(), rng);
+    let alpha = Alpha::new(&config.net).logits().as_slice().to_vec();
+    let mask = ArchMask::uniform_random(&config.net, rng);
+
+    let mut full = Vec::new();
+    supernet.visit_params(&mut |p| full.extend_from_slice(p.value.as_slice()));
+    let mut sub = supernet.extract_submodel(&mask);
+    let mut sub_w = Vec::new();
+    sub.visit_params(&mut |p| sub_w.extend_from_slice(p.value.as_slice()));
+    let mut sub_b = Vec::new();
+    sub.visit_buffers(&mut |b| sub_b.extend_from_slice(b));
+
+    [("supernet", full, Vec::new()), ("submodel", sub_w, sub_b)]
+        .into_iter()
+        .map(|(label, weights, buffers)| {
+            let grad_len = weights.len();
+            let download = Message::DownloadSubmodel {
+                round: 0,
+                seed_base: 1,
+                mask: mask.clone(),
+                weights,
+                buffers,
+                alpha: alpha.clone(),
+            };
+            let frame_bytes = encode(&download).len();
+            Payload {
+                label: label.to_string(),
+                download,
+                frame_bytes,
+                grad_len,
+            }
+        })
+        .collect()
+}
+
+fn mbps(bytes: usize, ns: u64) -> f64 {
+    bytes as f64 / 1e6 / (ns as f64 / 1e9)
+}
+
+/// One request/response cycle: ship the download, echo worker decodes it
+/// and replies with a gradient-sized upload.
+fn round_trip_ns(server: &mut dyn Transport, frame: &[u8]) -> u64 {
+    median_ns(|| {
+        server.send(frame).expect("send download");
+        let reply = server.recv().expect("receive upload");
+        std::hint::black_box(reply);
+    })
+}
+
+fn spawn_echo_channel(grad_len: usize) -> (ChannelTransport, std::thread::JoinHandle<()>) {
+    let (server, mut worker) = ChannelTransport::pair();
+    let join = std::thread::spawn(move || echo_loop(&mut worker, grad_len));
+    (server, join)
+}
+
+fn spawn_echo_tcp(grad_len: usize) -> (TcpTransport, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let join = std::thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut worker = TcpTransport::new(stream).expect("wrap");
+        echo_loop(&mut worker, grad_len);
+    });
+    let (stream, _) = listener.accept().expect("accept");
+    (TcpTransport::new(stream).expect("wrap"), join)
+}
+
+/// Worker side: decode each download (so the benchmark includes the real
+/// deserialization cost) and answer with a gradient-sized upload.
+fn echo_loop(transport: &mut dyn Transport, grad_len: usize) {
+    let reply = encode(&Message::UploadUpdate {
+        round: 0,
+        participant: 0,
+        delta_w: vec![0.5; grad_len],
+        delta_alpha: vec![0.1; 64],
+        reward: 0.5,
+        loss: 1.0,
+    });
+    while let Ok(frame) = transport.recv() {
+        std::hint::black_box(decode(&frame).expect("decode download"));
+        if transport.send(&reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_transport.json".to_string());
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let payloads = payloads(&mut rng);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"description\": \"wire codec throughput and request/reply round latency at federation payload sizes; median of {REPS} reps\","
+    )
+    .unwrap();
+    writeln!(json, "  \"payloads\": [").unwrap();
+    for (i, p) in payloads.iter().enumerate() {
+        eprintln!(
+            "benchmarking {} ({} byte frames)...",
+            p.label, p.frame_bytes
+        );
+        let frame = encode(&p.download);
+        let encode_ns = median_ns(|| {
+            std::hint::black_box(encode(&p.download));
+        });
+        let decode_ns = median_ns(|| {
+            std::hint::black_box(decode(&frame).expect("decode"));
+        });
+
+        let (mut mem_server, mem_join) = spawn_echo_channel(p.grad_len);
+        let mem_round_ns = round_trip_ns(&mut mem_server, &frame);
+        drop(mem_server);
+        mem_join.join().expect("channel echo worker");
+
+        let (mut tcp_server, tcp_join) = spawn_echo_tcp(p.grad_len);
+        let tcp_round_ns = round_trip_ns(&mut tcp_server, &frame);
+        drop(tcp_server);
+        tcp_join.join().expect("tcp echo worker");
+
+        let comma = if i + 1 == payloads.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"payload\": \"{}\", \"frame_bytes\": {}, \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"round_in_memory_us\": {:.1}, \"round_loopback_tcp_us\": {:.1}}}{comma}",
+            p.label,
+            p.frame_bytes,
+            mbps(p.frame_bytes, encode_ns),
+            mbps(p.frame_bytes, decode_ns),
+            mem_round_ns as f64 / 1e3,
+            tcp_round_ns as f64 / 1e3,
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_transport.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

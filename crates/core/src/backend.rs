@@ -1,0 +1,103 @@
+//! Pluggable round-execution backends.
+//!
+//! [`SearchServer`](crate::SearchServer) owns Algorithm 1 — sampling,
+//! adaptive assignment, soft synchronization, aggregation — but the part
+//! that moves sub-models to participants and gradients back can run in two
+//! ways:
+//!
+//! * **in-process** (the default): participants are trained on scoped
+//!   threads inside the server's address space and byte counts are
+//!   *estimated* from parameter counts;
+//! * **over a [`RoundBackend`]**: every payload is serialized into the
+//!   `fedrlnas-rpc` wire format, crosses a real transport (in-memory duplex
+//!   or loopback TCP) to a long-lived worker thread, and byte counts are
+//!   *measured* from the frames that actually crossed.
+//!
+//! The trait lives here, one layer below the implementation, so the server
+//! never depends on the transport crate; `fedrlnas-rpc` depends on this
+//! crate and installs itself via [`SearchServer::set_backend`](crate::SearchServer::set_backend).
+
+use fedrlnas_darts::{ArchMask, SubModel};
+
+/// One participant's completed local update as delivered by a backend.
+///
+/// The in-process path produces the same shape (with estimated byte
+/// counts and an empty `delta_alpha`), so everything downstream of
+/// training — staleness, compensation, aggregation — is identical across
+/// execution modes.
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Reporting participant id.
+    pub participant: usize,
+    /// Round the update was computed in (< the current round for replies
+    /// that missed their deadline and arrived late).
+    pub computed_at: usize,
+    /// Architecture the participant trained.
+    pub mask: ArchMask,
+    /// Training accuracy — the REINFORCE reward `R(θ_k)`.
+    pub accuracy: f32,
+    /// Mean training loss over the local batch.
+    pub loss: f32,
+    /// Flat sub-model gradients in structural visit order.
+    pub grads: Vec<f32>,
+    /// Participant-computed `∇_α log p(g)` (empty in-process; the server
+    /// recomputes it either way and uses this only as a cross-check).
+    pub delta_alpha: Vec<f32>,
+}
+
+/// Everything a backend needs to run one federated round.
+pub struct RoundRequest<'a> {
+    /// Current round index `t`.
+    pub round: usize,
+    /// `masks[p]` is the architecture assigned to participant `p`.
+    pub masks: &'a [ArchMask],
+    /// `submodels[p]` is the extracted sub-model for participant `p`
+    /// (weights and BatchNorm buffers to ship).
+    pub submodels: Vec<SubModel>,
+    /// Current flat controller logits, shipped alongside each sub-model.
+    pub alpha_logits: &'a [f32],
+    /// This round's sampled downlink bandwidth per participant in Mbps
+    /// (drives transport shaping).
+    pub bandwidths_mbps: &'a [f64],
+    /// Base seed for participant-side RNGs; worker `p` must derive its
+    /// stream exactly like the in-process path so both modes are
+    /// bit-identical.
+    pub seed_base: u64,
+}
+
+/// What a backend hands back after driving one round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundOutcome {
+    /// On-time replies, sorted by participant id (aggregation order must
+    /// match the in-process path for determinism).
+    pub reports: Vec<BackendReport>,
+    /// Replies from *earlier* rounds that surfaced during this round's
+    /// collection window; the server routes them into the staleness path.
+    pub late: Vec<BackendReport>,
+    /// Total bytes that crossed the wire server→participants this round,
+    /// including retransmissions.
+    pub bytes_down: u64,
+    /// Total bytes that crossed participants→server this round, including
+    /// late replies.
+    pub bytes_up: u64,
+    /// Measured size of the download frame first sent to each participant;
+    /// divided by the sampled bandwidth this yields the round's
+    /// transmission latency.
+    pub download_frame_bytes: Vec<u64>,
+}
+
+/// A round-execution engine: ships sub-models out, collects updates back.
+///
+/// Implementations must be deadline-driven: wait for each participant up
+/// to a bounded time, retry lost downloads a bounded number of times, and
+/// report late or missing replies rather than blocking the round forever.
+pub trait RoundBackend: Send {
+    /// Runs one federated round and returns on-time replies, late replies
+    /// from earlier rounds, and measured wire-byte counts.
+    fn run_round(&mut self, request: RoundRequest<'_>) -> RoundOutcome;
+
+    /// Human-readable transport description for logs (e.g. `"loopback-tcp"`).
+    fn describe(&self) -> String {
+        "custom".to_string()
+    }
+}

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod checkpoint;
 mod config;
 mod metrics;
@@ -32,6 +33,7 @@ mod phases;
 mod runner;
 mod server;
 
+pub use backend::{BackendReport, RoundBackend, RoundOutcome, RoundRequest};
 pub use checkpoint::Checkpoint;
 pub use config::{Scale, SearchConfig};
 pub use metrics::{CurveRecorder, StepMetric};

@@ -1,13 +1,14 @@
 //! The search server: Algorithm 1 with adaptive transmission and
 //! delay-compensated soft synchronization.
 
+use crate::backend::{BackendReport, RoundBackend, RoundRequest};
 use crate::config::SearchConfig;
 use crate::metrics::{CurveRecorder, StepMetric};
 use fedrlnas_controller::{Alpha, ReinforceController};
 use fedrlnas_darts::{ArchMask, Genotype, Supernet};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
 use fedrlnas_fed::{CommStats, Participant};
-use fedrlnas_netsim::{assign, Environment};
+use fedrlnas_netsim::{assign, transmission_secs, Environment};
 use fedrlnas_nn::Sgd;
 use fedrlnas_sync::{
     compensate_alpha_gradient, compensate_gradient, MemoryPools, RoundSnapshot, StalenessDraw,
@@ -53,6 +54,10 @@ struct Arrival {
     mask: ArchMask,
     sub_grads: Vec<f32>,
     accuracy: f32,
+    /// Participant-computed `∇α log p(g)` when the update crossed a wire
+    /// backend; empty in-process. Cross-checked against the server's own
+    /// computation, never trusted directly.
+    delta_alpha: Vec<f32>,
 }
 
 /// The RL federated model-search server (Algorithm 1).
@@ -71,6 +76,8 @@ pub struct SearchServer {
     round: usize,
     sim_seconds: f64,
     initial_theta: Vec<f32>,
+    /// Optional wire backend; `None` trains participants in-process.
+    backend: Option<Box<dyn RoundBackend>>,
 }
 
 impl SearchServer {
@@ -136,7 +143,32 @@ impl SearchServer {
             round: 0,
             sim_seconds: 0.0,
             initial_theta,
+            backend: None,
         }
+    }
+
+    /// Installs a round-execution backend (e.g. the `fedrlnas-rpc`
+    /// runtime). Subsequent rounds serialize every sub-model over the
+    /// backend's transport, and [`SearchServer::comm`] switches from
+    /// estimated to *measured* wire bytes.
+    pub fn set_backend(&mut self, backend: Box<dyn RoundBackend>) {
+        self.backend = Some(backend);
+    }
+
+    /// Removes the installed backend, returning to in-process execution.
+    pub fn clear_backend(&mut self) -> Option<Box<dyn RoundBackend>> {
+        self.backend.take()
+    }
+
+    /// Transport description of the installed backend, if any.
+    pub fn backend_description(&self) -> Option<String> {
+        self.backend.as_ref().map(|b| b.describe())
+    }
+
+    /// The federation's participants. Wire backends clone these at install
+    /// time so worker threads start from exactly the in-process state.
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
     }
 
     /// The search configuration.
@@ -268,8 +300,10 @@ impl SearchServer {
             .map(|p| p.next_bandwidth_mbps(rng))
             .collect();
         let outcome = assign(self.config.assignment, &sizes, &bandwidths, rng);
-        self.latency.max_per_round.push(outcome.max_latency());
-        self.latency.mean_per_round.push(outcome.mean_latency());
+        // Per-participant download latency this round. In-process these are
+        // the assignment estimates; a wire backend replaces them below with
+        // measured frame bytes over the same sampled bandwidths.
+        let mut latencies = outcome.latencies.clone();
         // mask each participant actually trains
         let assigned_masks: Vec<ArchMask> = (0..k)
             .map(|p| masks[outcome.model_for_participant[p]].clone())
@@ -292,41 +326,83 @@ impl SearchServer {
                 },
             );
         }
-        // --- participants train in parallel (lines 12–14, 37–42) ---
+        // --- participants train in parallel (lines 12–14, 37–42), either
+        // in-process or over the installed wire backend ---
         let mut submodels: Vec<_> = assigned_masks
             .iter()
             .map(|m| self.supernet.extract_submodel(m))
             .collect();
         let seed_base: u64 = rng.gen();
-        let reports: Vec<(f32, f32, Vec<f32>)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .participants
-                .iter_mut()
-                .zip(submodels.iter_mut())
-                .map(|(p, sub)| {
-                    scope.spawn(move |_| {
-                        let mut prng = rand::rngs::StdRng::seed_from_u64(
-                            seed_base ^ (p.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        let report = p.local_update(sub, dataset, &mut prng);
-                        let mut grads = Vec::new();
-                        sub.visit_params(&mut |pp| grads.extend_from_slice(pp.grad.as_slice()));
-                        (report.accuracy, report.loss, grads)
+        let alpha_logits = self.controller.alpha().logits().as_slice().to_vec();
+        let (reports, late_reports) = if let Some(backend) = self.backend.as_mut() {
+            let out = backend.run_round(RoundRequest {
+                round: t,
+                masks: &assigned_masks,
+                submodels,
+                alpha_logits: &alpha_logits,
+                bandwidths_mbps: &bandwidths,
+                seed_base,
+            });
+            // communication: the bytes that actually crossed the wire,
+            // including retransmissions and late uploads
+            self.comm.record_down(out.bytes_down as usize);
+            self.comm.record_up(out.bytes_up as usize);
+            // transmission latency: measured download frame bytes over the
+            // sampled link bandwidth
+            for (p, latency) in latencies.iter_mut().enumerate().take(k) {
+                let bytes = out.download_frame_bytes.get(p).copied().unwrap_or(0);
+                *latency = transmission_secs(bytes as usize, bandwidths[p]);
+            }
+            (out.reports, out.late)
+        } else {
+            let raw: Vec<(usize, f32, f32, Vec<f32>)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .participants
+                    .iter_mut()
+                    .zip(submodels.iter_mut())
+                    .map(|(p, sub)| {
+                        scope.spawn(move |_| {
+                            let mut prng = rand::rngs::StdRng::seed_from_u64(
+                                seed_base ^ (p.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                            let report = p.local_update(sub, dataset, &mut prng);
+                            let mut grads = Vec::new();
+                            sub.visit_params(&mut |pp| grads.extend_from_slice(pp.grad.as_slice()));
+                            (p.id(), report.accuracy, report.loss, grads)
+                        })
                     })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("participant thread panicked"))
+                    .collect()
+            })
+            .expect("scoped threads join");
+            // communication (estimated): sub-model down, gradients + reward up
+            for size in &sizes {
+                self.comm.record_down(*size);
+                self.comm.record_up(*size + 4);
+            }
+            let reports: Vec<BackendReport> = raw
+                .into_iter()
+                .map(|(participant, accuracy, loss, grads)| BackendReport {
+                    participant,
+                    computed_at: t,
+                    mask: assigned_masks[participant].clone(),
+                    accuracy,
+                    loss,
+                    grads,
+                    delta_alpha: Vec::new(),
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("participant thread panicked"))
-                .collect()
-        })
-        .expect("scoped threads join");
-        // communication: sub-model down, gradients + reward up
-        for (i, size) in sizes.iter().enumerate() {
-            let _ = i;
-            self.comm.record_down(*size);
-            self.comm.record_up(*size + 4);
-        }
+            (reports, Vec::new())
+        };
+        self.latency
+            .max_per_round
+            .push(latencies.iter().copied().fold(0.0, f64::max));
+        self.latency
+            .mean_per_round
+            .push(latencies.iter().sum::<f64>() / latencies.len().max(1) as f64);
         // simulated time: slowest participant (compute + download) + server
         // overhead
         let mut round_secs = 0.0f64;
@@ -334,7 +410,7 @@ impl SearchServer {
             let macs = self.supernet.flops_masked(mask) * self.config.batch_size as u64;
             let compute =
                 self.config.device.train_step_secs(macs) / self.participants[p].speed_factor();
-            let total = compute + outcome.latencies[p];
+            let total = compute + latencies[p];
             if total > round_secs {
                 round_secs = total;
             }
@@ -342,7 +418,7 @@ impl SearchServer {
         self.sim_seconds += round_secs + self.config.device.round_overhead_secs;
         // --- staleness: decide when each update arrives (soft sync) ---
         let mut arrivals: Vec<Arrival> = Vec::with_capacity(k);
-        for (p, (acc, _loss, grads)) in reports.iter().enumerate() {
+        for r in &reports {
             let draw = if matches!(self.config.strategy, StalenessStrategy::Hard) {
                 StalenessDraw::Fresh
             } else {
@@ -351,20 +427,33 @@ impl SearchServer {
             match draw {
                 StalenessDraw::Fresh => arrivals.push(Arrival {
                     computed_at: t,
-                    mask: assigned_masks[p].clone(),
-                    sub_grads: grads.clone(),
-                    accuracy: *acc,
+                    mask: r.mask.clone(),
+                    sub_grads: r.grads.clone(),
+                    accuracy: r.accuracy,
+                    delta_alpha: r.delta_alpha.clone(),
                 }),
                 StalenessDraw::Stale(tau) => self.pending.push(PendingUpdate {
                     arrival: t + tau,
                     computed_at: t,
-                    participant: p,
-                    mask: assigned_masks[p].clone(),
-                    sub_grads: grads.clone(),
-                    accuracy: *acc,
+                    participant: r.participant,
+                    mask: r.mask.clone(),
+                    sub_grads: r.grads.clone(),
+                    accuracy: r.accuracy,
                 }),
                 StalenessDraw::Dropped => {}
             }
+        }
+        // real late arrivals — replies that missed their round's deadline on
+        // the wire — enter the same soft-sync path as simulated staleness
+        for r in late_reports {
+            self.pending.push(PendingUpdate {
+                arrival: t,
+                computed_at: r.computed_at,
+                participant: r.participant,
+                mask: r.mask,
+                sub_grads: r.grads,
+                accuracy: r.accuracy,
+            });
         }
         // late updates arriving this round (lines 16–31)
         let (due, still_pending): (Vec<PendingUpdate>, Vec<PendingUpdate>) =
@@ -374,7 +463,9 @@ impl SearchServer {
         self.pending = still_pending;
         for u in due {
             let tau = t - u.computed_at;
-            if tau > self.config.staleness_threshold {
+            if StalenessDraw::from_delay(tau, self.config.staleness_threshold)
+                == StalenessDraw::Dropped
+            {
                 continue; // line 23: ignore update
             }
             let _ = u.participant;
@@ -386,6 +477,7 @@ impl SearchServer {
                         mask: u.mask,
                         sub_grads: u.sub_grads,
                         accuracy: u.accuracy,
+                        delta_alpha: Vec::new(),
                     });
                 }
                 StalenessStrategy::Hard => unreachable!("hard sync never defers"),
@@ -416,7 +508,15 @@ impl SearchServer {
             let ranges = self.supernet.submodel_param_ranges(&arrival.mask);
             let mut grads = arrival.sub_grads;
             let mut glog = if arrival.computed_at == t {
-                self.controller.alpha().grad_log_prob(&arrival.mask)
+                let g = self.controller.alpha().grad_log_prob(&arrival.mask);
+                // A wire backend ships the participant's own ∇α log p(g);
+                // never trusted directly, but it must agree bit-for-bit with
+                // the server's recomputation.
+                debug_assert!(
+                    arrival.delta_alpha.is_empty() || arrival.delta_alpha == g.as_slice(),
+                    "participant delta_alpha diverged from server recomputation"
+                );
+                g
             } else {
                 // stale: gradients relate to the old α and θ (lines 24–28)
                 let stale_alpha_logits = self
@@ -490,8 +590,9 @@ impl SearchServer {
             }
         }
         // --- record the curve over this round's computed updates ---
-        let mean_acc = reports.iter().map(|r| r.0).sum::<f32>() / k as f32;
-        let mean_loss = reports.iter().map(|r| r.1).sum::<f32>() / k as f32;
+        let n_reports = reports.len().max(1) as f32;
+        let mean_acc = reports.iter().map(|r| r.accuracy).sum::<f32>() / n_reports;
+        let mean_loss = reports.iter().map(|r| r.loss).sum::<f32>() / n_reports;
         let metric = StepMetric {
             step: t,
             mean_accuracy: mean_acc,

@@ -22,24 +22,26 @@ impl CommStats {
         Self::default()
     }
 
-    /// Records one server→participant payload.
+    /// Records one server→participant payload. Saturates instead of
+    /// overflowing: a tally that has run for years must degrade to a
+    /// pinned maximum, never panic or wrap.
     pub fn record_down(&mut self, bytes: usize) {
-        self.bytes_down += bytes as u64;
+        self.bytes_down = self.bytes_down.saturating_add(bytes as u64);
     }
 
-    /// Records one participant→server payload.
+    /// Records one participant→server payload (saturating).
     pub fn record_up(&mut self, bytes: usize) {
-        self.bytes_up += bytes as u64;
+        self.bytes_up = self.bytes_up.saturating_add(bytes as u64);
     }
 
-    /// Marks a round boundary.
+    /// Marks a round boundary (saturating).
     pub fn end_round(&mut self) {
-        self.rounds += 1;
+        self.rounds = self.rounds.saturating_add(1);
     }
 
-    /// Total traffic in bytes.
+    /// Total traffic in bytes (saturating).
     pub fn total_bytes(&self) -> u64 {
-        self.bytes_down + self.bytes_up
+        self.bytes_down.saturating_add(self.bytes_up)
     }
 
     /// Mean per-round traffic in bytes (0 before the first round ends).
@@ -54,8 +56,8 @@ impl CommStats {
     /// Merges another tally into this one (used when worker threads keep
     /// local tallies).
     pub fn merge(&mut self, other: &CommStats) {
-        self.bytes_down += other.bytes_down;
-        self.bytes_up += other.bytes_up;
+        self.bytes_down = self.bytes_down.saturating_add(other.bytes_down);
+        self.bytes_up = self.bytes_up.saturating_add(other.bytes_up);
         // rounds are counted by the server loop, not merged from workers
     }
 }
@@ -105,5 +107,75 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!CommStats::new().to_string().is_empty());
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.record_up(500_000);
+        s.end_round();
+        let text = s.to_string();
+        assert!(text.contains("2.00 MB down"), "{text}");
+        assert!(text.contains("0.50 MB up"), "{text}");
+        assert!(text.contains("1 rounds"), "{text}");
+    }
+
+    #[test]
+    fn totals_consistent_under_interleaved_recording() {
+        // Simulate the RPC server's interleaving: downloads, late uploads
+        // from earlier rounds, retransmissions and round boundaries in
+        // arbitrary order. The invariants must hold at every step.
+        let mut s = CommStats::new();
+        let mut down = 0u64;
+        let mut up = 0u64;
+        let mut rounds = 0u64;
+        let script: &[(u8, usize)] = &[
+            (0, 1000),
+            (1, 64),
+            (0, 1000), // retransmission
+            (2, 0),
+            (1, 64), // late upload after the round boundary
+            (0, 7),
+            (2, 0),
+            (2, 0), // empty round: boundary with no traffic
+            (1, 1),
+        ];
+        for &(kind, bytes) in script {
+            match kind {
+                0 => {
+                    s.record_down(bytes);
+                    down += bytes as u64;
+                }
+                1 => {
+                    s.record_up(bytes);
+                    up += bytes as u64;
+                }
+                _ => {
+                    s.end_round();
+                    rounds += 1;
+                }
+            }
+            assert_eq!(s.bytes_down, down);
+            assert_eq!(s.bytes_up, up);
+            assert_eq!(s.rounds, rounds);
+            assert_eq!(s.total_bytes(), down + up);
+        }
+        assert!((s.bytes_per_round() - (down + up) as f64 / rounds as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut s = CommStats::new();
+        s.record_down(usize::MAX);
+        s.record_down(usize::MAX);
+        s.record_up(usize::MAX);
+        s.record_up(usize::MAX);
+        assert_eq!(s.bytes_down, u64::MAX);
+        assert_eq!(s.bytes_up, u64::MAX);
+        assert_eq!(s.total_bytes(), u64::MAX);
+        let other = s;
+        s.merge(&other);
+        assert_eq!(s.total_bytes(), u64::MAX);
+        s.rounds = u64::MAX;
+        s.end_round();
+        assert_eq!(s.rounds, u64::MAX);
+        assert!(s.bytes_per_round() > 0.0);
     }
 }

@@ -77,7 +77,11 @@ impl AssignmentOutcome {
 }
 
 /// Transmission time of `bytes` over `mbps` megabits per second.
-fn latency_secs(bytes: usize, mbps: f64) -> f64 {
+///
+/// This is the single formula every latency figure in the workspace comes
+/// from: the assignment simulation below divides estimated payload sizes by
+/// it, and the RPC runtime divides *measured* wire bytes by it.
+pub fn transmission_secs(bytes: usize, mbps: f64) -> f64 {
     (bytes as f64 * 8.0) / (mbps.max(1e-6) * 1e6)
 }
 
@@ -136,7 +140,7 @@ pub fn assign<R: Rng + ?Sized>(
                 AssignmentStrategy::AverageSize => avg_size,
                 _ => model_sizes[model_for_participant[p]],
             };
-            latency_secs(bytes, bandwidth_mbps[p])
+            transmission_secs(bytes, bandwidth_mbps[p])
         })
         .collect();
     AssignmentOutcome {
@@ -232,7 +236,7 @@ mod tests {
             let mut best = f64::INFINITY;
             for perm in permutations(k) {
                 let worst = (0..k)
-                    .map(|p| latency_secs(sizes[perm[p]], bw[p]))
+                    .map(|p| transmission_secs(sizes[perm[p]], bw[p]))
                     .fold(0.0f64, f64::max);
                 best = best.min(worst);
             }
@@ -248,7 +252,7 @@ mod tests {
     #[test]
     fn latency_math() {
         // 1 MB over 8 Mbps = 1 second
-        assert!((latency_secs(1_000_000, 8.0) - 1.0).abs() < 1e-9);
+        assert!((transmission_secs(1_000_000, 8.0) - 1.0).abs() < 1e-9);
     }
 
     #[test]

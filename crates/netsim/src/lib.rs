@@ -35,6 +35,6 @@ mod assign;
 mod device;
 mod trace;
 
-pub use assign::{assign, AssignmentOutcome, AssignmentStrategy};
+pub use assign::{assign, transmission_secs, AssignmentOutcome, AssignmentStrategy};
 pub use device::{DeviceProfile, SearchWorkload};
 pub use trace::{BandwidthTrace, Environment};

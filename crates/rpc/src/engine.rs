@@ -1,0 +1,553 @@
+//! Concurrent, deadline-driven round engine.
+//!
+//! Each participant runs on its own long-lived worker thread behind its
+//! own [`Transport`]. Per round the engine serializes each sub-model into
+//! a [`Message::DownloadSubmodel`] frame, ships it, then collects
+//! [`Message::UploadUpdate`] replies under a per-participant deadline with
+//! bounded, backed-off retries. Replies that surface after their round's
+//! deadline are attributed to the round they were computed in and handed
+//! to the server as *late* reports, which flow into the soft-sync
+//! staleness path.
+//!
+//! Determinism: worker `p` derives its training RNG exactly like the
+//! in-process path (`seed_base ^ p · φ64`), performs the same
+//! `local_update` call on the same shipped weights, and reports are sorted
+//! by participant id before aggregation — so a fault-free RPC search is
+//! bit-identical to an in-process one.
+
+use std::collections::{HashMap, HashSet};
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fedrlnas_controller::Alpha;
+use fedrlnas_core::{BackendReport, RoundBackend, RoundOutcome, RoundRequest, SearchServer};
+use fedrlnas_darts::{ArchMask, Supernet, SupernetConfig};
+use fedrlnas_data::SyntheticDataset;
+use fedrlnas_fed::Participant;
+use fedrlnas_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::transport::{
+    ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError,
+};
+use crate::wire::{decode, encode, Message};
+
+/// How many rounds of sent-mask / delivery history to keep for late-reply
+/// attribution; anything older than this is unattributable and dropped
+/// (the staleness threshold is far smaller in practice).
+const HISTORY_ROUNDS: usize = 16;
+
+/// Which transport the engine runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-memory duplex channels — no sockets, no syscalls.
+    InMemory,
+    /// Loopback TCP (`127.0.0.1`), one connection per participant.
+    Tcp,
+}
+
+/// Round-engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RpcConfig {
+    /// Transport implementation to use.
+    pub transport: TransportKind,
+    /// How long to wait for each participant's reply per attempt.
+    pub deadline: Duration,
+    /// How many times a timed-out download is retransmitted before the
+    /// participant is declared late for the round.
+    pub max_retries: usize,
+    /// Base sleep before the first retransmission; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Stretch factor mapping simulated transmission time onto real
+    /// sleeps in the shaped transport. `0.0` (the default) keeps the
+    /// byte-accurate accounting without sleeping.
+    pub real_time_scale: f64,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            transport: TransportKind::InMemory,
+            deadline: Duration::from_secs(5),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            real_time_scale: 0.0,
+        }
+    }
+}
+
+/// Scripted failure for one worker — test harness for the timeout, retry
+/// and staleness paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Worker exits silently upon receiving this round's download,
+    /// simulating a participant crash mid-round.
+    pub die_at_round: Option<usize>,
+    /// Worker sleeps this long before computing the given round's update,
+    /// so the reply misses the deadline and arrives in a later round.
+    pub delay: Option<(usize, Duration)>,
+}
+
+/// `Box<dyn Transport>` is itself a transport, so the engine can hold
+/// heterogeneous endpoints behind one shaped wrapper.
+impl Transport for Box<dyn Transport> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        (**self).send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        (**self).recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        (**self).recv_timeout(timeout)
+    }
+}
+
+struct WorkerHandle {
+    transport: Option<ShapedTransport<Box<dyn Transport>>>,
+    join: Option<JoinHandle<()>>,
+    alive: bool,
+}
+
+/// The server-side round engine; implements [`RoundBackend`].
+pub struct RpcBackend {
+    workers: Vec<WorkerHandle>,
+    config: RpcConfig,
+    /// Mask shipped to each (round, participant) — late replies carry only
+    /// the round number, the mask is recovered here.
+    sent_masks: HashMap<(usize, usize), ArchMask>,
+    /// (round, participant) pairs already handed to the server, so
+    /// retransmission-induced duplicate replies are dropped.
+    delivered: HashSet<(usize, usize)>,
+}
+
+impl RpcBackend {
+    /// Spawns one worker per participant and wires the transports.
+    ///
+    /// Workers clone the participant state (data-loader cursor included)
+    /// and rebuild the supernet *structure* locally; weights always arrive
+    /// over the wire, so the worker-side initialization never leaks into
+    /// training.
+    pub fn new(
+        participants: &[Participant],
+        net: &SupernetConfig,
+        dataset: &SyntheticDataset,
+        config: RpcConfig,
+    ) -> RpcBackend {
+        Self::with_faults(participants, net, dataset, config, &[])
+    }
+
+    /// [`RpcBackend::new`] with per-worker scripted faults (index-aligned;
+    /// missing entries mean no fault).
+    pub fn with_faults(
+        participants: &[Participant],
+        net: &SupernetConfig,
+        dataset: &SyntheticDataset,
+        config: RpcConfig,
+        faults: &[FaultPlan],
+    ) -> RpcBackend {
+        let workers = match config.transport {
+            TransportKind::InMemory => spawn_channel_workers(participants, net, dataset, faults),
+            TransportKind::Tcp => spawn_tcp_workers(participants, net, dataset, faults),
+        };
+        RpcBackend {
+            workers,
+            config,
+            sent_masks: HashMap::new(),
+            delivered: HashSet::new(),
+        }
+    }
+
+    /// Number of live worker threads.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+}
+
+fn spawn_one(
+    transport: Box<dyn Transport>,
+    participant: Participant,
+    net: SupernetConfig,
+    dataset: SyntheticDataset,
+    fault: FaultPlan,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || worker_loop(transport, participant, net, dataset, fault))
+}
+
+fn spawn_channel_workers(
+    participants: &[Participant],
+    net: &SupernetConfig,
+    dataset: &SyntheticDataset,
+    faults: &[FaultPlan],
+) -> Vec<WorkerHandle> {
+    participants
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (server_end, worker_end) = ChannelTransport::pair();
+            let join = spawn_one(
+                Box::new(worker_end),
+                p.clone(),
+                net.clone(),
+                dataset.clone(),
+                faults.get(i).copied().unwrap_or_default(),
+            );
+            WorkerHandle {
+                transport: Some(ShapedTransport::new(Box::new(server_end), f64::MAX, 0.0)),
+                join: Some(join),
+                alive: true,
+            }
+        })
+        .collect()
+}
+
+fn spawn_tcp_workers(
+    participants: &[Participant],
+    net: &SupernetConfig,
+    dataset: &SyntheticDataset,
+    faults: &[FaultPlan],
+) -> Vec<WorkerHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+    let addr = listener.local_addr().expect("listener address");
+    let joins: Vec<JoinHandle<()>> = participants
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let participant = p.clone();
+            let net = net.clone();
+            let dataset = dataset.clone();
+            let fault = faults.get(i).copied().unwrap_or_default();
+            let id = p.id();
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(addr).expect("connect loopback");
+                let mut transport: Box<dyn Transport> =
+                    Box::new(TcpTransport::new(stream).expect("wrap stream"));
+                // handshake: identify this connection to the server
+                let _ = transport.send(&encode(&Message::Heartbeat {
+                    participant: id as u32,
+                }));
+                worker_loop(transport, participant, net, dataset, fault);
+            })
+        })
+        .collect();
+    // accept one connection per participant; the handshake heartbeat says
+    // which worker is on the other end
+    let mut slots: Vec<Option<ShapedTransport<Box<dyn Transport>>>> =
+        (0..participants.len()).map(|_| None).collect();
+    for _ in 0..participants.len() {
+        let (stream, _) = listener.accept().expect("accept worker connection");
+        let mut t = TcpTransport::new(stream).expect("wrap accepted stream");
+        let frame = t
+            .recv_timeout(Duration::from_secs(10))
+            .expect("handshake frame");
+        let id = match decode(&frame) {
+            Ok(Message::Heartbeat { participant }) => participant as usize,
+            other => panic!("expected handshake heartbeat, got {other:?}"),
+        };
+        slots[id] = Some(ShapedTransport::new(
+            Box::new(t) as Box<dyn Transport>,
+            f64::MAX,
+            0.0,
+        ));
+    }
+    slots
+        .into_iter()
+        .zip(joins)
+        .map(|(transport, join)| WorkerHandle {
+            transport: Some(transport.expect("every worker handshook")),
+            join: Some(join),
+            alive: true,
+        })
+        .collect()
+}
+
+/// The participant side: blocks on downloads, trains, replies. Replies
+/// are cached per round so a retransmitted download is answered from the
+/// cache instead of being recomputed (idempotence under retry).
+fn worker_loop(
+    mut transport: Box<dyn Transport>,
+    mut participant: Participant,
+    net: SupernetConfig,
+    dataset: SyntheticDataset,
+    fault: FaultPlan,
+) {
+    let id = participant.id();
+    // structure only — every weight is overwritten from the wire
+    let mut structure_rng = StdRng::seed_from_u64(0x5EED ^ id as u64);
+    let supernet = Supernet::new(net, &mut structure_rng);
+    let mut reply_cache: HashMap<u64, Vec<u8>> = HashMap::new();
+    // loop ends when the server hangs up or the socket dies
+    while let Ok(frame) = transport.recv() {
+        let msg = match decode(&frame) {
+            Ok(m) => m,
+            Err(_) => continue, // corrupt frame: drop, await retransmission
+        };
+        match msg {
+            Message::DownloadSubmodel {
+                round,
+                seed_base,
+                mask,
+                weights,
+                buffers,
+                alpha,
+            } => {
+                if let Some(cached) = reply_cache.get(&round) {
+                    let _ = transport.send(cached);
+                    continue;
+                }
+                if fault.die_at_round == Some(round as usize) {
+                    return; // simulated crash: no reply, connection drops
+                }
+                if let Some((r, d)) = fault.delay {
+                    if r == round as usize {
+                        std::thread::sleep(d);
+                    }
+                }
+                let mut sub = supernet.extract_submodel(&mask);
+                let mut expected_w = 0;
+                sub.visit_params(&mut |p| expected_w += p.value.len());
+                let mut expected_b = 0;
+                sub.visit_buffers(&mut |b| expected_b += b.len());
+                if weights.len() != expected_w || buffers.len() != expected_b {
+                    continue; // shape mismatch: refuse rather than panic
+                }
+                let mut wc = 0;
+                sub.visit_params(&mut |p| {
+                    let n = p.value.len();
+                    p.value.as_mut_slice().copy_from_slice(&weights[wc..wc + n]);
+                    wc += n;
+                });
+                let mut bc = 0;
+                sub.visit_buffers(&mut |b| {
+                    let n = b.len();
+                    b.copy_from_slice(&buffers[bc..bc + n]);
+                    bc += n;
+                });
+                // identical RNG derivation to the in-process path
+                let mut prng = StdRng::seed_from_u64(
+                    seed_base ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let report = participant.local_update(&mut sub, &dataset, &mut prng);
+                let mut grads = Vec::new();
+                sub.visit_params(&mut |p| grads.extend_from_slice(p.grad.as_slice()));
+                let edges = mask.num_edges();
+                let alpha_len = alpha.len();
+                let delta_alpha = Tensor::from_vec(alpha, &[alpha_len])
+                    .ok()
+                    .map(|t| {
+                        Alpha::from_logits(t, edges)
+                            .grad_log_prob(&mask)
+                            .as_slice()
+                            .to_vec()
+                    })
+                    .unwrap_or_default();
+                let reply = encode(&Message::UploadUpdate {
+                    round,
+                    participant: id as u32,
+                    delta_w: grads,
+                    delta_alpha,
+                    reward: report.accuracy,
+                    loss: report.loss,
+                });
+                if reply_cache.len() >= HISTORY_ROUNDS {
+                    if let Some(oldest) = reply_cache.keys().min().copied() {
+                        reply_cache.remove(&oldest);
+                    }
+                }
+                reply_cache.insert(round, reply.clone());
+                let _ = transport.send(&reply);
+            }
+            Message::Heartbeat { .. } => {
+                let _ = transport.send(&encode(&Message::Heartbeat {
+                    participant: id as u32,
+                }));
+            }
+            Message::Ack { .. } | Message::UploadUpdate { .. } => {}
+        }
+    }
+}
+
+impl RoundBackend for RpcBackend {
+    fn run_round(&mut self, request: RoundRequest<'_>) -> RoundOutcome {
+        let t = request.round;
+        let k = request.masks.len();
+        let mut out = RoundOutcome {
+            download_frame_bytes: vec![0; k],
+            ..Default::default()
+        };
+        // prune attribution history beyond the late-reply horizon
+        self.sent_masks.retain(|&(r, _), _| r + HISTORY_ROUNDS > t);
+        self.delivered.retain(|&(r, _)| r + HISTORY_ROUNDS > t);
+        // --- ship downloads ---
+        let mut submodels = request.submodels;
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(k);
+        for (p, sub) in submodels.iter_mut().enumerate() {
+            let mut weights = Vec::new();
+            sub.visit_params(&mut |pp| weights.extend_from_slice(pp.value.as_slice()));
+            let mut buffers = Vec::new();
+            sub.visit_buffers(&mut |b| buffers.extend_from_slice(b));
+            let frame = encode(&Message::DownloadSubmodel {
+                round: t as u64,
+                seed_base: request.seed_base,
+                mask: request.masks[p].clone(),
+                weights,
+                buffers,
+                alpha: request.alpha_logits.to_vec(),
+            });
+            out.download_frame_bytes[p] = frame.len() as u64;
+            self.sent_masks.insert((t, p), request.masks[p].clone());
+            if let Some(w) = self.workers.get_mut(p) {
+                if w.alive {
+                    let transport = w.transport.as_mut().expect("live worker has transport");
+                    transport.set_mbps(request.bandwidths_mbps[p]);
+                    match transport.send(&frame) {
+                        Ok(()) => out.bytes_down += frame.len() as u64,
+                        Err(_) => w.alive = false,
+                    }
+                }
+            }
+            frames.push(frame);
+        }
+        // --- collect replies under deadline + bounded retry ---
+        let RpcBackend {
+            workers,
+            config,
+            sent_masks,
+            delivered,
+        } = self;
+        for (p, w) in workers.iter_mut().enumerate().take(k) {
+            if !w.alive {
+                continue;
+            }
+            let transport = w.transport.as_mut().expect("live worker has transport");
+            let mut attempts = 0usize;
+            loop {
+                match transport.recv_timeout(config.deadline) {
+                    Ok(frame) => {
+                        out.bytes_up += frame.len() as u64;
+                        let (r, report) = match decode(&frame) {
+                            Ok(Message::UploadUpdate {
+                                round,
+                                participant,
+                                delta_w,
+                                delta_alpha,
+                                reward,
+                                loss,
+                            }) => (
+                                round as usize,
+                                BackendReport {
+                                    participant: participant as usize,
+                                    computed_at: round as usize,
+                                    mask: ArchMask::new(vec![], vec![]), // placeholder
+                                    accuracy: reward,
+                                    loss,
+                                    grads: delta_w,
+                                    delta_alpha,
+                                },
+                            ),
+                            _ => continue, // heartbeat/ack noise or corruption
+                        };
+                        let pid = report.participant;
+                        if delivered.contains(&(r, pid)) {
+                            continue; // duplicate from a retransmitted download
+                        }
+                        match r.cmp(&t) {
+                            std::cmp::Ordering::Equal => {
+                                delivered.insert((r, pid));
+                                out.reports.push(BackendReport {
+                                    mask: request.masks[p].clone(),
+                                    ..report
+                                });
+                                break;
+                            }
+                            std::cmp::Ordering::Less => {
+                                // a reply that missed an earlier deadline;
+                                // attribute it and keep waiting for round t
+                                if let Some(mask) = sent_masks.get(&(r, pid)) {
+                                    delivered.insert((r, pid));
+                                    out.late.push(BackendReport {
+                                        mask: mask.clone(),
+                                        ..report
+                                    });
+                                }
+                            }
+                            std::cmp::Ordering::Greater => {} // impossible; drop
+                        }
+                    }
+                    Err(TransportError::Timeout) => {
+                        if attempts < config.max_retries {
+                            std::thread::sleep(config.retry_backoff * (1 << attempts.min(8)));
+                            attempts += 1;
+                            match transport.send(&frames[p]) {
+                                Ok(()) => out.bytes_down += frames[p].len() as u64,
+                                Err(_) => {
+                                    w.alive = false;
+                                    break;
+                                }
+                            }
+                        } else {
+                            break; // late: the reply, if any, surfaces next round
+                        }
+                    }
+                    Err(_) => {
+                        w.alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+        // aggregation order must match the in-process path exactly
+        out.reports.sort_by_key(|r| r.participant);
+        out.late.sort_by_key(|r| (r.computed_at, r.participant));
+        out
+    }
+
+    fn describe(&self) -> String {
+        match self.config.transport {
+            TransportKind::InMemory => "in-memory".to_string(),
+            TransportKind::Tcp => "loopback-tcp".to_string(),
+        }
+    }
+}
+
+impl Drop for RpcBackend {
+    fn drop(&mut self) {
+        // closing the transports unblocks every worker's recv() with
+        // `Closed`; then the threads can be joined
+        for w in &mut self.workers {
+            w.transport = None;
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// Clones the server's participants and dataset into a worker fleet and
+/// installs the RPC backend on the server. From this point every round's
+/// payloads cross the configured transport and `CommStats` records
+/// measured wire bytes.
+pub fn install(server: &mut SearchServer, dataset: &SyntheticDataset, config: RpcConfig) {
+    install_with_faults(server, dataset, config, &[]);
+}
+
+/// [`install`] with scripted per-worker faults (test harness).
+pub fn install_with_faults(
+    server: &mut SearchServer,
+    dataset: &SyntheticDataset,
+    config: RpcConfig,
+    faults: &[FaultPlan],
+) {
+    let backend = RpcBackend::with_faults(
+        server.participants(),
+        &server.config().net.clone(),
+        dataset,
+        config,
+        faults,
+    );
+    server.set_backend(Box::new(backend));
+}

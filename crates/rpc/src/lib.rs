@@ -1,0 +1,36 @@
+//! Distributed runtime for federated model search.
+//!
+//! Turns the in-process federation into a real wire protocol:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame format
+//!   (`magic | version | type | payload-len | payload | CRC32`) carrying
+//!   sub-model downloads, gradient uploads, acks and heartbeats; tensors
+//!   travel as raw little-endian `f32` runs. Decoding is total — corrupt
+//!   input maps to typed [`WireError`](wire::WireError)s, never panics.
+//! * [`transport`] — a [`Transport`](transport::Transport) trait with
+//!   in-memory duplex and loopback-TCP implementations, plus a
+//!   [`ShapedTransport`](transport::ShapedTransport) wrapper that delays
+//!   sends by `bytes ÷ bandwidth` using `fedrlnas-netsim` trace samples.
+//! * [`engine`] — one worker thread per participant behind a per-round
+//!   deadline with bounded retry/backoff; late replies flow into the
+//!   server's soft-synchronization staleness path. Implements the
+//!   [`RoundBackend`](fedrlnas_core::RoundBackend) seam, so
+//!   [`SearchServer`](fedrlnas_core::SearchServer) runs unmodified on top
+//!   and `CommStats` records the bytes that actually crossed the wire.
+//!
+//! A fault-free RPC search is bit-identical to an in-process one: workers
+//! derive the same RNG streams, train the same shipped weights, and
+//! reports aggregate in the same order.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod transport;
+pub mod wire;
+
+pub use engine::{install, install_with_faults, FaultPlan, RpcBackend, RpcConfig, TransportKind};
+pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError};
+pub use wire::{
+    crc32, decode, download_frame_len, encode, frame_len, upload_frame_len, Message, WireError,
+    FRAME_OVERHEAD, HEADER_LEN, MAGIC, TRAILER_LEN, VERSION,
+};

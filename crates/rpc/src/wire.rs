@@ -1,0 +1,534 @@
+//! Versioned, length-prefixed binary wire format.
+//!
+//! Every frame is:
+//!
+//! ```text
+//! +-------+---------+----------+-------------+----------+----------+
+//! | magic | version | msg type | payload len | payload  | CRC32    |
+//! | 4 B   | 1 B     | 1 B      | 4 B LE      | len B    | 4 B LE   |
+//! +-------+---------+----------+-------------+----------+----------+
+//! ```
+//!
+//! The CRC covers the payload only (the header is validated field by
+//! field). Tensors travel as raw little-endian `f32` runs prefixed by a
+//! `u32` element count; architecture masks as one byte per edge. Decoding
+//! is total: any malformed input maps to a typed [`WireError`], never a
+//! panic, and no allocation is sized from untrusted lengths before the
+//! frame's byte count has been checked against them.
+
+use fedrlnas_darts::{ArchMask, NUM_OPS};
+
+/// Frame magic: `b"FRLN"`.
+pub const MAGIC: [u8; 4] = *b"FRLN";
+/// Highest protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 10;
+/// Bytes after the payload: the CRC32 trailer.
+pub const TRAILER_LEN: usize = 4;
+/// Total framing overhead added to every payload.
+pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
+
+/// Typed decode failure. Every corrupt, truncated or hostile input maps
+/// here — decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte names a protocol this build does not speak.
+    UnsupportedVersion(u8),
+    /// The message-type byte is not a known [`Message`] discriminant.
+    UnknownType(u8),
+    /// The input ended before the structure it promised.
+    Truncated {
+        /// Bytes the frame or field needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The payload checksum did not match the trailer.
+    ChecksumMismatch {
+        /// CRC32 carried in the trailer.
+        expected: u32,
+        /// CRC32 recomputed over the received payload.
+        got: u32,
+    },
+    /// The payload parsed but its contents are invalid (op index out of
+    /// range, trailing bytes, length fields disagreeing with the frame).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:08x}, payload is {got:08x}"
+                )
+            }
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Everything that crosses the federation wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server → participant: the sub-model to train this round.
+    DownloadSubmodel {
+        /// Round the sub-model belongs to.
+        round: u64,
+        /// Base seed; the worker derives its private RNG stream from this.
+        seed_base: u64,
+        /// Architecture the participant must instantiate.
+        mask: ArchMask,
+        /// Flat sub-model weights in structural visit order.
+        weights: Vec<f32>,
+        /// Flat BatchNorm running statistics in structural visit order.
+        buffers: Vec<f32>,
+        /// Current controller logits.
+        alpha: Vec<f32>,
+    },
+    /// Participant → server: the completed local update.
+    UploadUpdate {
+        /// Round the update was computed in.
+        round: u64,
+        /// Reporting participant id.
+        participant: u32,
+        /// Flat weight gradients in structural visit order.
+        delta_w: Vec<f32>,
+        /// Participant-computed `∇α log p(g)`.
+        delta_alpha: Vec<f32>,
+        /// REINFORCE reward (training accuracy).
+        reward: f32,
+        /// Mean local training loss.
+        loss: f32,
+    },
+    /// Bare acknowledgement of a round.
+    Ack {
+        /// Acknowledged round.
+        round: u64,
+    },
+    /// Liveness probe / connection handshake carrying the sender's id.
+    Heartbeat {
+        /// Sending participant id.
+        participant: u32,
+    },
+}
+
+const TYPE_DOWNLOAD: u8 = 1;
+const TYPE_UPLOAD: u8 = 2;
+const TYPE_ACK: u8 = 3;
+const TYPE_HEARTBEAT: u8 = 4;
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::DownloadSubmodel { .. } => TYPE_DOWNLOAD,
+            Message::UploadUpdate { .. } => TYPE_UPLOAD,
+            Message::Ack { .. } => TYPE_ACK,
+            Message::Heartbeat { .. } => TYPE_HEARTBEAT,
+        }
+    }
+}
+
+fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// A `u32`-count-prefixed run of little-endian `f32`s. The byte count
+    /// is checked against the remaining frame *before* any allocation, so
+    /// a corrupt length cannot trigger a huge reservation.
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or(WireError::Malformed("f32 run overflow"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// One op byte per edge, each validated against [`NUM_OPS`] before the
+    /// mask is constructed ([`ArchMask::new`] panics on bad indices).
+    fn ops(&mut self, edges: usize) -> Result<Vec<usize>, WireError> {
+        let bytes = self.take(edges)?;
+        bytes
+            .iter()
+            .map(|&b| {
+                if (b as usize) < NUM_OPS {
+                    Ok(b as usize)
+                } else {
+                    Err(WireError::Malformed("op index out of range"))
+                }
+            })
+            .collect()
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn encode_payload(msg: &Message) -> Vec<u8> {
+    match msg {
+        Message::DownloadSubmodel {
+            round,
+            seed_base,
+            mask,
+            weights,
+            buffers,
+            alpha,
+        } => {
+            let edges = mask.num_edges();
+            let mut out = Vec::with_capacity(
+                24 + 2 * edges + 4 * (weights.len() + buffers.len() + alpha.len()) + 12,
+            );
+            out.extend_from_slice(&round.to_le_bytes());
+            out.extend_from_slice(&seed_base.to_le_bytes());
+            out.extend_from_slice(&(edges as u32).to_le_bytes());
+            for kind in [
+                fedrlnas_darts::CellKind::Normal,
+                fedrlnas_darts::CellKind::Reduction,
+            ] {
+                for &op in mask.ops(kind) {
+                    out.push(op as u8);
+                }
+            }
+            put_f32s(&mut out, weights);
+            put_f32s(&mut out, buffers);
+            put_f32s(&mut out, alpha);
+            out
+        }
+        Message::UploadUpdate {
+            round,
+            participant,
+            delta_w,
+            delta_alpha,
+            reward,
+            loss,
+        } => {
+            let mut out = Vec::with_capacity(20 + 4 * (delta_w.len() + delta_alpha.len()) + 8);
+            out.extend_from_slice(&round.to_le_bytes());
+            out.extend_from_slice(&participant.to_le_bytes());
+            put_f32s(&mut out, delta_w);
+            put_f32s(&mut out, delta_alpha);
+            out.extend_from_slice(&reward.to_le_bytes());
+            out.extend_from_slice(&loss.to_le_bytes());
+            out
+        }
+        Message::Ack { round } => round.to_le_bytes().to_vec(),
+        Message::Heartbeat { participant } => participant.to_le_bytes().to_vec(),
+    }
+}
+
+fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = match msg_type {
+        TYPE_DOWNLOAD => {
+            let round = r.u64()?;
+            let seed_base = r.u64()?;
+            let edges = r.u32()? as usize;
+            // two op tables of `edges` bytes each must fit in what's left
+            if r.remaining() < 2 * edges {
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN + r.pos + 2 * edges,
+                    got: HEADER_LEN + payload.len(),
+                });
+            }
+            let normal = r.ops(edges)?;
+            let reduction = r.ops(edges)?;
+            let mask = ArchMask::new(normal, reduction);
+            let weights = r.f32s()?;
+            let buffers = r.f32s()?;
+            let alpha = r.f32s()?;
+            Message::DownloadSubmodel {
+                round,
+                seed_base,
+                mask,
+                weights,
+                buffers,
+                alpha,
+            }
+        }
+        TYPE_UPLOAD => {
+            let round = r.u64()?;
+            let participant = r.u32()?;
+            let delta_w = r.f32s()?;
+            let delta_alpha = r.f32s()?;
+            let reward = r.f32()?;
+            let loss = r.f32()?;
+            Message::UploadUpdate {
+                round,
+                participant,
+                delta_w,
+                delta_alpha,
+                reward,
+                loss,
+            }
+        }
+        TYPE_ACK => Message::Ack { round: r.u64()? },
+        TYPE_HEARTBEAT => Message::Heartbeat {
+            participant: r.u32()?,
+        },
+        other => return Err(WireError::UnknownType(other)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a message into one complete frame.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(msg.type_byte());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame
+}
+
+/// Decodes one complete frame. The input must be exactly one frame —
+/// trailing bytes are an error (stream transports split frames before
+/// calling this).
+pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: frame.len(),
+        });
+    }
+    let magic: [u8; 4] = frame[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if frame[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(frame[4]));
+    }
+    let msg_type = frame[5];
+    let payload_len = u32::from_le_bytes(frame[6..10].try_into().expect("4 bytes")) as usize;
+    let total = FRAME_OVERHEAD
+        .checked_add(payload_len)
+        .ok_or(WireError::Malformed("payload length overflow"))?;
+    if frame.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            got: frame.len(),
+        });
+    }
+    if frame.len() > total {
+        return Err(WireError::Malformed("trailing bytes after frame"));
+    }
+    let payload = &frame[HEADER_LEN..HEADER_LEN + payload_len];
+    let expected = u32::from_le_bytes(
+        frame[HEADER_LEN + payload_len..total]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let got = crc32(payload);
+    if expected != got {
+        return Err(WireError::ChecksumMismatch { expected, got });
+    }
+    decode_payload(msg_type, payload)
+}
+
+/// Frame length needed by the header to be complete, if the header itself
+/// is complete. Stream transports use this to split a byte stream into
+/// frames without copying.
+pub fn frame_len(header: &[u8]) -> Option<usize> {
+    if header.len() < HEADER_LEN {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    FRAME_OVERHEAD.checked_add(payload_len)
+}
+
+/// Exact encoded frame size of a [`Message::DownloadSubmodel`] with the
+/// given shape, without building it. The legacy size accounting
+/// (`param_count × 4`) must match this within the fixed overhead — tested
+/// in the rpc integration suite.
+pub fn download_frame_len(edges: usize, weights: usize, buffers: usize, alpha: usize) -> usize {
+    FRAME_OVERHEAD + 8 + 8 + 4 + 2 * edges + 3 * 4 + 4 * (weights + buffers + alpha)
+}
+
+/// Exact encoded frame size of a [`Message::UploadUpdate`] with the given
+/// shape.
+pub fn upload_frame_len(delta_w: usize, delta_alpha: usize) -> usize {
+    FRAME_OVERHEAD + 8 + 4 + 2 * 4 + 4 * (delta_w + delta_alpha) + 4 + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_download() -> Message {
+        Message::DownloadSubmodel {
+            round: 7,
+            seed_base: 0xDEAD_BEEF,
+            mask: ArchMask::new(vec![0, 3, 7, 1], vec![2, 2, 5, 6]),
+            weights: vec![1.0, -2.5, 3.25],
+            buffers: vec![0.5, 0.125],
+            alpha: vec![0.0; 8],
+        }
+    }
+
+    #[test]
+    fn round_trips_every_type() {
+        let msgs = [
+            sample_download(),
+            Message::UploadUpdate {
+                round: 7,
+                participant: 3,
+                delta_w: vec![0.1, 0.2],
+                delta_alpha: vec![-0.5],
+                reward: 0.75,
+                loss: 1.5,
+            },
+            Message::Ack { round: 42 },
+            Message::Heartbeat { participant: 9 },
+        ];
+        for msg in msgs {
+            let frame = encode(&msg);
+            assert_eq!(decode(&frame).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn predicted_lengths_match_encoded() {
+        let frame = encode(&sample_download());
+        assert_eq!(frame.len(), download_frame_len(4, 3, 2, 8));
+        let up = encode(&Message::UploadUpdate {
+            round: 1,
+            participant: 0,
+            delta_w: vec![0.0; 5],
+            delta_alpha: vec![0.0; 3],
+            reward: 0.0,
+            loss: 0.0,
+        });
+        assert_eq!(up.len(), upload_frame_len(5, 3));
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        // IEEE CRC-32 of "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn rejects_out_of_range_op() {
+        let mut frame = encode(&sample_download());
+        // first op byte sits right after round + seed + edge count
+        let op_at = HEADER_LEN + 8 + 8 + 4;
+        frame[op_at] = NUM_OPS as u8;
+        // fix the checksum so only the op index is wrong
+        let len = frame.len();
+        let crc = crc32(&frame[HEADER_LEN..len - TRAILER_LEN]);
+        frame[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode(&frame),
+            Err(WireError::Malformed("op index out of range"))
+        );
+    }
+
+    #[test]
+    fn frame_len_reads_header() {
+        let frame = encode(&Message::Ack { round: 1 });
+        assert_eq!(frame_len(&frame), Some(frame.len()));
+        assert_eq!(frame_len(&frame[..HEADER_LEN - 1]), None);
+    }
+}

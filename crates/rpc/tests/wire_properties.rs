@@ -1,0 +1,208 @@
+//! Property and corruption tests for the wire format: random messages
+//! round-trip bit-exactly; corrupt frames map to typed errors, never
+//! panics.
+
+use fedrlnas_darts::{ArchMask, NUM_OPS};
+use fedrlnas_rpc::wire::{
+    crc32, decode, download_frame_len, encode, upload_frame_len, Message, WireError,
+    FRAME_OVERHEAD, HEADER_LEN,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn mask_strategy() -> impl Strategy<Value = ArchMask> {
+    (1usize..12).prop_flat_map(|edges| {
+        (vec(0usize..NUM_OPS, edges), vec(0usize..NUM_OPS, edges))
+            .prop_map(|(n, r)| ArchMask::new(n, r))
+    })
+}
+
+fn f32s(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    vec(-1e6f32..1e6f32, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn download_round_trips(
+        round in 0u64..u64::MAX,
+        seed_base in 0u64..u64::MAX,
+        mask in mask_strategy(),
+        weights in f32s(256),
+        buffers in f32s(64),
+        alpha in f32s(64),
+    ) {
+        let edges = mask.num_edges();
+        let msg = Message::DownloadSubmodel {
+            round, seed_base, mask,
+            weights: weights.clone(),
+            buffers: buffers.clone(),
+            alpha: alpha.clone(),
+        };
+        let frame = encode(&msg);
+        prop_assert_eq!(
+            frame.len(),
+            download_frame_len(edges, weights.len(), buffers.len(), alpha.len())
+        );
+        prop_assert_eq!(decode(&frame).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn upload_round_trips(
+        round in 0u64..u64::MAX,
+        participant in 0u32..u32::MAX,
+        delta_w in f32s(256),
+        delta_alpha in f32s(64),
+        reward in 0.0f32..1.0f32,
+        loss in 0.0f32..20.0f32,
+    ) {
+        let msg = Message::UploadUpdate {
+            round, participant,
+            delta_w: delta_w.clone(),
+            delta_alpha: delta_alpha.clone(),
+            reward, loss,
+        };
+        let frame = encode(&msg);
+        prop_assert_eq!(frame.len(), upload_frame_len(delta_w.len(), delta_alpha.len()));
+        prop_assert_eq!(decode(&frame).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn ack_and_heartbeat_round_trip(round in 0u64..u64::MAX, participant in 0u32..u32::MAX) {
+        for msg in [Message::Ack { round }, Message::Heartbeat { participant }] {
+            prop_assert_eq!(decode(&encode(&msg)).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_prefix_is_a_typed_error(
+        mask in mask_strategy(),
+        weights in f32s(32),
+        cut in 0usize..1000,
+    ) {
+        let frame = encode(&Message::DownloadSubmodel {
+            round: 1, seed_base: 2, mask,
+            weights, buffers: vec![], alpha: vec![0.0; 8],
+        });
+        let cut = cut % frame.len();
+        match decode(&frame[..cut]) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+            }
+            other => panic!("truncated frame decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipping_any_byte_never_panics(
+        delta_w in f32s(64),
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode(&Message::UploadUpdate {
+            round: 3, participant: 1,
+            delta_w, delta_alpha: vec![1.0, 2.0],
+            reward: 0.5, loss: 1.0,
+        });
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        // any outcome is fine except a panic; a flip inside the payload
+        // must be caught by the CRC
+        let result = decode(&frame);
+        if pos >= HEADER_LEN && pos < frame.len() - 4 {
+            prop_assert!(
+                matches!(result, Err(WireError::ChecksumMismatch { .. })),
+                "payload corruption must fail the checksum, got {:?}",
+                result
+            );
+        } else {
+            prop_assert!(result.is_err(), "corrupt frame decoded successfully");
+        }
+    }
+}
+
+#[test]
+fn flipped_crc_byte_is_checksum_mismatch() {
+    let mut frame = encode(&Message::Ack { round: 9 });
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    assert!(matches!(
+        decode(&frame),
+        Err(WireError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_version_is_typed() {
+    let mut frame = encode(&Message::Ack { round: 9 });
+    frame[4] = 99;
+    assert_eq!(decode(&frame), Err(WireError::UnsupportedVersion(99)));
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let mut frame = encode(&Message::Ack { round: 9 });
+    frame[0] = b'X';
+    assert!(matches!(decode(&frame), Err(WireError::BadMagic(_))));
+}
+
+#[test]
+fn unknown_type_is_typed() {
+    let mut frame = encode(&Message::Heartbeat { participant: 0 });
+    frame[5] = 200;
+    assert_eq!(decode(&frame), Err(WireError::UnknownType(200)));
+}
+
+#[test]
+fn trailing_bytes_are_malformed() {
+    let mut frame = encode(&Message::Ack { round: 1 });
+    frame.push(0);
+    assert!(matches!(decode(&frame), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn huge_declared_payload_does_not_allocate() {
+    // header promising a 4 GiB payload on a tiny frame must fail fast as
+    // truncated, not attempt the allocation
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"FRLN");
+    frame.push(1); // version
+    frame.push(2); // upload
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 16]);
+    match decode(&frame) {
+        Err(WireError::Truncated { needed, got }) => {
+            assert_eq!(needed, FRAME_OVERHEAD + u32::MAX as usize);
+            assert_eq!(got, frame.len());
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_interior_length_field_is_typed() {
+    // declare more f32s than the payload holds: the inner reader must
+    // report truncation before allocating
+    let msg = Message::UploadUpdate {
+        round: 1,
+        participant: 2,
+        delta_w: vec![1.0, 2.0, 3.0],
+        delta_alpha: vec![],
+        reward: 0.1,
+        loss: 0.2,
+    };
+    let mut frame = encode(&msg);
+    // delta_w length prefix sits after round (8) + participant (4)
+    let len_at = HEADER_LEN + 12;
+    frame[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    // re-seal the CRC so only the length lies
+    let end = frame.len() - 4;
+    let crc = crc32(&frame[HEADER_LEN..end]);
+    frame[end..].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        decode(&frame),
+        Err(WireError::Truncated { .. }) | Err(WireError::Malformed(_))
+    ));
+}

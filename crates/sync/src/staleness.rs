@@ -15,6 +15,25 @@ pub enum StalenessDraw {
     Dropped,
 }
 
+impl StalenessDraw {
+    /// Classifies a *measured* arrival delay (in rounds) the way the
+    /// simulated process labels its draws: `0` is fresh, `τ ≤ threshold`
+    /// is stale-but-usable, anything later is dropped (Alg. 1 line 23).
+    ///
+    /// The RPC runtime uses this to route real late replies — updates that
+    /// missed a round's deadline and surfaced during a later round — into
+    /// the same soft-synchronization path as simulated staleness.
+    pub fn from_delay(tau: usize, threshold: usize) -> StalenessDraw {
+        if tau == 0 {
+            StalenessDraw::Fresh
+        } else if tau <= threshold {
+            StalenessDraw::Stale(tau)
+        } else {
+            StalenessDraw::Dropped
+        }
+    }
+}
+
 /// A categorical distribution over update delays, matching the two
 /// scenarios of §VI-C.
 ///
@@ -135,5 +154,14 @@ mod tests {
     #[should_panic(expected = "invalid staleness distribution")]
     fn rejects_overweight_distribution() {
         let _ = StalenessModel::new(vec![0.9, 0.3]);
+    }
+
+    #[test]
+    fn from_delay_matches_threshold_semantics() {
+        assert_eq!(StalenessDraw::from_delay(0, 2), StalenessDraw::Fresh);
+        assert_eq!(StalenessDraw::from_delay(1, 2), StalenessDraw::Stale(1));
+        assert_eq!(StalenessDraw::from_delay(2, 2), StalenessDraw::Stale(2));
+        assert_eq!(StalenessDraw::from_delay(3, 2), StalenessDraw::Dropped);
+        assert_eq!(StalenessDraw::from_delay(1, 0), StalenessDraw::Dropped);
     }
 }

@@ -20,6 +20,7 @@
 //! | [`fed`] | `fedrlnas-fed` | federated runtime, FedAvg |
 //! | [`sync`] | `fedrlnas-sync` | staleness, memory pools, delay compensation |
 //! | [`core`] | `fedrlnas-core` | Algorithm 1 end-to-end, phases P1–P4 |
+//! | [`rpc`] | `fedrlnas-rpc` | wire format, transports, distributed round engine |
 //! | [`baselines`] | `fedrlnas-baselines` | FedAvg/DARTS/ENAS/FedNAS/EvoFedNAS |
 //!
 //! # Quickstart
@@ -49,5 +50,6 @@ pub use fedrlnas_data as data;
 pub use fedrlnas_fed as fed;
 pub use fedrlnas_netsim as netsim;
 pub use fedrlnas_nn as nn;
+pub use fedrlnas_rpc as rpc;
 pub use fedrlnas_sync as sync;
 pub use fedrlnas_tensor as tensor;

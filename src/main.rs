@@ -5,6 +5,7 @@
 //!                  [--participants K] [--staleness none|slight|severe]
 //!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
+//!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
 //! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
 //!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
 //! fedrlnas info    [--scale ...]
@@ -16,6 +17,7 @@ use fedrlnas::core::{
 use fedrlnas::darts::Genotype;
 use fedrlnas::data::{DatasetSpec, SyntheticDataset};
 use fedrlnas::fed::FedAvgConfig;
+use fedrlnas::rpc::{RpcConfig, TransportKind};
 use fedrlnas::sync::{StalenessModel, StalenessStrategy};
 use rand::{rngs::StdRng, SeedableRng};
 use std::process::ExitCode;
@@ -113,6 +115,31 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
+    if present(argv, "--rpc") {
+        let transport = match flag(argv, "--rpc-transport").as_deref() {
+            None | Some("mem") => TransportKind::InMemory,
+            Some("tcp") => TransportKind::Tcp,
+            Some(other) => return Err(format!("unknown rpc transport {other:?}")),
+        };
+        let deadline_ms: u64 = flag(argv, "--rpc-deadline-ms")
+            .map_or(Ok(5000), |s| s.parse())
+            .map_err(|e| format!("bad rpc deadline: {e}"))?;
+        let rpc_config = RpcConfig {
+            transport,
+            deadline: std::time::Duration::from_millis(deadline_ms),
+            ..RpcConfig::default()
+        };
+        let worker_dataset = search.dataset().clone();
+        fedrlnas::rpc::install(search.server_mut(), &worker_dataset, rpc_config);
+        println!(
+            "rpc runtime: {} transport, {} worker threads, {deadline_ms} ms deadline",
+            search
+                .server_mut()
+                .backend_description()
+                .unwrap_or_default(),
+            search.server_mut().participants().len(),
+        );
+    }
     let outcome = search.run(&mut rng);
     println!("genotype: {}", outcome.genotype);
     println!(
