@@ -85,6 +85,11 @@ impl ReinforceController {
         self.updates
     }
 
+    /// Overwrites the update counter (checkpoint restore).
+    pub fn set_updates(&mut self, updates: u64) {
+        self.updates = updates;
+    }
+
     /// Samples a sub-model mask from the policy (Eq. 4–5).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ArchMask {
         self.alpha.sample(rng)

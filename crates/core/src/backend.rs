@@ -18,6 +18,7 @@
 //! crate and installs itself via [`SearchServer::set_backend`](crate::SearchServer::set_backend).
 
 use fedrlnas_darts::{ArchMask, SubModel};
+use fedrlnas_fed::FaultTally;
 
 /// One participant's completed local update as delivered by a backend.
 ///
@@ -84,6 +85,10 @@ pub struct RoundOutcome {
     /// divided by the sampled bandwidth this yields the round's
     /// transmission latency.
     pub download_frame_bytes: Vec<u64>,
+    /// Transport faults observed/injected this round plus the recovery
+    /// actions (retransmits, evictions) they triggered; folded into
+    /// [`fedrlnas_fed::CommStats`] by the server.
+    pub faults: FaultTally,
 }
 
 /// A round-execution engine: ships sub-models out, collects updates back.

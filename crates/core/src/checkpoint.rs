@@ -1,127 +1,824 @@
-//! Search-state checkpointing.
+//! Search-state checkpointing (format v2) and crash recovery.
 //!
 //! Real federated searches run for days (Table V); a production server
 //! must survive restarts. A [`Checkpoint`] captures everything Algorithm 1
-//! needs to resume: the supernet weights θ, the architecture logits α, the
-//! controller baseline and the round counter. The format is a simple
-//! self-describing little-endian binary layout with a magic/version header.
+//! needs to resume **bit-identically**: besides the supernet weights θ and
+//! the architecture logits α of the v1 format, v2 adds the controller RNG
+//! state, the SGD momentum, the memory pools (the staleness mask history
+//! delay compensation replays), the in-flight pending-update queue, the
+//! per-participant loader and bandwidth state, both training curves and
+//! the communication/latency tallies. A search killed after round `t` and
+//! resumed from its round-`t` checkpoint produces the same genotype and
+//! curves as one that never stopped.
+//!
+//! The on-disk layout is a little-endian binary body framed by a
+//! magic/version header, an exact body length and a trailing CRC-32:
+//!
+//! ```text
+//! magic "FRLNCKPT" | version u16 | flags u16 (0) | body-len u64
+//! body … | crc32(body) u32
+//! ```
+//!
+//! Loading follows the same discipline as `fedrlnas-rpc`'s `wire.rs`:
+//! every length field is bounds-checked against the remaining bytes
+//! *before* any allocation, every failure is a typed [`CheckpointError`],
+//! and no input — truncated, bit-flipped, or adversarial — can panic the
+//! loader. [`Checkpoint::save_path`] writes atomically (temp file in the
+//! same directory, fsync, rename) so a crash mid-write never destroys the
+//! previous good checkpoint.
 
-use crate::server::SearchServer;
-use std::io::{self, Read, Write};
+use crate::metrics::StepMetric;
+use crate::server::{LatencyStats, PendingUpdate, SearchServer};
+use fedrlnas_darts::{ArchMask, CellKind, NUM_OPS};
+use fedrlnas_fed::{CommStats, FaultTally};
+use fedrlnas_sync::RoundSnapshot;
+use fedrlnas_tensor::Tensor;
+use rand::rngs::StdRng;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"FEDRLNA1";
+const MAGIC: &[u8; 8] = b"FRLNCKPT";
+const V1_MAGIC: &[u8; 8] = b"FEDRLNA1";
+const VERSION: u16 = 2;
+/// Header: magic + version + flags + body length.
+const HEADER_LEN: usize = 8 + 2 + 2 + 8;
 
-/// A serializable snapshot of the mutable search state.
+/// Why a checkpoint could not be loaded or restored. Never panics — a
+/// corrupt file on disk is an expected failure mode for a crash-recovery
+/// subsystem, not a programming error.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic([u8; 8]),
+    /// A checkpoint from an unsupported format version (v1 files report
+    /// version 1).
+    UnsupportedVersion(u16),
+    /// The file ends before the structure it declares.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The body does not hash to the stored CRC-32.
+    ChecksumMismatch {
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC computed over the body.
+        got: u32,
+    },
+    /// Structurally invalid content (bad lengths, out-of-range indices,
+    /// trailing bytes, non-zero reserved flags …).
+    Malformed(&'static str),
+    /// The checkpoint parsed but does not fit the server it is being
+    /// restored into (different configuration or scale).
+    StateMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic(m) => write!(f, "not a checkpoint (magic {m:02x?})"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads v2)"
+                )
+            }
+            CheckpointError::Truncated { needed, got } => {
+                write!(f, "truncated checkpoint: needed {needed} bytes, got {got}")
+            }
+            CheckpointError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:08x}, computed {got:08x}"
+                )
+            }
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::StateMismatch(what) => {
+                write!(f, "checkpoint does not fit this server: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One retained memory-pool round (the staleness history Δ rounds deep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry {
+    /// Round the snapshot was taken in.
+    pub round: u64,
+    /// Flat supernet weights of that round.
+    pub theta: Vec<f32>,
+    /// Flat architecture logits of that round.
+    pub alpha: Vec<f32>,
+    /// Per-participant masks assigned that round.
+    pub masks: Vec<ArchMask>,
+}
+
+/// One in-flight stale update awaiting its arrival round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEntry {
+    /// Round the update will surface in.
+    pub arrival: u64,
+    /// Round the update was computed in.
+    pub computed_at: u64,
+    /// Owning participant.
+    pub participant: u64,
+    /// Architecture the update was computed against.
+    pub mask: ArchMask,
+    /// Flat sub-model gradients.
+    pub sub_grads: Vec<f32>,
+    /// Reward carried by the update.
+    pub accuracy: f32,
+}
+
+/// One participant's resumable state: loader shuffle order/cursor and the
+/// bandwidth AR(1) state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticipantEntry {
+    /// Shuffled shard indices.
+    pub indices: Vec<u64>,
+    /// Epoch cursor.
+    pub cursor: u64,
+    /// Current link bandwidth in Mbps.
+    pub bandwidth_mbps: f64,
+}
+
+/// A complete, serializable snapshot of the mutable search state (v2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
+    /// Completed rounds.
+    pub round: u64,
+    /// Simulated wall-clock seconds consumed.
+    pub sim_seconds: f64,
+    /// Controller reward baseline `b_t`.
+    pub baseline: f32,
+    /// Controller update counter.
+    pub controller_updates: u64,
+    /// Raw state of the search RNG at capture time.
+    pub rng_state: [u64; 4],
     /// Flat supernet weights in `visit_params` order.
     pub theta: Vec<f32>,
     /// Flat architecture logits.
     pub alpha: Vec<f32>,
-    /// Controller reward baseline `b_t`.
-    pub baseline: f32,
-    /// Completed rounds.
-    pub round: u64,
+    /// Flat θ-optimizer momentum (empty before the first step).
+    pub velocity: Vec<f32>,
+    /// Communication tally.
+    pub comm: CommStats,
+    /// Per-round latency statistics.
+    pub latency: LatencyStats,
+    /// Warm-up curve steps.
+    pub warmup_curve: Vec<StepMetric>,
+    /// Search curve steps.
+    pub search_curve: Vec<StepMetric>,
+    /// Memory-pool snapshots (staleness mask history).
+    pub pools: Vec<PoolEntry>,
+    /// In-flight pending updates.
+    pub pending: Vec<PendingEntry>,
+    /// Per-participant loader and bandwidth state.
+    pub participants: Vec<ParticipantEntry>,
 }
 
 impl Checkpoint {
-    /// Captures the state of a running server.
-    pub fn capture(server: &mut SearchServer) -> Self {
+    /// Captures the complete resumable state of a running server plus the
+    /// search RNG driving it. (`&mut` only because the supernet's parameter
+    /// visitor is mutable; nothing is changed.)
+    pub fn capture(server: &mut SearchServer, rng: &StdRng) -> Self {
         let mut theta = Vec::new();
         server
-            .supernet_mut()
+            .supernet
             .visit_params(&mut |p| theta.extend_from_slice(p.value.as_slice()));
-        let alpha = server.controller().alpha().logits().as_slice().to_vec();
         Checkpoint {
+            round: server.round as u64,
+            sim_seconds: server.sim_seconds,
+            baseline: server.controller.baseline(),
+            controller_updates: server.controller.updates(),
+            rng_state: rng.state(),
             theta,
-            alpha,
-            baseline: server.controller().baseline(),
-            round: server.rounds_completed() as u64,
+            alpha: server.controller.alpha().logits().as_slice().to_vec(),
+            velocity: server.theta_sgd.velocity_flat(),
+            comm: server.comm,
+            latency: server.latency.clone(),
+            warmup_curve: server.warmup_curve.steps().to_vec(),
+            search_curve: server.search_curve.steps().to_vec(),
+            pools: server
+                .pools
+                .iter()
+                .map(|(t, s)| PoolEntry {
+                    round: t as u64,
+                    theta: s.theta.clone(),
+                    alpha: s.alpha.clone(),
+                    masks: s.masks.clone(),
+                })
+                .collect(),
+            pending: server
+                .pending
+                .iter()
+                .map(|u| PendingEntry {
+                    arrival: u.arrival as u64,
+                    computed_at: u.computed_at as u64,
+                    participant: u.participant as u64,
+                    mask: u.mask.clone(),
+                    sub_grads: u.sub_grads.clone(),
+                    accuracy: u.accuracy,
+                })
+                .collect(),
+            participants: server
+                .participants
+                .iter()
+                .map(|p| ParticipantEntry {
+                    indices: p.data_indices().iter().map(|&i| i as u64).collect(),
+                    cursor: p.data_cursor() as u64,
+                    bandwidth_mbps: p.bandwidth_mbps(),
+                })
+                .collect(),
         }
     }
 
     /// Restores this snapshot into a freshly constructed server of the
-    /// same configuration.
+    /// same configuration (same seed ⇒ same supernet structure, dataset
+    /// partition and participant shards).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the parameter counts do not match the server's structure.
-    pub fn restore(&self, server: &mut SearchServer) {
+    /// Returns [`CheckpointError::StateMismatch`] — never panics — when the
+    /// snapshot does not fit the server's structure.
+    pub fn restore(&self, server: &mut SearchServer) -> Result<(), CheckpointError> {
+        let mismatch = |what: String| CheckpointError::StateMismatch(what);
+        // validate everything against the live structure before mutating
+        let mut dims: Vec<Vec<usize>> = Vec::new();
+        let mut theta_len = 0usize;
+        server.supernet.visit_params(&mut |p| {
+            dims.push(p.value.dims().to_vec());
+            theta_len += p.value.len();
+        });
+        if self.theta.len() != theta_len {
+            return Err(mismatch(format!(
+                "theta has {} weights, supernet needs {theta_len}",
+                self.theta.len()
+            )));
+        }
+        let alpha_len = server.controller.alpha().logits().len();
+        if self.alpha.len() != alpha_len {
+            return Err(mismatch(format!(
+                "alpha has {} logits, controller needs {alpha_len}",
+                self.alpha.len()
+            )));
+        }
+        if self.participants.len() != server.participants.len() {
+            return Err(mismatch(format!(
+                "snapshot has {} participants, server has {}",
+                self.participants.len(),
+                server.participants.len()
+            )));
+        }
+        let edges = server.config.net.topology().num_edges();
+        for entry in self.pools.iter() {
+            for m in &entry.masks {
+                if m.num_edges() != edges {
+                    return Err(mismatch(format!(
+                        "pool mask has {} edges, topology has {edges}",
+                        m.num_edges()
+                    )));
+                }
+            }
+        }
+        // θ
         let mut cursor = 0usize;
-        server.supernet_mut().visit_params(&mut |p| {
+        server.supernet.visit_params(&mut |p| {
             let n = p.value.len();
             p.value
                 .as_mut_slice()
                 .copy_from_slice(&self.theta[cursor..cursor + n]);
             cursor += n;
         });
-        assert_eq!(cursor, self.theta.len(), "theta size mismatch");
-        server.restore_controller_state(&self.alpha, self.baseline);
-    }
-
-    /// Serializes to a writer.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        w.write_all(&self.round.to_le_bytes())?;
-        w.write_all(&self.baseline.to_le_bytes())?;
-        for (len, data) in [
-            (self.theta.len(), &self.theta),
-            (self.alpha.len(), &self.alpha),
-        ] {
-            w.write_all(&(len as u64).to_le_bytes())?;
-            for v in data {
-                w.write_all(&v.to_le_bytes())?;
-            }
+        // SGD momentum
+        server
+            .theta_sgd
+            .restore_velocity(&self.velocity, &dims)
+            .map_err(mismatch)?;
+        // controller: α, baseline, update counter
+        let logits = Tensor::from_vec(self.alpha.clone(), &[self.alpha.len()])
+            .map_err(|e| mismatch(format!("alpha tensor rebuild failed: {e:?}")))?;
+        *server.controller.alpha_mut() = fedrlnas_controller::Alpha::from_logits(logits, edges);
+        server.controller.set_baseline(self.baseline);
+        server.controller.set_updates(self.controller_updates);
+        // memory pools (staleness history)
+        server.pools.clear();
+        for entry in &self.pools {
+            server.pools.save(
+                entry.round as usize,
+                RoundSnapshot {
+                    theta: entry.theta.clone(),
+                    alpha: entry.alpha.clone(),
+                    masks: entry.masks.clone(),
+                },
+            );
         }
+        // in-flight pending updates
+        server.pending = self
+            .pending
+            .iter()
+            .map(|u| PendingUpdate {
+                arrival: u.arrival as usize,
+                computed_at: u.computed_at as usize,
+                participant: u.participant as usize,
+                mask: u.mask.clone(),
+                sub_grads: u.sub_grads.clone(),
+                accuracy: u.accuracy,
+            })
+            .collect();
+        // participants: loader shuffle/cursor + bandwidth state
+        for (p, entry) in server.participants.iter_mut().zip(&self.participants) {
+            let indices: Vec<usize> = entry.indices.iter().map(|&i| i as usize).collect();
+            p.restore_data_state(&indices, entry.cursor as usize)
+                .map_err(mismatch)?;
+            p.set_bandwidth_mbps(entry.bandwidth_mbps);
+        }
+        // tallies, curves, clocks
+        server.comm = self.comm;
+        server.latency = self.latency.clone();
+        server.warmup_curve = crate::metrics::CurveRecorder::new();
+        for s in &self.warmup_curve {
+            server.warmup_curve.record(*s);
+        }
+        server.search_curve = crate::metrics::CurveRecorder::new();
+        for s in &self.search_curve {
+            server.search_curve.record(*s);
+        }
+        server.round = self.round as usize;
+        server.sim_seconds = self.sim_seconds;
         Ok(())
     }
 
-    /// Deserializes from a reader.
+    /// Rebuilds the search RNG captured alongside the server state.
+    pub fn rng(&self) -> StdRng {
+        StdRng::from_state(self.rng_state)
+    }
+
+    /// Serializes to the framed v2 byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        let crc = crc32(&body);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from bytes produced by [`Checkpoint::to_bytes`].
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a bad magic header and propagates I/O
-    /// errors.
-    pub fn load<R: Read>(mut r: R) -> io::Result<Self> {
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a fedrlnas checkpoint",
-            ));
+    /// Typed [`CheckpointError`]s on any malformation; never panics and
+    /// never allocates from an unvalidated length field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::Truncated {
+                needed: HEADER_LEN,
+                got: bytes.len(),
+            });
         }
-        let mut u64buf = [0u8; 8];
-        r.read_exact(&mut u64buf)?;
-        let round = u64::from_le_bytes(u64buf);
-        let mut f32buf = [0u8; 4];
-        r.read_exact(&mut f32buf)?;
-        let baseline = f32::from_le_bytes(f32buf);
-        let read_vec = |r: &mut R| -> io::Result<Vec<f32>> {
-            let mut lenbuf = [0u8; 8];
-            r.read_exact(&mut lenbuf)?;
-            let len = u64::from_le_bytes(lenbuf) as usize;
-            let mut out = Vec::with_capacity(len);
-            let mut buf = [0u8; 4];
-            for _ in 0..len {
-                r.read_exact(&mut buf)?;
-                out.push(f32::from_le_bytes(buf));
+        let magic: [u8; 8] = bytes[..8].try_into().expect("8 bytes");
+        if &magic != MAGIC {
+            if &magic == V1_MAGIC {
+                return Err(CheckpointError::UnsupportedVersion(1));
             }
-            Ok(out)
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes(bytes[10..12].try_into().expect("2 bytes"));
+        if flags != 0 {
+            return Err(CheckpointError::Malformed("non-zero reserved flags"));
+        }
+        let body_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let body_len = usize::try_from(body_len)
+            .map_err(|_| CheckpointError::Malformed("body length exceeds address space"))?;
+        let want = HEADER_LEN
+            .checked_add(body_len)
+            .and_then(|n| n.checked_add(4))
+            .ok_or(CheckpointError::Malformed("body length overflow"))?;
+        if bytes.len() < want {
+            return Err(CheckpointError::Truncated {
+                needed: want,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > want {
+            return Err(CheckpointError::Malformed("trailing bytes after checksum"));
+        }
+        let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+        let stored =
+            u32::from_le_bytes(bytes[HEADER_LEN + body_len..].try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch {
+                expected: stored,
+                got: computed,
+            });
+        }
+        Self::decode_body(body)
+    }
+
+    /// Atomically writes the checkpoint to `path`: the bytes land in a
+    /// sibling temp file first, are fsynced, and replace `path` with a
+    /// rename — a crash mid-write leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_path(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = match (path.parent(), path.file_name()) {
+            (Some(dir), Some(name)) => {
+                let mut tmp_name = name.to_os_string();
+                tmp_name.push(".tmp");
+                dir.join(tmp_name)
+            }
+            _ => {
+                return Err(CheckpointError::Malformed(
+                    "checkpoint path has no file name",
+                ))
+            }
         };
-        let theta = read_vec(&mut r)?;
-        let alpha = read_vec(&mut r)?;
+        let bytes = self.to_bytes();
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint file written by
+    /// [`Checkpoint::save_path`].
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CheckpointError`]s for I/O failures and every malformation.
+    pub fn load_path(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.sim_seconds.to_le_bytes());
+        out.extend_from_slice(&self.baseline.to_le_bytes());
+        out.extend_from_slice(&self.controller_updates.to_le_bytes());
+        for w in self.rng_state {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        put_f32s(&mut out, &self.theta);
+        put_f32s(&mut out, &self.alpha);
+        put_f32s(&mut out, &self.velocity);
+        for v in [
+            self.comm.bytes_down,
+            self.comm.bytes_up,
+            self.comm.rounds,
+            self.comm.faults.frames_dropped,
+            self.comm.faults.frames_corrupt,
+            self.comm.faults.frames_duplicated,
+            self.comm.faults.frames_reordered,
+            self.comm.faults.frames_delayed,
+            self.comm.faults.retransmits,
+            self.comm.faults.evictions,
+            self.comm.resumes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_f64s(&mut out, &self.latency.max_per_round);
+        put_f64s(&mut out, &self.latency.mean_per_round);
+        for curve in [&self.warmup_curve, &self.search_curve] {
+            out.extend_from_slice(&(curve.len() as u64).to_le_bytes());
+            for s in curve.iter() {
+                out.extend_from_slice(&(s.step as u64).to_le_bytes());
+                out.extend_from_slice(&s.mean_accuracy.to_le_bytes());
+                out.extend_from_slice(&s.mean_loss.to_le_bytes());
+                out.extend_from_slice(&(s.contributors as u64).to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.pools.len() as u64).to_le_bytes());
+        for entry in &self.pools {
+            out.extend_from_slice(&entry.round.to_le_bytes());
+            put_f32s(&mut out, &entry.theta);
+            put_f32s(&mut out, &entry.alpha);
+            out.extend_from_slice(&(entry.masks.len() as u64).to_le_bytes());
+            for m in &entry.masks {
+                put_mask(&mut out, m);
+            }
+        }
+        out.extend_from_slice(&(self.pending.len() as u64).to_le_bytes());
+        for u in &self.pending {
+            out.extend_from_slice(&u.arrival.to_le_bytes());
+            out.extend_from_slice(&u.computed_at.to_le_bytes());
+            out.extend_from_slice(&u.participant.to_le_bytes());
+            put_mask(&mut out, &u.mask);
+            put_f32s(&mut out, &u.sub_grads);
+            out.extend_from_slice(&u.accuracy.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.participants.len() as u64).to_le_bytes());
+        for p in &self.participants {
+            out.extend_from_slice(&(p.indices.len() as u64).to_le_bytes());
+            for &i in &p.indices {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            out.extend_from_slice(&p.cursor.to_le_bytes());
+            out.extend_from_slice(&p.bandwidth_mbps.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::new(body);
+        let round = r.u64()?;
+        let sim_seconds = r.f64()?;
+        let baseline = r.f32()?;
+        let controller_updates = r.u64()?;
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let theta = r.f32s()?;
+        let alpha = r.f32s()?;
+        let velocity = r.f32s()?;
+        let comm = CommStats {
+            bytes_down: r.u64()?,
+            bytes_up: r.u64()?,
+            rounds: r.u64()?,
+            faults: FaultTally {
+                frames_dropped: r.u64()?,
+                frames_corrupt: r.u64()?,
+                frames_duplicated: r.u64()?,
+                frames_reordered: r.u64()?,
+                frames_delayed: r.u64()?,
+                retransmits: r.u64()?,
+                evictions: r.u64()?,
+            },
+            resumes: r.u64()?,
+        };
+        let latency = LatencyStats {
+            max_per_round: r.f64s()?,
+            mean_per_round: r.f64s()?,
+        };
+        let mut curves: [Vec<StepMetric>; 2] = [Vec::new(), Vec::new()];
+        for curve in curves.iter_mut() {
+            let n = r.len_within(24)?; // step metric is 24 bytes
+            let mut steps = Vec::with_capacity(n);
+            for _ in 0..n {
+                steps.push(StepMetric {
+                    step: r.u64()? as usize,
+                    mean_accuracy: r.f32()?,
+                    mean_loss: r.f32()?,
+                    contributors: r.u64()? as usize,
+                });
+            }
+            *curve = steps;
+        }
+        let [warmup_curve, search_curve] = curves;
+        let n_pools = r.len_within(24)?; // round + two length prefixes + mask count
+        let mut pools = Vec::with_capacity(n_pools);
+        for _ in 0..n_pools {
+            let round = r.u64()?;
+            let theta = r.f32s()?;
+            let alpha = r.f32s()?;
+            let n_masks = r.len_within(2)?; // a mask needs ≥ 2 edge counts
+            let mut masks = Vec::with_capacity(n_masks);
+            for _ in 0..n_masks {
+                masks.push(r.mask()?);
+            }
+            pools.push(PoolEntry {
+                round,
+                theta,
+                alpha,
+                masks,
+            });
+        }
+        let n_pending = r.len_within(40)?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push(PendingEntry {
+                arrival: r.u64()?,
+                computed_at: r.u64()?,
+                participant: r.u64()?,
+                mask: r.mask()?,
+                sub_grads: r.f32s()?,
+                accuracy: r.f32()?,
+            });
+        }
+        let n_participants = r.len_within(24)?;
+        let mut participants = Vec::with_capacity(n_participants);
+        for _ in 0..n_participants {
+            let n_indices = r.len_within(8)?;
+            let mut indices = Vec::with_capacity(n_indices);
+            for _ in 0..n_indices {
+                indices.push(r.u64()?);
+            }
+            participants.push(ParticipantEntry {
+                indices,
+                cursor: r.u64()?,
+                bandwidth_mbps: r.f64()?,
+            });
+        }
+        r.finish()?;
         Ok(Checkpoint {
+            round,
+            sim_seconds,
+            baseline,
+            controller_updates,
+            rng_state,
             theta,
             alpha,
-            baseline,
-            round,
+            velocity,
+            comm,
+            latency,
+            warmup_curve,
+            search_curve,
+            pools,
+            pending,
+            participants,
         })
     }
+}
+
+fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_mask(out: &mut Vec<u8>, mask: &ArchMask) {
+    // same one-byte-per-edge layout as the wire format
+    out.extend_from_slice(&(mask.num_edges() as u64).to_le_bytes());
+    for kind in [CellKind::Normal, CellKind::Reduction] {
+        for &op in mask.ops(kind) {
+            out.push(op as u8);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over the checkpoint body: the same
+/// never-trust-a-length discipline as `fedrlnas-rpc`'s wire decoder.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads an element count whose elements occupy at least
+    /// `min_elem_bytes` each, rejecting counts the remaining bytes cannot
+    /// possibly satisfy — so `Vec::with_capacity(count)` never allocates
+    /// from an untrusted length.
+    fn len_within(&mut self, min_elem_bytes: usize) -> Result<usize, CheckpointError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| CheckpointError::Malformed("count overflow"))?;
+        let need = n
+            .checked_mul(min_elem_bytes.max(1))
+            .ok_or(CheckpointError::Malformed("count overflow"))?;
+        if need > self.remaining() {
+            return Err(CheckpointError::Truncated {
+                needed: need,
+                got: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, CheckpointError> {
+        let n = self.len_within(4)?;
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.len_within(8)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn mask(&mut self) -> Result<ArchMask, CheckpointError> {
+        let edges = self.len_within(2)?;
+        let bytes = self.take(edges * 2)?;
+        let ops = |half: &[u8]| -> Result<Vec<usize>, CheckpointError> {
+            half.iter()
+                .map(|&b| {
+                    if (b as usize) < NUM_OPS {
+                        Ok(b as usize)
+                    } else {
+                        Err(CheckpointError::Malformed("op index out of range"))
+                    }
+                })
+                .collect()
+        };
+        Ok(ArchMask::new(ops(&bytes[..edges])?, ops(&bytes[edges..])?))
+    }
+
+    fn finish(self) -> Result<(), CheckpointError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CheckpointError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3), identical polynomial to the wire format's trailer.
+/// Duplicated here because `fedrlnas-core` sits below `fedrlnas-rpc` in the
+/// dependency graph.
+fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -129,13 +826,20 @@ mod tests {
     use super::*;
     use crate::config::SearchConfig;
     use fedrlnas_data::{DatasetSpec, SyntheticDataset};
-    use rand::{rngs::StdRng, SeedableRng};
+    use fedrlnas_sync::{StalenessModel, StalenessStrategy};
+    use rand::SeedableRng;
 
     fn server(seed: u64) -> (SearchServer, SyntheticDataset, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
         let data =
             SyntheticDataset::generate(&DatasetSpec::svhn_like().with_sizes(10, 3), &mut rng);
-        let s = SearchServer::new(SearchConfig::tiny(), &data, &mut rng);
+        // delay-compensated staleness so pools and pending updates are
+        // actually populated at capture time
+        let config = SearchConfig::tiny().with_staleness(
+            StalenessModel::new(vec![0.6, 0.4]),
+            StalenessStrategy::delay_compensated(),
+        );
+        let s = SearchServer::new(config, &data, &mut rng);
         (s, data, rng)
     }
 
@@ -143,10 +847,10 @@ mod tests {
     fn round_trips_through_bytes() {
         let (mut s, data, mut rng) = server(0);
         s.run_search(&data, 4, &mut rng);
-        let cp = Checkpoint::capture(&mut s);
-        let mut bytes = Vec::new();
-        cp.save(&mut bytes).expect("write to vec");
-        let loaded = Checkpoint::load(bytes.as_slice()).expect("read back");
+        let cp = Checkpoint::capture(&mut s, &rng);
+        assert!(!cp.pools.is_empty(), "DC strategy must retain pool rounds");
+        let bytes = cp.to_bytes();
+        let loaded = Checkpoint::from_bytes(&bytes).expect("read back");
         assert_eq!(loaded, cp);
         assert_eq!(loaded.round, 4);
     }
@@ -155,19 +859,93 @@ mod tests {
     fn restore_resumes_identical_state() {
         let (mut s, data, mut rng) = server(1);
         s.run_search(&data, 3, &mut rng);
-        let cp = Checkpoint::capture(&mut s);
+        let cp = Checkpoint::capture(&mut s, &rng);
         // fresh server, same config/partition seed
         let (mut s2, _, _) = server(1);
-        cp.restore(&mut s2);
-        let cp2 = Checkpoint::capture(&mut s2);
-        assert_eq!(cp.theta, cp2.theta);
-        assert_eq!(cp.alpha, cp2.alpha);
-        assert_eq!(cp.baseline, cp2.baseline);
+        cp.restore(&mut s2).expect("same structure");
+        let cp2 = Checkpoint::capture(&mut s2, &cp.rng());
+        assert_eq!(cp, cp2);
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(Checkpoint::load(&b"NOTACKPT........."[..]).is_err());
-        assert!(Checkpoint::load(&b"FE"[..]).is_err());
+    fn restore_rejects_wrong_scale() {
+        let (mut s, data, mut rng) = server(2);
+        s.run_search(&data, 1, &mut rng);
+        let mut cp = Checkpoint::capture(&mut s, &rng);
+        cp.theta.pop();
+        let (mut s2, _, _) = server(2);
+        match cp.restore(&mut s2) {
+            Err(CheckpointError::StateMismatch(_)) => {}
+            other => panic!("expected StateMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_v1_and_bad_flags() {
+        match Checkpoint::from_bytes(b"NOTACKPT....................") {
+            Err(CheckpointError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        match Checkpoint::from_bytes(b"FE") {
+            Err(CheckpointError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // a v1 header is recognized and reported as unsupported, not garbage
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(V1_MAGIC);
+        v1.extend_from_slice(&[0u8; 24]);
+        match Checkpoint::from_bytes(&v1) {
+            Err(CheckpointError::UnsupportedVersion(1)) => {}
+            other => panic!("expected UnsupportedVersion(1), got {other:?}"),
+        }
+        let (mut s, _, rng) = server(3);
+        let mut bytes = Checkpoint::capture(&mut s, &rng).to_bytes();
+        bytes[10] = 1; // reserved flags must be zero
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CheckpointError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_length_fields_do_not_allocate() {
+        // a tiny file claiming a colossal theta must fail fast on bounds,
+        // not attempt a multi-exabyte allocation — and it must be the
+        // reader's bounds check that rejects it, so fix up the CRC to get
+        // past the checksum
+        let (mut s, _, rng) = server(4);
+        let mut bytes = Checkpoint::capture(&mut s, &rng).to_bytes();
+        // theta length prefix sits right after round/sim/baseline/updates/rng:
+        // 8 + 8 + 4 + 8 + 32 = 60 bytes into the body
+        let off = HEADER_LEN + 60;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[HEADER_LEN..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CheckpointError::Malformed(_)) | Err(CheckpointError::Truncated { .. }) => {}
+            other => panic!("expected bounds rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_path_is_atomic_and_round_trips() {
+        let (mut s, data, mut rng) = server(5);
+        s.run_search(&data, 2, &mut rng);
+        let cp = Checkpoint::capture(&mut s, &rng);
+        let dir = std::env::temp_dir().join(format!("fedrlnas-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("search.ckpt");
+        cp.save_path(&path).expect("atomic save");
+        // no temp file left behind
+        assert!(!dir.join("search.ckpt.tmp").exists());
+        let loaded = Checkpoint::load_path(&path).expect("load back");
+        assert_eq!(loaded, cp);
+        // overwrite keeps the newest state
+        let mut cp2 = cp.clone();
+        cp2.round += 1;
+        cp2.save_path(&path).expect("overwrite");
+        assert_eq!(Checkpoint::load_path(&path).unwrap().round, cp.round + 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -34,9 +34,9 @@ mod runner;
 mod server;
 
 pub use backend::{BackendReport, RoundBackend, RoundOutcome, RoundRequest};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError, ParticipantEntry, PendingEntry, PoolEntry};
 pub use config::{Scale, SearchConfig};
 pub use metrics::{CurveRecorder, StepMetric};
 pub use phases::{retrain_centralized, retrain_federated, test_error_percent, RetrainReport};
-pub use runner::{FederatedModelSearch, SearchOutcome};
+pub use runner::{CheckpointPolicy, FederatedModelSearch, SearchOutcome};
 pub use server::{LatencyStats, SearchServer};

@@ -1,5 +1,6 @@
 //! The high-level public API: run all four phases with one call.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::SearchConfig;
 use crate::metrics::CurveRecorder;
 use crate::phases::{retrain_centralized, retrain_federated, RetrainReport};
@@ -7,7 +8,29 @@ use crate::server::{LatencyStats, SearchServer};
 use fedrlnas_darts::Genotype;
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
 use fedrlnas_fed::{CommStats, FedAvgConfig};
+use rand::rngs::StdRng;
 use rand::Rng;
+use std::path::{Path, PathBuf};
+
+/// Periodic checkpointing policy for [`FederatedModelSearch::run_checkpointed`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// File the checkpoint is (atomically) written to.
+    pub path: PathBuf,
+    /// Snapshot every `every` completed rounds (`0` disables periodic
+    /// snapshots; a final one is still written on completion).
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// Snapshot to `path` every `every` rounds.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every,
+        }
+    }
+}
 
 /// Everything a search run produces: the architecture, the curves and the
 /// systems-level statistics every experiment consumes.
@@ -73,6 +96,69 @@ impl FederatedModelSearch {
     /// The underlying server (for fine-grained control).
     pub fn server_mut(&mut self) -> &mut SearchServer {
         &mut self.server
+    }
+
+    /// Attempts to resume from a checkpoint at `path`, restoring both the
+    /// server state and the search RNG. Returns `Ok(false)` when no file
+    /// exists (fresh start), `Ok(true)` after a successful resume, and a
+    /// typed error when the file exists but is corrupt or does not fit.
+    ///
+    /// Must be called **before** installing an RPC backend: workers clone
+    /// the participants at install time and have to see the restored state.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] from loading or restoring.
+    pub fn try_resume(&mut self, path: &Path, rng: &mut StdRng) -> Result<bool, CheckpointError> {
+        if !path.exists() {
+            return Ok(false);
+        }
+        let cp = Checkpoint::load_path(path)?;
+        cp.restore(&mut self.server)?;
+        *rng = cp.rng();
+        self.server.comm.record_resume();
+        Ok(true)
+    }
+
+    /// Runs P1+P2 like [`FederatedModelSearch::run`], but resumable: rounds
+    /// already completed (after [`FederatedModelSearch::try_resume`]) are
+    /// skipped, and with a [`CheckpointPolicy`] the state is snapshotted
+    /// atomically every `every` rounds plus once on completion. A process
+    /// killed between snapshots loses at most `every - 1` rounds of work
+    /// and resumes bit-identically from the last snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint write failures; the search state itself stays valid.
+    pub fn run_checkpointed(
+        &mut self,
+        rng: &mut StdRng,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<SearchOutcome, CheckpointError> {
+        let total = self.config.warmup_steps + self.config.search_steps;
+        while self.server.rounds_completed() < total {
+            let update_alpha = self.server.rounds_completed() >= self.config.warmup_steps;
+            self.server.run_round(&self.dataset, update_alpha, rng);
+            if let Some(p) = policy {
+                let done = self.server.rounds_completed();
+                if (p.every > 0 && done.is_multiple_of(p.every)) || done == total {
+                    Checkpoint::capture(&mut self.server, rng).save_path(&p.path)?;
+                }
+            }
+        }
+        Ok(self.outcome())
+    }
+
+    fn outcome(&self) -> SearchOutcome {
+        SearchOutcome {
+            genotype: self.server.derive_genotype(),
+            warmup_curve: self.server.warmup_curve().clone(),
+            search_curve: self.server.search_curve().clone(),
+            comm: *self.server.comm(),
+            latency: self.server.latency().clone(),
+            sim_hours: self.server.sim_hours(),
+            alpha_probs: self.server.controller().alpha().probs(),
+        }
     }
 
     /// Runs warm-up (P1) and search (P2) to completion and returns the

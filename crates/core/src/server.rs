@@ -38,14 +38,15 @@ impl LatencyStats {
 }
 
 /// A participant update still in flight (its staleness draw said it arrives
-/// `arrival − computed_at` rounds late).
-struct PendingUpdate {
-    arrival: usize,
-    computed_at: usize,
-    participant: usize,
-    mask: ArchMask,
-    sub_grads: Vec<f32>,
-    accuracy: f32,
+/// `arrival − computed_at` rounds late). `pub(crate)` so checkpointing can
+/// capture and restore the in-flight queue.
+pub(crate) struct PendingUpdate {
+    pub(crate) arrival: usize,
+    pub(crate) computed_at: usize,
+    pub(crate) participant: usize,
+    pub(crate) mask: ArchMask,
+    pub(crate) sub_grads: Vec<f32>,
+    pub(crate) accuracy: f32,
 }
 
 /// One computed local update ready for aggregation.
@@ -61,20 +62,23 @@ struct Arrival {
 }
 
 /// The RL federated model-search server (Algorithm 1).
+///
+/// Fields are `pub(crate)` so the checkpoint module can capture and restore
+/// the complete mutable state without widening the public API.
 pub struct SearchServer {
-    config: SearchConfig,
-    supernet: Supernet,
-    controller: ReinforceController,
-    participants: Vec<Participant>,
-    pools: MemoryPools,
-    pending: Vec<PendingUpdate>,
-    comm: CommStats,
-    warmup_curve: CurveRecorder,
-    search_curve: CurveRecorder,
-    latency: LatencyStats,
-    theta_sgd: Sgd,
-    round: usize,
-    sim_seconds: f64,
+    pub(crate) config: SearchConfig,
+    pub(crate) supernet: Supernet,
+    pub(crate) controller: ReinforceController,
+    pub(crate) participants: Vec<Participant>,
+    pub(crate) pools: MemoryPools,
+    pub(crate) pending: Vec<PendingUpdate>,
+    pub(crate) comm: CommStats,
+    pub(crate) warmup_curve: CurveRecorder,
+    pub(crate) search_curve: CurveRecorder,
+    pub(crate) latency: LatencyStats,
+    pub(crate) theta_sgd: Sgd,
+    pub(crate) round: usize,
+    pub(crate) sim_seconds: f64,
     initial_theta: Vec<f32>,
     /// Optional wire backend; `None` trains participants in-process.
     backend: Option<Box<dyn RoundBackend>>,
@@ -347,11 +351,24 @@ impl SearchServer {
             // including retransmissions and late uploads
             self.comm.record_down(out.bytes_down as usize);
             self.comm.record_up(out.bytes_up as usize);
+            self.comm.record_faults(&out.faults);
             // transmission latency: measured download frame bytes over the
             // sampled link bandwidth
             for (p, latency) in latencies.iter_mut().enumerate().take(k) {
                 let bytes = out.download_frame_bytes.get(p).copied().unwrap_or(0);
                 *latency = transmission_secs(bytes as usize, bandwidths[p]);
+            }
+            // The workers drew this round's batches on their own clones, so
+            // mirror the loader-state transition here (same per-participant
+            // RNG derivation; shuffle draws precede augmentation draws in
+            // `next_batch`, so replaying only the pick loop lands on the
+            // same state). This keeps the server's participants
+            // authoritative for checkpoint/resume in backend mode.
+            for p in self.participants.iter_mut() {
+                let mut prng = rand::rngs::StdRng::seed_from_u64(
+                    seed_base ^ (p.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                p.advance_data(&mut prng);
             }
             (out.reports, out.late)
         } else {

@@ -1,0 +1,181 @@
+//! Crash-recovery: a search killed between checkpoints and resumed from
+//! the last snapshot is bit-identical to an uninterrupted run, and the
+//! checkpoint format rejects every truncation and every single-bit flip
+//! with a typed error instead of a panic.
+
+use std::sync::OnceLock;
+
+use fedrlnas_core::{
+    Checkpoint, CheckpointError, CheckpointPolicy, FederatedModelSearch, SearchConfig,
+};
+use fedrlnas_data::{DatasetSpec, SyntheticDataset};
+use fedrlnas_sync::{StalenessModel, StalenessStrategy};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Delay-compensated staleness exercises the richest checkpoint payload:
+/// memory pools, pending updates and the staleness history all have to
+/// survive the round trip for the resumed run to stay bit-identical.
+fn config() -> SearchConfig {
+    SearchConfig::tiny().with_staleness(
+        StalenessModel::new(vec![0.6, 0.4]),
+        StalenessStrategy::delay_compensated(),
+    )
+}
+
+fn dataset(config: &SearchConfig) -> SyntheticDataset {
+    let spec = DatasetSpec::cifar10_like().with_image_hw(config.net.image_hw);
+    let mut rng = StdRng::seed_from_u64(0xDA7A);
+    SyntheticDataset::generate(&spec, &mut rng)
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "fedrlnas-recovery-{name}-{}.ckpt",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn killed_and_resumed_search_is_bit_identical() {
+    let cfg = config();
+    let data = dataset(&cfg);
+    // uninterrupted reference run
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut full = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    let reference = full.run(&mut rng);
+
+    // interrupted run: all of warm-up plus two search rounds, snapshot,
+    // then the process "dies" (the search is dropped)
+    let path = tmp("inproc");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+        search
+            .server_mut()
+            .run_warmup(&data, cfg.warmup_steps, &mut rng);
+        search.server_mut().run_search(&data, 2, &mut rng);
+        Checkpoint::capture(search.server_mut(), &rng)
+            .save_path(&path)
+            .expect("snapshot");
+    }
+
+    // a fresh process image resumes from the snapshot
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut resumed = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    assert!(resumed.try_resume(&path, &mut rng).expect("resume"));
+    let outcome = resumed.run_checkpointed(&mut rng, None).expect("finish");
+
+    assert_eq!(outcome.genotype, reference.genotype, "genotype diverged");
+    assert_eq!(outcome.warmup_curve, reference.warmup_curve);
+    assert_eq!(outcome.search_curve, reference.search_curve);
+    assert_eq!(outcome.latency, reference.latency);
+    assert_eq!(outcome.comm.bytes_down, reference.comm.bytes_down);
+    assert_eq!(outcome.comm.bytes_up, reference.comm.bytes_up);
+    assert_eq!(outcome.comm.rounds, reference.comm.rounds);
+    assert_eq!(outcome.comm.resumes, 1, "resume must be counted");
+    assert_eq!(outcome.alpha_probs, reference.alpha_probs);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_policy_snapshots_and_resumes_at_completion() {
+    let cfg = config();
+    let data = dataset(&cfg);
+    let path = tmp("policy");
+    let _ = std::fs::remove_file(&path);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    let policy = CheckpointPolicy::new(&path, 4);
+    let outcome = search
+        .run_checkpointed(&mut rng, Some(&policy))
+        .expect("checkpointed run");
+    assert!(path.exists(), "final snapshot must be written");
+    // the final snapshot captures the completed run: resuming replays
+    // zero rounds and reproduces the exact outcome
+    let mut rng2 = StdRng::seed_from_u64(3);
+    let mut resumed = FederatedModelSearch::with_dataset(cfg, data, &mut rng2);
+    assert!(resumed.try_resume(&path, &mut rng2).expect("resume"));
+    let again = resumed.run_checkpointed(&mut rng2, None).expect("finish");
+    assert_eq!(again.genotype, outcome.genotype);
+    assert_eq!(again.search_curve, outcome.search_curve);
+    assert_eq!(again.comm.resumes, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn try_resume_without_a_file_is_a_fresh_start() {
+    let cfg = config();
+    let data = dataset(&cfg);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut search = FederatedModelSearch::with_dataset(cfg, data, &mut rng);
+    let path = tmp("missing");
+    let _ = std::fs::remove_file(&path);
+    assert!(!search.try_resume(&path, &mut rng).expect("no file is fine"));
+}
+
+/// One small real checkpoint, serialized once and shared by the
+/// corruption properties below.
+fn sample_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let cfg = config();
+        let data = dataset(&cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut search = FederatedModelSearch::with_dataset(cfg, data.clone(), &mut rng);
+        search.server_mut().run_warmup(&data, 3, &mut rng);
+        Checkpoint::capture(search.server_mut(), &rng).to_bytes()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_anywhere_is_a_typed_error(frac in 0.0f64..1.0f64) {
+        let bytes = sample_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let err = Checkpoint::from_bytes(&bytes[..cut.min(bytes.len() - 1)])
+            .expect_err("every strict prefix must be rejected");
+        prop_assert!(matches!(
+            err,
+            CheckpointError::Truncated { .. }
+                | CheckpointError::BadMagic(_)
+                | CheckpointError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_a_typed_error(frac in 0.0f64..1.0f64, bit in 0u8..8) {
+        let bytes = sample_bytes();
+        let pos = (((bytes.len() - 1) as f64) * frac) as usize;
+        let mut bad = bytes.to_vec();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            Checkpoint::from_bytes(&bad).is_err(),
+            "flipping bit {bit} of byte {pos} must not yield a valid checkpoint"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(extra in proptest::collection::vec(0u8..=255, 1..16)) {
+        let mut bad = sample_bytes().to_vec();
+        bad.extend_from_slice(&extra);
+        prop_assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(CheckpointError::Malformed(_)) | Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn round_trip_is_exact() {
+    let bytes = sample_bytes();
+    let cp = Checkpoint::from_bytes(bytes).expect("valid checkpoint");
+    assert_eq!(
+        cp.to_bytes(),
+        bytes,
+        "serialize∘deserialize must be identity"
+    );
+}

@@ -43,6 +43,62 @@ impl Loader {
         self.indices.is_empty()
     }
 
+    /// Current shuffled index order (checkpoint capture).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Position of the next draw within the current epoch (checkpoint
+    /// capture).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Restores shuffle order and cursor captured by [`Loader::indices`] /
+    /// [`Loader::cursor`]. Returns `Err` when the snapshot does not fit
+    /// this loader (wrong shard size or out-of-range cursor).
+    pub fn restore(&mut self, indices: &[usize], cursor: usize) -> Result<(), String> {
+        if indices.len() != self.indices.len() {
+            return Err(format!(
+                "loader snapshot has {} indices, shard holds {}",
+                indices.len(),
+                self.indices.len()
+            ));
+        }
+        if cursor >= self.indices.len() {
+            return Err(format!(
+                "loader cursor {cursor} out of range for shard of {}",
+                self.indices.len()
+            ));
+        }
+        self.indices.copy_from_slice(indices);
+        self.cursor = cursor;
+        Ok(())
+    }
+
+    /// Advances the shuffle/cursor state exactly as one [`Loader::next_batch`]
+    /// call would, consuming the same RNG draws, without touching a dataset
+    /// or paying for augmentation.
+    ///
+    /// `next_batch` makes all of its shuffle draws before any augmentation
+    /// draw, so a caller that replays the pick loop with a fresh per-call RNG
+    /// (the federated round protocol derives one per participant per round)
+    /// ends up with loader state identical to the worker that actually
+    /// trained. This is what keeps server-side loaders authoritative for
+    /// checkpointing while remote workers do the real data loading.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let take = self.batch_size.min(self.indices.len());
+        for _ in 0..take {
+            if self.cursor == 0 {
+                for i in (1..self.indices.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    self.indices.swap(i, j);
+                }
+            }
+            self.cursor = (self.cursor + 1) % self.indices.len();
+        }
+    }
+
     /// Draws the next mini-batch, reshuffling at epoch boundaries. Batches
     /// wrap around so every call yields exactly `batch_size` samples (or
     /// the whole shard when it is smaller).
@@ -137,5 +193,37 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn rejects_empty_shard() {
         let _ = Loader::new(vec![], 4, AugmentConfig::none());
+    }
+
+    #[test]
+    fn advance_matches_next_batch_state() {
+        // with fresh per-call RNGs, advance() must leave the loader in the
+        // exact state next_batch() would — including after epoch wraps
+        let (d, _) = dataset();
+        let mut real = Loader::new((0..10).collect(), 4, AugmentConfig::scaled_to(8));
+        let mut ghost = real.clone();
+        for round in 0..7u64 {
+            let mut r1 = StdRng::seed_from_u64(round);
+            let mut r2 = StdRng::seed_from_u64(round);
+            let _ = real.next_batch(&d, &mut r1);
+            ghost.advance(&mut r2);
+            assert_eq!(real.indices(), ghost.indices(), "round {round}");
+            assert_eq!(real.cursor(), ghost.cursor(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn restore_round_trips_and_rejects_bad_snapshots() {
+        let (d, mut rng) = dataset();
+        let mut loader = Loader::new((0..10).collect(), 4, AugmentConfig::none());
+        let _ = loader.next_batch(&d, &mut rng);
+        let saved: Vec<usize> = loader.indices().to_vec();
+        let cursor = loader.cursor();
+        let _ = loader.next_batch(&d, &mut rng);
+        loader.restore(&saved, cursor).unwrap();
+        assert_eq!(loader.indices(), &saved[..]);
+        assert_eq!(loader.cursor(), cursor);
+        assert!(loader.restore(&[1, 2], 0).is_err(), "wrong shard size");
+        assert!(loader.restore(&saved, 10).is_err(), "cursor out of range");
     }
 }

@@ -2,10 +2,59 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Per-round tally of injected or observed transport faults and the
+/// recovery machinery they triggered. Kept separate from the byte counters
+/// so round backends can hand a compact delta back to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultTally {
+    /// Frames silently discarded in flight (including partition windows).
+    pub frames_dropped: u64,
+    /// Frames delivered with flipped payload bits (caught by the CRC).
+    pub frames_corrupt: u64,
+    /// Frames delivered more than once.
+    pub frames_duplicated: u64,
+    /// Frames delivered out of order.
+    pub frames_reordered: u64,
+    /// Frames delivered after injected extra latency.
+    pub frames_delayed: u64,
+    /// Server-side download retransmissions after a missed deadline.
+    pub retransmits: u64,
+    /// Workers evicted after repeated unresponsive rounds.
+    pub evictions: u64,
+}
+
+impl FaultTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another tally into this one (saturating, like every counter in
+    /// this module).
+    pub fn merge(&mut self, other: &FaultTally) {
+        self.frames_dropped = self.frames_dropped.saturating_add(other.frames_dropped);
+        self.frames_corrupt = self.frames_corrupt.saturating_add(other.frames_corrupt);
+        self.frames_duplicated = self
+            .frames_duplicated
+            .saturating_add(other.frames_duplicated);
+        self.frames_reordered = self.frames_reordered.saturating_add(other.frames_reordered);
+        self.frames_delayed = self.frames_delayed.saturating_add(other.frames_delayed);
+        self.retransmits = self.retransmits.saturating_add(other.retransmits);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+    }
+
+    /// Returns `true` when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != FaultTally::default()
+    }
+}
+
 /// Tallies every byte that would cross the network in a real deployment,
 /// in both directions, plus the round count — the raw numbers behind the
 /// paper's efficiency claims (§VI-C: supernet 1.93 MB vs sub-model
-/// 0.27 MB average).
+/// 0.27 MB average) — and, since the fault-injection layer landed, an
+/// explicit account of what went wrong on the wire and how often the
+/// runtime had to recover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CommStats {
     /// Bytes sent from server to participants (model downloads).
@@ -14,6 +63,10 @@ pub struct CommStats {
     pub bytes_up: u64,
     /// Communication rounds completed.
     pub rounds: u64,
+    /// Transport faults observed/injected and recovery actions taken.
+    pub faults: FaultTally,
+    /// Times this run was resumed from an on-disk checkpoint.
+    pub resumes: u64,
 }
 
 impl CommStats {
@@ -58,7 +111,19 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         self.bytes_down = self.bytes_down.saturating_add(other.bytes_down);
         self.bytes_up = self.bytes_up.saturating_add(other.bytes_up);
+        self.faults.merge(&other.faults);
+        self.resumes = self.resumes.saturating_add(other.resumes);
         // rounds are counted by the server loop, not merged from workers
+    }
+
+    /// Folds one round's fault delta (from a round backend) into the tally.
+    pub fn record_faults(&mut self, delta: &FaultTally) {
+        self.faults.merge(delta);
+    }
+
+    /// Marks a resume from an on-disk checkpoint (saturating).
+    pub fn record_resume(&mut self) {
+        self.resumes = self.resumes.saturating_add(1);
     }
 }
 
@@ -70,7 +135,28 @@ impl std::fmt::Display for CommStats {
             self.bytes_down as f64 / 1e6,
             self.bytes_up as f64 / 1e6,
             self.rounds
-        )
+        )?;
+        // keep the fault-free rendering byte-identical to the pre-chaos
+        // format; only a run that actually saw faults or resumes grows the
+        // extra segment
+        if self.faults.any() {
+            let f_ = &self.faults;
+            write!(
+                f,
+                "; faults: {} dropped / {} corrupt / {} dup / {} reordered / {} delayed, {} retransmits, {} evictions",
+                f_.frames_dropped,
+                f_.frames_corrupt,
+                f_.frames_duplicated,
+                f_.frames_reordered,
+                f_.frames_delayed,
+                f_.retransmits,
+                f_.evictions
+            )?;
+        }
+        if self.resumes > 0 {
+            write!(f, "; resumed from checkpoint {}x", self.resumes)?;
+        }
+        Ok(())
     }
 }
 
@@ -126,13 +212,18 @@ mod tests {
         let mut down = 0u64;
         let mut up = 0u64;
         let mut rounds = 0u64;
+        let mut dropped = 0u64;
+        let mut retransmits = 0u64;
+        // kinds: 0 = down, 1 = up, 2 = round boundary, 3 = fault delta
         let script: &[(u8, usize)] = &[
             (0, 1000),
             (1, 64),
+            (3, 2),    // two frames lost mid-round
             (0, 1000), // retransmission
             (2, 0),
             (1, 64), // late upload after the round boundary
             (0, 7),
+            (3, 1),
             (2, 0),
             (2, 0), // empty round: boundary with no traffic
             (1, 1),
@@ -147,17 +238,69 @@ mod tests {
                     s.record_up(bytes);
                     up += bytes as u64;
                 }
-                _ => {
+                2 => {
                     s.end_round();
                     rounds += 1;
+                }
+                _ => {
+                    s.record_faults(&FaultTally {
+                        frames_dropped: bytes as u64,
+                        retransmits: bytes as u64,
+                        ..FaultTally::default()
+                    });
+                    dropped += bytes as u64;
+                    retransmits += bytes as u64;
                 }
             }
             assert_eq!(s.bytes_down, down);
             assert_eq!(s.bytes_up, up);
             assert_eq!(s.rounds, rounds);
             assert_eq!(s.total_bytes(), down + up);
+            // fault deltas never leak into the byte totals, and vice versa
+            assert_eq!(s.faults.frames_dropped, dropped);
+            assert_eq!(s.faults.retransmits, retransmits);
         }
         assert!((s.bytes_per_round() - (down + up) as f64 / rounds as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_display_is_unchanged_and_faults_surface() {
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.end_round();
+        // no faults, no resumes: the legacy rendering, byte for byte
+        assert_eq!(s.to_string(), "2.00 MB down, 0.00 MB up over 1 rounds");
+        s.record_faults(&FaultTally {
+            frames_dropped: 3,
+            frames_corrupt: 1,
+            frames_duplicated: 2,
+            retransmits: 4,
+            evictions: 1,
+            ..FaultTally::default()
+        });
+        s.record_resume();
+        let text = s.to_string();
+        assert!(text.contains("3 dropped"), "{text}");
+        assert!(text.contains("1 corrupt"), "{text}");
+        assert!(text.contains("2 dup"), "{text}");
+        assert!(text.contains("4 retransmits"), "{text}");
+        assert!(text.contains("1 evictions"), "{text}");
+        assert!(text.contains("resumed from checkpoint 1x"), "{text}");
+    }
+
+    #[test]
+    fn fault_tally_merge_saturates() {
+        let mut a = FaultTally {
+            frames_dropped: u64::MAX,
+            retransmits: 1,
+            ..FaultTally::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.frames_dropped, u64::MAX);
+        assert_eq!(a.retransmits, 2);
+        assert!(a.any());
+        assert!(!FaultTally::new().any());
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod participant;
 mod rounds;
 mod trainable;
 
-pub use comm::CommStats;
+pub use comm::{CommStats, FaultTally};
 pub use fedsgd::{FedSgdConfig, FedSgdTrainer};
 pub use participant::{LocalReport, Participant};
 pub use rounds::{FedAvgConfig, FedAvgTrainer, RoundMetrics};

@@ -85,6 +85,36 @@ impl Participant {
         self.trace.current_mbps()
     }
 
+    /// Restores the bandwidth AR(1) state (checkpoint resume).
+    pub fn set_bandwidth_mbps(&mut self, mbps: f64) {
+        self.trace.set_current_mbps(mbps);
+    }
+
+    /// The loader's shuffled index order (checkpoint capture).
+    pub fn data_indices(&self) -> &[usize] {
+        self.loader.indices()
+    }
+
+    /// The loader's epoch cursor (checkpoint capture).
+    pub fn data_cursor(&self) -> usize {
+        self.loader.cursor()
+    }
+
+    /// Restores loader shuffle order and cursor (checkpoint resume).
+    /// Returns `Err` when the snapshot does not fit this shard.
+    pub fn restore_data_state(&mut self, indices: &[usize], cursor: usize) -> Result<(), String> {
+        self.loader.restore(indices, cursor)
+    }
+
+    /// Advances the loader's shuffle/cursor state exactly as one
+    /// [`Participant::local_update`] would, without training. The round
+    /// engine ships the actual batch drawing to remote workers; the server
+    /// mirrors their loader-state transitions through this call so its own
+    /// participants stay authoritative for checkpointing.
+    pub fn advance_data<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.loader.advance(rng);
+    }
+
     /// One local update (the paper's participant side of Algorithm 1):
     /// draws a batch, runs forward + backward once, and leaves the
     /// gradients in `model`. Returns the reward and loss.
@@ -202,6 +232,49 @@ mod tests {
             first.loss,
             later.loss
         );
+    }
+
+    #[test]
+    fn advance_data_mirrors_local_update() {
+        // a ghost participant that only advances loader state must track a
+        // real one training with the same per-round RNG derivation
+        let (data, real, _) = setup();
+        let mut real = real;
+        let mut ghost = real.clone();
+        let config = SupernetConfig::tiny();
+        let mut net_rng = StdRng::seed_from_u64(1);
+        let net = Supernet::new(config.clone(), &mut net_rng);
+        let mask = ArchMask::uniform_random(&config, &mut net_rng);
+        for round in 0..5u64 {
+            let mut sub = net.extract_submodel(&mask);
+            let mut r1 = StdRng::seed_from_u64(round);
+            let mut r2 = StdRng::seed_from_u64(round);
+            let _ = real.local_update(&mut sub, &data, &mut r1);
+            ghost.advance_data(&mut r2);
+            assert_eq!(real.data_indices(), ghost.data_indices(), "round {round}");
+            assert_eq!(real.data_cursor(), ghost.data_cursor(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn data_state_restore_round_trips() {
+        let (data, mut p, mut rng) = setup();
+        let config = SupernetConfig::tiny();
+        let net = Supernet::new(config.clone(), &mut rng);
+        let mask = ArchMask::uniform_random(&config, &mut rng);
+        let mut sub = net.extract_submodel(&mask);
+        let _ = p.local_update(&mut sub, &data, &mut rng);
+        let indices = p.data_indices().to_vec();
+        let cursor = p.data_cursor();
+        let mbps = p.bandwidth_mbps();
+        let _ = p.local_update(&mut sub, &data, &mut rng);
+        let _ = p.next_bandwidth_mbps(&mut rng);
+        p.restore_data_state(&indices, cursor).unwrap();
+        p.set_bandwidth_mbps(mbps);
+        assert_eq!(p.data_indices(), &indices[..]);
+        assert_eq!(p.data_cursor(), cursor);
+        assert_eq!(p.bandwidth_mbps(), mbps);
+        assert!(p.restore_data_state(&[0], 0).is_err());
     }
 
     #[test]

@@ -106,6 +106,13 @@ impl BandwidthTrace {
         self.current
     }
 
+    /// Restores the AR(1) state to a value captured by
+    /// [`BandwidthTrace::current_mbps`], clamped to the same 0.5 Mbps floor
+    /// the process itself enforces (checkpoint resume).
+    pub fn set_current_mbps(&mut self, mbps: f64) {
+        self.current = if mbps.is_finite() { mbps.max(0.5) } else { 0.5 };
+    }
+
     /// Advances one round and returns the new bandwidth in Mbps.
     pub fn next_mbps<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         let (mean, std, rho) = self.env.stats();

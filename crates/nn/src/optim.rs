@@ -67,6 +67,47 @@ impl Sgd {
         self.config.lr = lr;
     }
 
+    /// Concatenates all momentum buffers into one flat vector (checkpoint
+    /// capture). Empty before the first step, which restores losslessly: a
+    /// fresh optimizer lazily re-creates zero velocity on its next step.
+    pub fn velocity_flat(&self) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(self.velocity.iter().map(|v| v.len()).sum());
+        for v in &self.velocity {
+            flat.extend_from_slice(v.as_slice());
+        }
+        flat
+    }
+
+    /// Rebuilds the momentum buffers from a flat vector captured by
+    /// [`Sgd::velocity_flat`], with per-buffer shapes supplied by the caller
+    /// (the parameter visit order of the optimized network). An empty `flat`
+    /// resets to the pre-first-step state. Returns `Err` when the element
+    /// count does not match the shapes — never panics on untrusted input.
+    pub fn restore_velocity(&mut self, flat: &[f32], dims: &[Vec<usize>]) -> Result<(), String> {
+        if flat.is_empty() {
+            self.velocity.clear();
+            return Ok(());
+        }
+        let want: usize = dims.iter().map(|d| d.iter().product::<usize>()).sum();
+        if want != flat.len() {
+            return Err(format!(
+                "velocity snapshot has {} elements, parameters need {want}",
+                flat.len()
+            ));
+        }
+        let mut velocity = Vec::with_capacity(dims.len());
+        let mut offset = 0usize;
+        for d in dims {
+            let n: usize = d.iter().product();
+            let t = Tensor::from_vec(flat[offset..offset + n].to_vec(), d)
+                .map_err(|e| format!("velocity tensor rebuild failed: {e:?}"))?;
+            velocity.push(t);
+            offset += n;
+        }
+        self.velocity = velocity;
+        Ok(())
+    }
+
     /// Applies one update step to `params` using their accumulated
     /// gradients, then leaves the gradients untouched (callers zero them).
     ///
@@ -300,6 +341,42 @@ mod tests {
         // clipped to norm 5: grads become (3, 4)
         assert!((a.value.as_slice()[0] + 3.0).abs() < 1e-5);
         assert!((b.value.as_slice()[0] + 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn velocity_round_trip_resumes_identical_steps() {
+        let cfg = SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.01,
+            clip: f32::INFINITY,
+        };
+        let mut p = Param::new(Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap());
+        let mut sgd = Sgd::new(cfg);
+        assert!(sgd.velocity_flat().is_empty(), "no velocity before a step");
+        p.grad = Tensor::from_vec(vec![0.3, -0.1], &[2]).unwrap();
+        sgd.step(&mut [&mut p]);
+        let flat = sgd.velocity_flat();
+        let weights = p.value.as_slice().to_vec();
+        // resumed optimizer continues bit-identically
+        let mut resumed = Sgd::new(cfg);
+        resumed
+            .restore_velocity(&flat, &[vec![2usize]])
+            .expect("matching shapes restore");
+        let mut q = Param::new(Tensor::from_vec(weights, &[2]).unwrap());
+        q.grad = Tensor::from_vec(vec![0.2, 0.4], &[2]).unwrap();
+        p.grad = Tensor::from_vec(vec![0.2, 0.4], &[2]).unwrap();
+        sgd.step(&mut [&mut p]);
+        resumed.step(&mut [&mut q]);
+        assert_eq!(p.value.as_slice(), q.value.as_slice());
+        // mismatched totals are a typed error, not a panic
+        assert!(Sgd::new(cfg)
+            .restore_velocity(&flat, &[vec![3usize]])
+            .is_err());
+        // empty snapshot resets to the lazy pre-step state
+        let mut fresh = Sgd::new(cfg);
+        fresh.restore_velocity(&[], &[]).unwrap();
+        assert!(fresh.velocity_flat().is_empty());
     }
 
     #[test]

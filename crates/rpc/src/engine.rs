@@ -9,11 +9,22 @@
 //! to the server as *late* reports, which flow into the soft-sync
 //! staleness path.
 //!
+//! Graceful degradation: with [`RpcConfig::quorum_frac`] below `1.0` a
+//! round commits as soon as the quorum of eligible workers has reported;
+//! stragglers only get a short drain window and their replies surface
+//! late. A worker that misses [`RpcConfig::evict_after`] consecutive
+//! rounds is *evicted* — it no longer receives downloads, but every round
+//! the engine drains its link, attributes any buffered late replies, and
+//! sends a liveness probe; a heartbeat reply re-admits it.
+//!
 //! Determinism: worker `p` derives its training RNG exactly like the
 //! in-process path (`seed_base ^ p · φ64`), performs the same
 //! `local_update` call on the same shipped weights, and reports are sorted
 //! by participant id before aggregation — so a fault-free RPC search is
-//! bit-identical to an in-process one.
+//! bit-identical to an in-process one. Injected faults come from the
+//! seeded schedule of [`FaultPlan`], and every *recoverable* fault is
+//! masked by the retry/idempotence machinery, so the search result is
+//! unchanged under a recoverable fault plan too.
 
 use std::collections::{HashMap, HashSet};
 use std::net::TcpListener;
@@ -28,6 +39,7 @@ use fedrlnas_fed::Participant;
 use fedrlnas_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
+use crate::fault::{mix, FaultPlan, FaultyTransport};
 use crate::transport::{
     ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError,
 };
@@ -37,6 +49,15 @@ use crate::wire::{decode, encode, Message};
 /// attribution; anything older than this is unattributable and dropped
 /// (the staleness threshold is far smaller in practice).
 const HISTORY_ROUNDS: usize = 16;
+
+/// Hard cap on any single backoff sleep.
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
+
+/// How long a straggler's link is drained once the quorum is already met.
+const QUORUM_DRAIN: Duration = Duration::from_millis(5);
+
+/// How long an evicted worker's link is drained per round.
+const EVICTED_DRAIN: Duration = Duration::from_millis(2);
 
 /// Which transport the engine runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,12 +78,22 @@ pub struct RpcConfig {
     /// How many times a timed-out download is retransmitted before the
     /// participant is declared late for the round.
     pub max_retries: usize,
-    /// Base sleep before the first retransmission; doubles per attempt.
+    /// Base sleep before the first retransmission; grows exponentially
+    /// (saturating, capped, jittered — see [`backoff_delay`]).
     pub retry_backoff: Duration,
     /// Stretch factor mapping simulated transmission time onto real
     /// sleeps in the shaped transport. `0.0` (the default) keeps the
     /// byte-accurate accounting without sleeping.
     pub real_time_scale: f64,
+    /// Fraction of eligible workers whose on-time reply commits the round
+    /// (`1.0`, the default, waits for everyone — the legacy behaviour).
+    pub quorum_frac: f64,
+    /// Consecutive missed rounds after which a worker is evicted
+    /// (`0` disables eviction).
+    pub evict_after: usize,
+    /// Seeded fault-injection plan applied to every server-side link
+    /// endpoint; [`FaultPlan::none`] (the default) injects nothing.
+    pub fault: FaultPlan,
 }
 
 impl Default for RpcConfig {
@@ -73,20 +104,44 @@ impl Default for RpcConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
             real_time_scale: 0.0,
+            quorum_frac: 1.0,
+            evict_after: 3,
+            fault: FaultPlan::none(),
         }
     }
 }
 
-/// Scripted failure for one worker — test harness for the timeout, retry
-/// and staleness paths.
+/// Scripted failure for one worker — test harness for the timeout, retry,
+/// staleness, eviction and re-admission paths.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct FaultPlan {
+pub struct ScriptedFault {
     /// Worker exits silently upon receiving this round's download,
-    /// simulating a participant crash mid-round.
+    /// simulating a permanent participant crash mid-round.
     pub die_at_round: Option<usize>,
     /// Worker sleeps this long before computing the given round's update,
     /// so the reply misses the deadline and arrives in a later round.
     pub delay: Option<(usize, Duration)>,
+    /// `(crash_round, rounds_down)` — the worker crashes upon receiving
+    /// `crash_round`'s download (losing its reply cache), stays silent for
+    /// `rounds_down` rounds, then answers the next liveness probe and
+    /// resumes.
+    pub crash_restart: Option<(usize, usize)>,
+}
+
+/// Exponential backoff with saturation and bounded deterministic jitter.
+///
+/// `base × 2^attempt`, saturating instead of overflowing, capped at two
+/// seconds, then scaled into `[75%, 125%)` by a splitmix64 hash of
+/// `(salt, attempt)` — deterministic, so identical runs sleep identically,
+/// but distinct workers/rounds desynchronize instead of retrying in
+/// lockstep.
+pub fn backoff_delay(base: Duration, attempt: usize, salt: u64) -> Duration {
+    let factor = 1u64.checked_shl(attempt.min(63) as u32).unwrap_or(u64::MAX);
+    let factor = u32::try_from(factor).unwrap_or(u32::MAX);
+    let raw = base.saturating_mul(factor).min(MAX_BACKOFF);
+    let h = mix(salt ^ mix(attempt as u64 + 1));
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform [0, 1)
+    raw.mul_f64(0.75 + 0.5 * frac).min(MAX_BACKOFF)
 }
 
 /// `Box<dyn Transport>` is itself a transport, so the engine can hold
@@ -105,10 +160,21 @@ impl Transport for Box<dyn Transport> {
     }
 }
 
+/// Server-side link to one worker: bandwidth shaping over fault injection
+/// over the raw transport.
+type Link = ShapedTransport<FaultyTransport<Box<dyn Transport>>>;
+
 struct WorkerHandle {
-    transport: Option<ShapedTransport<Box<dyn Transport>>>,
+    transport: Option<Link>,
     join: Option<JoinHandle<()>>,
+    /// `false` once the link itself is dead (peer hung up / socket error);
+    /// a dead worker never comes back.
     alive: bool,
+    /// Evicted for missing too many consecutive rounds; still probed each
+    /// round and re-admitted on a heartbeat.
+    evicted: bool,
+    /// Consecutive rounds without an on-time reply.
+    miss_streak: usize,
 }
 
 /// The server-side round engine; implements [`RoundBackend`].
@@ -146,11 +212,15 @@ impl RpcBackend {
         net: &SupernetConfig,
         dataset: &SyntheticDataset,
         config: RpcConfig,
-        faults: &[FaultPlan],
+        faults: &[ScriptedFault],
     ) -> RpcBackend {
         let workers = match config.transport {
-            TransportKind::InMemory => spawn_channel_workers(participants, net, dataset, faults),
-            TransportKind::Tcp => spawn_tcp_workers(participants, net, dataset, faults),
+            TransportKind::InMemory => {
+                spawn_channel_workers(participants, net, dataset, faults, &config.fault)
+            }
+            TransportKind::Tcp => {
+                spawn_tcp_workers(participants, net, dataset, faults, &config.fault)
+            }
         };
         RpcBackend {
             workers,
@@ -160,10 +230,24 @@ impl RpcBackend {
         }
     }
 
-    /// Number of live worker threads.
+    /// Number of live worker threads (evicted ones included — their links
+    /// are still up).
     pub fn live_workers(&self) -> usize {
         self.workers.iter().filter(|w| w.alive).count()
     }
+
+    /// Number of currently evicted workers.
+    pub fn evicted_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive && w.evicted).count()
+    }
+}
+
+fn wrap_link(inner: Box<dyn Transport>, participant: usize, plan: &FaultPlan) -> Link {
+    ShapedTransport::new(
+        FaultyTransport::new(inner, participant, plan),
+        f64::MAX,
+        0.0,
+    )
 }
 
 fn spawn_one(
@@ -171,7 +255,7 @@ fn spawn_one(
     participant: Participant,
     net: SupernetConfig,
     dataset: SyntheticDataset,
-    fault: FaultPlan,
+    fault: ScriptedFault,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || worker_loop(transport, participant, net, dataset, fault))
 }
@@ -180,7 +264,8 @@ fn spawn_channel_workers(
     participants: &[Participant],
     net: &SupernetConfig,
     dataset: &SyntheticDataset,
-    faults: &[FaultPlan],
+    faults: &[ScriptedFault],
+    plan: &FaultPlan,
 ) -> Vec<WorkerHandle> {
     participants
         .iter()
@@ -195,9 +280,11 @@ fn spawn_channel_workers(
                 faults.get(i).copied().unwrap_or_default(),
             );
             WorkerHandle {
-                transport: Some(ShapedTransport::new(Box::new(server_end), f64::MAX, 0.0)),
+                transport: Some(wrap_link(Box::new(server_end), i, plan)),
                 join: Some(join),
                 alive: true,
+                evicted: false,
+                miss_streak: 0,
             }
         })
         .collect()
@@ -207,7 +294,8 @@ fn spawn_tcp_workers(
     participants: &[Participant],
     net: &SupernetConfig,
     dataset: &SyntheticDataset,
-    faults: &[FaultPlan],
+    faults: &[ScriptedFault],
+    plan: &FaultPlan,
 ) -> Vec<WorkerHandle> {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
     let addr = listener.local_addr().expect("listener address");
@@ -234,8 +322,7 @@ fn spawn_tcp_workers(
         .collect();
     // accept one connection per participant; the handshake heartbeat says
     // which worker is on the other end
-    let mut slots: Vec<Option<ShapedTransport<Box<dyn Transport>>>> =
-        (0..participants.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Link>> = (0..participants.len()).map(|_| None).collect();
     for _ in 0..participants.len() {
         let (stream, _) = listener.accept().expect("accept worker connection");
         let mut t = TcpTransport::new(stream).expect("wrap accepted stream");
@@ -246,11 +333,7 @@ fn spawn_tcp_workers(
             Ok(Message::Heartbeat { participant }) => participant as usize,
             other => panic!("expected handshake heartbeat, got {other:?}"),
         };
-        slots[id] = Some(ShapedTransport::new(
-            Box::new(t) as Box<dyn Transport>,
-            f64::MAX,
-            0.0,
-        ));
+        slots[id] = Some(wrap_link(Box::new(t) as Box<dyn Transport>, id, plan));
     }
     slots
         .into_iter()
@@ -259,25 +342,32 @@ fn spawn_tcp_workers(
             transport: Some(transport.expect("every worker handshook")),
             join: Some(join),
             alive: true,
+            evicted: false,
+            miss_streak: 0,
         })
         .collect()
 }
 
 /// The participant side: blocks on downloads, trains, replies. Replies
 /// are cached per round so a retransmitted download is answered from the
-/// cache instead of being recomputed (idempotence under retry).
+/// cache instead of being recomputed (idempotence under retry). A
+/// scripted crash-restart makes the worker go silent for a window of
+/// rounds and resume when a liveness probe shows the window has passed.
 fn worker_loop(
     mut transport: Box<dyn Transport>,
     mut participant: Participant,
     net: SupernetConfig,
     dataset: SyntheticDataset,
-    fault: FaultPlan,
+    fault: ScriptedFault,
 ) {
     let id = participant.id();
     // structure only — every weight is overwritten from the wire
     let mut structure_rng = StdRng::seed_from_u64(0x5EED ^ id as u64);
     let supernet = Supernet::new(net, &mut structure_rng);
     let mut reply_cache: HashMap<u64, Vec<u8>> = HashMap::new();
+    // first round the worker is back up after a scripted crash-restart
+    let mut down_until: Option<u64> = None;
+    let mut crashed = false;
     // loop ends when the server hangs up or the socket dies
     while let Ok(frame) = transport.recv() {
         let msg = match decode(&frame) {
@@ -293,6 +383,22 @@ fn worker_loop(
                 buffers,
                 alpha,
             } => {
+                if let Some(until) = down_until {
+                    if round < until {
+                        continue; // crashed: downloads fall on the floor
+                    }
+                    down_until = None;
+                }
+                if !crashed {
+                    if let Some((r, d)) = fault.crash_restart {
+                        if r == round as usize {
+                            crashed = true;
+                            reply_cache.clear(); // a crash loses in-memory state
+                            down_until = Some(round + d as u64);
+                            continue;
+                        }
+                    }
+                }
                 if let Some(cached) = reply_cache.get(&round) {
                     let _ = transport.send(cached);
                     continue;
@@ -360,11 +466,26 @@ fn worker_loop(
                 let _ = transport.send(&reply);
             }
             Message::Heartbeat { .. } => {
-                let _ = transport.send(&encode(&Message::Heartbeat {
-                    participant: id as u32,
-                }));
+                if down_until.is_none() {
+                    let _ = transport.send(&encode(&Message::Heartbeat {
+                        participant: id as u32,
+                    }));
+                }
             }
-            Message::Ack { .. } | Message::UploadUpdate { .. } => {}
+            Message::Ack { round } => {
+                // liveness probe: answer with a heartbeat unless still in
+                // the scripted downtime window
+                match down_until {
+                    Some(until) if round < until => {}
+                    _ => {
+                        down_until = None;
+                        let _ = transport.send(&encode(&Message::Heartbeat {
+                            participant: id as u32,
+                        }));
+                    }
+                }
+            }
+            Message::UploadUpdate { .. } => {}
         }
     }
 }
@@ -377,10 +498,66 @@ impl RoundBackend for RpcBackend {
             download_frame_bytes: vec![0; k],
             ..Default::default()
         };
+        let RpcBackend {
+            workers,
+            config,
+            sent_masks,
+            delivered,
+        } = self;
         // prune attribution history beyond the late-reply horizon
-        self.sent_masks.retain(|&(r, _), _| r + HISTORY_ROUNDS > t);
-        self.delivered.retain(|&(r, _)| r + HISTORY_ROUNDS > t);
-        // --- ship downloads ---
+        sent_masks.retain(|&(r, _), _| r + HISTORY_ROUNDS > t);
+        delivered.retain(|&(r, _)| r + HISTORY_ROUNDS > t);
+        // --- phase 0: service evicted workers ---
+        // Drain whatever their links buffered (late replies are attributed,
+        // a heartbeat re-admits), then probe the still-evicted for life.
+        for w in workers.iter_mut() {
+            if !w.alive || !w.evicted {
+                continue;
+            }
+            let transport = w.transport.as_mut().expect("live worker has transport");
+            while let Ok(frame) = transport.recv_timeout(EVICTED_DRAIN) {
+                out.bytes_up += frame.len() as u64;
+                match decode(&frame) {
+                    Ok(Message::UploadUpdate {
+                        round,
+                        participant,
+                        delta_w,
+                        delta_alpha,
+                        reward,
+                        loss,
+                    }) => {
+                        let (r, pid) = (round as usize, participant as usize);
+                        if r < t && !delivered.contains(&(r, pid)) {
+                            if let Some(mask) = sent_masks.get(&(r, pid)) {
+                                delivered.insert((r, pid));
+                                out.late.push(BackendReport {
+                                    participant: pid,
+                                    computed_at: r,
+                                    mask: mask.clone(),
+                                    accuracy: reward,
+                                    loss,
+                                    grads: delta_w,
+                                    delta_alpha,
+                                });
+                            }
+                        }
+                    }
+                    Ok(Message::Heartbeat { .. }) => {
+                        w.evicted = false;
+                        w.miss_streak = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if w.evicted {
+                let probe = encode(&Message::Ack { round: t as u64 });
+                match transport.send(&probe) {
+                    Ok(()) => out.bytes_down += probe.len() as u64,
+                    Err(_) => w.alive = false,
+                }
+            }
+        }
+        // --- phase 1: ship downloads to eligible workers ---
         let mut submodels = request.submodels;
         let mut frames: Vec<Vec<u8>> = Vec::with_capacity(k);
         for (p, sub) in submodels.iter_mut().enumerate() {
@@ -397,9 +574,9 @@ impl RoundBackend for RpcBackend {
                 alpha: request.alpha_logits.to_vec(),
             });
             out.download_frame_bytes[p] = frame.len() as u64;
-            self.sent_masks.insert((t, p), request.masks[p].clone());
-            if let Some(w) = self.workers.get_mut(p) {
-                if w.alive {
+            sent_masks.insert((t, p), request.masks[p].clone());
+            if let Some(w) = workers.get_mut(p) {
+                if w.alive && !w.evicted {
                     let transport = w.transport.as_mut().expect("live worker has transport");
                     transport.set_mbps(request.bandwidths_mbps[p]);
                     match transport.send(&frame) {
@@ -410,21 +587,32 @@ impl RoundBackend for RpcBackend {
             }
             frames.push(frame);
         }
-        // --- collect replies under deadline + bounded retry ---
-        let RpcBackend {
-            workers,
-            config,
-            sent_masks,
-            delivered,
-        } = self;
+        // --- phase 2: collect replies under deadline + quorum + retry ---
+        let eligible = workers
+            .iter()
+            .take(k)
+            .filter(|w| w.alive && !w.evicted)
+            .count();
+        let quorum_target =
+            ((config.quorum_frac * eligible as f64).ceil() as usize).clamp(1, eligible.max(1));
+        let mut on_time = 0usize;
         for (p, w) in workers.iter_mut().enumerate().take(k) {
-            if !w.alive {
+            if !w.alive || w.evicted {
                 continue;
             }
             let transport = w.transport.as_mut().expect("live worker has transport");
             let mut attempts = 0usize;
+            let mut got = false;
             loop {
-                match transport.recv_timeout(config.deadline) {
+                // once the quorum has reported, stragglers only get a
+                // short drain window and no retransmissions
+                let quorum_met = on_time >= quorum_target;
+                let wait = if quorum_met {
+                    QUORUM_DRAIN
+                } else {
+                    config.deadline
+                };
+                match transport.recv_timeout(wait) {
                     Ok(frame) => {
                         out.bytes_up += frame.len() as u64;
                         let (r, report) = match decode(&frame) {
@@ -460,6 +648,8 @@ impl RoundBackend for RpcBackend {
                                     mask: request.masks[p].clone(),
                                     ..report
                                 });
+                                got = true;
+                                on_time += 1;
                                 break;
                             }
                             std::cmp::Ordering::Less => {
@@ -477,9 +667,11 @@ impl RoundBackend for RpcBackend {
                         }
                     }
                     Err(TransportError::Timeout) => {
-                        if attempts < config.max_retries {
-                            std::thread::sleep(config.retry_backoff * (1 << attempts.min(8)));
+                        if !quorum_met && attempts < config.max_retries {
+                            let salt = ((t as u64) << 32) | p as u64;
+                            std::thread::sleep(backoff_delay(config.retry_backoff, attempts, salt));
                             attempts += 1;
+                            out.faults.retransmits = out.faults.retransmits.saturating_add(1);
                             match transport.send(&frames[p]) {
                                 Ok(()) => out.bytes_down += frames[p].len() as u64,
                                 Err(_) => {
@@ -496,6 +688,21 @@ impl RoundBackend for RpcBackend {
                         break;
                     }
                 }
+            }
+            if got {
+                w.miss_streak = 0;
+            } else if w.alive {
+                w.miss_streak += 1;
+                if config.evict_after > 0 && w.miss_streak >= config.evict_after {
+                    w.evicted = true;
+                    out.faults.evictions = out.faults.evictions.saturating_add(1);
+                }
+            }
+        }
+        // fold per-link injected-fault counters into the round outcome
+        for w in workers.iter_mut() {
+            if let Some(link) = w.transport.as_mut() {
+                out.faults.merge(&link.inner_mut().take_tally());
             }
         }
         // aggregation order must match the in-process path exactly
@@ -540,7 +747,7 @@ pub fn install_with_faults(
     server: &mut SearchServer,
     dataset: &SyntheticDataset,
     config: RpcConfig,
-    faults: &[FaultPlan],
+    faults: &[ScriptedFault],
 ) {
     let backend = RpcBackend::with_faults(
         server.participants(),
@@ -550,4 +757,53 @@ pub fn install_with_faults(
         faults,
     );
     server.set_backend(Box::new(backend));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_saturates_and_stays_bounded() {
+        let base = Duration::from_millis(10);
+        for attempt in 0..200 {
+            let d = backoff_delay(base, attempt, 7);
+            assert!(
+                d <= MAX_BACKOFF,
+                "attempt {attempt} exceeded the cap: {d:?}"
+            );
+            let raw = base
+                .saturating_mul(
+                    u32::try_from(1u64.checked_shl(attempt.min(63) as u32).unwrap_or(u64::MAX))
+                        .unwrap_or(u32::MAX),
+                )
+                .min(MAX_BACKOFF);
+            assert!(
+                d >= raw.mul_f64(0.75),
+                "attempt {attempt} under the jitter floor"
+            );
+        }
+        // an absurd base must not panic or overflow either
+        let huge = backoff_delay(Duration::from_secs(u64::MAX / 4), 63, 1);
+        assert!(huge <= MAX_BACKOFF);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_desynchronized() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 3, 42), backoff_delay(base, 3, 42));
+        // different salts (worker/round) should not all collide
+        let delays: Vec<Duration> = (0..16).map(|s| backoff_delay(base, 3, s)).collect();
+        let distinct: std::collections::HashSet<Duration> = delays.iter().copied().collect();
+        assert!(distinct.len() > 1, "jitter must desynchronize workers");
+    }
+
+    #[test]
+    fn backoff_grows_before_the_cap() {
+        let base = Duration::from_millis(10);
+        // jitter is at most ±25%, so a doubling always dominates it
+        for attempt in 0..5 {
+            assert!(backoff_delay(base, attempt + 1, 9) > backoff_delay(base, attempt, 9));
+        }
+    }
 }

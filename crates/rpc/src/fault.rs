@@ -1,0 +1,563 @@
+//! Seeded, deterministic fault injection for transports.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* on a link — frame drops,
+//! single-bit corruption, duplication, reordering, extra latency, and
+//! frame-windowed partitions — as probabilities drawn from a dedicated
+//! fault RNG. Wrapping any [`Transport`] in a [`FaultyTransport`] injects
+//! those faults on both directions of the link while counting every
+//! injected fault in a [`FaultTally`].
+//!
+//! Determinism contract: the fault schedule is a pure function of
+//! `(plan.seed, participant, direction, frame index)`. The injector's RNG
+//! is *never* consumed when the plan is inactive, so a run with
+//! [`FaultPlan::none`] is byte-identical to one without the wrapper; and
+//! two runs with the same plan see the same faults on the same frames,
+//! regardless of thread scheduling, because each link direction owns its
+//! own stream.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use fedrlnas_fed::FaultTally;
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+use crate::transport::{Transport, TransportError};
+
+/// What can go wrong on a link, as per-frame probabilities.
+///
+/// Probabilities are evaluated per frame against a single uniform draw
+/// with cumulative thresholds, so at most one fault fires per frame and
+/// `drop + corrupt + duplicate + reorder + delay` should stay ≤ 1.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed of the dedicated fault RNG; mixed with the participant id and
+    /// link direction so every link direction has its own stream.
+    pub seed: u64,
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a single bit of the frame is flipped (the wire CRC
+    /// turns this into a typed decode failure downstream).
+    pub corrupt: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame is held back and delivered after its successor.
+    pub reorder: f64,
+    /// Probability a frame is delayed by up to [`FaultPlan::max_delay`].
+    pub delay: f64,
+    /// Upper bound on injected extra latency; the actual delay is a fresh
+    /// uniform draw in `[0, max_delay)` each time the fault fires.
+    pub max_delay: Duration,
+    /// Transient partitions: frame-index windows in which every matching
+    /// frame is dropped, on top of the probabilistic faults.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; the wrapper becomes a transparent
+    /// pass-through that never consumes RNG state.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A light chaos preset: a few percent of frames dropped, corrupted,
+    /// duplicated or delayed — every fault recoverable by the engine's
+    /// retry/idempotence machinery.
+    pub fn light(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop: 0.05,
+            corrupt: 0.02,
+            duplicate: 0.02,
+            reorder: 0.02,
+            delay: 0.05,
+            max_delay: Duration::from_millis(5),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.corrupt > 0.0
+            || self.duplicate > 0.0
+            || self.reorder > 0.0
+            || self.delay > 0.0
+            || !self.partitions.is_empty()
+    }
+}
+
+/// A transient partition: every frame whose per-direction index falls in
+/// `[start_frame, start_frame + frames)` on a matching link is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Link the partition applies to; `None` partitions every participant.
+    pub participant: Option<usize>,
+    /// First frame index (per link direction) inside the partition.
+    pub start_frame: u64,
+    /// How many frames the partition lasts.
+    pub frames: u64,
+}
+
+impl Partition {
+    fn covers(&self, participant: usize, frame: u64) -> bool {
+        self.participant.map(|p| p == participant).unwrap_or(true)
+            && frame >= self.start_frame
+            && frame - self.start_frame < self.frames
+    }
+}
+
+/// The fault chosen for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Deliver normally.
+    None,
+    /// Silently discard the frame.
+    Drop,
+    /// Flip one bit at the given bit offset (modulo frame length).
+    Corrupt(u64),
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Hold the frame back until after its successor.
+    Reorder,
+    /// Deliver after sleeping this long.
+    Delay(Duration),
+}
+
+/// splitmix64 — the same finalizer the vendored RNG seeds with; used here
+/// to give every (participant, direction) link its own fault stream.
+pub(crate) fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-direction fault scheduler: owns the RNG, the frame counter and the
+/// running tally for one direction of one link.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    participant: usize,
+    rng: StdRng,
+    frame: u64,
+    active: bool,
+    tally: FaultTally,
+}
+
+impl FaultInjector {
+    /// Builds the injector for one link direction. `direction` is `0` for
+    /// server→participant and `1` for participant→server.
+    pub fn new(plan: FaultPlan, participant: usize, direction: u64) -> FaultInjector {
+        let seed = plan.seed ^ mix((participant as u64) << 1 | direction);
+        let active = plan.is_active();
+        FaultInjector {
+            plan,
+            participant,
+            rng: StdRng::seed_from_u64(seed),
+            frame: 0,
+            active,
+            tally: FaultTally::new(),
+        }
+    }
+
+    /// Decides the fault for the next frame and counts it. Pure function
+    /// of the constructor arguments and how often it has been called.
+    pub fn next_fault(&mut self) -> FrameFault {
+        if !self.active {
+            return FrameFault::None;
+        }
+        let frame = self.frame;
+        self.frame += 1;
+        if self
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.covers(self.participant, frame))
+        {
+            self.tally.frames_dropped = self.tally.frames_dropped.saturating_add(1);
+            return FrameFault::Drop;
+        }
+        let u: f64 = self.rng.gen();
+        let mut acc = self.plan.drop;
+        if u < acc {
+            self.tally.frames_dropped = self.tally.frames_dropped.saturating_add(1);
+            return FrameFault::Drop;
+        }
+        acc += self.plan.corrupt;
+        if u < acc {
+            self.tally.frames_corrupt = self.tally.frames_corrupt.saturating_add(1);
+            return FrameFault::Corrupt(self.rng.next_u64());
+        }
+        acc += self.plan.duplicate;
+        if u < acc {
+            self.tally.frames_duplicated = self.tally.frames_duplicated.saturating_add(1);
+            return FrameFault::Duplicate;
+        }
+        acc += self.plan.reorder;
+        if u < acc {
+            self.tally.frames_reordered = self.tally.frames_reordered.saturating_add(1);
+            return FrameFault::Reorder;
+        }
+        acc += self.plan.delay;
+        if u < acc {
+            self.tally.frames_delayed = self.tally.frames_delayed.saturating_add(1);
+            let f: f64 = self.rng.gen();
+            return FrameFault::Delay(self.plan.max_delay.mul_f64(f));
+        }
+        FrameFault::None
+    }
+
+    /// Drains the tally accumulated since the last call.
+    pub fn take_tally(&mut self) -> FaultTally {
+        std::mem::take(&mut self.tally)
+    }
+}
+
+fn flip_bit(frame: &mut [u8], bit: u64) {
+    if frame.is_empty() {
+        return;
+    }
+    let total_bits = frame.len() as u64 * 8;
+    let b = bit % total_bits;
+    frame[(b / 8) as usize] ^= 1 << (b % 8);
+}
+
+/// A [`Transport`] wrapper that injects the faults scheduled by a
+/// [`FaultPlan`] on both directions of the link.
+///
+/// Injection semantics:
+///
+/// * **Drop** — the frame is discarded; sends still report success (the
+///   loss is the network's, not the caller's).
+/// * **Corrupt** — one RNG-chosen bit is flipped; the wire CRC turns this
+///   into a typed decode failure at the receiver.
+/// * **Duplicate** — the frame is delivered twice back to back.
+/// * **Reorder** — the frame is held until the *next* frame passes, then
+///   released (a held receive-side frame is also released when the caller's
+///   deadline expires, so reordering can never deadlock a round).
+/// * **Delay** — delivery sleeps an RNG-drawn duration first.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    tx: FaultInjector,
+    rx: FaultInjector,
+    tx_held: Option<Vec<u8>>,
+    rx_held: Option<Vec<u8>>,
+    rx_queue: VecDeque<Vec<u8>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the fault schedule of `plan` for the link to
+    /// `participant`.
+    pub fn new(inner: T, participant: usize, plan: &FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            tx: FaultInjector::new(plan.clone(), participant, 0),
+            rx: FaultInjector::new(plan.clone(), participant, 1),
+            tx_held: None,
+            rx_held: None,
+            rx_queue: VecDeque::new(),
+        }
+    }
+
+    /// Drains the fault counters for both directions of the link.
+    pub fn take_tally(&mut self) -> FaultTally {
+        let mut t = self.tx.take_tally();
+        t.merge(&self.rx.take_tally());
+        t
+    }
+
+    /// Sends any transmit-side frame held back by a reorder fault.
+    fn flush_tx_held(&mut self) -> Result<(), TransportError> {
+        if let Some(held) = self.tx_held.take() {
+            self.inner.send(&held)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        match self.tx.next_fault() {
+            FrameFault::Drop => {
+                // the frame vanishes; anything held keeps waiting
+                Ok(())
+            }
+            FrameFault::Corrupt(bit) => {
+                let mut bad = frame.to_vec();
+                flip_bit(&mut bad, bit);
+                self.inner.send(&bad)?;
+                self.flush_tx_held()
+            }
+            FrameFault::Duplicate => {
+                self.inner.send(frame)?;
+                self.inner.send(frame)?;
+                self.flush_tx_held()
+            }
+            FrameFault::Reorder => {
+                if let Some(held) = self.tx_held.take() {
+                    // two holds in a row: release in swapped order
+                    self.inner.send(frame)?;
+                    self.inner.send(&held)
+                } else {
+                    self.tx_held = Some(frame.to_vec());
+                    Ok(())
+                }
+            }
+            FrameFault::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.send(frame)?;
+                self.flush_tx_held()
+            }
+            FrameFault::None => {
+                self.inner.send(frame)?;
+                self.flush_tx_held()
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        // bounded only by the peer: treat as a very long timeout so the
+        // drop-retry loop and held-frame release still function
+        self.recv_timeout(Duration::from_secs(86_400))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        if let Some(ready) = self.rx_queue.pop_front() {
+            return Ok(ready);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                // deadline expired: release a reorder-held frame rather
+                // than lose it
+                return match self.rx_held.take() {
+                    Some(held) => Ok(held),
+                    None => Err(TransportError::Timeout),
+                };
+            }
+            let frame = match self.inner.recv_timeout(deadline - now) {
+                Ok(f) => f,
+                Err(TransportError::Timeout) => continue,
+                Err(e) => return Err(e),
+            };
+            match self.rx.next_fault() {
+                FrameFault::Drop => continue,
+                FrameFault::Corrupt(bit) => {
+                    let mut bad = frame;
+                    flip_bit(&mut bad, bit);
+                    return Ok(bad);
+                }
+                FrameFault::Duplicate => {
+                    self.rx_queue.push_back(frame.clone());
+                    return Ok(frame);
+                }
+                FrameFault::Reorder => {
+                    match self.rx_held.take() {
+                        // two holds in a row: swapped release
+                        Some(held) => {
+                            self.rx_queue.push_back(held);
+                            return Ok(frame);
+                        }
+                        None => {
+                            self.rx_held = Some(frame);
+                            continue;
+                        }
+                    }
+                }
+                FrameFault::Delay(d) => {
+                    std::thread::sleep(d);
+                    self.release_after(frame)
+                }
+                FrameFault::None => self.release_after(frame),
+            };
+            match self.rx_queue.pop_front() {
+                Some(f) => return Ok(f),
+                None => continue,
+            }
+        }
+    }
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Queues `frame` for delivery, releasing any reorder-held frame
+    /// *after* it (that is what makes the hold a reordering).
+    fn release_after(&mut self, frame: Vec<u8>) {
+        self.rx_queue.push_back(frame);
+        if let Some(held) = self.rx_held.take() {
+            self.rx_queue.push_back(held);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use crate::wire::{decode, encode, Message};
+
+    #[test]
+    fn inactive_plan_is_transparent_and_consumes_no_rng() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 3, 0);
+        for _ in 0..100 {
+            assert_eq!(inj.next_fault(), FrameFault::None);
+        }
+        assert!(!inj.take_tally().any());
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(a, 0, &FaultPlan::none());
+        let frame = encode(&Message::Ack { round: 7 });
+        faulty.send(&frame).unwrap();
+        assert_eq!(b.recv().unwrap(), frame);
+        b.send(&frame).unwrap();
+        assert_eq!(
+            faulty.recv_timeout(Duration::from_millis(200)).unwrap(),
+            frame
+        );
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_links_differ() {
+        let plan = FaultPlan::light(42);
+        let schedule = |participant: usize, dir: u64| {
+            let mut inj = FaultInjector::new(plan.clone(), participant, dir);
+            (0..500).map(|_| inj.next_fault()).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(0, 0), schedule(0, 0));
+        assert_eq!(schedule(2, 1), schedule(2, 1));
+        assert_ne!(schedule(0, 0), schedule(1, 0));
+        assert_ne!(schedule(0, 0), schedule(0, 1));
+        let other = {
+            let mut inj = FaultInjector::new(FaultPlan::light(43), 0, 0);
+            (0..500).map(|_| inj.next_fault()).collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(0, 0), other);
+    }
+
+    #[test]
+    fn tally_matches_schedule() {
+        let plan = FaultPlan::light(7);
+        let mut inj = FaultInjector::new(plan, 1, 0);
+        let faults: Vec<FrameFault> = (0..2000).map(|_| inj.next_fault()).collect();
+        let t = inj.take_tally();
+        let count = |f: fn(&FrameFault) -> bool| faults.iter().filter(|x| f(x)).count() as u64;
+        assert_eq!(t.frames_dropped, count(|f| matches!(f, FrameFault::Drop)));
+        assert_eq!(
+            t.frames_corrupt,
+            count(|f| matches!(f, FrameFault::Corrupt(_)))
+        );
+        assert_eq!(
+            t.frames_duplicated,
+            count(|f| matches!(f, FrameFault::Duplicate))
+        );
+        assert_eq!(
+            t.frames_reordered,
+            count(|f| matches!(f, FrameFault::Reorder))
+        );
+        assert_eq!(
+            t.frames_delayed,
+            count(|f| matches!(f, FrameFault::Delay(_)))
+        );
+        assert!(t.any(), "light plan over 2000 frames must inject something");
+        // drained: a second take sees nothing
+        assert!(!inj.take_tally().any());
+    }
+
+    #[test]
+    fn partition_drops_exactly_its_window() {
+        let plan = FaultPlan {
+            seed: 5,
+            partitions: vec![Partition {
+                participant: Some(4),
+                start_frame: 3,
+                frames: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan.clone(), 4, 0);
+        let faults: Vec<FrameFault> = (0..8).map(|_| inj.next_fault()).collect();
+        for (i, f) in faults.iter().enumerate() {
+            if (3..5).contains(&i) {
+                assert_eq!(*f, FrameFault::Drop, "frame {i} inside the partition");
+            } else {
+                assert_eq!(*f, FrameFault::None, "frame {i} outside the partition");
+            }
+        }
+        // a different participant is unaffected
+        let mut other = FaultInjector::new(plan, 2, 0);
+        assert!((0..8).all(|_| other.next_fault() == FrameFault::None));
+    }
+
+    #[test]
+    fn corruption_is_caught_by_wire_crc() {
+        let plan = FaultPlan {
+            seed: 1,
+            corrupt: 1.0,
+            ..FaultPlan::default()
+        };
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(a, 0, &plan);
+        let frame = encode(&Message::Heartbeat { participant: 9 });
+        faulty.send(&frame).unwrap();
+        let received = b.recv().unwrap();
+        assert_ne!(received, frame, "exactly one bit must differ");
+        assert!(decode(&received).is_err(), "CRC must catch the flip");
+        assert_eq!(faulty.take_tally().frames_corrupt, 1);
+    }
+
+    #[test]
+    fn duplicate_and_drop_round_trip() {
+        let plan = FaultPlan {
+            seed: 1,
+            duplicate: 1.0,
+            ..FaultPlan::default()
+        };
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(a, 0, &plan);
+        let frame = encode(&Message::Ack { round: 1 });
+        faulty.send(&frame).unwrap();
+        assert_eq!(b.recv().unwrap(), frame);
+        assert_eq!(b.recv().unwrap(), frame, "duplicate delivers twice");
+
+        let drop_plan = FaultPlan {
+            seed: 1,
+            drop: 1.0,
+            ..FaultPlan::default()
+        };
+        let (c, mut d) = ChannelTransport::pair();
+        let mut dropping = FaultyTransport::new(c, 0, &drop_plan);
+        dropping.send(&frame).unwrap();
+        assert!(matches!(
+            d.recv_timeout(Duration::from_millis(30)),
+            Err(TransportError::Timeout)
+        ));
+        assert_eq!(dropping.take_tally().frames_dropped, 1);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames_and_never_deadlocks() {
+        // tx side: hold the first frame, release after the second
+        let plan = FaultPlan {
+            seed: 1,
+            reorder: 1.0,
+            ..FaultPlan::default()
+        };
+        let (a, mut b) = ChannelTransport::pair();
+        let mut faulty = FaultyTransport::new(a, 0, &plan);
+        let f1 = encode(&Message::Ack { round: 1 });
+        let f2 = encode(&Message::Ack { round: 2 });
+        faulty.send(&f1).unwrap();
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+        faulty.send(&f2).unwrap();
+        assert_eq!(b.recv().unwrap(), f2);
+        assert_eq!(b.recv().unwrap(), f1);
+
+        // rx side: a held frame is released when the deadline expires
+        let (c, mut d) = ChannelTransport::pair();
+        let mut rx_faulty = FaultyTransport::new(c, 0, &plan);
+        d.send(&f1).unwrap();
+        let got = rx_faulty.recv_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!(got, f1, "held frame must surface at the deadline");
+    }
+}

@@ -11,9 +11,17 @@
 //!   in-memory duplex and loopback-TCP implementations, plus a
 //!   [`ShapedTransport`](transport::ShapedTransport) wrapper that delays
 //!   sends by `bytes ÷ bandwidth` using `fedrlnas-netsim` trace samples.
+//! * [`fault`] — a seeded, deterministic fault-injection layer: a
+//!   [`FaultPlan`](fault::FaultPlan) schedules frame drops, bit flips,
+//!   duplication, reordering, extra latency and transient partitions from
+//!   a dedicated RNG, and [`FaultyTransport`](fault::FaultyTransport)
+//!   wraps any transport with that schedule while counting every injected
+//!   fault.
 //! * [`engine`] — one worker thread per participant behind a per-round
-//!   deadline with bounded retry/backoff; late replies flow into the
-//!   server's soft-synchronization staleness path. Implements the
+//!   deadline with bounded saturating/jittered retry backoff; late replies
+//!   flow into the server's soft-synchronization staleness path. Quorum
+//!   commit, eviction of repeatedly silent workers and heartbeat
+//!   re-admission degrade gracefully under faults. Implements the
 //!   [`RoundBackend`](fedrlnas_core::RoundBackend) seam, so
 //!   [`SearchServer`](fedrlnas_core::SearchServer) runs unmodified on top
 //!   and `CommStats` records the bytes that actually crossed the wire.
@@ -25,10 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod transport;
 pub mod wire;
 
-pub use engine::{install, install_with_faults, FaultPlan, RpcBackend, RpcConfig, TransportKind};
+pub use engine::{
+    backoff_delay, install, install_with_faults, RpcBackend, RpcConfig, ScriptedFault,
+    TransportKind,
+};
+pub use fault::{FaultInjector, FaultPlan, FaultyTransport, FrameFault, Partition};
 pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError};
 pub use wire::{
     crc32, decode, download_frame_len, encode, frame_len, upload_frame_len, Message, WireError,

@@ -211,6 +211,12 @@ impl<T: Transport> ShapedTransport<T> {
     pub fn transmission_secs(&self, bytes: usize) -> f64 {
         fedrlnas_netsim::transmission_secs(bytes, self.mbps)
     }
+
+    /// The wrapped transport (for reaching fault counters and other
+    /// wrapper-specific state through the shaping layer).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
 }
 
 impl<T: Transport> Transport for ShapedTransport<T> {

@@ -9,7 +9,7 @@ use fedrlnas_controller::Alpha;
 use fedrlnas_core::{FederatedModelSearch, SearchConfig, SearchOutcome};
 use fedrlnas_darts::{ArchMask, Supernet};
 use fedrlnas_rpc::{
-    download_frame_len, encode, install, install_with_faults, FaultPlan, Message, RpcConfig,
+    download_frame_len, encode, install, install_with_faults, Message, RpcConfig, ScriptedFault,
     TransportKind, FRAME_OVERHEAD,
 };
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
@@ -82,9 +82,9 @@ fn kill_one_participant_mid_round() {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut search = FederatedModelSearch::new(config, &mut rng);
     let dataset = search.dataset().clone();
-    let faults = vec![FaultPlan {
+    let faults = vec![ScriptedFault {
         die_at_round: Some(die_at),
-        delay: None,
+        ..ScriptedFault::default()
     }];
     install_with_faults(
         search.server_mut(),
@@ -132,10 +132,10 @@ fn delayed_reply_flows_through_staleness_path() {
     // worker 1 oversleeps round 1 by far more than the deadline; its reply
     // must surface in a later round and be aggregated as a stale update
     let faults = vec![
-        FaultPlan::default(),
-        FaultPlan {
-            die_at_round: None,
+        ScriptedFault::default(),
+        ScriptedFault {
             delay: Some((1, Duration::from_millis(600))),
+            ..ScriptedFault::default()
         },
     ];
     install_with_faults(

@@ -77,6 +77,19 @@ impl MemoryPools {
         self.snapshots.is_empty()
     }
 
+    /// Iterates over the retained rounds in ascending round order
+    /// (checkpoint capture: the staleness history must survive a resume
+    /// for delay compensation to replay identically).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &RoundSnapshot)> {
+        self.snapshots.iter().map(|(&t, s)| (t, s))
+    }
+
+    /// Drops every retained round (checkpoint restore starts from a clean
+    /// slate before replaying the captured snapshots).
+    pub fn clear(&mut self) {
+        self.snapshots.clear();
+    }
+
     /// Approximate retained memory in bytes (θ + α snapshots).
     pub fn approx_bytes(&self) -> usize {
         self.snapshots
@@ -132,6 +145,18 @@ mod tests {
         let pruned = pools.pruned_theta(0, &[(1, 2), (4, 1)]).expect("round 0");
         assert_eq!(pruned, vec![11.0, 12.0, 14.0]);
         assert!(pools.pruned_theta(1, &[(0, 1)]).is_none());
+    }
+
+    #[test]
+    fn iter_yields_ascending_rounds() {
+        let mut pools = MemoryPools::new();
+        for t in [7, 2, 5] {
+            pools.save(t, snap(t as f32));
+        }
+        let order: Vec<usize> = pools.iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![2, 5, 7]);
+        pools.clear();
+        assert!(pools.is_empty());
     }
 
     #[test]

@@ -5,19 +5,32 @@
 //!                  [--participants K] [--staleness none|slight|severe]
 //!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
+//!                  [--checkpoint-path PATH] [--checkpoint-every N]
 //!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
+//!                  [--quorum-frac F] [--evict-after N]
+//!                  [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
+//!                  [--fault-dup P] [--fault-reorder P] [--fault-delay P]
+//!                  [--fault-max-delay-ms N]
+//!
+//! `--checkpoint-path` enables crash recovery: the search state is written
+//! atomically every `--checkpoint-every` rounds (default 10), and an
+//! existing valid checkpoint at that path is resumed from automatically —
+//! a killed and restarted search is bit-identical to an uninterrupted one.
+//! `--fault-seed` arms the deterministic fault-injection layer on every
+//! RPC link (probabilities default to a light chaos preset).
 //! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
 //!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
 //! fedrlnas info    [--scale ...]
 //! ```
 
 use fedrlnas::core::{
-    retrain_centralized, retrain_federated, Checkpoint, FederatedModelSearch, Scale, SearchConfig,
+    retrain_centralized, retrain_federated, Checkpoint, CheckpointPolicy, FederatedModelSearch,
+    Scale, SearchConfig,
 };
 use fedrlnas::darts::Genotype;
 use fedrlnas::data::{DatasetSpec, SyntheticDataset};
 use fedrlnas::fed::FedAvgConfig;
-use fedrlnas::rpc::{RpcConfig, TransportKind};
+use fedrlnas::rpc::{FaultPlan, RpcConfig, TransportKind};
 use fedrlnas::sync::{StalenessModel, StalenessStrategy};
 use rand::{rngs::StdRng, SeedableRng};
 use std::process::ExitCode;
@@ -115,6 +128,27 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
+    // crash recovery: resume before any backend install, so worker clones
+    // see the restored participant state
+    let policy = match flag(argv, "--checkpoint-path") {
+        Some(path) => {
+            let every: usize = flag(argv, "--checkpoint-every")
+                .map_or(Ok(10), |s| s.parse())
+                .map_err(|e| format!("bad checkpoint interval: {e}"))?;
+            Some(CheckpointPolicy::new(path, every))
+        }
+        None => None,
+    };
+    if let Some(p) = &policy {
+        match search.try_resume(&p.path, &mut rng) {
+            Ok(true) => println!("resumed from checkpoint {}", p.path.display()),
+            Ok(false) => {}
+            Err(e) => eprintln!(
+                "warning: ignoring unusable checkpoint {}: {e}; starting fresh",
+                p.path.display()
+            ),
+        }
+    }
     if present(argv, "--rpc") {
         let transport = match flag(argv, "--rpc-transport").as_deref() {
             None | Some("mem") => TransportKind::InMemory,
@@ -124,15 +158,57 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         let deadline_ms: u64 = flag(argv, "--rpc-deadline-ms")
             .map_or(Ok(5000), |s| s.parse())
             .map_err(|e| format!("bad rpc deadline: {e}"))?;
+        let quorum_frac: f64 = flag(argv, "--quorum-frac")
+            .map_or(Ok(1.0), |s| s.parse())
+            .map_err(|e| format!("bad quorum fraction: {e}"))?;
+        if !(0.0..=1.0).contains(&quorum_frac) {
+            return Err(format!("quorum fraction {quorum_frac} outside [0, 1]"));
+        }
+        let evict_after: usize = flag(argv, "--evict-after")
+            .map_or(Ok(3), |s| s.parse())
+            .map_err(|e| format!("bad eviction threshold: {e}"))?;
+        let fault = match flag(argv, "--fault-seed") {
+            None => FaultPlan::none(),
+            Some(s) => {
+                let fault_seed: u64 = s.parse().map_err(|e| format!("bad fault seed: {e}"))?;
+                let mut plan = FaultPlan::light(fault_seed);
+                let prob = |name: &str, slot: &mut f64| -> Result<(), String> {
+                    if let Some(v) = flag(argv, name) {
+                        *slot = v.parse().map_err(|e| format!("bad {name}: {e}"))?;
+                        if !(0.0..=1.0).contains(slot) {
+                            return Err(format!("{name} {slot} outside [0, 1]"));
+                        }
+                    }
+                    Ok(())
+                };
+                prob("--fault-drop", &mut plan.drop)?;
+                prob("--fault-corrupt", &mut plan.corrupt)?;
+                prob("--fault-dup", &mut plan.duplicate)?;
+                prob("--fault-reorder", &mut plan.reorder)?;
+                prob("--fault-delay", &mut plan.delay)?;
+                if let Some(ms) = flag(argv, "--fault-max-delay-ms") {
+                    let ms: u64 = ms.parse().map_err(|e| format!("bad fault delay: {e}"))?;
+                    plan.max_delay = std::time::Duration::from_millis(ms);
+                }
+                println!(
+                    "fault injection armed: seed {fault_seed}, drop {:.3} / corrupt {:.3} / dup {:.3} / reorder {:.3} / delay {:.3} (≤ {:?})",
+                    plan.drop, plan.corrupt, plan.duplicate, plan.reorder, plan.delay, plan.max_delay
+                );
+                plan
+            }
+        };
         let rpc_config = RpcConfig {
             transport,
             deadline: std::time::Duration::from_millis(deadline_ms),
+            quorum_frac,
+            evict_after,
+            fault,
             ..RpcConfig::default()
         };
         let worker_dataset = search.dataset().clone();
         fedrlnas::rpc::install(search.server_mut(), &worker_dataset, rpc_config);
         println!(
-            "rpc runtime: {} transport, {} worker threads, {deadline_ms} ms deadline",
+            "rpc runtime: {} transport, {} worker threads, {deadline_ms} ms deadline, quorum {quorum_frac}",
             search
                 .server_mut()
                 .backend_description()
@@ -140,7 +216,12 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
             search.server_mut().participants().len(),
         );
     }
-    let outcome = search.run(&mut rng);
+    let outcome = match &policy {
+        Some(_) => search
+            .run_checkpointed(&mut rng, policy.as_ref())
+            .map_err(|e| format!("checkpointing failed: {e}"))?,
+        None => search.run(&mut rng),
+    };
     println!("genotype: {}", outcome.genotype);
     println!(
         "genotype (compact): {}",
@@ -165,9 +246,8 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         println!("curve written to {path}");
     }
     if let Some(path) = flag(argv, "--checkpoint") {
-        let cp = Checkpoint::capture(search.server_mut());
-        let mut file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
-        cp.save(&mut file)
+        Checkpoint::capture(search.server_mut(), &rng)
+            .save_path(std::path::Path::new(&path))
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("checkpoint written to {path}");
     }

@@ -147,17 +147,17 @@ fn checkpoint_survives_mid_search_interruption() {
     config.search_steps = 10;
     let mut server = SearchServer::new(config.clone(), &dataset, &mut rng);
     server.run_search(&dataset, 4, &mut rng);
-    let cp = Checkpoint::capture(&mut server);
-    let mut bytes = Vec::new();
-    cp.save(&mut bytes).expect("serialize");
+    let cp = Checkpoint::capture(&mut server, &rng);
+    let bytes = cp.to_bytes();
     // "crash": rebuild from scratch and restore
     let mut rng2 = StdRng::seed_from_u64(8);
     let _ = data(&mut rng2, 10, 3); // consume the same rng stream
     let mut restored = SearchServer::new(config, &dataset, &mut rng2);
-    Checkpoint::load(bytes.as_slice())
-        .expect("deserialize")
-        .restore(&mut restored);
-    // resumed server continues searching without panic
+    let loaded = Checkpoint::from_bytes(&bytes).expect("deserialize");
+    loaded.restore(&mut restored).expect("restore");
+    rng2 = loaded.rng();
+    // resumed server continues searching without panic; the v2 checkpoint
+    // carries the 4 recorded curve steps, so 3 more lands at 7
     restored.run_search(&dataset, 3, &mut rng2);
-    assert_eq!(restored.search_curve().len(), 3);
+    assert_eq!(restored.search_curve().len(), 7);
 }
