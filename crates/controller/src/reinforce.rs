@@ -95,16 +95,40 @@ impl ReinforceController {
         self.alpha.sample(rng)
     }
 
+    /// How far a reported accuracy may sit from zero before the baseline
+    /// update winsorizes it. Honest accuracies live in `[0, 1]`; anything
+    /// beyond ±100 is a corrupt or adversarial report, and letting it into
+    /// the moving average would poison every later baseline (Eq. 9 has no
+    /// forgetting of an infinite spike — `β·∞` is `∞` forever).
+    const REWARD_BOUND: f32 = 100.0;
+
     /// Updates the baseline with this round's accuracies (Eq. 9) and
     /// returns the baselined rewards (Eq. 8).
+    ///
+    /// Hardened against Byzantine reward streams: a non-finite accuracy is
+    /// replaced by the pre-update baseline (a zero-information report —
+    /// its baselined reward is driven toward zero), and finite outliers
+    /// are winsorized to ±[`Self::REWARD_BOUND`]. In-range rewards pass
+    /// through bit-identical, so honest runs are unaffected.
     pub fn baselined_rewards(&mut self, accuracies: &[f32]) -> Vec<f32> {
         if accuracies.is_empty() {
             return Vec::new();
         }
-        let mean = accuracies.iter().sum::<f32>() / accuracies.len() as f32;
+        let prior = self.baseline;
+        let sane: Vec<f32> = accuracies
+            .iter()
+            .map(|&a| {
+                if !a.is_finite() {
+                    prior
+                } else {
+                    a.clamp(-Self::REWARD_BOUND, Self::REWARD_BOUND)
+                }
+            })
+            .collect();
+        let mean = sane.iter().sum::<f32>() / sane.len() as f32;
         let beta = self.config.baseline_decay;
         self.baseline = beta * mean + (1.0 - beta) * self.baseline;
-        accuracies.iter().map(|a| a - self.baseline).collect()
+        sane.iter().map(|a| a - self.baseline).collect()
     }
 
     /// Computes the REINFORCE gradient estimate
@@ -174,6 +198,47 @@ mod tests {
         let _ = c.baselined_rewards(&[0.5]);
         // b2 = 0.99 * 0.5 + 0.01 * 0.99
         assert!((c.baseline() - (0.99 * 0.5 + 0.01 * 0.99)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonfinite_rewards_cannot_poison_the_baseline() {
+        let mut c = controller();
+        let _ = c.baselined_rewards(&[0.8, 0.6]);
+        let before = c.baseline();
+        assert!(before.is_finite());
+        // a NaN/Inf report is treated as zero-information: replaced by the
+        // pre-update baseline, so the baseline stays finite and close
+        let r = c.baselined_rewards(&[f32::NAN, f32::INFINITY, 0.7]);
+        assert!(
+            c.baseline().is_finite(),
+            "baseline poisoned: {}",
+            c.baseline()
+        );
+        assert!(r.iter().all(|v| v.is_finite()), "{r:?}");
+        // the honest report still contributes normally
+        assert!((c.baseline() - before).abs() < 1.0);
+    }
+
+    #[test]
+    fn outlier_rewards_are_winsorized() {
+        let mut c = controller();
+        let r = c.baselined_rewards(&[1e9, -1e9, 0.5]);
+        assert!(c.baseline().abs() <= 100.0, "{}", c.baseline());
+        assert!(r.iter().all(|v| v.abs() <= 201.0), "{r:?}");
+    }
+
+    #[test]
+    fn in_range_rewards_pass_through_unchanged() {
+        // the hardening must be a bit-exact no-op for honest accuracies
+        let mut hardened = controller();
+        let accs = [0.31f32, 0.62, 0.47, 0.55];
+        let r = hardened.baselined_rewards(&accs);
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        let expected_baseline = 0.99 * mean;
+        assert_eq!(hardened.baseline(), expected_baseline);
+        for (a, got) in accs.iter().zip(&r) {
+            assert_eq!(*got, a - expected_baseline);
+        }
     }
 
     #[test]

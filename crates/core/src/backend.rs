@@ -18,7 +18,7 @@
 //! crate and installs itself via [`SearchServer::set_backend`](crate::SearchServer::set_backend).
 
 use fedrlnas_darts::{ArchMask, SubModel};
-use fedrlnas_fed::FaultTally;
+use fedrlnas_fed::{FaultTally, RejectTally};
 
 /// One participant's completed local update as delivered by a backend.
 ///
@@ -89,6 +89,10 @@ pub struct RoundOutcome {
     /// actions (retransmits, evictions) they triggered; folded into
     /// [`fedrlnas_fed::CommStats`] by the server.
     pub faults: FaultTally,
+    /// Updates the engine's validation gate refused this round, by cause,
+    /// plus workers evicted while misbehaving (suspected Byzantine).
+    /// Rejected replies never appear in `reports`/`late`.
+    pub rejects: RejectTally,
 }
 
 /// A round-execution engine: ships sub-models out, collects updates back.

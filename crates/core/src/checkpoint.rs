@@ -1,4 +1,4 @@
-//! Search-state checkpointing (format v2) and crash recovery.
+//! Search-state checkpointing (format v3) and crash recovery.
 //!
 //! Real federated searches run for days (Table V); a production server
 //! must survive restarts. A [`Checkpoint`] captures everything Algorithm 1
@@ -7,9 +7,13 @@
 //! state, the SGD momentum, the memory pools (the staleness mask history
 //! delay compensation replays), the in-flight pending-update queue, the
 //! per-participant loader and bandwidth state, both training curves and
-//! the communication/latency tallies. A search killed after round `t` and
-//! resumed from its round-`t` checkpoint produces the same genotype and
-//! curves as one that never stopped.
+//! the communication/latency tallies; v3 extends the communication block
+//! with the validation-gate rejection tallies and records the aggregator
+//! selection + update norm bound, so a resumed run keeps counting rejects
+//! from where it left off and cannot silently continue under a different
+//! aggregation rule. A search killed after round `t` and resumed from its
+//! round-`t` checkpoint produces the same genotype and curves as one that
+//! never stopped.
 //!
 //! The on-disk layout is a little-endian binary body framed by a
 //! magic/version header, an exact body length and a trailing CRC-32:
@@ -30,7 +34,7 @@
 use crate::metrics::StepMetric;
 use crate::server::{LatencyStats, PendingUpdate, SearchServer};
 use fedrlnas_darts::{ArchMask, CellKind, NUM_OPS};
-use fedrlnas_fed::{CommStats, FaultTally};
+use fedrlnas_fed::{AggregatorConfig, AggregatorKind, CommStats, FaultTally, RejectTally};
 use fedrlnas_sync::RoundSnapshot;
 use fedrlnas_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -40,7 +44,7 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"FRLNCKPT";
 const V1_MAGIC: &[u8; 8] = b"FEDRLNA1";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 /// Header: magic + version + flags + body length.
 const HEADER_LEN: usize = 8 + 2 + 2 + 8;
 
@@ -54,7 +58,7 @@ pub enum CheckpointError {
     /// The file does not start with the checkpoint magic.
     BadMagic([u8; 8]),
     /// A checkpoint from an unsupported format version (v1 files report
-    /// version 1).
+    /// version 1; v2 files predate the robustness fields).
     UnsupportedVersion(u16),
     /// The file ends before the structure it declares.
     Truncated {
@@ -86,7 +90,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported checkpoint version {v} (this build reads v2)"
+                    "unsupported checkpoint version {v} (this build reads v3)"
                 )
             }
             CheckpointError::Truncated { needed, got } => {
@@ -189,6 +193,11 @@ pub struct Checkpoint {
     pub pending: Vec<PendingEntry>,
     /// Per-participant loader and bandwidth state.
     pub participants: Vec<ParticipantEntry>,
+    /// Aggregation rule the run was using; restore refuses a server
+    /// configured differently (the trajectory would silently diverge).
+    pub aggregator: AggregatorConfig,
+    /// Update L2 norm bound the validation gate was enforcing.
+    pub update_norm_bound: Option<f32>,
 }
 
 impl Checkpoint {
@@ -244,6 +253,8 @@ impl Checkpoint {
                     bandwidth_mbps: p.bandwidth_mbps(),
                 })
                 .collect(),
+            aggregator: server.config.aggregator,
+            update_norm_bound: server.config.update_norm_bound,
         }
     }
 
@@ -294,6 +305,18 @@ impl Checkpoint {
                     )));
                 }
             }
+        }
+        if self.aggregator != server.config.aggregator {
+            return Err(mismatch(format!(
+                "checkpoint was taken under aggregator {}, server runs {}",
+                self.aggregator, server.config.aggregator
+            )));
+        }
+        if self.update_norm_bound != server.config.update_norm_bound {
+            return Err(mismatch(format!(
+                "checkpoint norm bound {:?} differs from server {:?}",
+                self.update_norm_bound, server.config.update_norm_bound
+            )));
         }
         // θ
         let mut cursor = 0usize;
@@ -503,6 +526,10 @@ impl Checkpoint {
             self.comm.faults.frames_delayed,
             self.comm.faults.retransmits,
             self.comm.faults.evictions,
+            self.comm.rejects.rejected_shape,
+            self.comm.rejects.rejected_nonfinite,
+            self.comm.rejects.rejected_norm,
+            self.comm.rejects.suspected_byzantine,
             self.comm.resumes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
@@ -546,6 +573,19 @@ impl Checkpoint {
             out.extend_from_slice(&p.cursor.to_le_bytes());
             out.extend_from_slice(&p.bandwidth_mbps.to_le_bytes());
         }
+        // v3 robustness block (appended last so earlier field offsets are
+        // stable): aggregator kind tag, its parameter, then two optional
+        // f32s as flag+value pairs
+        let (tag, param): (u8, u64) = match self.aggregator.kind {
+            AggregatorKind::Mean => (0, 0),
+            AggregatorKind::Median => (1, 0),
+            AggregatorKind::Trimmed { k } => (2, k as u64),
+            AggregatorKind::Krum { m } => (3, m as u64),
+        };
+        out.push(tag);
+        out.extend_from_slice(&param.to_le_bytes());
+        put_opt_f32(&mut out, self.aggregator.clip);
+        put_opt_f32(&mut out, self.update_norm_bound);
         out
     }
 
@@ -571,6 +611,12 @@ impl Checkpoint {
                 frames_delayed: r.u64()?,
                 retransmits: r.u64()?,
                 evictions: r.u64()?,
+            },
+            rejects: RejectTally {
+                rejected_shape: r.u64()?,
+                rejected_nonfinite: r.u64()?,
+                rejected_norm: r.u64()?,
+                suspected_byzantine: r.u64()?,
             },
             resumes: r.u64()?,
         };
@@ -637,6 +683,26 @@ impl Checkpoint {
                 bandwidth_mbps: r.f64()?,
             });
         }
+        let tag = r.u8()?;
+        let param = r.u64()?;
+        let kind = match tag {
+            0 => AggregatorKind::Mean,
+            1 => AggregatorKind::Median,
+            2 => AggregatorKind::Trimmed { k: param as usize },
+            3 => AggregatorKind::Krum { m: param as usize },
+            _ => return Err(CheckpointError::Malformed("unknown aggregator tag")),
+        };
+        let clip = r.opt_f32()?;
+        let update_norm_bound = r.opt_f32()?;
+        let aggregator = AggregatorConfig { kind, clip };
+        if aggregator.validate().is_err() {
+            return Err(CheckpointError::Malformed("invalid aggregator config"));
+        }
+        if let Some(b) = update_norm_bound {
+            if !(b.is_finite() && b > 0.0) {
+                return Err(CheckpointError::Malformed("invalid update norm bound"));
+            }
+        }
         r.finish()?;
         Ok(Checkpoint {
             round,
@@ -654,6 +720,8 @@ impl Checkpoint {
             pools,
             pending,
             participants,
+            aggregator,
+            update_norm_bound,
         })
     }
 }
@@ -662,6 +730,16 @@ fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
     out.extend_from_slice(&(values.len() as u64).to_le_bytes());
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_opt_f32(out: &mut Vec<u8>, value: Option<f32>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
     }
 }
 
@@ -708,6 +786,20 @@ impl<'a> Reader<'a> {
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A one-byte presence flag followed by the value when present; any
+    /// flag other than 0/1 is malformed.
+    fn opt_f32(&mut self) -> Result<Option<f32>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f32()?)),
+            _ => Err(CheckpointError::Malformed("bad option flag")),
+        }
     }
 
     fn u64(&mut self) -> Result<u64, CheckpointError> {

@@ -3,6 +3,7 @@
 use fedrlnas_controller::ControllerConfig;
 use fedrlnas_darts::SupernetConfig;
 use fedrlnas_data::AugmentConfig;
+use fedrlnas_fed::AggregatorConfig;
 use fedrlnas_netsim::{AssignmentStrategy, DeviceProfile};
 use fedrlnas_nn::SgdConfig;
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
@@ -73,6 +74,16 @@ pub struct SearchConfig {
     pub weight_sharing: bool,
     /// Participant device class for simulated-time accounting (Table V).
     pub device: DeviceProfile,
+    /// How participant updates are merged into θ each round. The default
+    /// weighted mean is byte-identical to the pre-robustness aggregate
+    /// loop; median/trimmed/Krum tolerate Byzantine participants at the
+    /// cost of exact FedAvg weighting (see DESIGN.md "Threat model").
+    pub aggregator: AggregatorConfig,
+    /// Reject any update whose L2 norm exceeds this bound before it
+    /// reaches aggregation (`None` = no bound). Complements `aggregator`:
+    /// the gate drops provably bad updates, the aggregator defends against
+    /// plausible-looking ones.
+    pub update_norm_bound: Option<f32>,
 }
 
 impl SearchConfig {
@@ -101,6 +112,8 @@ impl SearchConfig {
             freeze_theta: false,
             weight_sharing: true,
             device: DeviceProfile::gtx_1080ti(),
+            aggregator: AggregatorConfig::default(),
+            update_norm_bound: None,
         }
     }
 
@@ -138,6 +151,8 @@ impl SearchConfig {
             freeze_theta: false,
             weight_sharing: true,
             device: DeviceProfile::gtx_1080ti(),
+            aggregator: AggregatorConfig::default(),
+            update_norm_bound: None,
         }
     }
 
@@ -162,6 +177,8 @@ impl SearchConfig {
             freeze_theta: false,
             weight_sharing: true,
             device: DeviceProfile::gtx_1080ti(),
+            aggregator: AggregatorConfig::default(),
+            update_norm_bound: None,
         }
     }
 
@@ -196,6 +213,18 @@ impl SearchConfig {
         self
     }
 
+    /// Builder-style: select the round-aggregation rule.
+    pub fn with_aggregator(mut self, aggregator: AggregatorConfig) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Builder-style: reject updates above an L2 norm bound.
+    pub fn with_update_norm_bound(mut self, bound: f32) -> Self {
+        self.update_norm_bound = Some(bound);
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -215,6 +244,14 @@ impl SearchConfig {
                 self.staleness.max_delay(),
                 self.staleness_threshold
             ));
+        }
+        self.aggregator.validate()?;
+        if let Some(bound) = self.update_norm_bound {
+            if !(bound.is_finite() && bound > 0.0) {
+                return Err(format!(
+                    "update norm bound must be finite and positive, got {bound}"
+                ));
+            }
         }
         Ok(())
     }
@@ -264,6 +301,25 @@ mod tests {
         assert!(c.validate().is_err());
         c.staleness_threshold = 2;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_robustness_settings() {
+        let mut c = SearchConfig::tiny();
+        c.aggregator = AggregatorConfig {
+            kind: fedrlnas_fed::AggregatorKind::Krum { m: 0 },
+            clip: None,
+        };
+        assert!(c.validate().is_err());
+        let mut c = SearchConfig::tiny();
+        c.update_norm_bound = Some(-2.0);
+        assert!(c.validate().is_err());
+        c.update_norm_bound = Some(5.0);
+        assert!(c.validate().is_ok());
+        let robust = SearchConfig::tiny()
+            .with_aggregator(AggregatorConfig::parse("clip:1+median").unwrap())
+            .with_update_norm_bound(10.0);
+        assert!(robust.validate().is_ok());
     }
 
     #[test]

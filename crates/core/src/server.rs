@@ -7,7 +7,7 @@ use crate::metrics::{CurveRecorder, StepMetric};
 use fedrlnas_controller::{Alpha, ReinforceController};
 use fedrlnas_darts::{ArchMask, Genotype, Supernet};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
-use fedrlnas_fed::{CommStats, Participant};
+use fedrlnas_fed::{validate_update, CommStats, Participant, RejectTally, SparseUpdate};
 use fedrlnas_netsim::{assign, transmission_secs, Environment};
 use fedrlnas_nn::Sgd;
 use fedrlnas_sync::{
@@ -268,6 +268,49 @@ impl SearchServer {
         self.controller.alpha().argmax_mask()
     }
 
+    /// The validation gate in front of Algorithm 1's aggregate step:
+    /// refuses reports whose gradients are the wrong length for their
+    /// architecture, contain NaN/Inf anywhere (gradients, accuracy or
+    /// loss), or exceed the configured L2 norm bound — before they can
+    /// touch the staleness draws, the reward baseline, the training curve
+    /// or θ. Causes are tallied into [`CommStats::rejects`]. With honest
+    /// reports nothing is filtered and the round is byte-identical to the
+    /// ungated path.
+    fn gate_reports(&mut self, reports: Vec<BackendReport>) -> Vec<BackendReport> {
+        let bound = self.config.update_norm_bound;
+        let mut tally = RejectTally::default();
+        let mut kept = Vec::with_capacity(reports.len());
+        for r in reports {
+            let expected: usize = self
+                .supernet
+                .submodel_param_ranges(&r.mask)
+                .iter()
+                .map(|&(_, len)| len)
+                .sum();
+            let verdict = if r.accuracy.is_finite() && r.loss.is_finite() {
+                validate_update(&r.grads, expected, bound)
+            } else {
+                Err(fedrlnas_fed::UpdateRejection::NonFinite)
+            };
+            match verdict {
+                Ok(()) => kept.push(r),
+                Err(fedrlnas_fed::UpdateRejection::ShapeMismatch { .. }) => {
+                    tally.rejected_shape += 1;
+                }
+                Err(fedrlnas_fed::UpdateRejection::NonFinite) => {
+                    tally.rejected_nonfinite += 1;
+                }
+                Err(fedrlnas_fed::UpdateRejection::NormExceeded { .. }) => {
+                    tally.rejected_norm += 1;
+                }
+            }
+        }
+        if tally.any() {
+            self.comm.record_rejects(&tally);
+        }
+        kept
+    }
+
     /// One full server round of Algorithm 1. `update_alpha` distinguishes
     /// warm-up (false) from search (true).
     pub fn run_round<R: Rng + ?Sized>(
@@ -352,6 +395,7 @@ impl SearchServer {
             self.comm.record_down(out.bytes_down as usize);
             self.comm.record_up(out.bytes_up as usize);
             self.comm.record_faults(&out.faults);
+            self.comm.record_rejects(&out.rejects);
             // transmission latency: measured download frame bytes over the
             // sampled link bandwidth
             for (p, latency) in latencies.iter_mut().enumerate().take(k) {
@@ -414,6 +458,12 @@ impl SearchServer {
                 .collect();
             (reports, Vec::new())
         };
+        // --- validation gate: nothing unverified reaches staleness,
+        // rewards, the curve, or aggregation (the engine gates its own
+        // replies too; this covers the in-process path and defends in
+        // depth against a buggy backend) ---
+        let reports = self.gate_reports(reports);
+        let late_reports = self.gate_reports(late_reports);
         self.latency
             .max_per_round
             .push(latencies.iter().copied().fold(0.0, f64::max));
@@ -502,7 +552,7 @@ impl SearchServer {
         }
         // --- aggregate (lines 17–33) ---
         let theta_len = self.initial_theta.len();
-        let mut theta_grad = vec![0.0f32; theta_len];
+        let mut theta_updates: Vec<SparseUpdate> = Vec::new();
         let mut alpha_grad = Tensor::zeros(self.controller.alpha().logits().dims());
         let mut m = 0usize;
         let accuracies: Vec<f32> = arrivals.iter().map(|a| a.accuracy).collect();
@@ -566,19 +616,30 @@ impl SearchServer {
                 }
                 glog
             };
-            // accumulate θ gradient at the sub-model's slots
-            let mut cursor = 0usize;
-            for &(off, len) in &ranges {
-                for i in 0..len {
-                    theta_grad[off + i] += grads[cursor + i];
-                }
-                cursor += len;
-            }
+            // queue the θ gradient at the sub-model's slots; the
+            // configured aggregator merges the whole round at once (the
+            // default mean reproduces the legacy running sum bit for bit,
+            // delay compensation above already repaired stale values, so
+            // robust merging composes with Eq. 13 for free)
+            theta_updates.push(SparseUpdate {
+                ranges,
+                values: grads,
+            });
             // accumulate α gradient: R_m ∇ log p(g_m)
             glog.scale(reward);
             alpha_grad.add_assign(&glog).expect("alpha shapes agree");
             m += 1;
         }
+        let theta_grad = self
+            .config
+            .aggregator
+            .build()
+            .accumulate_sparse(theta_updates, theta_len);
+        debug_assert!(
+            theta_grad.iter().all(|v| v.is_finite()),
+            "aggregated θ gradient contains non-finite values; the \
+             validation gate should have rejected the offending update"
+        );
         if m > 0 {
             let inv_m = 1.0 / m as f32;
             // θ update (line 32–33)
@@ -717,6 +778,114 @@ mod tests {
             .steps()
             .iter()
             .all(|s| s.contributors == 0));
+    }
+
+    #[test]
+    fn validation_gate_filters_bad_reports_by_cause() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = dataset(&mut rng);
+        let config = SearchConfig::tiny().with_update_norm_bound(1e3);
+        let mut server = SearchServer::new(config, &data, &mut rng);
+        let mask = server.controller().sample(&mut rng);
+        let expected: usize = server
+            .supernet
+            .submodel_param_ranges(&mask)
+            .iter()
+            .map(|&(_, len)| len)
+            .sum();
+        let report = |grads: Vec<f32>, accuracy: f32| BackendReport {
+            participant: 0,
+            computed_at: 0,
+            mask: mask.clone(),
+            accuracy,
+            loss: 1.0,
+            grads,
+            delta_alpha: Vec::new(),
+        };
+        let batch = vec![
+            report(vec![0.01; expected], 0.5),      // honest
+            report(vec![f32::NAN; expected], 0.5),  // poisoned gradients
+            report(vec![0.01; expected - 1], 0.5),  // wrong shape
+            report(vec![1e6; expected], 0.5),       // norm bomb
+            report(vec![0.01; expected], f32::NAN), // poisoned reward
+        ];
+        let kept = server.gate_reports(batch);
+        assert_eq!(kept.len(), 1, "only the honest report survives");
+        assert!(kept[0].grads.iter().all(|g| g.is_finite()));
+        let r = server.comm().rejects;
+        assert_eq!(r.rejected_nonfinite, 2);
+        assert_eq!(r.rejected_shape, 1);
+        assert_eq!(r.rejected_norm, 1);
+        assert_eq!(r.total_rejected(), 4);
+    }
+
+    #[test]
+    fn honest_rounds_reject_nothing() {
+        // regression for the byte-identity requirement: on honest data the
+        // gate must be a pure pass-through (no rejections, full strength)
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = dataset(&mut rng);
+        let mut server = SearchServer::new(SearchConfig::tiny(), &data, &mut rng);
+        server.run_warmup(&data, 2, &mut rng);
+        server.run_search(&data, 2, &mut rng);
+        assert!(!server.comm().rejects.any(), "{:?}", server.comm().rejects);
+        assert!(server
+            .search_curve()
+            .steps()
+            .iter()
+            .all(|s| s.contributors == server.config().num_participants));
+    }
+
+    #[test]
+    fn robust_aggregation_composes_with_delay_compensation() {
+        // median merge over delay-compensated stale arrivals: compensation
+        // (Eq. 13) repairs each update before the robust center sees it,
+        // so the search must stay finite and keep recording contributors
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = dataset(&mut rng);
+        let mut config = SearchConfig::tiny()
+            .with_staleness(
+                StalenessModel::new(vec![0.5, 0.5]),
+                StalenessStrategy::delay_compensated(),
+            )
+            .with_aggregator(fedrlnas_fed::AggregatorConfig::parse("median").unwrap());
+        config.search_steps = 6;
+        let mut server = SearchServer::new(config, &data, &mut rng);
+        server.run_search(&data, 6, &mut rng);
+        let mut theta = Vec::new();
+        server
+            .supernet_mut()
+            .visit_params(&mut |p| theta.extend_from_slice(p.value.as_slice()));
+        assert!(theta.iter().all(|v| v.is_finite()));
+        assert!(server
+            .search_curve()
+            .steps()
+            .iter()
+            .skip(1)
+            .any(|s| s.contributors > 0));
+        assert!(!server.comm().rejects.any());
+    }
+
+    #[test]
+    fn robust_runs_are_deterministic() {
+        let run = |spec: &str| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let data = dataset(&mut rng);
+            let config = SearchConfig::tiny()
+                .with_aggregator(fedrlnas_fed::AggregatorConfig::parse(spec).unwrap());
+            let mut server = SearchServer::new(config, &data, &mut rng);
+            server.run_search(&data, 4, &mut rng);
+            (
+                server.derive_genotype(),
+                server.search_curve().steps().to_vec(),
+            )
+        };
+        for spec in ["median", "krum:3", "trimmed:1", "clip:10"] {
+            let a = run(spec);
+            let b = run(spec);
+            assert_eq!(a.0, b.0, "{spec}: genotypes diverged across reruns");
+            assert_eq!(a.1, b.1, "{spec}: curves diverged across reruns");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use fedrlnas_core::{
     Checkpoint, CheckpointError, CheckpointPolicy, FederatedModelSearch, SearchConfig,
 };
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
+use fedrlnas_fed::AggregatorConfig;
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -178,4 +179,62 @@ fn round_trip_is_exact() {
         bytes,
         "serialize∘deserialize must be identity"
     );
+}
+
+#[test]
+fn robust_configuration_and_reject_tallies_round_trip() {
+    // a non-default aggregator, the norm bound and non-zero rejection
+    // tallies are all v3 additions; each must survive the byte round trip
+    // exactly
+    let cfg = config()
+        .with_aggregator(AggregatorConfig::parse("clip:25+trimmed:1").unwrap())
+        .with_update_norm_bound(50.0);
+    let data = dataset(&cfg);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    search.server_mut().run_warmup(&data, 2, &mut rng);
+    let mut cp = Checkpoint::capture(search.server_mut(), &rng);
+    assert_eq!(cp.aggregator, cfg.aggregator, "capture must copy the rule");
+    assert_eq!(cp.update_norm_bound, Some(50.0));
+    cp.comm.rejects.rejected_shape = 1;
+    cp.comm.rejects.rejected_nonfinite = 2;
+    cp.comm.rejects.rejected_norm = 3;
+    cp.comm.rejects.suspected_byzantine = 4;
+    let bytes = cp.to_bytes();
+    let back = Checkpoint::from_bytes(&bytes).expect("round trip");
+    assert_eq!(back.aggregator, cp.aggregator);
+    assert_eq!(back.update_norm_bound, cp.update_norm_bound);
+    assert_eq!(back.comm.rejects, cp.comm.rejects);
+    assert_eq!(back.to_bytes(), bytes, "round trip must be exact");
+}
+
+#[test]
+fn restore_refuses_a_different_aggregation_rule() {
+    // resuming a median run under a mean server (or with a different norm
+    // bound) would silently change the trajectory; restore must refuse
+    let robust = config().with_aggregator(AggregatorConfig::parse("median").unwrap());
+    let data = dataset(&robust);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut search = FederatedModelSearch::with_dataset(robust.clone(), data.clone(), &mut rng);
+    search.server_mut().run_warmup(&data, 2, &mut rng);
+    let cp = Checkpoint::capture(search.server_mut(), &rng);
+
+    let mut rng2 = StdRng::seed_from_u64(13);
+    let mut mean_server = FederatedModelSearch::with_dataset(config(), data.clone(), &mut rng2);
+    match cp.restore(mean_server.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("aggregator"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+
+    let mut rng3 = StdRng::seed_from_u64(13);
+    let mut bounded =
+        FederatedModelSearch::with_dataset(robust.with_update_norm_bound(9.0), data, &mut rng3);
+    match cp.restore(bounded.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("norm bound"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
 }

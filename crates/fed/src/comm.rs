@@ -49,6 +49,54 @@ impl FaultTally {
     }
 }
 
+/// Per-round tally of participant updates refused by the validation gate
+/// in front of aggregation, split by cause, plus the workers the engine
+/// flagged as Byzantine when eviction followed repeated rejections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RejectTally {
+    /// Updates whose flat length did not match their architecture.
+    pub rejected_shape: u64,
+    /// Updates carrying NaN or infinite values.
+    pub rejected_nonfinite: u64,
+    /// Updates whose L2 norm exceeded the configured bound.
+    pub rejected_norm: u64,
+    /// Workers evicted while their rejection streak was non-zero —
+    /// misbehaviour, not mere silence.
+    pub suspected_byzantine: u64,
+}
+
+impl RejectTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another tally into this one (saturating, like every counter in
+    /// this module).
+    pub fn merge(&mut self, other: &RejectTally) {
+        self.rejected_shape = self.rejected_shape.saturating_add(other.rejected_shape);
+        self.rejected_nonfinite = self
+            .rejected_nonfinite
+            .saturating_add(other.rejected_nonfinite);
+        self.rejected_norm = self.rejected_norm.saturating_add(other.rejected_norm);
+        self.suspected_byzantine = self
+            .suspected_byzantine
+            .saturating_add(other.suspected_byzantine);
+    }
+
+    /// Returns `true` when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != RejectTally::default()
+    }
+
+    /// Total updates refused, across all causes (saturating).
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected_shape
+            .saturating_add(self.rejected_nonfinite)
+            .saturating_add(self.rejected_norm)
+    }
+}
+
 /// Tallies every byte that would cross the network in a real deployment,
 /// in both directions, plus the round count — the raw numbers behind the
 /// paper's efficiency claims (§VI-C: supernet 1.93 MB vs sub-model
@@ -65,6 +113,9 @@ pub struct CommStats {
     pub rounds: u64,
     /// Transport faults observed/injected and recovery actions taken.
     pub faults: FaultTally,
+    /// Updates refused by the validation gate, by cause, and suspected
+    /// Byzantine evictions.
+    pub rejects: RejectTally,
     /// Times this run was resumed from an on-disk checkpoint.
     pub resumes: u64,
 }
@@ -112,6 +163,7 @@ impl CommStats {
         self.bytes_down = self.bytes_down.saturating_add(other.bytes_down);
         self.bytes_up = self.bytes_up.saturating_add(other.bytes_up);
         self.faults.merge(&other.faults);
+        self.rejects.merge(&other.rejects);
         self.resumes = self.resumes.saturating_add(other.resumes);
         // rounds are counted by the server loop, not merged from workers
     }
@@ -119,6 +171,11 @@ impl CommStats {
     /// Folds one round's fault delta (from a round backend) into the tally.
     pub fn record_faults(&mut self, delta: &FaultTally) {
         self.faults.merge(delta);
+    }
+
+    /// Folds one round's validation-gate rejections into the tally.
+    pub fn record_rejects(&mut self, delta: &RejectTally) {
+        self.rejects.merge(delta);
     }
 
     /// Marks a resume from an on-disk checkpoint (saturating).
@@ -151,6 +208,14 @@ impl std::fmt::Display for CommStats {
                 f_.frames_delayed,
                 f_.retransmits,
                 f_.evictions
+            )?;
+        }
+        if self.rejects.any() {
+            let r = &self.rejects;
+            write!(
+                f,
+                "; rejected: {} shape / {} non-finite / {} norm, {} suspected byzantine",
+                r.rejected_shape, r.rejected_nonfinite, r.rejected_norm, r.suspected_byzantine
             )?;
         }
         if self.resumes > 0 {
@@ -214,16 +279,20 @@ mod tests {
         let mut rounds = 0u64;
         let mut dropped = 0u64;
         let mut retransmits = 0u64;
-        // kinds: 0 = down, 1 = up, 2 = round boundary, 3 = fault delta
+        let mut rejected = 0u64;
+        // kinds: 0 = down, 1 = up, 2 = round boundary, 3 = fault delta,
+        // 4 = validation-gate rejection delta
         let script: &[(u8, usize)] = &[
             (0, 1000),
             (1, 64),
             (3, 2),    // two frames lost mid-round
             (0, 1000), // retransmission
+            (4, 1),    // a NaN update refused before aggregation
             (2, 0),
             (1, 64), // late upload after the round boundary
             (0, 7),
             (3, 1),
+            (4, 3),
             (2, 0),
             (2, 0), // empty round: boundary with no traffic
             (1, 1),
@@ -242,7 +311,7 @@ mod tests {
                     s.end_round();
                     rounds += 1;
                 }
-                _ => {
+                3 => {
                     s.record_faults(&FaultTally {
                         frames_dropped: bytes as u64,
                         retransmits: bytes as u64,
@@ -251,14 +320,24 @@ mod tests {
                     dropped += bytes as u64;
                     retransmits += bytes as u64;
                 }
+                _ => {
+                    s.record_rejects(&RejectTally {
+                        rejected_nonfinite: bytes as u64,
+                        ..RejectTally::default()
+                    });
+                    rejected += bytes as u64;
+                }
             }
             assert_eq!(s.bytes_down, down);
             assert_eq!(s.bytes_up, up);
             assert_eq!(s.rounds, rounds);
             assert_eq!(s.total_bytes(), down + up);
-            // fault deltas never leak into the byte totals, and vice versa
+            // fault/reject deltas never leak into the byte totals, nor
+            // into each other
             assert_eq!(s.faults.frames_dropped, dropped);
             assert_eq!(s.faults.retransmits, retransmits);
+            assert_eq!(s.rejects.rejected_nonfinite, rejected);
+            assert_eq!(s.rejects.total_rejected(), rejected);
         }
         assert!((s.bytes_per_round() - (down + up) as f64 / rounds as f64).abs() < 1e-9);
     }
@@ -286,6 +365,42 @@ mod tests {
         assert!(text.contains("4 retransmits"), "{text}");
         assert!(text.contains("1 evictions"), "{text}");
         assert!(text.contains("resumed from checkpoint 1x"), "{text}");
+    }
+
+    #[test]
+    fn reject_free_display_is_unchanged_and_rejections_surface() {
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.end_round();
+        // no rejections: the legacy rendering, byte for byte
+        assert_eq!(s.to_string(), "2.00 MB down, 0.00 MB up over 1 rounds");
+        s.record_rejects(&RejectTally {
+            rejected_shape: 1,
+            rejected_nonfinite: 4,
+            rejected_norm: 2,
+            suspected_byzantine: 1,
+        });
+        let text = s.to_string();
+        assert!(text.contains("1 shape"), "{text}");
+        assert!(text.contains("4 non-finite"), "{text}");
+        assert!(text.contains("2 norm"), "{text}");
+        assert!(text.contains("1 suspected byzantine"), "{text}");
+    }
+
+    #[test]
+    fn reject_tally_merge_saturates() {
+        let mut a = RejectTally {
+            rejected_nonfinite: u64::MAX,
+            rejected_shape: 1,
+            ..RejectTally::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.rejected_nonfinite, u64::MAX);
+        assert_eq!(a.rejected_shape, 2);
+        assert_eq!(a.total_rejected(), u64::MAX);
+        assert!(a.any());
+        assert!(!RejectTally::new().any());
     }
 
     #[test]

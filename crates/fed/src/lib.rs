@@ -32,12 +32,17 @@
 mod comm;
 mod fedsgd;
 mod participant;
+mod robust;
 mod rounds;
 mod trainable;
 
-pub use comm::{CommStats, FaultTally};
+pub use comm::{CommStats, FaultTally, RejectTally};
 pub use fedsgd::{FedSgdConfig, FedSgdTrainer};
 pub use participant::{LocalReport, Participant};
+pub use robust::{
+    clip_l2, l2_norm, validate_update, Aggregator, AggregatorConfig, AggregatorKind, CoordMedian,
+    Krum, NormClip, SparseUpdate, TrimmedMean, UpdateRejection, WeightedMean,
+};
 pub use rounds::{FedAvgConfig, FedAvgTrainer, RoundMetrics};
 pub use trainable::{
     average_flat, evaluate_model, flat_params, flat_state, set_flat_params, set_flat_state,

@@ -3,9 +3,10 @@
 
 use crate::comm::CommStats;
 use crate::participant::Participant;
+use crate::robust::AggregatorConfig;
 #[cfg(test)]
 use crate::trainable::flat_params;
-use crate::trainable::{average_flat, evaluate_model, flat_state, set_flat_state, TrainableModel};
+use crate::trainable::{evaluate_model, flat_state, set_flat_state, TrainableModel};
 use fedrlnas_data::{dirichlet_partition, iid_partition, AugmentConfig, SyntheticDataset};
 use fedrlnas_netsim::Environment;
 use fedrlnas_nn::SgdConfig;
@@ -25,6 +26,10 @@ pub struct FedAvgConfig {
     pub dirichlet_beta: Option<f64>,
     /// Augmentation applied by participants.
     pub augment: AugmentConfig,
+    /// How local model states are merged into the global model. The
+    /// default weighted mean is the classic FedAvg rule; robust choices
+    /// trade exact shard weighting for Byzantine tolerance.
+    pub aggregator: AggregatorConfig,
 }
 
 impl Default for FedAvgConfig {
@@ -41,6 +46,7 @@ impl Default for FedAvgConfig {
             },
             dirichlet_beta: None,
             augment: AugmentConfig::none(),
+            aggregator: AggregatorConfig::default(),
         }
     }
 }
@@ -173,7 +179,11 @@ impl<M: TrainableModel + Clone + Send> FedAvgTrainer<M> {
             self.comm.record_down(model_bytes);
             self.comm.record_up(model_bytes);
         }
-        let avg = average_flat(&locals, &weights);
+        let avg = self
+            .config
+            .aggregator
+            .build()
+            .aggregate_dense(locals, &weights);
         set_flat_state(&mut self.global, &avg);
         self.comm.end_round();
         let k = self.participants.len() as f32;
@@ -240,7 +250,11 @@ impl<M: TrainableModel + Clone + Send> FedAvgTrainer<M> {
             self.comm.record_down(model_bytes);
             self.comm.record_up(model_bytes);
         }
-        let avg = average_flat(&locals, &weights);
+        let avg = self
+            .config
+            .aggregator
+            .build()
+            .aggregate_dense(locals, &weights);
         set_flat_state(&mut self.global, &avg);
         self.comm.end_round();
         let k = self.participants.len() as f32;
@@ -311,6 +325,23 @@ mod tests {
         assert!(m.train_loss.is_finite());
         assert!((0.0..=1.0).contains(&m.train_accuracy));
         assert_eq!(trainer.comm().rounds, 1);
+    }
+
+    #[test]
+    fn robust_aggregator_round_stays_finite() {
+        use crate::robust::AggregatorConfig;
+        let (data, model, mut rng) = build();
+        let config = FedAvgConfig {
+            aggregator: AggregatorConfig::parse("clip:50+median").unwrap(),
+            ..FedAvgConfig::default()
+        };
+        let mut trainer = FedAvgTrainer::new(model, &data, 4, config, &mut rng);
+        let before = flat_params(trainer.global_mut());
+        let m = trainer.run_round(&data, &mut rng);
+        let after = flat_params(trainer.global_mut());
+        assert_ne!(before, after, "median-merged global weights must move");
+        assert!(m.train_loss.is_finite());
+        assert!(after.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //! seeded schedule of [`FaultPlan`], and every *recoverable* fault is
 //! masked by the retry/idempotence machinery, so the search result is
 //! unchanged under a recoverable fault plan too.
+//!
+//! Robustness: with [`RpcConfig::update_norm_bound`] set, every on-time
+//! reply passes a validation gate (shape, finiteness, L2 norm) before it
+//! counts; rejected replies are tallied by cause in
+//! [`RoundOutcome::rejects`], never reach aggregation, and feed the
+//! eviction machinery — a worker evicted while its replies were being
+//! rejected is flagged as suspected Byzantine. Scripted
+//! [`Attack`](crate::adversary::Attack)s on [`ScriptedFault::attack`]
+//! corrupt the uploaded model update deterministically, providing the
+//! adversarial side of that contract.
 
 use std::collections::{HashMap, HashSet};
 use std::net::TcpListener;
@@ -35,10 +45,11 @@ use fedrlnas_controller::Alpha;
 use fedrlnas_core::{BackendReport, RoundBackend, RoundOutcome, RoundRequest, SearchServer};
 use fedrlnas_darts::{ArchMask, Supernet, SupernetConfig};
 use fedrlnas_data::SyntheticDataset;
-use fedrlnas_fed::Participant;
+use fedrlnas_fed::{validate_update, Participant, UpdateRejection};
 use fedrlnas_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
+use crate::adversary::{apply_attack, Attack};
 use crate::fault::{mix, FaultPlan, FaultyTransport};
 use crate::transport::{
     ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError,
@@ -94,6 +105,10 @@ pub struct RpcConfig {
     /// Seeded fault-injection plan applied to every server-side link
     /// endpoint; [`FaultPlan::none`] (the default) injects nothing.
     pub fault: FaultPlan,
+    /// Reject any on-time reply whose model update exceeds this L2 norm
+    /// (`None`, the default, disables the norm check; shape and
+    /// finiteness are always enforced by the gate).
+    pub update_norm_bound: Option<f32>,
 }
 
 impl Default for RpcConfig {
@@ -107,6 +122,7 @@ impl Default for RpcConfig {
             quorum_frac: 1.0,
             evict_after: 3,
             fault: FaultPlan::none(),
+            update_norm_bound: None,
         }
     }
 }
@@ -126,6 +142,10 @@ pub struct ScriptedFault {
     /// `rounds_down` rounds, then answers the next liveness probe and
     /// resumes.
     pub crash_restart: Option<(usize, usize)>,
+    /// Byzantine behaviour applied to every uploaded model update; the
+    /// architecture gradient and reward stay honest (see
+    /// [`crate::adversary`]).
+    pub attack: Option<Attack>,
 }
 
 /// Exponential backoff with saturation and bounded deterministic jitter.
@@ -175,6 +195,10 @@ struct WorkerHandle {
     evicted: bool,
     /// Consecutive rounds without an on-time reply.
     miss_streak: usize,
+    /// Consecutive rounds whose reply the validation gate refused; an
+    /// eviction while this is non-zero marks the worker suspected
+    /// Byzantine.
+    reject_streak: usize,
 }
 
 /// The server-side round engine; implements [`RoundBackend`].
@@ -285,6 +309,7 @@ fn spawn_channel_workers(
                 alive: true,
                 evicted: false,
                 miss_streak: 0,
+                reject_streak: 0,
             }
         })
         .collect()
@@ -344,6 +369,7 @@ fn spawn_tcp_workers(
             alive: true,
             evicted: false,
             miss_streak: 0,
+            reject_streak: 0,
         })
         .collect()
 }
@@ -365,6 +391,8 @@ fn worker_loop(
     let mut structure_rng = StdRng::seed_from_u64(0x5EED ^ id as u64);
     let supernet = Supernet::new(net, &mut structure_rng);
     let mut reply_cache: HashMap<u64, Vec<u8>> = HashMap::new();
+    // the previous round's honest update, kept for Attack::StaleReplay
+    let mut last_honest: Vec<f32> = Vec::new();
     // first round the worker is back up after a scripted crash-restart
     let mut down_until: Option<u64> = None;
     let mut crashed = false;
@@ -438,6 +466,10 @@ fn worker_loop(
                 let report = participant.local_update(&mut sub, &dataset, &mut prng);
                 let mut grads = Vec::new();
                 sub.visit_params(&mut |p| grads.extend_from_slice(p.grad.as_slice()));
+                if let Some(attack) = fault.attack {
+                    let honest = std::mem::replace(&mut last_honest, grads.clone());
+                    apply_attack(attack, round, id as u64, &mut grads, &honest);
+                }
                 let edges = mask.num_edges();
                 let alpha_len = alpha.len();
                 let delta_alpha = Tensor::from_vec(alpha, &[alpha_len])
@@ -560,9 +592,13 @@ impl RoundBackend for RpcBackend {
         // --- phase 1: ship downloads to eligible workers ---
         let mut submodels = request.submodels;
         let mut frames: Vec<Vec<u8>> = Vec::with_capacity(k);
+        // a reply's gradient vector must match the shipped sub-model's
+        // parameter count exactly; the gate checks against this
+        let mut expected_lens: Vec<usize> = Vec::with_capacity(k);
         for (p, sub) in submodels.iter_mut().enumerate() {
             let mut weights = Vec::new();
             sub.visit_params(&mut |pp| weights.extend_from_slice(pp.value.as_slice()));
+            expected_lens.push(weights.len());
             let mut buffers = Vec::new();
             sub.visit_buffers(&mut |b| buffers.extend_from_slice(b));
             let frame = encode(&Message::DownloadSubmodel {
@@ -603,6 +639,7 @@ impl RoundBackend for RpcBackend {
             let transport = w.transport.as_mut().expect("live worker has transport");
             let mut attempts = 0usize;
             let mut got = false;
+            let mut rejected = false;
             loop {
                 // once the quorum has reported, stragglers only get a
                 // short drain window and no retransmissions
@@ -644,12 +681,43 @@ impl RoundBackend for RpcBackend {
                         match r.cmp(&t) {
                             std::cmp::Ordering::Equal => {
                                 delivered.insert((r, pid));
-                                out.reports.push(BackendReport {
-                                    mask: request.masks[p].clone(),
-                                    ..report
-                                });
-                                got = true;
-                                on_time += 1;
+                                // validation gate: a reply that is the
+                                // wrong shape, non-finite anywhere, or
+                                // over the norm bound never reaches the
+                                // server; the worker is treated as having
+                                // missed the round
+                                let verdict =
+                                    if report.accuracy.is_finite() && report.loss.is_finite() {
+                                        validate_update(
+                                            &report.grads,
+                                            expected_lens[p],
+                                            config.update_norm_bound,
+                                        )
+                                    } else {
+                                        Err(UpdateRejection::NonFinite)
+                                    };
+                                match verdict {
+                                    Ok(()) => {
+                                        out.reports.push(BackendReport {
+                                            mask: request.masks[p].clone(),
+                                            ..report
+                                        });
+                                        got = true;
+                                        on_time += 1;
+                                    }
+                                    Err(UpdateRejection::ShapeMismatch { .. }) => {
+                                        rejected = true;
+                                        out.rejects.rejected_shape += 1;
+                                    }
+                                    Err(UpdateRejection::NonFinite) => {
+                                        rejected = true;
+                                        out.rejects.rejected_nonfinite += 1;
+                                    }
+                                    Err(UpdateRejection::NormExceeded { .. }) => {
+                                        rejected = true;
+                                        out.rejects.rejected_norm += 1;
+                                    }
+                                }
                                 break;
                             }
                             std::cmp::Ordering::Less => {
@@ -691,11 +759,20 @@ impl RoundBackend for RpcBackend {
             }
             if got {
                 w.miss_streak = 0;
+                w.reject_streak = 0;
             } else if w.alive {
                 w.miss_streak += 1;
+                if rejected {
+                    w.reject_streak += 1;
+                }
                 if config.evict_after > 0 && w.miss_streak >= config.evict_after {
                     w.evicted = true;
                     out.faults.evictions = out.faults.evictions.saturating_add(1);
+                    if w.reject_streak > 0 {
+                        // evicted while its uploads were being refused:
+                        // misbehaving, not merely slow
+                        out.rejects.suspected_byzantine += 1;
+                    }
                 }
             }
         }

@@ -17,6 +17,10 @@
 //!   a dedicated RNG, and [`FaultyTransport`](fault::FaultyTransport)
 //!   wraps any transport with that schedule while counting every injected
 //!   fault.
+//! * [`adversary`] — seeded Byzantine participant behaviours (sign-flip,
+//!   scaling, Gaussian noise, collusion, stale replay, NaN floods) applied
+//!   to the uploaded model update only, so the server-side validation gate
+//!   and robust aggregators are exercised under reproducible attacks.
 //! * [`engine`] — one worker thread per participant behind a per-round
 //!   deadline with bounded saturating/jittered retry backoff; late replies
 //!   flow into the server's soft-synchronization staleness path. Quorum
@@ -32,11 +36,13 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod engine;
 pub mod fault;
 pub mod transport;
 pub mod wire;
 
+pub use adversary::{apply_attack, Attack};
 pub use engine::{
     backoff_delay, install, install_with_faults, RpcBackend, RpcConfig, ScriptedFault,
     TransportKind,

@@ -60,6 +60,22 @@ pub fn compensate_gradient(
 ) {
     assert_eq!(stale_grad.len(), fresh_weights.len(), "length mismatch");
     assert_eq!(stale_grad.len(), stale_weights.len(), "length mismatch");
+    // the compensation squares the gradient, so a NaN/Inf smuggled past
+    // the validation gate would amplify, not wash out — catch the
+    // contract violation at the boundary in debug builds
+    debug_assert!(
+        lambda.is_finite(),
+        "delay-compensation strength must be finite, got {lambda}"
+    );
+    debug_assert!(
+        stale_grad.iter().all(|g| g.is_finite()),
+        "stale gradient contains non-finite values; the validation gate \
+         must reject such updates before compensation"
+    );
+    debug_assert!(
+        fresh_weights.iter().all(|w| w.is_finite()) && stale_weights.iter().all(|w| w.is_finite()),
+        "compensation weights contain non-finite values"
+    );
     for ((g, wf), ws) in stale_grad.iter_mut().zip(fresh_weights).zip(stale_weights) {
         *g += lambda * *g * *g * (wf - ws);
     }
@@ -160,5 +176,18 @@ mod tests {
     fn length_checked() {
         let mut g = vec![1.0];
         compensate_gradient(&mut g, &[1.0, 2.0], &[1.0], 0.5);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite"))]
+    fn nonfinite_gradient_is_caught_in_debug_builds() {
+        // the validation gate upstream must reject these; if one slips
+        // through, debug builds fail loudly instead of squaring a NaN
+        let mut g = vec![f32::NAN];
+        compensate_gradient(&mut g, &[1.0], &[0.5], 0.5);
+        // release builds skip the debug_assert; the NaN just propagates,
+        // which is why the server-side gate is mandatory
+        #[cfg(not(debug_assertions))]
+        assert!(g[0].is_nan());
     }
 }

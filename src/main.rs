@@ -4,6 +4,8 @@
 //! fedrlnas search  [--scale tiny|small|paper] [--seed N] [--non-iid]
 //!                  [--participants K] [--staleness none|slight|severe]
 //!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
+//!                  [--aggregator mean|median|trimmed:<k>|krum:<m>|clip:<c>[+...]]
+//!                  [--reject-norm C]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
 //!                  [--checkpoint-path PATH] [--checkpoint-every N]
 //!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
@@ -18,6 +20,12 @@
 //! a killed and restarted search is bit-identical to an uninterrupted one.
 //! `--fault-seed` arms the deterministic fault-injection layer on every
 //! RPC link (probabilities default to a light chaos preset).
+//! `--aggregator` selects the round-aggregation rule — the default `mean`
+//! reproduces the paper's FedAvg exactly; `median`, `trimmed:<k>` and
+//! `krum:<m>` tolerate Byzantine participants, and a `clip:<c>` pre-step
+//! composes with any of them (e.g. `clip:10+median`). `--reject-norm C`
+//! arms the validation gate: updates over L2 norm `C` (or malformed /
+//! non-finite ones) are rejected before aggregation and tallied.
 //! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
 //!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
 //! fedrlnas info    [--scale ...]
@@ -29,7 +37,7 @@ use fedrlnas::core::{
 };
 use fedrlnas::darts::Genotype;
 use fedrlnas::data::{DatasetSpec, SyntheticDataset};
-use fedrlnas::fed::FedAvgConfig;
+use fedrlnas::fed::{AggregatorConfig, FedAvgConfig};
 use fedrlnas::rpc::{FaultPlan, RpcConfig, TransportKind};
 use fedrlnas::sync::{StalenessModel, StalenessStrategy};
 use rand::{rngs::StdRng, SeedableRng};
@@ -92,6 +100,13 @@ fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
             other => return Err(format!("unknown assignment {other:?}")),
         };
     }
+    if let Some(spec) = flag(argv, "--aggregator") {
+        config = config.with_aggregator(AggregatorConfig::parse(&spec)?);
+    }
+    if let Some(c) = flag(argv, "--reject-norm") {
+        let bound: f32 = c.parse().map_err(|e| format!("bad norm bound: {e}"))?;
+        config = config.with_update_norm_bound(bound);
+    }
     config.validate()?;
     Ok(config)
 }
@@ -118,14 +133,19 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     let config = build_config(argv)?;
     let dataset = dataset_for(argv, &config, seed)?;
     println!(
-        "searching: K = {}, {} warm-up + {} search steps, staleness {:?}, strategy {}, assignment {}",
+        "searching: K = {}, {} warm-up + {} search steps, staleness {:?}, strategy {}, assignment {}, aggregator {}",
         config.num_participants,
         config.warmup_steps,
         config.search_steps,
         config.staleness.stale_fraction(),
         config.strategy,
         config.assignment,
+        config.aggregator,
     );
+    let norm_bound = config.update_norm_bound;
+    if let Some(bound) = norm_bound {
+        println!("validation gate armed: rejecting updates with L2 norm > {bound}");
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
     // crash recovery: resume before any backend install, so worker clones
@@ -203,6 +223,7 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
             quorum_frac,
             evict_after,
             fault,
+            update_norm_bound: norm_bound,
             ..RpcConfig::default()
         };
         let worker_dataset = search.dataset().clone();

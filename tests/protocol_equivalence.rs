@@ -73,6 +73,7 @@ fn fedavg_with_one_participant_is_local_sgd() {
         sgd: SgdConfig::default(),
         dirichlet_beta: None,
         augment: AugmentConfig::none(),
+        aggregator: Default::default(),
     };
     // federated path
     let mut trainer = FedAvgTrainer::with_partition(
