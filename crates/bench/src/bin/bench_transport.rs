@@ -7,12 +7,16 @@
 //!
 //! * encode/decode throughput of `DownloadSubmodel` frames in MB/s;
 //! * full round latency — download out, train skipped, gradient upload
-//!   back — over the in-memory channel transport vs loopback TCP.
+//!   back — over the in-memory channel transport vs loopback TCP;
+//! * per-codec update compression at the supernet gradient shape:
+//!   encode/decode throughput, achieved compression ratio, and the
+//!   request/reply round latency when the upload travels encoded.
 //!
 //! Usage: `cargo run --release -p fedrlnas-bench --bin bench_transport`
 //! (writes `BENCH_transport.json` in the current directory; pass `--out
 //! <path>` to override).
 
+use fedrlnas_codec::{Codec, CodecSpec};
 use fedrlnas_controller::Alpha;
 use fedrlnas_core::SearchConfig;
 use fedrlnas_darts::{ArchMask, Supernet};
@@ -95,35 +99,39 @@ fn round_trip_ns(server: &mut dyn Transport, frame: &[u8]) -> u64 {
     })
 }
 
-fn spawn_echo_channel(grad_len: usize) -> (ChannelTransport, std::thread::JoinHandle<()>) {
-    let (server, mut worker) = ChannelTransport::pair();
-    let join = std::thread::spawn(move || echo_loop(&mut worker, grad_len));
-    (server, join)
-}
-
-fn spawn_echo_tcp(grad_len: usize) -> (TcpTransport, std::thread::JoinHandle<()>) {
-    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().expect("addr");
-    let join = std::thread::spawn(move || {
-        let stream = std::net::TcpStream::connect(addr).expect("connect");
-        let mut worker = TcpTransport::new(stream).expect("wrap");
-        echo_loop(&mut worker, grad_len);
-    });
-    let (stream, _) = listener.accept().expect("accept");
-    (TcpTransport::new(stream).expect("wrap"), join)
-}
-
-/// Worker side: decode each download (so the benchmark includes the real
-/// deserialization cost) and answer with a gradient-sized upload.
-fn echo_loop(transport: &mut dyn Transport, grad_len: usize) {
-    let reply = encode(&Message::UploadUpdate {
+/// The legacy (protocol v1) gradient-sized upload reply.
+fn legacy_reply(grad_len: usize) -> Vec<u8> {
+    encode(&Message::UploadUpdate {
         round: 0,
         participant: 0,
         delta_w: vec![0.5; grad_len],
         delta_alpha: vec![0.1; 64],
         reward: 0.5,
         loss: 1.0,
+    })
+}
+
+fn spawn_echo_channel(reply: Vec<u8>) -> (ChannelTransport, std::thread::JoinHandle<()>) {
+    let (server, mut worker) = ChannelTransport::pair();
+    let join = std::thread::spawn(move || echo_loop(&mut worker, reply));
+    (server, join)
+}
+
+fn spawn_echo_tcp(reply: Vec<u8>) -> (TcpTransport, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let join = std::thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut worker = TcpTransport::new(stream).expect("wrap");
+        echo_loop(&mut worker, reply);
     });
+    let (stream, _) = listener.accept().expect("accept");
+    (TcpTransport::new(stream).expect("wrap"), join)
+}
+
+/// Worker side: decode each download (so the benchmark includes the real
+/// deserialization cost) and answer with the prebuilt upload reply.
+fn echo_loop(transport: &mut dyn Transport, reply: Vec<u8>) {
     while let Ok(frame) = transport.recv() {
         std::hint::black_box(decode(&frame).expect("decode download"));
         if transport.send(&reply).is_err() {
@@ -164,12 +172,12 @@ fn main() {
             std::hint::black_box(decode(&frame).expect("decode"));
         });
 
-        let (mut mem_server, mem_join) = spawn_echo_channel(p.grad_len);
+        let (mut mem_server, mem_join) = spawn_echo_channel(legacy_reply(p.grad_len));
         let mem_round_ns = round_trip_ns(&mut mem_server, &frame);
         drop(mem_server);
         mem_join.join().expect("channel echo worker");
 
-        let (mut tcp_server, tcp_join) = spawn_echo_tcp(p.grad_len);
+        let (mut tcp_server, tcp_join) = spawn_echo_tcp(legacy_reply(p.grad_len));
         let tcp_round_ns = round_trip_ns(&mut tcp_server, &frame);
         drop(tcp_server);
         tcp_join.join().expect("tcp echo worker");
@@ -184,6 +192,80 @@ fn main() {
             mbps(p.frame_bytes, decode_ns),
             mem_round_ns as f64 / 1e3,
             tcp_round_ns as f64 / 1e3,
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+
+    // --- per-codec update compression at the supernet gradient shape ---
+    let grad_len = payloads[0].grad_len;
+    let grad: Vec<f32> = (0..grad_len)
+        .map(|i| (i as f32 * 0.37).sin() * 0.01)
+        .collect();
+    let raw_bytes = grad_len * 4;
+    let specs = [
+        CodecSpec::Fp32,
+        CodecSpec::Fp16,
+        CodecSpec::Int8,
+        CodecSpec::TopK { k_frac: 0.1 },
+    ];
+    writeln!(json, "  \"codecs\": [").unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        eprintln!("benchmarking codec {spec}...");
+        let encoded = spec.encode(&grad);
+        let encode_ns = median_ns(|| {
+            std::hint::black_box(spec.encode(&grad));
+        });
+        let decode_ns = median_ns(|| {
+            std::hint::black_box(spec.decode(&encoded, grad_len).expect("decode"));
+        });
+        // a coded request/reply round: supernet-sized coded download out,
+        // codec-encoded gradient upload back
+        let download = match &payloads[0].download {
+            Message::DownloadSubmodel {
+                round,
+                seed_base,
+                mask,
+                weights,
+                buffers,
+                alpha,
+            } => Message::DownloadSubmodelCoded {
+                round: *round,
+                seed_base: *seed_base,
+                mask: mask.clone(),
+                weights: weights.clone(),
+                buffers: buffers.clone(),
+                alpha: alpha.clone(),
+                codec_tag: spec.tag(),
+                codec_param: spec.param(),
+            },
+            _ => unreachable!("payloads are downloads"),
+        };
+        let frame = encode(&download);
+        let reply = encode(&Message::UploadUpdateCoded {
+            round: 0,
+            participant: 0,
+            codec_tag: spec.tag(),
+            codec_param: spec.param(),
+            orig_len: grad_len as u32,
+            coded: encoded.clone(),
+            delta_alpha: vec![0.1; 64],
+            reward: 0.5,
+            loss: 1.0,
+        });
+        let (mut mem_server, mem_join) = spawn_echo_channel(reply);
+        let mem_round_ns = round_trip_ns(&mut mem_server, &frame);
+        drop(mem_server);
+        mem_join.join().expect("codec echo worker");
+        let comma = if i + 1 == specs.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"codec\": \"{spec}\", \"grad_len\": {grad_len}, \"raw_bytes\": {raw_bytes}, \"encoded_bytes\": {}, \"ratio\": {:.2}, \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"coded_round_in_memory_us\": {:.1}}}{comma}",
+            encoded.len(),
+            raw_bytes as f64 / encoded.len() as f64,
+            mbps(raw_bytes, encode_ns),
+            mbps(raw_bytes, decode_ns),
+            mem_round_ns as f64 / 1e3,
         )
         .unwrap();
     }

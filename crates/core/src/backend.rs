@@ -18,7 +18,7 @@
 //! crate and installs itself via [`SearchServer::set_backend`](crate::SearchServer::set_backend).
 
 use fedrlnas_darts::{ArchMask, SubModel};
-use fedrlnas_fed::{FaultTally, RejectTally};
+use fedrlnas_fed::{CompressionTally, FaultTally, RejectTally};
 
 /// One participant's completed local update as delivered by a backend.
 ///
@@ -93,6 +93,10 @@ pub struct RoundOutcome {
     /// plus workers evicted while misbehaving (suspected Byzantine).
     /// Rejected replies never appear in `reports`/`late`.
     pub rejects: RejectTally,
+    /// Raw vs. encoded upload bytes and per-codec frame counts for every
+    /// update delivered this round (on-time or late); empty when the run
+    /// is configured for plain `fp32`.
+    pub compression: CompressionTally,
 }
 
 /// A round-execution engine: ships sub-models out, collects updates back.
@@ -108,5 +112,14 @@ pub trait RoundBackend: Send {
     /// Human-readable transport description for logs (e.g. `"loopback-tcp"`).
     fn describe(&self) -> String {
         "custom".to_string()
+    }
+
+    /// The authoritative per-participant error-feedback residuals held by
+    /// the backend's workers, indexed by participant id. `None` (the
+    /// default) means the backend does not compress uploads and the
+    /// server's own participants stay authoritative. Called by the
+    /// checkpointing layer right before a capture.
+    fn collect_residuals(&mut self) -> Option<Vec<Vec<f32>>> {
+        None
     }
 }

@@ -11,9 +11,12 @@
 //! with the validation-gate rejection tallies and records the aggregator
 //! selection + update norm bound, so a resumed run keeps counting rejects
 //! from where it left off and cannot silently continue under a different
-//! aggregation rule. A search killed after round `t` and resumed from its
-//! round-`t` checkpoint produces the same genotype and curves as one that
-//! never stopped.
+//! aggregation rule; v4 adds the update-compression state — the
+//! compression tallies, each participant's error-feedback residual and
+//! the codec configuration, which restore cross-checks against the server
+//! exactly like the aggregator rule. A search killed after round `t` and
+//! resumed from its round-`t` checkpoint produces the same genotype and
+//! curves as one that never stopped.
 //!
 //! The on-disk layout is a little-endian binary body framed by a
 //! magic/version header, an exact body length and a trailing CRC-32:
@@ -33,8 +36,11 @@
 
 use crate::metrics::StepMetric;
 use crate::server::{LatencyStats, PendingUpdate, SearchServer};
+use fedrlnas_codec::{CodecConfig, CodecSpec};
 use fedrlnas_darts::{ArchMask, CellKind, NUM_OPS};
-use fedrlnas_fed::{AggregatorConfig, AggregatorKind, CommStats, FaultTally, RejectTally};
+use fedrlnas_fed::{
+    AggregatorConfig, AggregatorKind, CommStats, CompressionTally, FaultTally, RejectTally,
+};
 use fedrlnas_sync::RoundSnapshot;
 use fedrlnas_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -44,7 +50,7 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"FRLNCKPT";
 const V1_MAGIC: &[u8; 8] = b"FEDRLNA1";
-const VERSION: u16 = 3;
+const VERSION: u16 = 4;
 /// Header: magic + version + flags + body length.
 const HEADER_LEN: usize = 8 + 2 + 2 + 8;
 
@@ -58,7 +64,8 @@ pub enum CheckpointError {
     /// The file does not start with the checkpoint magic.
     BadMagic([u8; 8]),
     /// A checkpoint from an unsupported format version (v1 files report
-    /// version 1; v2 files predate the robustness fields).
+    /// version 1; v2 files predate the robustness fields; v3 files predate
+    /// the update-compression state).
     UnsupportedVersion(u16),
     /// The file ends before the structure it declares.
     Truncated {
@@ -90,7 +97,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported checkpoint version {v} (this build reads v3)"
+                    "unsupported checkpoint version {v} (this build reads v4)"
                 )
             }
             CheckpointError::Truncated { needed, got } => {
@@ -158,6 +165,9 @@ pub struct ParticipantEntry {
     pub cursor: u64,
     /// Current link bandwidth in Mbps.
     pub bandwidth_mbps: f64,
+    /// Error-feedback residual of the update-compression layer, in
+    /// supernet-flat coordinates (empty until the first lossy upload).
+    pub residual: Vec<f32>,
 }
 
 /// A complete, serializable snapshot of the mutable search state (v2).
@@ -198,6 +208,10 @@ pub struct Checkpoint {
     pub aggregator: AggregatorConfig,
     /// Update L2 norm bound the validation gate was enforcing.
     pub update_norm_bound: Option<f32>,
+    /// Update-compression codec the run was using; restore refuses a
+    /// server configured differently (the error-feedback residuals and
+    /// curves would silently diverge).
+    pub codec: CodecConfig,
 }
 
 impl Checkpoint {
@@ -205,6 +219,9 @@ impl Checkpoint {
     /// search RNG driving it. (`&mut` only because the supernet's parameter
     /// visitor is mutable; nothing is changed.)
     pub fn capture(server: &mut SearchServer, rng: &StdRng) -> Self {
+        // a wire backend's workers hold the authoritative error-feedback
+        // residuals; fold them into the server's participants first
+        server.sync_backend_residuals();
         let mut theta = Vec::new();
         server
             .supernet
@@ -251,10 +268,12 @@ impl Checkpoint {
                     indices: p.data_indices().iter().map(|&i| i as u64).collect(),
                     cursor: p.data_cursor() as u64,
                     bandwidth_mbps: p.bandwidth_mbps(),
+                    residual: p.residual().to_vec(),
                 })
                 .collect(),
             aggregator: server.config.aggregator,
             update_norm_bound: server.config.update_norm_bound,
+            codec: server.config.codec,
         }
     }
 
@@ -318,6 +337,20 @@ impl Checkpoint {
                 self.update_norm_bound, server.config.update_norm_bound
             )));
         }
+        if self.codec != server.config.codec {
+            return Err(mismatch(format!(
+                "checkpoint was taken under codec {}, server runs {}",
+                self.codec, server.config.codec
+            )));
+        }
+        for (i, entry) in self.participants.iter().enumerate() {
+            if !entry.residual.is_empty() && entry.residual.len() != theta_len {
+                return Err(mismatch(format!(
+                    "participant {i} residual has {} slots, supernet needs {theta_len}",
+                    entry.residual.len()
+                )));
+            }
+        }
         // θ
         let mut cursor = 0usize;
         server.supernet.visit_params(&mut |p| {
@@ -369,6 +402,7 @@ impl Checkpoint {
             p.restore_data_state(&indices, entry.cursor as usize)
                 .map_err(mismatch)?;
             p.set_bandwidth_mbps(entry.bandwidth_mbps);
+            p.set_residual(entry.residual.clone());
         }
         // tallies, curves, clocks
         server.comm = self.comm;
@@ -531,6 +565,13 @@ impl Checkpoint {
             self.comm.rejects.rejected_norm,
             self.comm.rejects.suspected_byzantine,
             self.comm.resumes,
+            // v4: update-compression tallies
+            self.comm.compression.raw_bytes,
+            self.comm.compression.encoded_bytes,
+            self.comm.compression.frames[0],
+            self.comm.compression.frames[1],
+            self.comm.compression.frames[2],
+            self.comm.compression.frames[3],
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -572,6 +613,7 @@ impl Checkpoint {
             }
             out.extend_from_slice(&p.cursor.to_le_bytes());
             out.extend_from_slice(&p.bandwidth_mbps.to_le_bytes());
+            put_f32s(&mut out, &p.residual); // v4
         }
         // v3 robustness block (appended last so earlier field offsets are
         // stable): aggregator kind tag, its parameter, then two optional
@@ -586,6 +628,14 @@ impl Checkpoint {
         out.extend_from_slice(&param.to_le_bytes());
         put_opt_f32(&mut out, self.aggregator.clip);
         put_opt_f32(&mut out, self.update_norm_bound);
+        // v4 codec block: selection mode, codec tag, codec parameter
+        let (mode, ctag, cparam): (u8, u8, f32) = match self.codec {
+            CodecConfig::Fixed(spec) => (0, spec.tag(), spec.param()),
+            CodecConfig::Auto => (1, 0, 0.0),
+        };
+        out.push(mode);
+        out.push(ctag);
+        out.extend_from_slice(&cparam.to_le_bytes());
         out
     }
 
@@ -619,6 +669,11 @@ impl Checkpoint {
                 suspected_byzantine: r.u64()?,
             },
             resumes: r.u64()?,
+            compression: CompressionTally {
+                raw_bytes: r.u64()?,
+                encoded_bytes: r.u64()?,
+                frames: [r.u64()?, r.u64()?, r.u64()?, r.u64()?],
+            },
         };
         let latency = LatencyStats {
             max_per_round: r.f64s()?,
@@ -669,7 +724,8 @@ impl Checkpoint {
                 accuracy: r.f32()?,
             });
         }
-        let n_participants = r.len_within(24)?;
+        // entry minimum: indices count + cursor + bandwidth + residual count
+        let n_participants = r.len_within(32)?;
         let mut participants = Vec::with_capacity(n_participants);
         for _ in 0..n_participants {
             let n_indices = r.len_within(8)?;
@@ -681,6 +737,7 @@ impl Checkpoint {
                 indices,
                 cursor: r.u64()?,
                 bandwidth_mbps: r.f64()?,
+                residual: r.f32s()?,
             });
         }
         let tag = r.u8()?;
@@ -703,6 +760,25 @@ impl Checkpoint {
                 return Err(CheckpointError::Malformed("invalid update norm bound"));
             }
         }
+        // v4 codec block
+        let mode = r.u8()?;
+        let ctag = r.u8()?;
+        let cparam = r.f32()?;
+        let codec = match mode {
+            0 => CodecConfig::Fixed(
+                CodecSpec::from_tag_param(ctag, cparam)
+                    .ok_or(CheckpointError::Malformed("invalid codec spec"))?,
+            ),
+            1 => {
+                if ctag != 0 || cparam != 0.0 {
+                    return Err(CheckpointError::Malformed(
+                        "auto codec mode carries no fixed spec",
+                    ));
+                }
+                CodecConfig::Auto
+            }
+            _ => return Err(CheckpointError::Malformed("unknown codec mode")),
+        };
         r.finish()?;
         Ok(Checkpoint {
             round,
@@ -722,6 +798,7 @@ impl Checkpoint {
             participants,
             aggregator,
             update_norm_bound,
+            codec,
         })
     }
 }

@@ -1,5 +1,6 @@
 //! Search configuration (Table I defaults and proxy-scale presets).
 
+use fedrlnas_codec::CodecConfig;
 use fedrlnas_controller::ControllerConfig;
 use fedrlnas_darts::SupernetConfig;
 use fedrlnas_data::AugmentConfig;
@@ -84,6 +85,12 @@ pub struct SearchConfig {
     /// the gate drops provably bad updates, the aggregator defends against
     /// plausible-looking ones.
     pub update_norm_bound: Option<f32>,
+    /// Update-compression codec for participant uploads. `Fixed(Fp32)`
+    /// (the default) is byte-identical to the uncompressed implementation;
+    /// `Auto` picks each participant's codec per round from its sampled
+    /// bandwidth, a pure function of the seeded traces. Lossy codecs keep
+    /// a per-participant error-feedback residual that is checkpointed.
+    pub codec: CodecConfig,
 }
 
 impl SearchConfig {
@@ -114,6 +121,7 @@ impl SearchConfig {
             device: DeviceProfile::gtx_1080ti(),
             aggregator: AggregatorConfig::default(),
             update_norm_bound: None,
+            codec: CodecConfig::default(),
         }
     }
 
@@ -153,6 +161,7 @@ impl SearchConfig {
             device: DeviceProfile::gtx_1080ti(),
             aggregator: AggregatorConfig::default(),
             update_norm_bound: None,
+            codec: CodecConfig::default(),
         }
     }
 
@@ -179,6 +188,7 @@ impl SearchConfig {
             device: DeviceProfile::gtx_1080ti(),
             aggregator: AggregatorConfig::default(),
             update_norm_bound: None,
+            codec: CodecConfig::default(),
         }
     }
 
@@ -225,6 +235,12 @@ impl SearchConfig {
         self
     }
 
+    /// Builder-style: select the update-compression codec.
+    pub fn with_codec(mut self, codec: CodecConfig) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -246,6 +262,7 @@ impl SearchConfig {
             ));
         }
         self.aggregator.validate()?;
+        self.codec.validate()?;
         if let Some(bound) = self.update_norm_bound {
             if !(bound.is_finite() && bound > 0.0) {
                 return Err(format!(

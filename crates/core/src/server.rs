@@ -4,11 +4,12 @@
 use crate::backend::{BackendReport, RoundBackend, RoundRequest};
 use crate::config::SearchConfig;
 use crate::metrics::{CurveRecorder, StepMetric};
+use fedrlnas_codec::{absorb_residual, compensate, Codec};
 use fedrlnas_controller::{Alpha, ReinforceController};
 use fedrlnas_darts::{ArchMask, Genotype, Supernet};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
 use fedrlnas_fed::{validate_update, CommStats, Participant, RejectTally, SparseUpdate};
-use fedrlnas_netsim::{assign, transmission_secs, Environment};
+use fedrlnas_netsim::{assign, resolve_codec, transmission_secs, Environment};
 use fedrlnas_nn::Sgd;
 use fedrlnas_sync::{
     compensate_alpha_gradient, compensate_gradient, MemoryPools, RoundSnapshot, StalenessDraw,
@@ -162,6 +163,20 @@ impl SearchServer {
     /// Removes the installed backend, returning to in-process execution.
     pub fn clear_backend(&mut self) -> Option<Box<dyn RoundBackend>> {
         self.backend.take()
+    }
+
+    /// Pulls the authoritative error-feedback residuals back from an
+    /// installed wire backend into the server's own participants, so a
+    /// checkpoint captured next reflects what the workers actually hold.
+    /// No-op in-process or when the backend does not compress uploads.
+    pub(crate) fn sync_backend_residuals(&mut self) {
+        if let Some(backend) = self.backend.as_mut() {
+            if let Some(residuals) = backend.collect_residuals() {
+                for (p, r) in self.participants.iter_mut().zip(residuals) {
+                    p.set_residual(r);
+                }
+            }
+        }
     }
 
     /// Transport description of the installed backend, if any.
@@ -396,6 +411,7 @@ impl SearchServer {
             self.comm.record_up(out.bytes_up as usize);
             self.comm.record_faults(&out.faults);
             self.comm.record_rejects(&out.rejects);
+            self.comm.record_compression(&out.compression);
             // transmission latency: measured download frame bytes over the
             // sampled link bandwidth
             for (p, latency) in latencies.iter_mut().enumerate().take(k) {
@@ -439,12 +455,7 @@ impl SearchServer {
                     .collect()
             })
             .expect("scoped threads join");
-            // communication (estimated): sub-model down, gradients + reward up
-            for size in &sizes {
-                self.comm.record_down(*size);
-                self.comm.record_up(*size + 4);
-            }
-            let reports: Vec<BackendReport> = raw
+            let mut reports: Vec<BackendReport> = raw
                 .into_iter()
                 .map(|(participant, accuracy, loss, grads)| BackendReport {
                     participant,
@@ -456,6 +467,51 @@ impl SearchServer {
                     delta_alpha: Vec::new(),
                 })
                 .collect();
+            // downlink (estimated): one sub-model per participant
+            for size in &sizes {
+                self.comm.record_down(*size);
+            }
+            if self.config.codec.is_fp32() {
+                // uplink (estimated): raw gradients + reward
+                for size in &sizes {
+                    self.comm.record_up(*size + 4);
+                }
+            } else {
+                // Simulate the codec each upload would cross the wire with:
+                // compensate with the participant's error-feedback residual,
+                // encode, decode, absorb the loss back into the residual, and
+                // hand the *decoded* gradients downstream — exactly what the
+                // rpc engine does, so both execution modes stay bit-identical.
+                // The uplink tally is the encoded size, not the raw one.
+                let theta_len = self.initial_theta.len();
+                for r in &mut reports {
+                    let p = r.participant;
+                    let spec = resolve_codec(self.config.codec, bandwidths[p]);
+                    let ranges = self.supernet.submodel_param_ranges(&r.mask);
+                    compensate(
+                        &mut r.grads,
+                        self.participants[p].residual_mut_sized(theta_len),
+                        &ranges,
+                    );
+                    let encoded = spec.encode(&r.grads);
+                    let decoded = spec
+                        .decode(&encoded, r.grads.len())
+                        .expect("a codec must decode its own encoding");
+                    absorb_residual(
+                        self.participants[p].residual_mut_sized(theta_len),
+                        &r.grads,
+                        &decoded,
+                        &ranges,
+                    );
+                    self.comm.compression.record(
+                        spec.tag() as usize,
+                        (r.grads.len() * 4) as u64,
+                        encoded.len() as u64,
+                    );
+                    self.comm.record_up(encoded.len() + 4);
+                    r.grads = decoded;
+                }
+            }
             (reports, Vec::new())
         };
         // --- validation gate: nothing unverified reaches staleness,

@@ -5,6 +5,7 @@
 
 use std::sync::OnceLock;
 
+use fedrlnas_codec::{CodecConfig, CodecSpec};
 use fedrlnas_core::{
     Checkpoint, CheckpointError, CheckpointPolicy, FederatedModelSearch, SearchConfig,
 };
@@ -206,6 +207,114 @@ fn robust_configuration_and_reject_tallies_round_trip() {
     assert_eq!(back.update_norm_bound, cp.update_norm_bound);
     assert_eq!(back.comm.rejects, cp.comm.rejects);
     assert_eq!(back.to_bytes(), bytes, "round trip must be exact");
+}
+
+#[test]
+fn v3_checkpoints_are_refused_cleanly() {
+    // v4 added compression tallies, residuals and the codec block; a v3
+    // file must be reported as an unsupported version, not mis-parsed
+    let mut bytes = sample_bytes().to_vec();
+    bytes[8] = 3; // version precedes the CRC check, so no fix-up needed
+    match Checkpoint::from_bytes(&bytes) {
+        Err(CheckpointError::UnsupportedVersion(3)) => {}
+        other => panic!("expected UnsupportedVersion(3), got {other:?}"),
+    }
+}
+
+#[test]
+fn codec_state_round_trips_through_bytes() {
+    // run under a lossy codec so the error-feedback residuals and the
+    // compression tallies are non-trivial, then round-trip exactly
+    let cfg = config().with_codec(CodecConfig::Fixed(CodecSpec::TopK { k_frac: 0.25 }));
+    let data = dataset(&cfg);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    search.server_mut().run_warmup(&data, 3, &mut rng);
+    let cp = Checkpoint::capture(search.server_mut(), &rng);
+    assert_eq!(cp.codec, cfg.codec, "capture must copy the codec");
+    assert!(
+        cp.comm.compression.any(),
+        "lossy rounds must tally compression"
+    );
+    assert!(
+        cp.participants
+            .iter()
+            .any(|p| p.residual.iter().any(|&v| v != 0.0)),
+        "top-k must leave non-zero residuals behind"
+    );
+    let bytes = cp.to_bytes();
+    let back = Checkpoint::from_bytes(&bytes).expect("round trip");
+    assert_eq!(back, cp);
+    assert_eq!(back.to_bytes(), bytes, "round trip must be exact");
+}
+
+#[test]
+fn restore_refuses_a_different_codec() {
+    // resuming a top-k run under an fp32 server would silently change the
+    // uploads and orphan the residuals; restore must refuse like it does
+    // for a changed aggregation rule
+    let coded = config().with_codec(CodecConfig::Fixed(CodecSpec::Fp16));
+    let data = dataset(&coded);
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut search = FederatedModelSearch::with_dataset(coded.clone(), data.clone(), &mut rng);
+    search.server_mut().run_warmup(&data, 2, &mut rng);
+    let cp = Checkpoint::capture(search.server_mut(), &rng);
+
+    let mut rng2 = StdRng::seed_from_u64(19);
+    let mut plain = FederatedModelSearch::with_dataset(config(), data.clone(), &mut rng2);
+    match cp.restore(plain.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("codec"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+
+    // matching codec, a residual of the wrong length: also refused
+    let mut rng3 = StdRng::seed_from_u64(19);
+    let mut same = FederatedModelSearch::with_dataset(coded, data, &mut rng3);
+    let mut bad = cp.clone();
+    bad.participants[0].residual = vec![0.5; 3];
+    match bad.restore(same.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("residual"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn coded_search_killed_and_resumed_is_bit_identical() {
+    // the kill-and-resume guarantee must hold with error feedback in
+    // play: the residuals travel through the checkpoint, so compensated
+    // uploads after the resume replay exactly
+    let cfg = config().with_codec(CodecConfig::Auto);
+    let data = dataset(&cfg);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut full = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    let reference = full.run(&mut rng);
+
+    let path = tmp("codec");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+        search
+            .server_mut()
+            .run_warmup(&data, cfg.warmup_steps, &mut rng);
+        search.server_mut().run_search(&data, 2, &mut rng);
+        Checkpoint::capture(search.server_mut(), &rng)
+            .save_path(&path)
+            .expect("snapshot");
+    }
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut resumed = FederatedModelSearch::with_dataset(cfg, data, &mut rng);
+    assert!(resumed.try_resume(&path, &mut rng).expect("resume"));
+    let outcome = resumed.run_checkpointed(&mut rng, None).expect("finish");
+    assert_eq!(outcome.genotype, reference.genotype, "genotype diverged");
+    assert_eq!(outcome.search_curve, reference.search_curve);
+    assert_eq!(outcome.comm.bytes_up, reference.comm.bytes_up);
+    assert_eq!(outcome.comm.compression, reference.comm.compression);
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

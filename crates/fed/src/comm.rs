@@ -97,6 +97,71 @@ impl RejectTally {
     }
 }
 
+/// Number of distinct update codecs tracked by [`CompressionTally`]
+/// (fp32 / fp16 / int8 / top-k, in wire-tag order).
+pub const NUM_CODECS: usize = 4;
+
+/// Display names of the tracked codecs, indexed by wire tag.
+pub const CODEC_NAMES: [&str; NUM_CODECS] = ["fp32", "fp16", "int8", "topk"];
+
+/// Tally of the update-compression layer: how many tensor bytes entered
+/// the encoder, how many came out on the wire, and how many upload frames
+/// each codec produced. Indexed by the codec's wire tag so this crate does
+/// not depend on the codec crate itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompressionTally {
+    /// Raw (decoded) tensor bytes entering the encoder.
+    pub raw_bytes: u64,
+    /// Encoded payload bytes leaving the encoder.
+    pub encoded_bytes: u64,
+    /// Upload frames per codec, indexed by wire tag
+    /// (see [`CODEC_NAMES`]).
+    pub frames: [u64; NUM_CODECS],
+}
+
+impl CompressionTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one encoded upload: `raw` tensor bytes compressed into
+    /// `encoded` wire bytes by the codec with wire tag `codec_index`
+    /// (out-of-range indices are counted under the last slot rather than
+    /// panicking — the tag was validated at decode time). Saturating.
+    pub fn record(&mut self, codec_index: usize, raw: u64, encoded: u64) {
+        let slot = codec_index.min(NUM_CODECS - 1);
+        self.frames[slot] = self.frames[slot].saturating_add(1);
+        self.raw_bytes = self.raw_bytes.saturating_add(raw);
+        self.encoded_bytes = self.encoded_bytes.saturating_add(encoded);
+    }
+
+    /// Adds another tally into this one (saturating, like every counter in
+    /// this module).
+    pub fn merge(&mut self, other: &CompressionTally) {
+        self.raw_bytes = self.raw_bytes.saturating_add(other.raw_bytes);
+        self.encoded_bytes = self.encoded_bytes.saturating_add(other.encoded_bytes);
+        for (a, b) in self.frames.iter_mut().zip(&other.frames) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Returns `true` when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != CompressionTally::default()
+    }
+
+    /// Cumulative compression ratio `raw / encoded` (1.0 when nothing has
+    /// been encoded yet).
+    pub fn ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+}
+
 /// Tallies every byte that would cross the network in a real deployment,
 /// in both directions, plus the round count — the raw numbers behind the
 /// paper's efficiency claims (§VI-C: supernet 1.93 MB vs sub-model
@@ -116,6 +181,9 @@ pub struct CommStats {
     /// Updates refused by the validation gate, by cause, and suspected
     /// Byzantine evictions.
     pub rejects: RejectTally,
+    /// Update-compression accounting: raw vs encoded bytes and per-codec
+    /// frame counts (all zero while the fp32 identity codec is in use).
+    pub compression: CompressionTally,
     /// Times this run was resumed from an on-disk checkpoint.
     pub resumes: u64,
 }
@@ -164,6 +232,7 @@ impl CommStats {
         self.bytes_up = self.bytes_up.saturating_add(other.bytes_up);
         self.faults.merge(&other.faults);
         self.rejects.merge(&other.rejects);
+        self.compression.merge(&other.compression);
         self.resumes = self.resumes.saturating_add(other.resumes);
         // rounds are counted by the server loop, not merged from workers
     }
@@ -176,6 +245,11 @@ impl CommStats {
     /// Folds one round's validation-gate rejections into the tally.
     pub fn record_rejects(&mut self, delta: &RejectTally) {
         self.rejects.merge(delta);
+    }
+
+    /// Folds one round's update-compression accounting into the tally.
+    pub fn record_compression(&mut self, delta: &CompressionTally) {
+        self.compression.merge(delta);
     }
 
     /// Marks a resume from an on-disk checkpoint (saturating).
@@ -217,6 +291,21 @@ impl std::fmt::Display for CommStats {
                 "; rejected: {} shape / {} non-finite / {} norm, {} suspected byzantine",
                 r.rejected_shape, r.rejected_nonfinite, r.rejected_norm, r.suspected_byzantine
             )?;
+        }
+        if self.compression.any() {
+            let c = &self.compression;
+            write!(
+                f,
+                "; codec: {:.2} MB raw -> {:.2} MB encoded ({:.2}x)",
+                c.raw_bytes as f64 / 1e6,
+                c.encoded_bytes as f64 / 1e6,
+                c.ratio()
+            )?;
+            for (name, frames) in CODEC_NAMES.iter().zip(&c.frames) {
+                if *frames > 0 {
+                    write!(f, ", {frames} {name}")?;
+                }
+            }
         }
         if self.resumes > 0 {
             write!(f, "; resumed from checkpoint {}x", self.resumes)?;
@@ -416,6 +505,87 @@ mod tests {
         assert_eq!(a.retransmits, 2);
         assert!(a.any());
         assert!(!FaultTally::new().any());
+    }
+
+    #[test]
+    fn compression_tally_records_merges_and_saturates() {
+        let mut a = CompressionTally::new();
+        assert!(!a.any());
+        assert_eq!(a.ratio(), 1.0);
+        a.record(1, 4000, 2000); // fp16
+        a.record(3, 4000, 800); // topk
+        a.record(99, 8, 8); // hostile index clamps to the last slot
+        assert_eq!(a.frames, [0, 1, 0, 2]);
+        assert_eq!(a.raw_bytes, 8008);
+        assert_eq!(a.encoded_bytes, 2808);
+        let mut b = CompressionTally {
+            raw_bytes: u64::MAX,
+            encoded_bytes: 1,
+            frames: [u64::MAX, 0, 1, 0],
+        };
+        b.merge(&a);
+        assert_eq!(b.raw_bytes, u64::MAX);
+        assert_eq!(b.frames[0], u64::MAX);
+        assert_eq!(b.frames[1], 1);
+        assert_eq!(b.frames[2], 1);
+        assert!(b.any());
+    }
+
+    #[test]
+    fn compression_free_display_is_unchanged_and_codec_stats_surface() {
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.end_round();
+        // fp32-only runs record nothing: the legacy rendering, byte for byte
+        assert_eq!(s.to_string(), "2.00 MB down, 0.00 MB up over 1 rounds");
+        s.record_compression(&CompressionTally {
+            raw_bytes: 4_000_000,
+            encoded_bytes: 1_000_000,
+            frames: [0, 2, 5, 1],
+        });
+        let text = s.to_string();
+        assert!(
+            text.contains("4.00 MB raw -> 1.00 MB encoded (4.00x)"),
+            "{text}"
+        );
+        assert!(text.contains("2 fp16"), "{text}");
+        assert!(text.contains("5 int8"), "{text}");
+        assert!(text.contains("1 topk"), "{text}");
+        assert!(
+            !text.contains("fp32"),
+            "zero-count codecs stay hidden: {text}"
+        );
+    }
+
+    #[test]
+    fn compression_interleaves_with_other_tallies() {
+        // deltas from different subsystems must never leak into each other
+        let mut s = CommStats::new();
+        let mut raw = 0u64;
+        let mut frames_int8 = 0u64;
+        for i in 0..10u64 {
+            s.record_up(100);
+            s.record_compression(&CompressionTally {
+                raw_bytes: 400,
+                encoded_bytes: 100,
+                frames: [0, 0, 1, 0],
+            });
+            raw += 400;
+            frames_int8 += 1;
+            s.record_faults(&FaultTally {
+                frames_dropped: 1,
+                ..FaultTally::default()
+            });
+            s.end_round();
+            assert_eq!(s.compression.raw_bytes, raw);
+            assert_eq!(s.compression.frames[2], frames_int8);
+            assert_eq!(s.bytes_up, (i + 1) * 100);
+            assert_eq!(s.faults.frames_dropped, i + 1);
+        }
+        assert!((s.compression.ratio() - 4.0).abs() < 1e-12);
+        let mut merged = CommStats::new();
+        merged.merge(&s);
+        assert_eq!(merged.compression, s.compression);
     }
 
     #[test]

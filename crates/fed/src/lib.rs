@@ -36,7 +36,7 @@ mod robust;
 mod rounds;
 mod trainable;
 
-pub use comm::{CommStats, FaultTally, RejectTally};
+pub use comm::{CommStats, CompressionTally, FaultTally, RejectTally, CODEC_NAMES, NUM_CODECS};
 pub use fedsgd::{FedSgdConfig, FedSgdTrainer};
 pub use participant::{LocalReport, Participant};
 pub use robust::{

@@ -33,6 +33,11 @@ pub struct Participant {
     /// Relative local compute speed (1.0 = reference device); used by the
     /// staleness and latency simulations.
     speed_factor: f64,
+    /// Error-feedback residual of the update-compression layer, in
+    /// supernet-flat coordinates. Empty (= all zeros) until the first
+    /// lossy-coded upload; checkpointed so kill-and-resume replays the
+    /// exact same compensated uploads.
+    residual: Vec<f32>,
 }
 
 impl Participant {
@@ -56,6 +61,7 @@ impl Participant {
             loader: Loader::new(indices, batch_size, augment),
             trace: BandwidthTrace::new(env, rng),
             speed_factor,
+            residual: Vec::new(),
         }
     }
 
@@ -104,6 +110,27 @@ impl Participant {
     /// Returns `Err` when the snapshot does not fit this shard.
     pub fn restore_data_state(&mut self, indices: &[usize], cursor: usize) -> Result<(), String> {
         self.loader.restore(indices, cursor)
+    }
+
+    /// The error-feedback residual in supernet-flat coordinates
+    /// (checkpoint capture; empty means no lossy upload has happened yet).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+
+    /// Replaces the error-feedback residual (checkpoint resume, or the
+    /// server pulling authoritative state back from a round backend).
+    pub fn set_residual(&mut self, residual: Vec<f32>) {
+        self.residual = residual;
+    }
+
+    /// Mutable residual access, lazily sized to `len` supernet-flat slots
+    /// (zero-filled on first use; `len` must stay constant per run).
+    pub fn residual_mut_sized(&mut self, len: usize) -> &mut [f32] {
+        if self.residual.len() != len {
+            self.residual.resize(len, 0.0);
+        }
+        &mut self.residual
     }
 
     /// Advances the loader's shuffle/cursor state exactly as one

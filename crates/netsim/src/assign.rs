@@ -8,6 +8,7 @@
 //! models (what FedNAS/EvoFedNAS-style fixed-size methods do) and random
 //! pairing.
 
+use fedrlnas_codec::{CodecConfig, CodecSpec, DEFAULT_TOPK_FRAC};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +84,48 @@ impl AssignmentOutcome {
 /// it, and the RPC runtime divides *measured* wire bytes by it.
 pub fn transmission_secs(bytes: usize, mbps: f64) -> f64 {
     (bytes as f64 * 8.0) / (mbps.max(1e-6) * 1e6)
+}
+
+/// Bandwidth-aware codec selection — the encoding-to-bandwidth analogue of
+/// the paper's size-to-bandwidth assignment.
+///
+/// Fast links upload at full precision; as the sampled trace bandwidth
+/// drops, the update encoding gets progressively more aggressive:
+///
+/// | sampled bandwidth | codec | upload cost per value |
+/// |---|---|---|
+/// | ≥ 64 Mbps | fp32 | 4 bytes (exact) |
+/// | ≥ 36 Mbps | fp16 | 2 bytes |
+/// | ≥ 14 Mbps | int8 | ~1 byte |
+/// | < 14 Mbps | top-k (k = 10 %) | ~0.8 bytes amortized |
+///
+/// The thresholds are calibrated against [`crate::Environment`]'s trace
+/// means (11–30 Mbps) so a mixed fleet lands mostly in the int8/fp16 bands.
+/// This is a pure function of the bandwidth, which itself is a pure
+/// function of the seeded trace — so `auto` codec runs are deterministic
+/// for a given seed, on any transport.
+pub fn select_codec(mbps: f64) -> CodecSpec {
+    if mbps >= 64.0 {
+        CodecSpec::Fp32
+    } else if mbps >= 36.0 {
+        CodecSpec::Fp16
+    } else if mbps >= 14.0 {
+        CodecSpec::Int8
+    } else {
+        CodecSpec::TopK {
+            k_frac: DEFAULT_TOPK_FRAC,
+        }
+    }
+}
+
+/// Resolves a [`CodecConfig`] to the concrete spec a participant uses this
+/// round: fixed configs pass through, `auto` applies [`select_codec`] to
+/// the participant's sampled bandwidth.
+pub fn resolve_codec(config: CodecConfig, mbps: f64) -> CodecSpec {
+    match config {
+        CodecConfig::Fixed(spec) => spec,
+        CodecConfig::Auto => select_codec(mbps),
+    }
 }
 
 /// Assigns `model_sizes[i]` (bytes) to participants with link rates
@@ -247,6 +290,33 @@ mod tests {
                 best
             );
         }
+    }
+
+    #[test]
+    fn codec_selection_is_monotone_in_bandwidth() {
+        use fedrlnas_codec::Codec as _;
+        // encoded bytes per value must never increase as bandwidth drops
+        let probe: Vec<f32> = (0..512).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut last = 0usize;
+        for mbps in [2.0, 10.0, 14.0, 20.0, 36.0, 50.0, 64.0, 120.0] {
+            let spec = select_codec(mbps);
+            let encoded = spec.encode(&probe).len();
+            assert!(
+                encoded >= last,
+                "slower link {mbps} Mbps got a bigger encoding ({encoded} < {last})"
+            );
+            last = encoded;
+        }
+        assert_eq!(select_codec(120.0), CodecSpec::Fp32);
+        assert!(matches!(select_codec(1.0), CodecSpec::TopK { .. }));
+    }
+
+    #[test]
+    fn resolve_codec_fixed_ignores_bandwidth() {
+        let cfg = CodecConfig::Fixed(CodecSpec::Fp16);
+        assert_eq!(resolve_codec(cfg, 0.5), CodecSpec::Fp16);
+        assert_eq!(resolve_codec(cfg, 500.0), CodecSpec::Fp16);
+        assert_eq!(resolve_codec(CodecConfig::Auto, 500.0), CodecSpec::Fp32);
     }
 
     #[test]

@@ -35,6 +35,8 @@ mod assign;
 mod device;
 mod trace;
 
-pub use assign::{assign, transmission_secs, AssignmentOutcome, AssignmentStrategy};
+pub use assign::{
+    assign, resolve_codec, select_codec, transmission_secs, AssignmentOutcome, AssignmentStrategy,
+};
 pub use device::{DeviceProfile, SearchWorkload};
 pub use trace::{BandwidthTrace, Environment};

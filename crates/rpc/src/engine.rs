@@ -38,14 +38,17 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use fedrlnas_codec::{absorb_residual, compensate, Codec, CodecConfig, CodecSpec};
 use fedrlnas_controller::Alpha;
 use fedrlnas_core::{BackendReport, RoundBackend, RoundOutcome, RoundRequest, SearchServer};
 use fedrlnas_darts::{ArchMask, Supernet, SupernetConfig};
 use fedrlnas_data::SyntheticDataset;
 use fedrlnas_fed::{validate_update, Participant, UpdateRejection};
+use fedrlnas_netsim::resolve_codec;
 use fedrlnas_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -109,6 +112,13 @@ pub struct RpcConfig {
     /// (`None`, the default, disables the norm check; shape and
     /// finiteness are always enforced by the gate).
     pub update_norm_bound: Option<f32>,
+    /// Update-compression codec for the upload path. Anything other than
+    /// plain `fp32` makes every download a protocol-v2
+    /// [`Message::DownloadSubmodelCoded`] carrying the per-participant
+    /// codec choice (resolved from this config and the round's sampled
+    /// bandwidth), and every reply a [`Message::UploadUpdateCoded`] whose
+    /// gradient run the engine decodes *before* the validation gate.
+    pub codec: CodecConfig,
 }
 
 impl Default for RpcConfig {
@@ -123,6 +133,7 @@ impl Default for RpcConfig {
             evict_after: 3,
             fault: FaultPlan::none(),
             update_norm_bound: None,
+            codec: CodecConfig::default(),
         }
     }
 }
@@ -205,12 +216,16 @@ struct WorkerHandle {
 pub struct RpcBackend {
     workers: Vec<WorkerHandle>,
     config: RpcConfig,
-    /// Mask shipped to each (round, participant) — late replies carry only
-    /// the round number, the mask is recovered here.
-    sent_masks: HashMap<(usize, usize), ArchMask>,
+    /// Mask and expected flat-gradient length shipped to each
+    /// (round, participant) — late replies carry only the round number, so
+    /// both the mask and the trusted decode length are recovered here.
+    sent_masks: HashMap<(usize, usize), (ArchMask, usize)>,
     /// (round, participant) pairs already handed to the server, so
     /// retransmission-induced duplicate replies are dropped.
     delivered: HashSet<(usize, usize)>,
+    /// Per-worker error-feedback residuals, shared with the worker
+    /// threads; the authoritative copy for checkpointing.
+    residuals: Vec<Arc<Mutex<Vec<f32>>>>,
 }
 
 impl RpcBackend {
@@ -238,19 +253,34 @@ impl RpcBackend {
         config: RpcConfig,
         faults: &[ScriptedFault],
     ) -> RpcBackend {
+        let residuals: Vec<Arc<Mutex<Vec<f32>>>> = participants
+            .iter()
+            .map(|p| Arc::new(Mutex::new(p.residual().to_vec())))
+            .collect();
         let workers = match config.transport {
-            TransportKind::InMemory => {
-                spawn_channel_workers(participants, net, dataset, faults, &config.fault)
-            }
-            TransportKind::Tcp => {
-                spawn_tcp_workers(participants, net, dataset, faults, &config.fault)
-            }
+            TransportKind::InMemory => spawn_channel_workers(
+                participants,
+                net,
+                dataset,
+                faults,
+                &config.fault,
+                &residuals,
+            ),
+            TransportKind::Tcp => spawn_tcp_workers(
+                participants,
+                net,
+                dataset,
+                faults,
+                &config.fault,
+                &residuals,
+            ),
         };
         RpcBackend {
             workers,
             config,
             sent_masks: HashMap::new(),
             delivered: HashSet::new(),
+            residuals,
         }
     }
 
@@ -280,8 +310,9 @@ fn spawn_one(
     net: SupernetConfig,
     dataset: SyntheticDataset,
     fault: ScriptedFault,
+    residual: Arc<Mutex<Vec<f32>>>,
 ) -> JoinHandle<()> {
-    std::thread::spawn(move || worker_loop(transport, participant, net, dataset, fault))
+    std::thread::spawn(move || worker_loop(transport, participant, net, dataset, fault, residual))
 }
 
 fn spawn_channel_workers(
@@ -290,6 +321,7 @@ fn spawn_channel_workers(
     dataset: &SyntheticDataset,
     faults: &[ScriptedFault],
     plan: &FaultPlan,
+    residuals: &[Arc<Mutex<Vec<f32>>>],
 ) -> Vec<WorkerHandle> {
     participants
         .iter()
@@ -302,6 +334,7 @@ fn spawn_channel_workers(
                 net.clone(),
                 dataset.clone(),
                 faults.get(i).copied().unwrap_or_default(),
+                residuals[i].clone(),
             );
             WorkerHandle {
                 transport: Some(wrap_link(Box::new(server_end), i, plan)),
@@ -321,6 +354,7 @@ fn spawn_tcp_workers(
     dataset: &SyntheticDataset,
     faults: &[ScriptedFault],
     plan: &FaultPlan,
+    residuals: &[Arc<Mutex<Vec<f32>>>],
 ) -> Vec<WorkerHandle> {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
     let addr = listener.local_addr().expect("listener address");
@@ -332,6 +366,7 @@ fn spawn_tcp_workers(
             let net = net.clone();
             let dataset = dataset.clone();
             let fault = faults.get(i).copied().unwrap_or_default();
+            let residual = residuals[i].clone();
             let id = p.id();
             std::thread::spawn(move || {
                 let stream = std::net::TcpStream::connect(addr).expect("connect loopback");
@@ -341,7 +376,7 @@ fn spawn_tcp_workers(
                 let _ = transport.send(&encode(&Message::Heartbeat {
                     participant: id as u32,
                 }));
-                worker_loop(transport, participant, net, dataset, fault);
+                worker_loop(transport, participant, net, dataset, fault, residual);
             })
         })
         .collect();
@@ -385,11 +420,15 @@ fn worker_loop(
     net: SupernetConfig,
     dataset: SyntheticDataset,
     fault: ScriptedFault,
+    residual: Arc<Mutex<Vec<f32>>>,
 ) {
     let id = participant.id();
     // structure only — every weight is overwritten from the wire
     let mut structure_rng = StdRng::seed_from_u64(0x5EED ^ id as u64);
-    let supernet = Supernet::new(net, &mut structure_rng);
+    let mut supernet = Supernet::new(net, &mut structure_rng);
+    // full flat-θ length — the error-feedback residual spans the whole
+    // supernet, exactly like the in-process path
+    let theta_len = supernet.param_count();
     let mut reply_cache: HashMap<u64, Vec<u8>> = HashMap::new();
     // the previous round's honest update, kept for Attack::StaleReplay
     let mut last_honest: Vec<f32> = Vec::new();
@@ -402,7 +441,9 @@ fn worker_loop(
             Ok(m) => m,
             Err(_) => continue, // corrupt frame: drop, await retransmission
         };
-        match msg {
+        // both download flavours share one training path; the coded one
+        // additionally carries the codec the upload must be encoded with
+        let (round, seed_base, mask, weights, buffers, alpha, codec) = match msg {
             Message::DownloadSubmodel {
                 round,
                 seed_base,
@@ -410,92 +451,22 @@ fn worker_loop(
                 weights,
                 buffers,
                 alpha,
+            } => (round, seed_base, mask, weights, buffers, alpha, None),
+            Message::DownloadSubmodelCoded {
+                round,
+                seed_base,
+                mask,
+                weights,
+                buffers,
+                alpha,
+                codec_tag,
+                codec_param,
             } => {
-                if let Some(until) = down_until {
-                    if round < until {
-                        continue; // crashed: downloads fall on the floor
-                    }
-                    down_until = None;
-                }
-                if !crashed {
-                    if let Some((r, d)) = fault.crash_restart {
-                        if r == round as usize {
-                            crashed = true;
-                            reply_cache.clear(); // a crash loses in-memory state
-                            down_until = Some(round + d as u64);
-                            continue;
-                        }
-                    }
-                }
-                if let Some(cached) = reply_cache.get(&round) {
-                    let _ = transport.send(cached);
-                    continue;
-                }
-                if fault.die_at_round == Some(round as usize) {
-                    return; // simulated crash: no reply, connection drops
-                }
-                if let Some((r, d)) = fault.delay {
-                    if r == round as usize {
-                        std::thread::sleep(d);
-                    }
-                }
-                let mut sub = supernet.extract_submodel(&mask);
-                let mut expected_w = 0;
-                sub.visit_params(&mut |p| expected_w += p.value.len());
-                let mut expected_b = 0;
-                sub.visit_buffers(&mut |b| expected_b += b.len());
-                if weights.len() != expected_w || buffers.len() != expected_b {
-                    continue; // shape mismatch: refuse rather than panic
-                }
-                let mut wc = 0;
-                sub.visit_params(&mut |p| {
-                    let n = p.value.len();
-                    p.value.as_mut_slice().copy_from_slice(&weights[wc..wc + n]);
-                    wc += n;
-                });
-                let mut bc = 0;
-                sub.visit_buffers(&mut |b| {
-                    let n = b.len();
-                    b.copy_from_slice(&buffers[bc..bc + n]);
-                    bc += n;
-                });
-                // identical RNG derivation to the in-process path
-                let mut prng = StdRng::seed_from_u64(
-                    seed_base ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let report = participant.local_update(&mut sub, &dataset, &mut prng);
-                let mut grads = Vec::new();
-                sub.visit_params(&mut |p| grads.extend_from_slice(p.grad.as_slice()));
-                if let Some(attack) = fault.attack {
-                    let honest = std::mem::replace(&mut last_honest, grads.clone());
-                    apply_attack(attack, round, id as u64, &mut grads, &honest);
-                }
-                let edges = mask.num_edges();
-                let alpha_len = alpha.len();
-                let delta_alpha = Tensor::from_vec(alpha, &[alpha_len])
-                    .ok()
-                    .map(|t| {
-                        Alpha::from_logits(t, edges)
-                            .grad_log_prob(&mask)
-                            .as_slice()
-                            .to_vec()
-                    })
-                    .unwrap_or_default();
-                let reply = encode(&Message::UploadUpdate {
-                    round,
-                    participant: id as u32,
-                    delta_w: grads,
-                    delta_alpha,
-                    reward: report.accuracy,
-                    loss: report.loss,
-                });
-                if reply_cache.len() >= HISTORY_ROUNDS {
-                    if let Some(oldest) = reply_cache.keys().min().copied() {
-                        reply_cache.remove(&oldest);
-                    }
-                }
-                reply_cache.insert(round, reply.clone());
-                let _ = transport.send(&reply);
+                let spec = match CodecSpec::from_tag_param(codec_tag, codec_param) {
+                    Some(s) => s,
+                    None => continue, // nonsense codec instruction: refuse
+                };
+                (round, seed_base, mask, weights, buffers, alpha, Some(spec))
             }
             Message::Heartbeat { .. } => {
                 if down_until.is_none() {
@@ -503,6 +474,7 @@ fn worker_loop(
                         participant: id as u32,
                     }));
                 }
+                continue;
             }
             Message::Ack { round } => {
                 // liveness probe: answer with a heartbeat unless still in
@@ -516,9 +488,218 @@ fn worker_loop(
                         }));
                     }
                 }
+                continue;
             }
-            Message::UploadUpdate { .. } => {}
+            Message::UploadUpdate { .. } | Message::UploadUpdateCoded { .. } => continue,
+        };
+        if let Some(until) = down_until {
+            if round < until {
+                continue; // crashed: downloads fall on the floor
+            }
+            down_until = None;
         }
+        if !crashed {
+            if let Some((r, d)) = fault.crash_restart {
+                if r == round as usize {
+                    crashed = true;
+                    reply_cache.clear(); // a crash loses in-memory state
+                    down_until = Some(round + d as u64);
+                    continue;
+                }
+            }
+        }
+        if let Some(cached) = reply_cache.get(&round) {
+            let _ = transport.send(cached);
+            continue;
+        }
+        if fault.die_at_round == Some(round as usize) {
+            return; // simulated crash: no reply, connection drops
+        }
+        if let Some((r, d)) = fault.delay {
+            if r == round as usize {
+                std::thread::sleep(d);
+            }
+        }
+        let mut sub = supernet.extract_submodel(&mask);
+        let mut expected_w = 0;
+        sub.visit_params(&mut |p| expected_w += p.value.len());
+        let mut expected_b = 0;
+        sub.visit_buffers(&mut |b| expected_b += b.len());
+        if weights.len() != expected_w || buffers.len() != expected_b {
+            continue; // shape mismatch: refuse rather than panic
+        }
+        let mut wc = 0;
+        sub.visit_params(&mut |p| {
+            let n = p.value.len();
+            p.value.as_mut_slice().copy_from_slice(&weights[wc..wc + n]);
+            wc += n;
+        });
+        let mut bc = 0;
+        sub.visit_buffers(&mut |b| {
+            let n = b.len();
+            b.copy_from_slice(&buffers[bc..bc + n]);
+            bc += n;
+        });
+        // identical RNG derivation to the in-process path
+        let mut prng =
+            StdRng::seed_from_u64(seed_base ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let report = participant.local_update(&mut sub, &dataset, &mut prng);
+        let mut grads = Vec::new();
+        sub.visit_params(&mut |p| grads.extend_from_slice(p.grad.as_slice()));
+        if let Some(attack) = fault.attack {
+            let honest = std::mem::replace(&mut last_honest, grads.clone());
+            apply_attack(attack, round, id as u64, &mut grads, &honest);
+        }
+        let edges = mask.num_edges();
+        let alpha_len = alpha.len();
+        let delta_alpha = Tensor::from_vec(alpha, &[alpha_len])
+            .ok()
+            .map(|t| {
+                Alpha::from_logits(t, edges)
+                    .grad_log_prob(&mask)
+                    .as_slice()
+                    .to_vec()
+            })
+            .unwrap_or_default();
+        let reply = match codec {
+            None => encode(&Message::UploadUpdate {
+                round,
+                participant: id as u32,
+                delta_w: grads,
+                delta_alpha,
+                reward: report.accuracy,
+                loss: report.loss,
+            }),
+            Some(spec) => {
+                // error feedback: fold the residual of every previous lossy
+                // round into this update before encoding, then remember
+                // what this round's encoding lost. Same math, same visit
+                // order as the in-process simulation, so the two execution
+                // modes stay bit-identical.
+                let ranges = supernet.submodel_param_ranges(&mask);
+                let mut res = residual.lock().expect("residual lock");
+                if res.len() != theta_len {
+                    res.resize(theta_len, 0.0);
+                }
+                compensate(&mut grads, &res, &ranges);
+                let coded = spec.encode(&grads);
+                let decoded = spec
+                    .decode(&coded, grads.len())
+                    .expect("a codec must decode its own encoding");
+                absorb_residual(&mut res, &grads, &decoded, &ranges);
+                drop(res);
+                encode(&Message::UploadUpdateCoded {
+                    round,
+                    participant: id as u32,
+                    codec_tag: spec.tag(),
+                    codec_param: spec.param(),
+                    orig_len: grads.len() as u32,
+                    coded,
+                    delta_alpha,
+                    reward: report.accuracy,
+                    loss: report.loss,
+                })
+            }
+        };
+        if reply_cache.len() >= HISTORY_ROUNDS {
+            if let Some(oldest) = reply_cache.keys().min().copied() {
+                reply_cache.remove(&oldest);
+            }
+        }
+        reply_cache.insert(round, reply.clone());
+        let _ = transport.send(&reply);
+    }
+}
+
+/// A classified upload reply.
+enum Reply {
+    /// A usable update: legacy fp32, or a codec run that decoded cleanly
+    /// against the trusted length. `comp` carries the compression-tally
+    /// entry `(codec index, raw bytes, encoded bytes)` for coded replies;
+    /// it is recorded only if the report is actually delivered, so
+    /// retransmission duplicates never double-count.
+    Report {
+        r: usize,
+        report: BackendReport,
+        comp: Option<(usize, u64, u64)>,
+    },
+    /// A coded reply whose byte run failed to decode against the length
+    /// the engine itself shipped — malformed, treated like a
+    /// shape-rejected update.
+    Undecodable { r: usize, pid: usize },
+    /// Heartbeats, acks, unattributable or non-upload traffic.
+    Noise,
+}
+
+/// Turns a decoded message into a [`Reply`]. Coded gradient runs are
+/// decoded here, against the flat-gradient length recorded when the
+/// round's download was shipped — the sender's `orig_len` claim is never
+/// consulted, so a hostile length can neither size an allocation nor
+/// skew the gate.
+fn classify_reply(msg: Message, sent: &HashMap<(usize, usize), (ArchMask, usize)>) -> Reply {
+    match msg {
+        Message::UploadUpdate {
+            round,
+            participant,
+            delta_w,
+            delta_alpha,
+            reward,
+            loss,
+        } => Reply::Report {
+            r: round as usize,
+            report: BackendReport {
+                participant: participant as usize,
+                computed_at: round as usize,
+                mask: ArchMask::new(vec![], vec![]), // placeholder
+                accuracy: reward,
+                loss,
+                grads: delta_w,
+                delta_alpha,
+            },
+            comp: None,
+        },
+        Message::UploadUpdateCoded {
+            round,
+            participant,
+            codec_tag,
+            codec_param,
+            orig_len: _, // advisory; the engine trusts only its own books
+            coded,
+            delta_alpha,
+            reward,
+            loss,
+        } => {
+            let (r, pid) = (round as usize, participant as usize);
+            let spec = match CodecSpec::from_tag_param(codec_tag, codec_param) {
+                Some(s) => s,
+                None => return Reply::Undecodable { r, pid },
+            };
+            let expected = match sent.get(&(r, pid)) {
+                Some((_, len)) => *len,
+                None => return Reply::Noise, // beyond the attribution horizon
+            };
+            match spec.decode(&coded, expected) {
+                Ok(grads) => Reply::Report {
+                    r,
+                    report: BackendReport {
+                        participant: pid,
+                        computed_at: r,
+                        mask: ArchMask::new(vec![], vec![]), // placeholder
+                        accuracy: reward,
+                        loss,
+                        grads,
+                        delta_alpha,
+                    },
+                    comp: Some((
+                        spec.tag() as usize,
+                        (expected * 4) as u64,
+                        coded.len() as u64,
+                    )),
+                },
+                Err(_) => Reply::Undecodable { r, pid },
+            }
+        }
+        _ => Reply::Noise,
     }
 }
 
@@ -535,6 +716,7 @@ impl RoundBackend for RpcBackend {
             config,
             sent_masks,
             delivered,
+            ..
         } = self;
         // prune attribution history beyond the late-reply horizon
         sent_masks.retain(|&(r, _), _| r + HISTORY_ROUNDS > t);
@@ -549,36 +731,29 @@ impl RoundBackend for RpcBackend {
             let transport = w.transport.as_mut().expect("live worker has transport");
             while let Ok(frame) = transport.recv_timeout(EVICTED_DRAIN) {
                 out.bytes_up += frame.len() as u64;
-                match decode(&frame) {
-                    Ok(Message::UploadUpdate {
-                        round,
-                        participant,
-                        delta_w,
-                        delta_alpha,
-                        reward,
-                        loss,
-                    }) => {
-                        let (r, pid) = (round as usize, participant as usize);
-                        if r < t && !delivered.contains(&(r, pid)) {
-                            if let Some(mask) = sent_masks.get(&(r, pid)) {
-                                delivered.insert((r, pid));
-                                out.late.push(BackendReport {
-                                    participant: pid,
-                                    computed_at: r,
-                                    mask: mask.clone(),
-                                    accuracy: reward,
-                                    loss,
-                                    grads: delta_w,
-                                    delta_alpha,
-                                });
+                let msg = match decode(&frame) {
+                    Ok(m) => m,
+                    Err(_) => continue,
+                };
+                if let Message::Heartbeat { .. } = msg {
+                    w.evicted = false;
+                    w.miss_streak = 0;
+                    continue;
+                }
+                if let Reply::Report { r, report, comp } = classify_reply(msg, sent_masks) {
+                    let pid = report.participant;
+                    if r < t && !delivered.contains(&(r, pid)) {
+                        if let Some((mask, _)) = sent_masks.get(&(r, pid)) {
+                            delivered.insert((r, pid));
+                            if let Some((c, raw, enc)) = comp {
+                                out.compression.record(c, raw, enc);
                             }
+                            out.late.push(BackendReport {
+                                mask: mask.clone(),
+                                ..report
+                            });
                         }
                     }
-                    Ok(Message::Heartbeat { .. }) => {
-                        w.evicted = false;
-                        w.miss_streak = 0;
-                    }
-                    _ => {}
                 }
             }
             if w.evicted {
@@ -601,16 +776,33 @@ impl RoundBackend for RpcBackend {
             expected_lens.push(weights.len());
             let mut buffers = Vec::new();
             sub.visit_buffers(&mut |b| buffers.extend_from_slice(b));
-            let frame = encode(&Message::DownloadSubmodel {
-                round: t as u64,
-                seed_base: request.seed_base,
-                mask: request.masks[p].clone(),
-                weights,
-                buffers,
-                alpha: request.alpha_logits.to_vec(),
-            });
+            let frame = if config.codec.is_fp32() {
+                // byte-identical to the pre-codec protocol
+                encode(&Message::DownloadSubmodel {
+                    round: t as u64,
+                    seed_base: request.seed_base,
+                    mask: request.masks[p].clone(),
+                    weights,
+                    buffers,
+                    alpha: request.alpha_logits.to_vec(),
+                })
+            } else {
+                // bandwidth-aware: the codec is resolved per participant
+                // from this round's sampled link speed
+                let spec = resolve_codec(config.codec, request.bandwidths_mbps[p]);
+                encode(&Message::DownloadSubmodelCoded {
+                    round: t as u64,
+                    seed_base: request.seed_base,
+                    mask: request.masks[p].clone(),
+                    weights,
+                    buffers,
+                    alpha: request.alpha_logits.to_vec(),
+                    codec_tag: spec.tag(),
+                    codec_param: spec.param(),
+                })
+            };
             out.download_frame_bytes[p] = frame.len() as u64;
-            sent_masks.insert((t, p), request.masks[p].clone());
+            sent_masks.insert((t, p), (request.masks[p].clone(), expected_lens[p]));
             if let Some(w) = workers.get_mut(p) {
                 if w.alive && !w.evicted {
                     let transport = w.transport.as_mut().expect("live worker has transport");
@@ -652,27 +844,26 @@ impl RoundBackend for RpcBackend {
                 match transport.recv_timeout(wait) {
                     Ok(frame) => {
                         out.bytes_up += frame.len() as u64;
-                        let (r, report) = match decode(&frame) {
-                            Ok(Message::UploadUpdate {
-                                round,
-                                participant,
-                                delta_w,
-                                delta_alpha,
-                                reward,
-                                loss,
-                            }) => (
-                                round as usize,
-                                BackendReport {
-                                    participant: participant as usize,
-                                    computed_at: round as usize,
-                                    mask: ArchMask::new(vec![], vec![]), // placeholder
-                                    accuracy: reward,
-                                    loss,
-                                    grads: delta_w,
-                                    delta_alpha,
-                                },
-                            ),
-                            _ => continue, // heartbeat/ack noise or corruption
+                        let msg = match decode(&frame) {
+                            Ok(m) => m,
+                            Err(_) => continue, // corruption: drop
+                        };
+                        let (r, report, comp) = match classify_reply(msg, sent_masks) {
+                            Reply::Report { r, report, comp } => (r, report, comp),
+                            Reply::Undecodable { r, pid } => {
+                                // a coded run that does not decode against
+                                // the length the engine shipped is a
+                                // malformed update — reject it before it
+                                // can reach validation or aggregation
+                                if r == t && !delivered.contains(&(r, pid)) {
+                                    delivered.insert((r, pid));
+                                    rejected = true;
+                                    out.rejects.rejected_shape += 1;
+                                    break;
+                                }
+                                continue;
+                            }
+                            Reply::Noise => continue, // heartbeat/ack noise
                         };
                         let pid = report.participant;
                         if delivered.contains(&(r, pid)) {
@@ -681,11 +872,16 @@ impl RoundBackend for RpcBackend {
                         match r.cmp(&t) {
                             std::cmp::Ordering::Equal => {
                                 delivered.insert((r, pid));
+                                if let Some((c, raw, enc)) = comp {
+                                    out.compression.record(c, raw, enc);
+                                }
                                 // validation gate: a reply that is the
                                 // wrong shape, non-finite anywhere, or
                                 // over the norm bound never reaches the
                                 // server; the worker is treated as having
-                                // missed the round
+                                // missed the round. Coded replies were
+                                // decoded above, so the gate sees exactly
+                                // what aggregation would consume.
                                 let verdict =
                                     if report.accuracy.is_finite() && report.loss.is_finite() {
                                         validate_update(
@@ -723,8 +919,11 @@ impl RoundBackend for RpcBackend {
                             std::cmp::Ordering::Less => {
                                 // a reply that missed an earlier deadline;
                                 // attribute it and keep waiting for round t
-                                if let Some(mask) = sent_masks.get(&(r, pid)) {
+                                if let Some((mask, _)) = sent_masks.get(&(r, pid)) {
                                     delivered.insert((r, pid));
+                                    if let Some((c, raw, enc)) = comp {
+                                        out.compression.record(c, raw, enc);
+                                    }
                                     out.late.push(BackendReport {
                                         mask: mask.clone(),
                                         ..report
@@ -794,6 +993,18 @@ impl RoundBackend for RpcBackend {
             TransportKind::Tcp => "loopback-tcp".to_string(),
         }
     }
+
+    fn collect_residuals(&mut self) -> Option<Vec<Vec<f32>>> {
+        if self.config.codec.is_fp32() {
+            return None; // no compression: server participants stay authoritative
+        }
+        Some(
+            self.residuals
+                .iter()
+                .map(|r| r.lock().expect("residual lock").clone())
+                .collect(),
+        )
+    }
 }
 
 impl Drop for RpcBackend {
@@ -823,9 +1034,12 @@ pub fn install(server: &mut SearchServer, dataset: &SyntheticDataset, config: Rp
 pub fn install_with_faults(
     server: &mut SearchServer,
     dataset: &SyntheticDataset,
-    config: RpcConfig,
+    mut config: RpcConfig,
     faults: &[ScriptedFault],
 ) {
+    // the server's `SearchConfig` is the single source of truth for the
+    // codec — the backend must agree with what checkpoints will record
+    config.codec = server.config().codec;
     let backend = RpcBackend::with_faults(
         server.participants(),
         &server.config().net.clone(),

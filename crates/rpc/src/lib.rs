@@ -33,6 +33,19 @@
 //! A fault-free RPC search is bit-identical to an in-process one: workers
 //! derive the same RNG streams, train the same shipped weights, and
 //! reports aggregate in the same order.
+//!
+//! Protocol v2 adds adaptive update compression: when
+//! [`RpcConfig`](engine::RpcConfig) carries a non-`fp32`
+//! [`CodecConfig`](fedrlnas_codec::CodecConfig), downloads become
+//! [`Message::DownloadSubmodelCoded`](wire::Message::DownloadSubmodelCoded)
+//! frames instructing each worker which codec to apply (resolved per
+//! participant from the round's sampled bandwidth), and uploads return as
+//! opaque codec byte runs that the engine decodes — against the length it
+//! shipped, never the sender's claim — *before* the validation gate.
+//! Workers keep per-participant error-feedback residuals so sparsified
+//! mass is carried forward rather than lost; the engine exposes them to
+//! the checkpointing layer via `collect_residuals`. Legacy v1 frames stay
+//! byte-identical, and a pure-`fp32` run emits only v1 frames.
 
 #![warn(missing_docs)]
 
@@ -50,6 +63,7 @@ pub use engine::{
 pub use fault::{FaultInjector, FaultPlan, FaultyTransport, FrameFault, Partition};
 pub use transport::{ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError};
 pub use wire::{
-    crc32, decode, download_frame_len, encode, frame_len, upload_frame_len, Message, WireError,
-    FRAME_OVERHEAD, HEADER_LEN, MAGIC, TRAILER_LEN, VERSION,
+    coded_download_frame_len, coded_upload_frame_len, crc32, decode, download_frame_len, encode,
+    frame_len, upload_frame_len, Message, WireError, FRAME_OVERHEAD, HEADER_LEN, MAGIC,
+    MIN_VERSION, TRAILER_LEN, VERSION,
 };

@@ -20,8 +20,16 @@ use fedrlnas_darts::{ArchMask, NUM_OPS};
 
 /// Frame magic: `b"FRLN"`.
 pub const MAGIC: [u8; 4] = *b"FRLN";
-/// Highest protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Highest protocol version this build speaks. Version 1 carries the
+/// four legacy message types; version 2 adds the codec-aware
+/// download/upload pair. Legacy messages still encode as version-1
+/// frames byte-for-byte, so an `fp32` deployment is wire-identical to a
+/// pre-codec fleet and old peers interoperate until a coded frame —
+/// which they refuse with a clean [`WireError::UnsupportedVersion`] —
+/// reaches them.
+pub const VERSION: u8 = 2;
+/// Oldest protocol version this build still decodes.
+pub const MIN_VERSION: u8 = 1;
 /// Bytes before the payload: magic + version + type + payload length.
 pub const HEADER_LEN: usize = 10;
 /// Bytes after the payload: the CRC32 trailer.
@@ -154,12 +162,68 @@ pub enum Message {
         /// Sending participant id.
         participant: u32,
     },
+    /// Server → participant, protocol v2: a sub-model plus the codec the
+    /// participant must apply to its uploaded weight update. The payload
+    /// is the legacy [`Message::DownloadSubmodel`] payload with the codec
+    /// instruction appended, so the tensor layout is shared.
+    DownloadSubmodelCoded {
+        /// Round the sub-model belongs to.
+        round: u64,
+        /// Base seed; the worker derives its private RNG stream from this.
+        seed_base: u64,
+        /// Architecture the participant must instantiate.
+        mask: ArchMask,
+        /// Flat sub-model weights in structural visit order.
+        weights: Vec<f32>,
+        /// Flat BatchNorm running statistics in structural visit order.
+        buffers: Vec<f32>,
+        /// Current controller logits.
+        alpha: Vec<f32>,
+        /// Codec discriminant (`fedrlnas_codec::CodecSpec::tag`).
+        codec_tag: u8,
+        /// Codec parameter (`k_frac` for top-k, `0.0` otherwise).
+        codec_param: f32,
+    },
+    /// Participant → server, protocol v2: a local update whose weight
+    /// gradients travel as an opaque codec byte run. The wire layer does
+    /// **not** decode the run — the engine does, against an expected
+    /// length it tracked itself, so a hostile `orig_len` can never size an
+    /// allocation.
+    UploadUpdateCoded {
+        /// Round the update was computed in.
+        round: u64,
+        /// Reporting participant id.
+        participant: u32,
+        /// Codec discriminant the run was encoded with.
+        codec_tag: u8,
+        /// Codec parameter (`k_frac` for top-k, `0.0` otherwise).
+        codec_param: f32,
+        /// Element count of the original gradient, as *claimed* by the
+        /// sender. Advisory only; the engine validates it against its own
+        /// per-round bookkeeping before any decode.
+        orig_len: u32,
+        /// Encoded weight-gradient bytes.
+        coded: Vec<u8>,
+        /// Participant-computed `∇α log p(g)` (always fp32).
+        delta_alpha: Vec<f32>,
+        /// REINFORCE reward (training accuracy).
+        reward: f32,
+        /// Mean local training loss.
+        loss: f32,
+    },
 }
 
 const TYPE_DOWNLOAD: u8 = 1;
 const TYPE_UPLOAD: u8 = 2;
 const TYPE_ACK: u8 = 3;
 const TYPE_HEARTBEAT: u8 = 4;
+const TYPE_DOWNLOAD_CODED: u8 = 5;
+const TYPE_UPLOAD_CODED: u8 = 6;
+
+/// Codec tags above this value are not a registered codec
+/// (`fedrlnas_codec::CodecId` has four entries); the wire layer rejects
+/// them as malformed without consulting the codec crate.
+const MAX_CODEC_TAG: u8 = 3;
 
 impl Message {
     fn type_byte(&self) -> u8 {
@@ -168,6 +232,17 @@ impl Message {
             Message::UploadUpdate { .. } => TYPE_UPLOAD,
             Message::Ack { .. } => TYPE_ACK,
             Message::Heartbeat { .. } => TYPE_HEARTBEAT,
+            Message::DownloadSubmodelCoded { .. } => TYPE_DOWNLOAD_CODED,
+            Message::UploadUpdateCoded { .. } => TYPE_UPLOAD_CODED,
+        }
+    }
+
+    /// Lowest protocol version that can carry this message; the encoder
+    /// stamps it into the frame so legacy traffic stays byte-identical.
+    fn version_byte(&self) -> u8 {
+        match self {
+            Message::DownloadSubmodelCoded { .. } | Message::UploadUpdateCoded { .. } => 2,
+            _ => 1,
         }
     }
 }
@@ -205,6 +280,10 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
     fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
@@ -236,6 +315,13 @@ impl<'a> Reader<'a> {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
+    }
+
+    /// A `u32`-length-prefixed opaque byte run (codec payload). The length
+    /// is checked against the remaining frame *before* any allocation.
+    fn bytes_run(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// One op byte per edge, each validated against [`NUM_OPS`] before the
@@ -312,10 +398,61 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         }
         Message::Ack { round } => round.to_le_bytes().to_vec(),
         Message::Heartbeat { participant } => participant.to_le_bytes().to_vec(),
+        Message::DownloadSubmodelCoded {
+            round,
+            seed_base,
+            mask,
+            weights,
+            buffers,
+            alpha,
+            codec_tag,
+            codec_param,
+        } => {
+            let mut out = encode_payload(&Message::DownloadSubmodel {
+                round: *round,
+                seed_base: *seed_base,
+                mask: mask.clone(),
+                weights: weights.clone(),
+                buffers: buffers.clone(),
+                alpha: alpha.clone(),
+            });
+            out.push(*codec_tag);
+            out.extend_from_slice(&codec_param.to_le_bytes());
+            out
+        }
+        Message::UploadUpdateCoded {
+            round,
+            participant,
+            codec_tag,
+            codec_param,
+            orig_len,
+            coded,
+            delta_alpha,
+            reward,
+            loss,
+        } => {
+            let mut out = Vec::with_capacity(
+                8 + 4 + 1 + 4 + 4 + 4 + coded.len() + 4 * delta_alpha.len() + 12,
+            );
+            out.extend_from_slice(&round.to_le_bytes());
+            out.extend_from_slice(&participant.to_le_bytes());
+            out.push(*codec_tag);
+            out.extend_from_slice(&codec_param.to_le_bytes());
+            out.extend_from_slice(&orig_len.to_le_bytes());
+            out.extend_from_slice(&(coded.len() as u32).to_le_bytes());
+            out.extend_from_slice(coded);
+            put_f32s(&mut out, delta_alpha);
+            out.extend_from_slice(&reward.to_le_bytes());
+            out.extend_from_slice(&loss.to_le_bytes());
+            out
+        }
     }
 }
 
-fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
+fn decode_payload(version: u8, msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
+    if matches!(msg_type, TYPE_DOWNLOAD_CODED | TYPE_UPLOAD_CODED) && version < 2 {
+        return Err(WireError::Malformed("coded message needs protocol v2"));
+    }
     let mut r = Reader::new(payload);
     let msg = match msg_type {
         TYPE_DOWNLOAD => {
@@ -364,18 +501,77 @@ fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
         TYPE_HEARTBEAT => Message::Heartbeat {
             participant: r.u32()?,
         },
+        TYPE_DOWNLOAD_CODED => {
+            let round = r.u64()?;
+            let seed_base = r.u64()?;
+            let edges = r.u32()? as usize;
+            if r.remaining() < 2 * edges {
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN + r.pos + 2 * edges,
+                    got: HEADER_LEN + payload.len(),
+                });
+            }
+            let normal = r.ops(edges)?;
+            let reduction = r.ops(edges)?;
+            let mask = ArchMask::new(normal, reduction);
+            let weights = r.f32s()?;
+            let buffers = r.f32s()?;
+            let alpha = r.f32s()?;
+            let codec_tag = r.u8()?;
+            if codec_tag > MAX_CODEC_TAG {
+                return Err(WireError::Malformed("unknown codec tag"));
+            }
+            let codec_param = r.f32()?;
+            Message::DownloadSubmodelCoded {
+                round,
+                seed_base,
+                mask,
+                weights,
+                buffers,
+                alpha,
+                codec_tag,
+                codec_param,
+            }
+        }
+        TYPE_UPLOAD_CODED => {
+            let round = r.u64()?;
+            let participant = r.u32()?;
+            let codec_tag = r.u8()?;
+            if codec_tag > MAX_CODEC_TAG {
+                return Err(WireError::Malformed("unknown codec tag"));
+            }
+            let codec_param = r.f32()?;
+            let orig_len = r.u32()?;
+            let coded = r.bytes_run()?;
+            let delta_alpha = r.f32s()?;
+            let reward = r.f32()?;
+            let loss = r.f32()?;
+            Message::UploadUpdateCoded {
+                round,
+                participant,
+                codec_tag,
+                codec_param,
+                orig_len,
+                coded,
+                delta_alpha,
+                reward,
+                loss,
+            }
+        }
         other => return Err(WireError::UnknownType(other)),
     };
     r.finish()?;
     Ok(msg)
 }
 
-/// Encodes a message into one complete frame.
+/// Encodes a message into one complete frame. The version byte is the
+/// *lowest* protocol that can carry the message — legacy messages stay
+/// byte-identical to what a version-1 build emits.
 pub fn encode(msg: &Message) -> Vec<u8> {
     let payload = encode_payload(msg);
     let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
     frame.extend_from_slice(&MAGIC);
-    frame.push(VERSION);
+    frame.push(msg.version_byte());
     frame.push(msg.type_byte());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
@@ -397,7 +593,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    if frame[4] != VERSION {
+    if frame[4] < MIN_VERSION || frame[4] > VERSION {
         return Err(WireError::UnsupportedVersion(frame[4]));
     }
     let msg_type = frame[5];
@@ -424,7 +620,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
     if expected != got {
         return Err(WireError::ChecksumMismatch { expected, got });
     }
-    decode_payload(msg_type, payload)
+    decode_payload(frame[4], msg_type, payload)
 }
 
 /// Frame length needed by the header to be complete, if the header itself
@@ -450,6 +646,23 @@ pub fn download_frame_len(edges: usize, weights: usize, buffers: usize, alpha: u
 /// shape.
 pub fn upload_frame_len(delta_w: usize, delta_alpha: usize) -> usize {
     FRAME_OVERHEAD + 8 + 4 + 2 * 4 + 4 * (delta_w + delta_alpha) + 4 + 4
+}
+
+/// Exact encoded frame size of a [`Message::DownloadSubmodelCoded`]: the
+/// legacy download frame plus the codec tag and parameter.
+pub fn coded_download_frame_len(
+    edges: usize,
+    weights: usize,
+    buffers: usize,
+    alpha: usize,
+) -> usize {
+    download_frame_len(edges, weights, buffers, alpha) + 1 + 4
+}
+
+/// Exact encoded frame size of a [`Message::UploadUpdateCoded`] whose
+/// codec run is `coded_len` bytes.
+pub fn coded_upload_frame_len(coded_len: usize, delta_alpha: usize) -> usize {
+    FRAME_OVERHEAD + 8 + 4 + 1 + 4 + 4 + 4 + coded_len + 4 + 4 * delta_alpha + 4 + 4
 }
 
 #[cfg(test)]
@@ -530,5 +743,117 @@ mod tests {
         let frame = encode(&Message::Ack { round: 1 });
         assert_eq!(frame_len(&frame), Some(frame.len()));
         assert_eq!(frame_len(&frame[..HEADER_LEN - 1]), None);
+    }
+
+    fn sample_coded_upload() -> Message {
+        Message::UploadUpdateCoded {
+            round: 11,
+            participant: 2,
+            codec_tag: 3,
+            codec_param: 0.1,
+            orig_len: 6,
+            coded: vec![4, 0, 0, 0, 0xAB, 0xCD],
+            delta_alpha: vec![0.5, -0.5],
+            reward: 0.25,
+            loss: 2.0,
+        }
+    }
+
+    #[test]
+    fn coded_messages_round_trip_as_version_2() {
+        let down = Message::DownloadSubmodelCoded {
+            round: 7,
+            seed_base: 1,
+            mask: ArchMask::new(vec![0, 3, 7, 1], vec![2, 2, 5, 6]),
+            weights: vec![1.0, -2.5],
+            buffers: vec![0.5],
+            alpha: vec![0.0; 4],
+            codec_tag: 2,
+            codec_param: 0.0,
+        };
+        for msg in [down, sample_coded_upload()] {
+            let frame = encode(&msg);
+            assert_eq!(frame[4], 2, "coded frames carry version 2");
+            assert_eq!(decode(&frame).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn legacy_messages_still_encode_as_version_1() {
+        for msg in [
+            sample_download(),
+            Message::Ack { round: 9 },
+            Message::Heartbeat { participant: 1 },
+        ] {
+            assert_eq!(encode(&msg)[4], 1, "legacy traffic must stay v1");
+        }
+    }
+
+    #[test]
+    fn coded_predicted_lengths_match_encoded() {
+        let down = Message::DownloadSubmodelCoded {
+            round: 0,
+            seed_base: 0,
+            mask: ArchMask::new(vec![0, 1, 2, 3], vec![4, 5, 6, 7]),
+            weights: vec![0.0; 3],
+            buffers: vec![0.0; 2],
+            alpha: vec![0.0; 8],
+            codec_tag: 0,
+            codec_param: 0.0,
+        };
+        assert_eq!(encode(&down).len(), coded_download_frame_len(4, 3, 2, 8));
+        let up = sample_coded_upload();
+        let coded_len = match &up {
+            Message::UploadUpdateCoded { coded, .. } => coded.len(),
+            _ => unreachable!(),
+        };
+        assert_eq!(encode(&up).len(), coded_upload_frame_len(coded_len, 2));
+    }
+
+    #[test]
+    fn coded_frame_downgraded_to_v1_is_rejected() {
+        let mut frame = encode(&sample_coded_upload());
+        frame[4] = 1;
+        assert_eq!(
+            decode(&frame),
+            Err(WireError::Malformed("coded message needs protocol v2"))
+        );
+    }
+
+    #[test]
+    fn future_version_is_unsupported() {
+        let mut frame = encode(&Message::Ack { round: 1 });
+        frame[4] = 3;
+        assert_eq!(decode(&frame), Err(WireError::UnsupportedVersion(3)));
+        frame[4] = 0;
+        assert_eq!(decode(&frame), Err(WireError::UnsupportedVersion(0)));
+    }
+
+    #[test]
+    fn hostile_codec_fields_are_typed_errors() {
+        // out-of-range codec tag
+        let mut msg = sample_coded_upload();
+        if let Message::UploadUpdateCoded { codec_tag, .. } = &mut msg {
+            *codec_tag = 3;
+        }
+        let mut frame = encode(&msg);
+        let tag_at = HEADER_LEN + 8 + 4;
+        frame[tag_at] = 200;
+        let len = frame.len();
+        let crc = crc32(&frame[HEADER_LEN..len - TRAILER_LEN]);
+        frame[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode(&frame),
+            Err(WireError::Malformed("unknown codec tag"))
+        );
+
+        // a huge coded-run length must fail before any allocation
+        let mut frame = encode(&sample_coded_upload());
+        let run_len_at = HEADER_LEN + 8 + 4 + 1 + 4 + 4;
+        frame[run_len_at..run_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let len = frame.len();
+        let crc = crc32(&frame[HEADER_LEN..len - TRAILER_LEN]);
+        frame[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Truncated { .. })));
     }
 }

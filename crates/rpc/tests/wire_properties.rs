@@ -4,8 +4,8 @@
 
 use fedrlnas_darts::{ArchMask, NUM_OPS};
 use fedrlnas_rpc::wire::{
-    crc32, decode, download_frame_len, encode, upload_frame_len, Message, WireError,
-    FRAME_OVERHEAD, HEADER_LEN,
+    coded_download_frame_len, coded_upload_frame_len, crc32, decode, download_frame_len, encode,
+    upload_frame_len, Message, WireError, FRAME_OVERHEAD, HEADER_LEN,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -19,6 +19,21 @@ fn mask_strategy() -> impl Strategy<Value = ArchMask> {
 
 fn f32s(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     vec(-1e6f32..1e6f32, 0..max_len)
+}
+
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    vec(0u8..=255u8, 0..max_len)
+}
+
+/// Valid (tag, param) pairs for the four codecs.
+fn codec_fields() -> impl Strategy<Value = (u8, f32)> {
+    (0u8..4, 1u32..=100u32).prop_map(|(tag, frac)| {
+        if tag == 3 {
+            (tag, frac as f32 / 100.0)
+        } else {
+            (tag, 0.0)
+        }
+    })
 }
 
 proptest! {
@@ -72,6 +87,108 @@ proptest! {
     fn ack_and_heartbeat_round_trip(round in 0u64..u64::MAX, participant in 0u32..u32::MAX) {
         for msg in [Message::Ack { round }, Message::Heartbeat { participant }] {
             prop_assert_eq!(decode(&encode(&msg)).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn coded_download_round_trips(
+        round in 0u64..u64::MAX,
+        seed_base in 0u64..u64::MAX,
+        mask in mask_strategy(),
+        weights in f32s(128),
+        buffers in f32s(32),
+        alpha in f32s(32),
+        codec in codec_fields(),
+    ) {
+        let edges = mask.num_edges();
+        let msg = Message::DownloadSubmodelCoded {
+            round, seed_base, mask,
+            weights: weights.clone(),
+            buffers: buffers.clone(),
+            alpha: alpha.clone(),
+            codec_tag: codec.0,
+            codec_param: codec.1,
+        };
+        let frame = encode(&msg);
+        prop_assert_eq!(
+            frame.len(),
+            coded_download_frame_len(edges, weights.len(), buffers.len(), alpha.len())
+        );
+        prop_assert_eq!(decode(&frame).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn coded_upload_round_trips(
+        round in 0u64..u64::MAX,
+        participant in 0u32..u32::MAX,
+        coded in bytes(512),
+        delta_alpha in f32s(32),
+        reward in 0.0f32..1.0f32,
+        loss in 0.0f32..20.0f32,
+        codec in codec_fields(),
+        orig_len in 0u32..100_000u32,
+    ) {
+        let msg = Message::UploadUpdateCoded {
+            round, participant,
+            codec_tag: codec.0,
+            codec_param: codec.1,
+            orig_len,
+            coded: coded.clone(),
+            delta_alpha: delta_alpha.clone(),
+            reward, loss,
+        };
+        let frame = encode(&msg);
+        prop_assert_eq!(frame.len(), coded_upload_frame_len(coded.len(), delta_alpha.len()));
+        prop_assert_eq!(decode(&frame).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn truncating_a_coded_upload_anywhere_is_a_typed_error(
+        coded in bytes(128),
+        delta_alpha in f32s(16),
+        cut in 0usize..10_000,
+    ) {
+        let frame = encode(&Message::UploadUpdateCoded {
+            round: 5, participant: 2,
+            codec_tag: 3, codec_param: 0.25,
+            orig_len: 64,
+            coded, delta_alpha,
+            reward: 0.5, loss: 1.0,
+        });
+        let cut = cut % frame.len();
+        match decode(&frame[..cut]) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+            }
+            other => panic!("truncated coded frame decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipping_any_bit_of_a_coded_upload_never_panics(
+        coded in bytes(96),
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode(&Message::UploadUpdateCoded {
+            round: 7, participant: 3,
+            codec_tag: 1, codec_param: 0.0,
+            orig_len: 48,
+            coded, delta_alpha: vec![0.5, -0.5],
+            reward: 0.5, loss: 1.0,
+        });
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        let result = decode(&frame);
+        if pos >= HEADER_LEN && pos < frame.len() - 4 {
+            prop_assert!(
+                matches!(result, Err(WireError::ChecksumMismatch { .. })),
+                "payload corruption must fail the checksum, got {:?}",
+                result
+            );
+        } else {
+            prop_assert!(result.is_err(), "corrupt coded frame decoded successfully");
         }
     }
 

@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`tensor`] | `fedrlnas-tensor` | dense tensors, GEMM, im2col |
+//! | [`codec`] | `fedrlnas-codec` | update compression: fp16/int8/top-k codecs, error feedback |
 //! | [`nn`] | `fedrlnas-nn` | layers with analytic backward passes, losses, optimizers |
 //! | [`darts`] | `fedrlnas-darts` | search space, supernet, sub-models, genotypes |
 //! | [`controller`] | `fedrlnas-controller` | REINFORCE architecture controller |
@@ -43,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use fedrlnas_baselines as baselines;
+pub use fedrlnas_codec as codec;
 pub use fedrlnas_controller as controller;
 pub use fedrlnas_core as core;
 pub use fedrlnas_darts as darts;

@@ -5,7 +5,7 @@
 //!                  [--participants K] [--staleness none|slight|severe]
 //!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
 //!                  [--aggregator mean|median|trimmed:<k>|krum:<m>|clip:<c>[+...]]
-//!                  [--reject-norm C]
+//!                  [--reject-norm C] [--codec fp32|fp16|int8|topk[:<f>]|auto]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
 //!                  [--checkpoint-path PATH] [--checkpoint-every N]
 //!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
@@ -26,6 +26,10 @@
 //! composes with any of them (e.g. `clip:10+median`). `--reject-norm C`
 //! arms the validation gate: updates over L2 norm `C` (or malformed /
 //! non-finite ones) are rejected before aggregation and tallied.
+//! `--codec` compresses uploaded model updates: `fp16` and `int8` quantize,
+//! `topk:<f>` keeps the largest fraction `f` of entries with error feedback,
+//! and `auto` picks a codec per participant from its sampled bandwidth.
+//! The default `fp32` is byte-identical to a build without the codec layer.
 //! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
 //!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
 //! fedrlnas info    [--scale ...]
@@ -107,6 +111,9 @@ fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
         let bound: f32 = c.parse().map_err(|e| format!("bad norm bound: {e}"))?;
         config = config.with_update_norm_bound(bound);
     }
+    if let Some(spec) = flag(argv, "--codec") {
+        config = config.with_codec(fedrlnas::codec::CodecConfig::parse(&spec)?);
+    }
     config.validate()?;
     Ok(config)
 }
@@ -145,6 +152,9 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     let norm_bound = config.update_norm_bound;
     if let Some(bound) = norm_bound {
         println!("validation gate armed: rejecting updates with L2 norm > {bound}");
+    }
+    if !config.codec.is_fp32() {
+        println!("update compression: codec {}", config.codec);
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);

@@ -74,6 +74,7 @@ fn fedavg_with_one_participant_is_local_sgd() {
         dirichlet_beta: None,
         augment: AugmentConfig::none(),
         aggregator: Default::default(),
+        codec: Default::default(),
     };
     // federated path
     let mut trainer = FedAvgTrainer::with_partition(
