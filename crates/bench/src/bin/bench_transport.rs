@@ -9,34 +9,47 @@
 //! * full round latency — download out, train skipped, gradient upload
 //!   back — over the in-memory channel transport vs loopback TCP;
 //! * per-codec update compression at the supernet gradient shape:
-//!   encode/decode throughput, achieved compression ratio, and the
-//!   request/reply round latency when the upload travels encoded.
+//!   encode/decode throughput over the reusable-scratch hot path (the
+//!   same `encode_into`/`decode_into` calls the engine makes; decode
+//!   includes full dense materialization — zero-fill plus scatter — so
+//!   sparse codecs are not credited for bytes they never touch),
+//!   achieved compression ratio, and the request/reply round latency
+//!   when the upload travels encoded;
+//! * `rounds_per_sec`: end-to-end warm-up rounds at n = 64 participants
+//!   under shaped bandwidth (`real_time_scale = 10`, the slow-link regime
+//!   the paper targets), serial vs pipelined
+//!   engine with the same seed — the trajectories are asserted identical,
+//!   so the speedup is pure overlap.
 //!
 //! Usage: `cargo run --release -p fedrlnas-bench --bin bench_transport`
 //! (writes `BENCH_transport.json` in the current directory; pass `--out
-//! <path>` to override).
+//! <path>` to override). `--quick` runs fewer reps and skips the
+//! `rounds_per_sec` group (the CI perf-smoke configuration); `--check
+//! <floor.json>` exits non-zero if a measured codec throughput falls
+//! below the committed floor.
 
-use fedrlnas_codec::{Codec, CodecSpec};
+use fedrlnas_codec::{CodecSpec, EncodeScratch};
 use fedrlnas_controller::Alpha;
-use fedrlnas_core::SearchConfig;
+use fedrlnas_core::{FederatedModelSearch, SearchConfig};
 use fedrlnas_darts::{ArchMask, Supernet};
-use fedrlnas_rpc::{decode, encode, ChannelTransport, Message, TcpTransport, Transport};
+use fedrlnas_rpc::{
+    decode, encode, install, ChannelTransport, EngineMode, Message, RpcConfig, TcpTransport,
+    Transport, TransportKind,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const REPS: usize = 25;
-
-fn median_ns(mut f: impl FnMut()) -> u64 {
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
     f(); // warmup
-    let mut samples = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
         let t = Instant::now();
         f();
         samples.push(t.elapsed().as_nanos() as u64);
     }
     samples.sort_unstable();
-    samples[REPS / 2]
+    samples[reps / 2]
 }
 
 struct Payload {
@@ -91,8 +104,8 @@ fn mbps(bytes: usize, ns: u64) -> f64 {
 
 /// One request/response cycle: ship the download, echo worker decodes it
 /// and replies with a gradient-sized upload.
-fn round_trip_ns(server: &mut dyn Transport, frame: &[u8]) -> u64 {
-    median_ns(|| {
+fn round_trip_ns(reps: usize, server: &mut dyn Transport, frame: &[u8]) -> u64 {
+    median_ns(reps, || {
         server.send(frame).expect("send download");
         let reply = server.recv().expect("receive upload");
         std::hint::black_box(reply);
@@ -140,6 +153,82 @@ fn echo_loop(transport: &mut dyn Transport, reply: Vec<u8>) {
     }
 }
 
+/// Extracts `"key": <number>` from a flat JSON text (the committed floor
+/// file is written by this repo, so a full parser is unnecessary).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// End-to-end `rounds_per_sec` at n participants under shaped bandwidth:
+/// the same seeded warm-up run under both engine modes. The warm-up
+/// curves and communication stats must be bit-identical — the measured
+/// speedup is pure send/wait overlap, not a different computation.
+fn rounds_per_sec_group(json: &mut String) {
+    const N: usize = 64;
+    const ROUNDS: usize = 3;
+    // stretch simulated transmission times 10x so the bench runs in the
+    // bandwidth-bound regime federated search actually lives in; the
+    // pipelined engine overlaps those sends, the serial engine sums them
+    const TIME_SCALE: f64 = 10.0;
+    let mut results = Vec::new();
+    for (label, mode) in [
+        ("serial", EngineMode::Serial),
+        ("pipelined", EngineMode::Pipelined),
+    ] {
+        eprintln!("benchmarking rounds_per_sec n={N} engine={label}...");
+        let config = SearchConfig::tiny().with_participants(N);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut search = FederatedModelSearch::new(config, &mut rng);
+        let dataset = search.dataset().clone();
+        install(
+            search.server_mut(),
+            &dataset,
+            RpcConfig {
+                transport: TransportKind::InMemory,
+                engine: mode,
+                real_time_scale: TIME_SCALE,
+                ..RpcConfig::default()
+            },
+        );
+        let start = Instant::now();
+        search.server_mut().run_warmup(&dataset, ROUNDS, &mut rng);
+        let secs = start.elapsed().as_secs_f64();
+        let curve = search.server_mut().warmup_curve().clone();
+        let comm = search.server_mut().comm().clone();
+        results.push((label, secs, curve, comm));
+    }
+    assert_eq!(
+        results[0].2, results[1].2,
+        "serial and pipelined warm-up curves must be bit-identical"
+    );
+    assert_eq!(
+        results[0].3, results[1].3,
+        "serial and pipelined CommStats must be bit-identical"
+    );
+    let serial_rps = ROUNDS as f64 / results[0].1;
+    let pipelined_rps = ROUNDS as f64 / results[1].1;
+    writeln!(json, "  \"rounds_per_sec\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"participants\": {N}, \"rounds\": {ROUNDS}, \"real_time_scale\": {TIME_SCALE},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"serial\": {serial_rps:.3}, \"pipelined\": {pipelined_rps:.3}, \"speedup\": {:.2},",
+        pipelined_rps / serial_rps
+    )
+    .unwrap();
+    writeln!(json, "    \"identical_trajectory\": true").unwrap();
+    writeln!(json, "  }}").unwrap();
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let out_path = argv
@@ -147,6 +236,12 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| argv.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_transport.json".to_string());
+    let quick = argv.iter().any(|a| a == "--quick");
+    let check_path = argv
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| argv.get(i + 1).cloned());
+    let reps = if quick { 9 } else { 25 };
 
     let mut rng = StdRng::seed_from_u64(42);
     let payloads = payloads(&mut rng);
@@ -155,7 +250,7 @@ fn main() {
     writeln!(json, "{{").unwrap();
     writeln!(
         json,
-        "  \"description\": \"wire codec throughput and request/reply round latency at federation payload sizes; median of {REPS} reps\","
+        "  \"description\": \"wire codec throughput and request/reply round latency at federation payload sizes; median of {reps} reps\","
     )
     .unwrap();
     writeln!(json, "  \"payloads\": [").unwrap();
@@ -165,20 +260,20 @@ fn main() {
             p.label, p.frame_bytes
         );
         let frame = encode(&p.download);
-        let encode_ns = median_ns(|| {
+        let encode_ns = median_ns(reps, || {
             std::hint::black_box(encode(&p.download));
         });
-        let decode_ns = median_ns(|| {
+        let decode_ns = median_ns(reps, || {
             std::hint::black_box(decode(&frame).expect("decode"));
         });
 
         let (mut mem_server, mem_join) = spawn_echo_channel(legacy_reply(p.grad_len));
-        let mem_round_ns = round_trip_ns(&mut mem_server, &frame);
+        let mem_round_ns = round_trip_ns(reps, &mut mem_server, &frame);
         drop(mem_server);
         mem_join.join().expect("channel echo worker");
 
         let (mut tcp_server, tcp_join) = spawn_echo_tcp(legacy_reply(p.grad_len));
-        let tcp_round_ns = round_trip_ns(&mut tcp_server, &frame);
+        let tcp_round_ns = round_trip_ns(reps, &mut tcp_server, &frame);
         drop(tcp_server);
         tcp_join.join().expect("tcp echo worker");
 
@@ -198,6 +293,10 @@ fn main() {
     writeln!(json, "  ],").unwrap();
 
     // --- per-codec update compression at the supernet gradient shape ---
+    // The hot path the engine actually runs: `encode_into` with a reused
+    // scratch + output buffer, `decode_into` with a reused dense buffer.
+    // Top-k decode is charged for the full dense materialization
+    // (zero-fill + scatter), not just the sparse entries it writes.
     let grad_len = payloads[0].grad_len;
     let grad: Vec<f32> = (0..grad_len)
         .map(|i| (i as f32 * 0.37).sin() * 0.01)
@@ -209,15 +308,22 @@ fn main() {
         CodecSpec::Int8,
         CodecSpec::TopK { k_frac: 0.1 },
     ];
+    let mut measured: Vec<(String, f64)> = Vec::new();
     writeln!(json, "  \"codecs\": [").unwrap();
     for (i, spec) in specs.iter().enumerate() {
         eprintln!("benchmarking codec {spec}...");
-        let encoded = spec.encode(&grad);
-        let encode_ns = median_ns(|| {
-            std::hint::black_box(spec.encode(&grad));
+        let mut scratch = EncodeScratch::default();
+        let mut coded = Vec::new();
+        let mut dense = Vec::new();
+        spec.encode_into(&grad, &mut scratch, &mut coded);
+        let encode_ns = median_ns(reps, || {
+            spec.encode_into(&grad, &mut scratch, &mut coded);
+            std::hint::black_box(coded.len());
         });
-        let decode_ns = median_ns(|| {
-            std::hint::black_box(spec.decode(&encoded, grad_len).expect("decode"));
+        let decode_ns = median_ns(reps, || {
+            spec.decode_into(&coded, grad_len, &mut dense)
+                .expect("decode");
+            std::hint::black_box(dense.len());
         });
         // a coded request/reply round: supernet-sized coded download out,
         // codec-encoded gradient upload back
@@ -248,31 +354,65 @@ fn main() {
             codec_tag: spec.tag(),
             codec_param: spec.param(),
             orig_len: grad_len as u32,
-            coded: encoded.clone(),
+            coded: coded.clone(),
             delta_alpha: vec![0.1; 64],
             reward: 0.5,
             loss: 1.0,
         });
         let (mut mem_server, mem_join) = spawn_echo_channel(reply);
-        let mem_round_ns = round_trip_ns(&mut mem_server, &frame);
+        let mem_round_ns = round_trip_ns(reps, &mut mem_server, &frame);
         drop(mem_server);
         mem_join.join().expect("codec echo worker");
+        measured.push((format!("{spec}"), mbps(raw_bytes, encode_ns)));
         let comma = if i + 1 == specs.len() { "" } else { "," };
         writeln!(
             json,
             "    {{\"codec\": \"{spec}\", \"grad_len\": {grad_len}, \"raw_bytes\": {raw_bytes}, \"encoded_bytes\": {}, \"ratio\": {:.2}, \"encode_mb_s\": {:.1}, \"decode_mb_s\": {:.1}, \"coded_round_in_memory_us\": {:.1}}}{comma}",
-            encoded.len(),
-            raw_bytes as f64 / encoded.len() as f64,
+            coded.len(),
+            raw_bytes as f64 / coded.len() as f64,
             mbps(raw_bytes, encode_ns),
             mbps(raw_bytes, decode_ns),
             mem_round_ns as f64 / 1e3,
         )
         .unwrap();
     }
-    writeln!(json, "  ]").unwrap();
+    writeln!(json, "  ]{}", if quick { "" } else { "," }).unwrap();
+
+    if !quick {
+        rounds_per_sec_group(&mut json);
+    }
     writeln!(json, "}}").unwrap();
 
     std::fs::write(&out_path, &json).expect("write BENCH_transport.json");
     print!("{json}");
     eprintln!("wrote {out_path}");
+
+    // --- committed-floor regression gate (CI perf-smoke) ---
+    if let Some(path) = check_path {
+        let floors = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read floor file {path}: {e}"));
+        let mut failed = false;
+        for (key, codec) in [
+            ("topk_encode_mb_s_floor", "topk:0.1"),
+            ("fp16_encode_mb_s_floor", "fp16"),
+        ] {
+            let Some(floor) = json_number(&floors, key) else {
+                continue;
+            };
+            let got = measured
+                .iter()
+                .find(|(name, _)| name == codec)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            if got < floor {
+                eprintln!("FAIL: {codec} encode {got:.1} MB/s below committed floor {floor:.1}");
+                failed = true;
+            } else {
+                eprintln!("ok: {codec} encode {got:.1} MB/s >= floor {floor:.1}");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

@@ -91,6 +91,25 @@ pub trait Codec {
     fn decode(&self, bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError>;
 }
 
+/// Grow-only scratch state reused across encodes so the steady-state hot
+/// path performs no allocations. The top-k selector keeps its index
+/// permutation here; the other codecs need no scratch. A fresh default
+/// scratch is always valid — reuse is purely a performance concern and
+/// never changes encoder output.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Packed `(magnitude, index)` keys for the top-k partial selection.
+    keys: Vec<u64>,
+}
+
+impl EncodeScratch {
+    /// Current key-buffer capacity, in elements. Lets callers that track
+    /// grow-only buffer reuse observe whether an encode grew the scratch.
+    pub fn capacity(&self) -> usize {
+        self.keys.capacity()
+    }
+}
+
 /// Stable codec identities, used as wire tags and as indices into the
 /// per-codec frame counters of the communication stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,6 +215,41 @@ impl fmt::Display for CodecSpec {
     }
 }
 
+impl CodecSpec {
+    /// [`Codec::encode`] into a caller-owned output buffer, reusing
+    /// `scratch` across calls. The buffer is cleared first; its capacity
+    /// is grow-only, so a steady-state round loop encodes with zero
+    /// allocations. Output bytes are identical to [`Codec::encode`].
+    pub fn encode_into(&self, values: &[f32], scratch: &mut EncodeScratch, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            CodecSpec::Fp32 => encode_fp32_into(values, out),
+            CodecSpec::Fp16 => encode_fp16_into(values, out),
+            CodecSpec::Int8 => encode_int8_into(values, out),
+            CodecSpec::TopK { k_frac } => encode_topk_into(values, *k_frac, scratch, out),
+        }
+    }
+
+    /// [`Codec::decode`] into a caller-owned output buffer (cleared first,
+    /// grow-only capacity). Unlike handing out a fresh `Vec`, this prices
+    /// in the dense re-materialization — the whole buffer is rewritten,
+    /// including the zeros a sparse codec implies.
+    pub fn decode_into(
+        &self,
+        bytes: &[u8],
+        expected_len: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), CodecError> {
+        out.clear();
+        match self {
+            CodecSpec::Fp32 => decode_fp32_into(bytes, expected_len, out),
+            CodecSpec::Fp16 => decode_fp16_into(bytes, expected_len, out),
+            CodecSpec::Int8 => decode_int8_into(bytes, expected_len, out),
+            CodecSpec::TopK { .. } => decode_topk_into(bytes, expected_len, out),
+        }
+    }
+}
+
 impl Codec for CodecSpec {
     fn id(&self) -> CodecId {
         match self {
@@ -207,21 +261,15 @@ impl Codec for CodecSpec {
     }
 
     fn encode(&self, values: &[f32]) -> Vec<u8> {
-        match self {
-            CodecSpec::Fp32 => encode_fp32(values),
-            CodecSpec::Fp16 => encode_fp16(values),
-            CodecSpec::Int8 => encode_int8(values),
-            CodecSpec::TopK { k_frac } => encode_topk(values, *k_frac),
-        }
+        let mut out = Vec::new();
+        self.encode_into(values, &mut EncodeScratch::default(), &mut out);
+        out
     }
 
     fn decode(&self, bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError> {
-        match self {
-            CodecSpec::Fp32 => decode_fp32(bytes, expected_len),
-            CodecSpec::Fp16 => decode_fp16(bytes, expected_len),
-            CodecSpec::Int8 => decode_int8(bytes, expected_len),
-            CodecSpec::TopK { .. } => decode_topk(bytes, expected_len),
-        }
+        let mut out = Vec::new();
+        self.decode_into(bytes, expected_len, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -299,15 +347,20 @@ impl fmt::Display for CodecConfig {
 // fp32 (identity)
 // ---------------------------------------------------------------------------
 
-fn encode_fp32(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 4);
-    for v in values {
-        out.extend_from_slice(&v.to_le_bytes());
+fn encode_fp32_into(values: &[f32], out: &mut Vec<u8>) {
+    out.resize(values.len() * 4, 0);
+    // byte-for-byte the little-endian run; the chunked copy lowers to a
+    // straight memcpy on little-endian targets
+    for (v, o) in values.iter().zip(out.chunks_exact_mut(4)) {
+        o.copy_from_slice(&v.to_le_bytes());
     }
-    out
 }
 
-fn decode_fp32(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError> {
+fn decode_fp32_into(
+    bytes: &[u8],
+    expected_len: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), CodecError> {
     let needed = expected_len * 4;
     if bytes.len() != needed {
         if bytes.len() < needed {
@@ -321,10 +374,12 @@ fn decode_fp32(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError
             got: bytes.len() / 4,
         });
     }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+    out.extend(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -413,15 +468,67 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
     f32::from_bits(bits)
 }
 
-fn encode_fp16(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 2);
-    for v in values {
-        out.extend_from_slice(&f32_to_f16_bits(*v).to_le_bytes());
+#[inline(always)]
+fn encode_fp16_scalar(values: &[f32], out: &mut [u8]) {
+    for (v, o) in values.iter().zip(out.chunks_exact_mut(2)) {
+        o.copy_from_slice(&f32_to_f16_bits(*v).to_le_bytes());
     }
-    out
 }
 
-fn decode_fp16(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError> {
+/// F16C-accelerated convert. `VCVTPS2PH` performs round-to-nearest-even
+/// exactly like [`f32_to_f16_bits`] on every lane whose result is finite
+/// (including output subnormals), but it overflows to infinity and keeps
+/// NaN payloads, where this crate saturates to ±65504 and canonicalises
+/// NaN. Both divergent cases — and only those — produce an all-ones f16
+/// exponent, so the wrapper detects such lanes with one compare and redoes
+/// just them through the scalar reference, keeping output byte-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c,avx")]
+unsafe fn encode_fp16_f16c(values: &[f32], out: &mut [u8]) {
+    use std::arch::x86_64::*;
+    let chunks = values.len() / 8;
+    let exp_mask = _mm_set1_epi16(0x7C00);
+    for c in 0..chunks {
+        let src = values.as_ptr().add(c * 8);
+        let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(_mm256_loadu_ps(src));
+        _mm_storeu_si128(out.as_mut_ptr().add(c * 16) as *mut __m128i, h);
+        let special = _mm_cmpeq_epi16(_mm_and_si128(h, exp_mask), exp_mask);
+        let mask = _mm_movemask_epi8(special);
+        if mask != 0 {
+            for lane in 0..8 {
+                if mask & (0b11 << (lane * 2)) != 0 {
+                    let bits = f32_to_f16_bits(*src.add(lane)).to_le_bytes();
+                    out[c * 16 + lane * 2] = bits[0];
+                    out[c * 16 + lane * 2 + 1] = bits[1];
+                }
+            }
+        }
+    }
+    let done = chunks * 8;
+    encode_fp16_scalar(&values[done..], &mut out[done * 2..]);
+}
+
+fn encode_fp16_into(values: &[f32], out: &mut Vec<u8>) {
+    out.resize(values.len() * 2, 0);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("f16c") && is_x86_feature_detected!("avx") {
+            // SAFETY: both features were just detected at runtime
+            unsafe { encode_fp16_f16c(values, out) };
+            return;
+        }
+    }
+    encode_fp16_scalar(values, out);
+}
+
+// decode stays scalar: f16→f32 widening is exact and already runs at
+// memory speed, and `VCVTPH2PS` would quiet signalling-NaN payloads where
+// [`f16_bits_to_f32`] preserves them bit-for-bit
+fn decode_fp16_into(
+    bytes: &[u8],
+    expected_len: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), CodecError> {
     let needed = expected_len * 2;
     if bytes.len() != needed {
         if bytes.len() < needed {
@@ -435,10 +542,12 @@ fn decode_fp16(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError
             got: bytes.len() / 2,
         });
     }
-    Ok(bytes
-        .chunks_exact(2)
-        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
-        .collect())
+    out.extend(
+        bytes
+            .chunks_exact(2)
+            .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]))),
+    );
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -449,25 +558,120 @@ fn int8_encoded_len(n: usize) -> usize {
     n + n.div_ceil(INT8_CHUNK) * 4
 }
 
-fn encode_int8(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(int8_encoded_len(values.len()));
-    for chunk in values.chunks(INT8_CHUNK) {
-        let absmax = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let scale = if absmax > 0.0 { absmax / 127.0 } else { 0.0 };
-        out.extend_from_slice(&scale.to_le_bytes());
-        for v in chunk {
-            let q = if scale > 0.0 {
-                (v / scale).round().clamp(-127.0, 127.0) as i8
-            } else {
-                0
-            };
-            out.push(q as u8);
+/// Chunk absmax with eight independent accumulators so the reduction has
+/// instruction-level parallelism (and vectorizes). Bit-identical to the
+/// sequential fold: all inputs are `abs()` (non-negative or NaN), `max`
+/// over non-negatives is associative and commutative, and `f32::max`
+/// treats NaN as the identity in either argument order.
+#[inline(always)]
+fn chunk_absmax(chunk: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut lanes = chunk.chunks_exact(8);
+    for block in lanes.by_ref() {
+        for (a, v) in acc.iter_mut().zip(block) {
+            *a = a.max(v.abs());
         }
     }
-    out
+    let mut m = acc.iter().fold(0.0f32, |m, a| m.max(*a));
+    for v in lanes.remainder() {
+        m = m.max(v.abs());
+    }
+    m
 }
 
-fn decode_int8(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError> {
+// the scalar quantizer IS the format definition — the SIMD path below is
+// proven byte-identical to this expression by the proptests
+#[inline(always)]
+fn quantize_chunk_scalar(chunk: &[f32], scale: f32, dst: &mut [u8]) {
+    for (v, d) in chunk.iter().zip(dst.iter_mut()) {
+        *d = (v / scale).round().clamp(-127.0, 127.0) as i8 as u8;
+    }
+}
+
+/// AVX2 quantize pass. `f32::round` is half-away-from-zero, which has no
+/// single-instruction x86 form, so each lane is rounded to-nearest-even
+/// (`vroundps`) and ties where that went *toward* zero — exactly the lanes
+/// with `t - r == ±0.5` of the same sign as `t` — are pushed one further
+/// out. `t - r` is exact (Sterbenz: ties only exist below 2²³ and `r` is
+/// within a factor of two of `t`), so the fixup is exact too. NaN lanes
+/// are zeroed before the clamp to match the scalar `NaN as i8 == 0` path;
+/// ±Inf survives the subtraction as ±Inf and clamps to ±127 like scalar.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_chunk_avx2(chunk: &[f32], scale: f32, dst: &mut [u8]) {
+    use std::arch::x86_64::*;
+    let vscale = _mm256_set1_ps(scale);
+    let half = _mm256_set1_ps(0.5);
+    let neg_half = _mm256_set1_ps(-0.5);
+    let one = _mm256_set1_ps(1.0);
+    let zero = _mm256_setzero_ps();
+    let lo = _mm256_set1_ps(-127.0);
+    let hi = _mm256_set1_ps(127.0);
+    let n = chunk.len() / 8 * 8;
+    let mut i = 0;
+    while i < n {
+        let t = _mm256_div_ps(_mm256_loadu_ps(chunk.as_ptr().add(i)), vscale);
+        let r = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(t);
+        let diff = _mm256_sub_ps(t, r);
+        let up = _mm256_and_ps(
+            _mm256_cmp_ps::<_CMP_EQ_OQ>(diff, half),
+            _mm256_cmp_ps::<_CMP_GT_OQ>(t, zero),
+        );
+        let down = _mm256_and_ps(
+            _mm256_cmp_ps::<_CMP_EQ_OQ>(diff, neg_half),
+            _mm256_cmp_ps::<_CMP_LT_OQ>(t, zero),
+        );
+        let r = _mm256_add_ps(r, _mm256_and_ps(up, one));
+        let r = _mm256_sub_ps(r, _mm256_and_ps(down, one));
+        // zero NaN lanes (unordered self-compare), clamp the rest
+        let r = _mm256_and_ps(r, _mm256_cmp_ps::<_CMP_ORD_Q>(r, r));
+        let r = _mm256_max_ps(lo, _mm256_min_ps(r, hi));
+        // integral and in [-127, 127]: the i32 convert is exact, and the
+        // two saturating packs narrow 8×i32 → 8×i8 without changing values
+        let q = _mm256_cvtps_epi32(r);
+        let p16 = _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256::<1>(q));
+        let p8 = _mm_packs_epi16(p16, p16);
+        _mm_storel_epi64(dst.as_mut_ptr().add(i) as *mut __m128i, p8);
+        i += 8;
+    }
+    quantize_chunk_scalar(&chunk[n..], scale, &mut dst[n..]);
+}
+
+fn quantize_chunk(chunk: &[f32], scale: f32, dst: &mut [u8]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: avx2 was just detected at runtime
+            unsafe { quantize_chunk_avx2(chunk, scale, dst) };
+            return;
+        }
+    }
+    quantize_chunk_scalar(chunk, scale, dst);
+}
+
+fn encode_int8_into(values: &[f32], out: &mut Vec<u8>) {
+    out.resize(int8_encoded_len(values.len()), 0);
+    let mut at = 0;
+    for chunk in values.chunks(INT8_CHUNK) {
+        let absmax = chunk_absmax(chunk);
+        let scale = if absmax > 0.0 { absmax / 127.0 } else { 0.0 };
+        out[at..at + 4].copy_from_slice(&scale.to_le_bytes());
+        at += 4;
+        let dst = &mut out[at..at + chunk.len()];
+        if scale > 0.0 {
+            quantize_chunk(chunk, scale, dst);
+        } else {
+            dst.fill(0);
+        }
+        at += chunk.len();
+    }
+}
+
+fn decode_int8_into(
+    bytes: &[u8],
+    expected_len: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), CodecError> {
     let needed = int8_encoded_len(expected_len);
     if bytes.len() != needed {
         if bytes.len() < needed {
@@ -478,7 +682,7 @@ fn decode_int8(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError
         }
         return Err(CodecError::Malformed("int8 run longer than declared"));
     }
-    let mut out = Vec::with_capacity(expected_len);
+    out.reserve(expected_len);
     let mut at = 0;
     while out.len() < expected_len {
         let scale = f32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
@@ -487,12 +691,10 @@ fn decode_int8(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError
             return Err(CodecError::Malformed("non-finite or negative int8 scale"));
         }
         let take = (expected_len - out.len()).min(INT8_CHUNK);
-        for _ in 0..take {
-            out.push(bytes[at] as i8 as f32 * scale);
-            at += 1;
-        }
+        out.extend(bytes[at..at + take].iter().map(|&b| b as i8 as f32 * scale));
+        at += take;
     }
-    Ok(out)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -509,28 +711,55 @@ pub fn topk_count(n: usize, k_frac: f32) -> usize {
     k.clamp(1, n)
 }
 
-fn encode_topk(values: &[f32], k_frac: f32) -> Vec<u8> {
-    let k = topk_count(values.len(), k_frac);
-    let mut order: Vec<u32> = (0..values.len() as u32).collect();
-    // deterministic selection: magnitude descending, index ascending on ties
-    order.sort_unstable_by(|&a, &b| {
-        values[b as usize]
-            .abs()
-            .total_cmp(&values[a as usize].abs())
-            .then(a.cmp(&b))
-    });
-    let mut kept: Vec<u32> = order[..k].to_vec();
-    kept.sort_unstable(); // strictly increasing index order on the wire
-    let mut out = Vec::with_capacity(4 + k * 8);
-    out.extend_from_slice(&(k as u32).to_le_bytes());
-    for idx in kept {
-        out.extend_from_slice(&idx.to_le_bytes());
-        out.extend_from_slice(&values[idx as usize].to_le_bytes());
+// The legacy selection order is magnitude descending, index ascending on
+// ties (`|v[b]|.total_cmp(|v[a]|).then(a.cmp(&b))`) — a *strict* total
+// order. Pack each candidate into one u64 key, `abs_bits << 32 | !index`:
+// `total_cmp` on non-negative floats (abs clears the sign bit) is exactly
+// unsigned integer order of their bit patterns — NaN magnitudes included —
+// and the complemented index breaks magnitude ties toward smaller indices.
+// Key order is therefore strictly monotone in the legacy comparator order,
+// so partial-selecting the k largest keys keeps exactly the set a full
+// sort would keep, the native u64 compares run branch-predictably with no
+// gather, and after re-sorting the kept indices ascending the wire bytes
+// are byte-identical to the legacy sort-based encoder.
+fn encode_topk_into(values: &[f32], k_frac: f32, scratch: &mut EncodeScratch, out: &mut Vec<u8>) {
+    let n = values.len();
+    let k = topk_count(n, k_frac);
+    out.resize(4 + k * 8, 0);
+    out[..4].copy_from_slice(&(k as u32).to_le_bytes());
+    if k == 0 {
+        return;
     }
-    out
+    let keys = &mut scratch.keys;
+    keys.clear();
+    keys.extend(
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (((v.to_bits() & 0x7FFF_FFFF) as u64) << 32) | (!(i as u32)) as u64),
+    );
+    if k < n {
+        // O(n) partial selection instead of the legacy O(n log n) full
+        // sort: everything from position n-k up is a top-k key
+        keys.select_nth_unstable(n - k);
+    }
+    let kept = &mut keys[n - k..];
+    // unpack to plain indices and sort: strictly increasing on the wire
+    for key in kept.iter_mut() {
+        *key = !(*key as u32) as u64;
+    }
+    kept.sort_unstable();
+    for (&idx, o) in kept.iter().zip(out[4..].chunks_exact_mut(8)) {
+        o[..4].copy_from_slice(&(idx as u32).to_le_bytes());
+        o[4..].copy_from_slice(&values[idx as usize].to_le_bytes());
+    }
 }
 
-fn decode_topk(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError> {
+fn decode_topk_into(
+    bytes: &[u8],
+    expected_len: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), CodecError> {
     if bytes.len() < 4 {
         return Err(CodecError::Truncated {
             needed: 4,
@@ -552,7 +781,7 @@ fn decode_topk(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError
         return Err(CodecError::Malformed("topk run longer than declared"));
     }
     // dense output sized from the *trusted* expected_len, never from k
-    let mut out = vec![0.0f32; expected_len];
+    out.resize(expected_len, 0.0);
     let mut prev: Option<u32> = None;
     for pair in bytes[4..].chunks_exact(8) {
         let idx = u32::from_le_bytes([pair[0], pair[1], pair[2], pair[3]]);
@@ -569,7 +798,7 @@ fn decode_topk(bytes: &[u8], expected_len: usize) -> Result<Vec<f32>, CodecError
         prev = Some(idx);
         out[idx as usize] = f32::from_le_bytes([pair[4], pair[5], pair[6], pair[7]]);
     }
-    Ok(out)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -679,40 +908,40 @@ mod tests {
 
     #[test]
     fn decode_rejects_hostile_lengths_without_allocating() {
+        let topk = CodecSpec::TopK { k_frac: 0.5 };
         // a topk run declaring u32::MAX entries on 12 bytes must fail fast
         let mut bytes = (u32::MAX).to_le_bytes().to_vec();
         bytes.extend_from_slice(&[0u8; 8]);
         assert!(matches!(
-            decode_topk(&bytes, 16),
+            topk.decode(&bytes, 16),
             Err(CodecError::Malformed(_))
         ));
         // k within range but bytes missing → truncated
         let mut bytes = 4u32.to_le_bytes().to_vec();
         bytes.extend_from_slice(&[0u8; 8]);
         assert!(matches!(
-            decode_topk(&bytes, 16),
+            topk.decode(&bytes, 16),
             Err(CodecError::Truncated { .. })
         ));
         // out-of-range index and non-increasing order are malformed
-        let spec = CodecSpec::TopK { k_frac: 0.5 };
-        let good = spec.encode(&[1.0, 2.0, 3.0, 4.0]);
+        let good = topk.encode(&[1.0, 2.0, 3.0, 4.0]);
         let mut bad = good.clone();
         bad[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
-            decode_topk(&bad, 4),
+            topk.decode(&bad, 4),
             Err(CodecError::Malformed(_))
         ));
         let mut bad = good;
         bad[12..16].copy_from_slice(&0u32.to_le_bytes()); // duplicate index 0
         assert!(matches!(
-            decode_topk(&bad, 4),
+            topk.decode(&bad, 4),
             Err(CodecError::Malformed(_))
         ));
         // int8: non-finite scale
         let mut bytes = f32::NAN.to_le_bytes().to_vec();
         bytes.extend_from_slice(&[1u8; 3]);
         assert!(matches!(
-            decode_int8(&bytes, 3),
+            CodecSpec::Int8.decode(&bytes, 3),
             Err(CodecError::Malformed(_))
         ));
     }
@@ -785,8 +1014,193 @@ mod tests {
         }
     }
 
+    // ---- legacy reference encoders (pre-optimization implementations) ----
+    // the hot paths must stay byte-identical to these
+
+    fn reference_encode_fp16(values: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * 2);
+        for v in values {
+            out.extend_from_slice(&f32_to_f16_bits(*v).to_le_bytes());
+        }
+        out
+    }
+
+    fn reference_encode_int8(values: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(int8_encoded_len(values.len()));
+        for chunk in values.chunks(INT8_CHUNK) {
+            let absmax = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = if absmax > 0.0 { absmax / 127.0 } else { 0.0 };
+            out.extend_from_slice(&scale.to_le_bytes());
+            for v in chunk {
+                let q = if scale > 0.0 {
+                    (v / scale).round().clamp(-127.0, 127.0) as i8
+                } else {
+                    0
+                };
+                out.push(q as u8);
+            }
+        }
+        out
+    }
+
+    fn reference_encode_topk(values: &[f32], k_frac: f32) -> Vec<u8> {
+        let k = topk_count(values.len(), k_frac);
+        let mut order: Vec<u32> = (0..values.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            values[b as usize]
+                .abs()
+                .total_cmp(&values[a as usize].abs())
+                .then(a.cmp(&b))
+        });
+        let mut kept: Vec<u32> = order[..k].to_vec();
+        kept.sort_unstable();
+        let mut out = Vec::with_capacity(4 + k * 8);
+        out.extend_from_slice(&(k as u32).to_le_bytes());
+        for idx in kept {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&values[idx as usize].to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn int8_quantizer_edge_values_match_reference() {
+        // absmax 127 pins the chunk scale to exactly 1.0, so each value IS
+        // the quantizer input: exact halves (both tie directions of
+        // round-to-nearest-even), the just-below-half f32, and non-finites
+        let values = vec![
+            127.0f32,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            3.5,
+            -3.5,
+            0.49999997,
+            -0.49999997,
+            0.500000059604645,
+            f32::NAN,
+            -0.0,
+            126.5,
+            -126.5,
+        ];
+        assert_eq!(
+            CodecSpec::Int8.encode(&values),
+            reference_encode_int8(&values)
+        );
+        // and the halves really do round away from zero on the wire
+        let bytes = CodecSpec::Int8.encode(&values);
+        let quants: Vec<i8> = bytes[4..].iter().map(|&b| b as i8).collect();
+        assert_eq!(
+            quants,
+            vec![127, 1, -1, 2, -2, 3, -3, 4, -4, 0, 0, 1, 0, 0, 127, -127]
+        );
+        // non-finite inputs poison the chunk scale identically to the
+        // reference (Inf absmax → everything finite quantizes to 0)
+        let hostile = vec![f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 1.0, -64.0];
+        assert_eq!(
+            CodecSpec::Int8.encode(&hostile),
+            reference_encode_int8(&hostile)
+        );
+    }
+
+    #[test]
+    fn topk_full_fraction_keeps_everything_in_index_order() {
+        let values = vec![3.0f32, -1.0, 0.0, 2.0, 2.0];
+        let spec = CodecSpec::TopK { k_frac: 1.0 };
+        assert_eq!(spec.encode(&values), reference_encode_topk(&values, 1.0));
+        let back = spec.decode(&spec.encode(&values), values.len()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_without_leaking_state() {
+        // a large encode followed by a small one through the same scratch
+        // and output buffer must match fresh single-use encodes exactly
+        let big: Vec<f32> = (0..1000).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        let small = vec![5.0f32, -1.0, 0.25];
+        for spec in [
+            CodecSpec::Fp32,
+            CodecSpec::Fp16,
+            CodecSpec::Int8,
+            CodecSpec::TopK { k_frac: 0.3 },
+        ] {
+            let mut scratch = EncodeScratch::default();
+            let mut buf = Vec::new();
+            spec.encode_into(&big, &mut scratch, &mut buf);
+            assert_eq!(buf, spec.encode(&big), "{spec} big");
+            spec.encode_into(&small, &mut scratch, &mut buf);
+            assert_eq!(buf, spec.encode(&small), "{spec} small after big");
+            // decode side: reused dense buffer, shrink after grow
+            let mut dense = Vec::new();
+            spec.decode_into(&spec.encode(&big), big.len(), &mut dense)
+                .unwrap();
+            assert_eq!(dense, spec.decode(&spec.encode(&big), big.len()).unwrap());
+            spec.decode_into(&spec.encode(&small), small.len(), &mut dense)
+                .unwrap();
+            assert_eq!(
+                dense,
+                spec.decode(&spec.encode(&small), small.len()).unwrap()
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fp16_encoder_matches_reference_on_arbitrary_bits(
+            values in pvec((0u32..=u32::MAX).prop_map(f32::from_bits), 0..300),
+        ) {
+            // exercises the F16C path (when available) against the scalar
+            // definition over the full bit space: normals, subnormals,
+            // overflow-saturation, Inf, and NaN payloads
+            prop_assert_eq!(CodecSpec::Fp16.encode(&values), reference_encode_fp16(&values));
+        }
+
+        #[test]
+        fn int8_encoder_matches_reference(
+            // mixed distribution: smooth floats, exact halves (both tie
+            // directions), non-finites, and raw bit patterns
+            values in pvec(
+                (0u8..4, -100.0f32..100.0, -200i32..200, 0u32..=u32::MAX).prop_map(
+                    |(sel, smooth, half, bits)| match sel {
+                        0 => smooth,
+                        1 => half as f32 / 2.0,
+                        2 => [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][(bits % 3) as usize],
+                        _ => f32::from_bits(bits),
+                    },
+                ),
+                0..600,
+            ),
+        ) {
+            prop_assert_eq!(CodecSpec::Int8.encode(&values), reference_encode_int8(&values));
+        }
+
+        #[test]
+        fn topk_encoder_matches_sort_based_reference(
+            values in pvec(-100.0f32..100.0, 1..400),
+            k_frac in 0.004f32..=1.0,
+        ) {
+            let spec = CodecSpec::TopK { k_frac };
+            prop_assert_eq!(spec.encode(&values), reference_encode_topk(&values, k_frac));
+        }
+
+        #[test]
+        fn topk_encoder_matches_reference_under_heavy_ties(
+            values in pvec(
+                (0u8..5).prop_map(|s| [0.0f32, -0.0, 1.0, -1.0, 2.0][s as usize]),
+                1..200,
+            ),
+            k_frac in 0.004f32..=1.0,
+        ) {
+            // magnitude ties force the index tie-break everywhere; the
+            // partial selection must keep exactly the sort's prefix set
+            let spec = CodecSpec::TopK { k_frac };
+            prop_assert_eq!(spec.encode(&values), reference_encode_topk(&values, k_frac));
+        }
 
         #[test]
         fn fp32_round_trip_bits(

@@ -18,7 +18,7 @@
 //! crate and installs itself via [`SearchServer::set_backend`](crate::SearchServer::set_backend).
 
 use fedrlnas_darts::{ArchMask, SubModel};
-use fedrlnas_fed::{CompressionTally, FaultTally, RejectTally};
+use fedrlnas_fed::{CompressionTally, FaultTally, RejectTally, RoundTimings};
 
 /// One participant's completed local update as delivered by a backend.
 ///
@@ -97,6 +97,12 @@ pub struct RoundOutcome {
     /// update delivered this round (on-time or late); empty when the run
     /// is configured for plain `fp32`.
     pub compression: CompressionTally,
+    /// Wall-clock the engine spent shipping downloads, collecting replies,
+    /// decoding coded runs and validating updates this round. Volatile
+    /// observability data (never part of determinism comparisons); the
+    /// server adds its own aggregate timing and folds the result into
+    /// [`fedrlnas_fed::CommStats`].
+    pub timings: RoundTimings,
 }
 
 /// A round-execution engine: ships sub-models out, collects updates back.

@@ -674,6 +674,9 @@ impl Checkpoint {
                 encoded_bytes: r.u64()?,
                 frames: [r.u64()?, r.u64()?, r.u64()?, r.u64()?],
             },
+            // wall-clock phase timings are volatile observability data and
+            // deliberately never checkpointed: a resumed run starts fresh
+            timing: Default::default(),
         };
         let latency = LatencyStats {
             max_per_round: r.f64s()?,

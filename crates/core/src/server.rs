@@ -8,7 +8,10 @@ use fedrlnas_codec::{absorb_residual, compensate, Codec};
 use fedrlnas_controller::{Alpha, ReinforceController};
 use fedrlnas_darts::{ArchMask, Genotype, Supernet};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
-use fedrlnas_fed::{validate_update, CommStats, Participant, RejectTally, SparseUpdate};
+use fedrlnas_fed::{
+    validate_update, CommStats, Participant, RejectTally, RoundTimings, SparseUpdate,
+    StreamingAccumulator,
+};
 use fedrlnas_netsim::{assign, resolve_codec, transmission_secs, Environment};
 use fedrlnas_nn::Sgd;
 use fedrlnas_sync::{
@@ -396,6 +399,7 @@ impl SearchServer {
             .collect();
         let seed_base: u64 = rng.gen();
         let alpha_logits = self.controller.alpha().logits().as_slice().to_vec();
+        let mut round_timings = RoundTimings::default();
         let (reports, late_reports) = if let Some(backend) = self.backend.as_mut() {
             let out = backend.run_round(RoundRequest {
                 round: t,
@@ -412,6 +416,7 @@ impl SearchServer {
             self.comm.record_faults(&out.faults);
             self.comm.record_rejects(&out.rejects);
             self.comm.record_compression(&out.compression);
+            round_timings.merge(&out.timings);
             // transmission latency: measured download frame bytes over the
             // sampled link bandwidth
             for (p, latency) in latencies.iter_mut().enumerate().take(k) {
@@ -608,7 +613,13 @@ impl SearchServer {
         }
         // --- aggregate (lines 17–33) ---
         let theta_len = self.initial_theta.len();
-        let mut theta_updates: Vec<SparseUpdate> = Vec::new();
+        // Streaming aggregation front-end: each arrival folds into the
+        // accumulator as soon as its staleness handling completes (the
+        // plain/clipped mean folds immediately; order-sensitive rules
+        // buffer internally). Pushes happen in arrival order — the same
+        // order the old batch call saw — so the result is bit-identical.
+        let mut theta_acc = StreamingAccumulator::new(&self.config.aggregator, theta_len);
+        let mut aggregate_ns = 0u64;
         let mut alpha_grad = Tensor::zeros(self.controller.alpha().logits().dims());
         let mut m = 0usize;
         let accuracies: Vec<f32> = arrivals.iter().map(|a| a.accuracy).collect();
@@ -672,25 +683,27 @@ impl SearchServer {
                 }
                 glog
             };
-            // queue the θ gradient at the sub-model's slots; the
-            // configured aggregator merges the whole round at once (the
-            // default mean reproduces the legacy running sum bit for bit,
-            // delay compensation above already repaired stale values, so
-            // robust merging composes with Eq. 13 for free)
-            theta_updates.push(SparseUpdate {
+            // fold the θ gradient at the sub-model's slots into the
+            // streaming accumulator (the default mean reproduces the
+            // legacy running sum bit for bit, delay compensation above
+            // already repaired stale values, so robust merging composes
+            // with Eq. 13 for free)
+            let fold_start = std::time::Instant::now();
+            theta_acc.push(SparseUpdate {
                 ranges,
                 values: grads,
             });
+            aggregate_ns = aggregate_ns.saturating_add(fold_start.elapsed().as_nanos() as u64);
             // accumulate α gradient: R_m ∇ log p(g_m)
             glog.scale(reward);
             alpha_grad.add_assign(&glog).expect("alpha shapes agree");
             m += 1;
         }
-        let theta_grad = self
-            .config
-            .aggregator
-            .build()
-            .accumulate_sparse(theta_updates, theta_len);
+        let finish_start = std::time::Instant::now();
+        let theta_grad = theta_acc.finish();
+        aggregate_ns = aggregate_ns.saturating_add(finish_start.elapsed().as_nanos() as u64);
+        round_timings.aggregate_ns = round_timings.aggregate_ns.saturating_add(aggregate_ns);
+        self.comm.record_timing(&round_timings);
         debug_assert!(
             theta_grad.iter().all(|v| v.is_finite()),
             "aggregated θ gradient contains non-finite values; the \

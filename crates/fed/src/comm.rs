@@ -162,13 +162,54 @@ impl CompressionTally {
     }
 }
 
+/// Cumulative wall-clock spent in each phase of the round hot path, in
+/// nanoseconds (saturating). Pure observability: timings are volatile
+/// wall-clock measurements, so they are **excluded** from `CommStats`
+/// equality, serialization and checkpoints — two runs with identical
+/// traffic and different speeds still compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundTimings {
+    /// Encoding and shipping the download frames (phase 1).
+    pub ship_ns: u64,
+    /// Waiting for and receiving upload replies (phase 2 wall-clock).
+    pub collect_ns: u64,
+    /// Decoding coded gradient runs out of upload frames.
+    pub decode_ns: u64,
+    /// Running the Byzantine validation gate over decoded updates.
+    pub validate_ns: u64,
+    /// Folding accepted updates through the aggregation rule.
+    pub aggregate_ns: u64,
+}
+
+impl RoundTimings {
+    /// Creates an empty timing tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another tally into this one (saturating, like every counter in
+    /// this module).
+    pub fn merge(&mut self, other: &RoundTimings) {
+        self.ship_ns = self.ship_ns.saturating_add(other.ship_ns);
+        self.collect_ns = self.collect_ns.saturating_add(other.collect_ns);
+        self.decode_ns = self.decode_ns.saturating_add(other.decode_ns);
+        self.validate_ns = self.validate_ns.saturating_add(other.validate_ns);
+        self.aggregate_ns = self.aggregate_ns.saturating_add(other.aggregate_ns);
+    }
+
+    /// Returns `true` when any phase has recorded time.
+    pub fn any(&self) -> bool {
+        *self != RoundTimings::default()
+    }
+}
+
 /// Tallies every byte that would cross the network in a real deployment,
 /// in both directions, plus the round count — the raw numbers behind the
 /// paper's efficiency claims (§VI-C: supernet 1.93 MB vs sub-model
 /// 0.27 MB average) — and, since the fault-injection layer landed, an
 /// explicit account of what went wrong on the wire and how often the
 /// runtime had to recover.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CommStats {
     /// Bytes sent from server to participants (model downloads).
     pub bytes_down: u64,
@@ -186,7 +227,29 @@ pub struct CommStats {
     pub compression: CompressionTally,
     /// Times this run was resumed from an on-disk checkpoint.
     pub resumes: u64,
+    /// Per-phase wall-clock spent in the round hot path. Volatile
+    /// observability data: deliberately absent from checkpoints (the
+    /// checkpoint writer lists `CommStats` fields explicitly) and ignored
+    /// by equality.
+    pub timing: RoundTimings,
 }
+
+/// Equality deliberately ignores [`CommStats::timing`]: wall-clock phase
+/// timings differ between otherwise bit-identical runs, and determinism
+/// tests compare `CommStats` across execution modes.
+impl PartialEq for CommStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes_down == other.bytes_down
+            && self.bytes_up == other.bytes_up
+            && self.rounds == other.rounds
+            && self.faults == other.faults
+            && self.rejects == other.rejects
+            && self.compression == other.compression
+            && self.resumes == other.resumes
+    }
+}
+
+impl Eq for CommStats {}
 
 impl CommStats {
     /// Creates an empty tally.
@@ -234,7 +297,13 @@ impl CommStats {
         self.rejects.merge(&other.rejects);
         self.compression.merge(&other.compression);
         self.resumes = self.resumes.saturating_add(other.resumes);
+        self.timing.merge(&other.timing);
         // rounds are counted by the server loop, not merged from workers
+    }
+
+    /// Folds one round's per-phase wall-clock into the tally.
+    pub fn record_timing(&mut self, delta: &RoundTimings) {
+        self.timing.merge(delta);
     }
 
     /// Folds one round's fault delta (from a round backend) into the tally.
@@ -309,6 +378,19 @@ impl std::fmt::Display for CommStats {
         }
         if self.resumes > 0 {
             write!(f, "; resumed from checkpoint {}x", self.resumes)?;
+        }
+        if self.timing.any() {
+            let t = &self.timing;
+            let ms = |ns: u64| ns as f64 / 1e6;
+            write!(
+                f,
+                "; timing: {:.1} ms ship / {:.1} ms collect / {:.1} ms decode / {:.1} ms validate / {:.1} ms aggregate",
+                ms(t.ship_ns),
+                ms(t.collect_ns),
+                ms(t.decode_ns),
+                ms(t.validate_ns),
+                ms(t.aggregate_ns)
+            )?;
         }
         Ok(())
     }
@@ -586,6 +668,45 @@ mod tests {
         let mut merged = CommStats::new();
         merged.merge(&s);
         assert_eq!(merged.compression, s.compression);
+    }
+
+    #[test]
+    fn timing_is_display_only_and_never_affects_equality() {
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.end_round();
+        // timing-free rendering stays byte-identical to the legacy format
+        assert_eq!(s.to_string(), "2.00 MB down, 0.00 MB up over 1 rounds");
+        let mut timed = s;
+        timed.record_timing(&RoundTimings {
+            ship_ns: 1_500_000,
+            collect_ns: 2_000_000,
+            decode_ns: 300_000,
+            validate_ns: 100_000,
+            aggregate_ns: 250_000,
+        });
+        assert!(timed.timing.any());
+        let text = timed.to_string();
+        assert!(text.contains("1.5 ms ship"), "{text}");
+        assert!(text.contains("2.0 ms collect"), "{text}");
+        assert!(text.contains("0.3 ms decode"), "{text}");
+        assert!(text.contains("0.1 ms validate"), "{text}");
+        assert!(text.contains("0.2 ms aggregate"), "{text}");
+        // identical traffic, different wall-clock: still equal — the
+        // determinism suites compare CommStats across execution modes
+        assert_eq!(s, timed);
+        // saturating merge, and serde must not carry the field
+        let mut t = RoundTimings {
+            ship_ns: u64::MAX,
+            ..RoundTimings::default()
+        };
+        t.merge(&RoundTimings {
+            ship_ns: 1,
+            collect_ns: 2,
+            ..RoundTimings::default()
+        });
+        assert_eq!(t.ship_ns, u64::MAX);
+        assert_eq!(t.collect_ns, 2);
     }
 
     #[test]

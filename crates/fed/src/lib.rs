@@ -36,12 +36,14 @@ mod robust;
 mod rounds;
 mod trainable;
 
-pub use comm::{CommStats, CompressionTally, FaultTally, RejectTally, CODEC_NAMES, NUM_CODECS};
+pub use comm::{
+    CommStats, CompressionTally, FaultTally, RejectTally, RoundTimings, CODEC_NAMES, NUM_CODECS,
+};
 pub use fedsgd::{FedSgdConfig, FedSgdTrainer};
 pub use participant::{LocalReport, Participant};
 pub use robust::{
     clip_l2, l2_norm, validate_update, Aggregator, AggregatorConfig, AggregatorKind, CoordMedian,
-    Krum, NormClip, SparseUpdate, TrimmedMean, UpdateRejection, WeightedMean,
+    Krum, NormClip, SparseUpdate, StreamingAccumulator, TrimmedMean, UpdateRejection, WeightedMean,
 };
 pub use rounds::{FedAvgConfig, FedAvgTrainer, RoundMetrics};
 pub use trainable::{

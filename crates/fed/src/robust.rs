@@ -539,6 +539,87 @@ pub fn clip_l2(values: &mut [f32], bound: f32) {
     }
 }
 
+/// Incremental front-end to [`Aggregator::accumulate_sparse`]: push
+/// updates one at a time as replies are processed, then read the final
+/// pre-scaled accumulator once.
+///
+/// The plain (optionally clipped) mean **streams**: each update folds
+/// into the running sum at push time, so no update is retained and the
+/// work overlaps with whatever produces the updates. Because the fold is
+/// [`sum_into`]'s exact f32 addition order, the result is bit-identical
+/// to the batch `accumulate_sparse` call over the same updates in the
+/// same order — callers that need determinism across execution modes
+/// only have to push in a canonical order (the server pushes in report
+/// order, which is sorted by participant). Order-insensitive but
+/// set-dependent rules (median / trimmed / krum) need every update at
+/// once; those buffer at push and delegate to the batch path in
+/// [`StreamingAccumulator::finish`], which is trivially identical.
+pub struct StreamingAccumulator {
+    mode: StreamMode,
+}
+
+enum StreamMode {
+    /// mean / clip+mean: running sum in push order.
+    Fold { acc: Vec<f32>, clip: Option<f32> },
+    /// median / trimmed / krum (clipped or not): buffer, batch at finish.
+    Buffer {
+        updates: Vec<SparseUpdate>,
+        theta_len: usize,
+        rule: Box<dyn Aggregator>,
+    },
+}
+
+impl StreamingAccumulator {
+    /// Creates an accumulator for `config` over a flat θ of `theta_len`
+    /// coordinates.
+    pub fn new(config: &AggregatorConfig, theta_len: usize) -> Self {
+        let mode = match config.kind {
+            AggregatorKind::Mean => StreamMode::Fold {
+                acc: vec![0.0f32; theta_len],
+                clip: config.clip,
+            },
+            _ => StreamMode::Buffer {
+                updates: Vec::new(),
+                theta_len,
+                rule: config.build(),
+            },
+        };
+        StreamingAccumulator { mode }
+    }
+
+    /// `true` when pushed updates fold immediately instead of buffering.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.mode, StreamMode::Fold { .. })
+    }
+
+    /// Feeds one update. Push order must match the order the batch path
+    /// would see for bit-identical results under the mean.
+    pub fn push(&mut self, mut update: SparseUpdate) {
+        match &mut self.mode {
+            StreamMode::Fold { acc, clip } => {
+                if let Some(bound) = *clip {
+                    clip_l2(&mut update.values, bound);
+                }
+                sum_into(acc, std::slice::from_ref(&update));
+            }
+            StreamMode::Buffer { updates, .. } => updates.push(update),
+        }
+    }
+
+    /// Returns the pre-scaled accumulator (coordinate `c` holds
+    /// `q_c · center(g[c])`, see [`Aggregator::accumulate_sparse`]).
+    pub fn finish(self) -> Vec<f32> {
+        match self.mode {
+            StreamMode::Fold { acc, .. } => acc,
+            StreamMode::Buffer {
+                updates,
+                theta_len,
+                rule,
+            } => rule.accumulate_sparse(updates, theta_len),
+        }
+    }
+}
+
 fn median_of_sorted(sorted: &[f32]) -> f32 {
     let n = sorted.len();
     debug_assert!(n > 0, "median of an empty column");
@@ -671,6 +752,8 @@ fn sparse_dot(a: &SparseUpdate, b: &SparseUpdate) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
 
     fn sparse(ranges: &[(usize, usize)], values: &[f32]) -> SparseUpdate {
         let u = SparseUpdate {
@@ -950,5 +1033,108 @@ mod tests {
         // disjoint supports
         let c = sparse(&[(10, 2)], &[7.0, 7.0]);
         assert_eq!(sparse_dot(&a, &c), 0.0);
+    }
+
+    /// Every aggregation rule the config language can express, so the
+    /// streaming front-end is checked against each batch path.
+    fn all_rules() -> Vec<AggregatorConfig> {
+        [
+            "mean",
+            "clip:1.5",
+            "median",
+            "trimmed:1",
+            "krum:2",
+            "clip:2.0+median",
+            "clip:0.75+krum:2",
+        ]
+        .iter()
+        .map(|s| AggregatorConfig::parse(s).unwrap())
+        .collect()
+    }
+
+    /// Bitwise comparison: `==` on f32 would pass -0.0 vs 0.0 and fail
+    /// NaN vs NaN; determinism here means identical bit patterns.
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: coordinate {i} differs ({x} vs {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_batch_for_every_rule() {
+        let updates = vec![
+            sparse(&[(0, 3), (5, 2)], &[0.1, 0.2, 0.3, 0.4, 0.5]),
+            sparse(&[(1, 4)], &[1e-3, -2e-3, 3e-3, 4.0]),
+            sparse(&[(0, 7)], &[0.7, -0.6, 0.5, 0.4, 0.3, 0.2, 0.1]),
+            sparse(&[(2, 2)], &[9.0, -9.0]),
+        ];
+        for config in all_rules() {
+            let batch = config.build().accumulate_sparse(updates.clone(), 8);
+            let mut stream = StreamingAccumulator::new(&config, 8);
+            assert_eq!(
+                stream.is_streaming(),
+                config.kind == AggregatorKind::Mean,
+                "only the (clipped) mean streams"
+            );
+            for u in updates.clone() {
+                stream.push(u);
+            }
+            assert_bits_eq(&batch, &stream.finish(), &config.to_string());
+        }
+    }
+
+    #[test]
+    fn streaming_accumulator_with_no_updates_is_zero() {
+        for config in all_rules() {
+            let out = StreamingAccumulator::new(&config, 5).finish();
+            assert_eq!(out, vec![0.0f32; 5], "{config}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn streaming_matches_batch_on_arbitrary_updates(
+            raw in pvec(
+                // two ranges per update: (off1, len1, gap, len2, values);
+                // len2 may clamp to zero at the θ boundary, exercising
+                // single-range and empty-tail shapes too
+                (0usize..6, 1usize..4, 0usize..3, 0usize..4, pvec(-8.0f32..8.0, 8)),
+                1..7,
+            ),
+            rule_sel in 0usize..7,
+        ) {
+            const THETA: usize = 16;
+            let updates: Vec<SparseUpdate> = raw
+                .into_iter()
+                .map(|(off1, len1, gap, len2, vals)| {
+                    let len1 = len1.min(THETA - off1);
+                    let start2 = off1 + len1 + gap + 1;
+                    let len2 = len2.min(THETA.saturating_sub(start2));
+                    let mut ranges = vec![(off1, len1)];
+                    if len2 > 0 {
+                        ranges.push((start2, len2));
+                    }
+                    let total: usize = ranges.iter().map(|&(_, l)| l).sum();
+                    SparseUpdate { ranges, values: vals[..total].to_vec() }
+                })
+                .collect();
+            let config = all_rules()[rule_sel].clone();
+            let batch = config.build().accumulate_sparse(updates.clone(), THETA);
+            let mut stream = StreamingAccumulator::new(&config, THETA);
+            for u in updates {
+                stream.push(u);
+            }
+            let streamed = stream.finish();
+            for (x, y) in batch.iter().zip(&streamed) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

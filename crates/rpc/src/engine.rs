@@ -38,16 +38,17 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use fedrlnas_codec::{absorb_residual, compensate, Codec, CodecConfig, CodecSpec};
+use fedrlnas_codec::{absorb_residual, compensate, Codec, CodecConfig, CodecSpec, EncodeScratch};
 use fedrlnas_controller::Alpha;
 use fedrlnas_core::{BackendReport, RoundBackend, RoundOutcome, RoundRequest, SearchServer};
 use fedrlnas_darts::{ArchMask, Supernet, SupernetConfig};
 use fedrlnas_data::SyntheticDataset;
-use fedrlnas_fed::{validate_update, Participant, UpdateRejection};
+use fedrlnas_fed::{validate_update, Participant, RejectTally, UpdateRejection};
 use fedrlnas_netsim::resolve_codec;
 use fedrlnas_tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
@@ -57,7 +58,9 @@ use crate::fault::{mix, FaultPlan, FaultyTransport};
 use crate::transport::{
     ChannelTransport, ShapedTransport, TcpTransport, Transport, TransportError,
 };
-use crate::wire::{decode, encode, Message};
+use crate::wire::{
+    decode, encode, encode_download_into, encode_into, encode_upload_coded_into, Message,
+};
 
 /// How many rounds of sent-mask / delivery history to keep for late-reply
 /// attribution; anything older than this is unattributable and dropped
@@ -82,11 +85,36 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// Which round-execution strategy drives phases 1 and 2.
+///
+/// Both modes produce bit-identical round outcomes for the same inputs
+/// (same reports, same byte counts, same `CommStats`): the outcome
+/// depends only on the *set* of on-time replies and the per-link content
+/// order, never on the interleaving in which different links were
+/// serviced. See DESIGN.md "Pipelined round lifecycle".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The reference barrier implementation: ship every download, then
+    /// collect replies strictly in participant order, decoding and
+    /// validating each one after its blocking wait returns.
+    Serial,
+    /// The overlapped implementation: each eligible worker gets a scoped
+    /// collector thread that ships its download, waits on its link, and
+    /// decodes + validates replies as they arrive — compute overlaps
+    /// every in-flight network wait, and shaped send delays overlap each
+    /// other instead of summing.
+    #[default]
+    Pipelined,
+}
+
 /// Round-engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct RpcConfig {
     /// Transport implementation to use.
     pub transport: TransportKind,
+    /// Round-execution strategy (pipelined by default; serial is the
+    /// reference the determinism suites compare against).
+    pub engine: EngineMode,
     /// How long to wait for each participant's reply per attempt.
     pub deadline: Duration,
     /// How many times a timed-out download is retransmitted before the
@@ -125,6 +153,7 @@ impl Default for RpcConfig {
     fn default() -> Self {
         RpcConfig {
             transport: TransportKind::InMemory,
+            engine: EngineMode::default(),
             deadline: Duration::from_secs(5),
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
@@ -226,6 +255,18 @@ pub struct RpcBackend {
     /// Per-worker error-feedback residuals, shared with the worker
     /// threads; the authoritative copy for checkpointing.
     residuals: Vec<Arc<Mutex<Vec<f32>>>>,
+    /// Grow-only per-participant download frame buffers, reused across
+    /// rounds so the steady-state encode path allocates nothing.
+    download_frames: Vec<Vec<u8>>,
+    /// Grow-only staging buffers for the flat weights/BN-buffers of the
+    /// sub-model currently being encoded.
+    weights_buf: Vec<f32>,
+    buffers_buf: Vec<f32>,
+    /// Times any reusable hot-path buffer (server download frames and
+    /// staging above, worker codec/frame scratch) grew its capacity;
+    /// shared with every worker thread. Debug observability for the
+    /// zero-steady-state-allocation contract.
+    growth: Arc<AtomicU64>,
 }
 
 impl RpcBackend {
@@ -257,6 +298,7 @@ impl RpcBackend {
             .iter()
             .map(|p| Arc::new(Mutex::new(p.residual().to_vec())))
             .collect();
+        let growth = Arc::new(AtomicU64::new(0));
         let workers = match config.transport {
             TransportKind::InMemory => spawn_channel_workers(
                 participants,
@@ -265,6 +307,8 @@ impl RpcBackend {
                 faults,
                 &config.fault,
                 &residuals,
+                &growth,
+                config.real_time_scale,
             ),
             TransportKind::Tcp => spawn_tcp_workers(
                 participants,
@@ -273,6 +317,8 @@ impl RpcBackend {
                 faults,
                 &config.fault,
                 &residuals,
+                &growth,
+                config.real_time_scale,
             ),
         };
         RpcBackend {
@@ -281,6 +327,10 @@ impl RpcBackend {
             sent_masks: HashMap::new(),
             delivered: HashSet::new(),
             residuals,
+            download_frames: Vec::new(),
+            weights_buf: Vec::new(),
+            buffers_buf: Vec::new(),
+            growth,
         }
     }
 
@@ -294,16 +344,42 @@ impl RpcBackend {
     pub fn evicted_workers(&self) -> usize {
         self.workers.iter().filter(|w| w.alive && w.evicted).count()
     }
+
+    /// How many times any reusable hot-path buffer — the server-side
+    /// download frame/staging buffers and every worker's codec and reply
+    /// frame scratch — had to grow its capacity since the backend was
+    /// created. All those buffers are grow-only, so after the first few
+    /// rounds (once each has seen its largest payload) this count must
+    /// stop increasing: the encode/decode/frame hot path has reached
+    /// zero steady-state allocations. Debug observability; asserted by
+    /// the buffer-reuse test.
+    pub fn buffer_growth_count(&self) -> u64 {
+        self.growth.load(Ordering::Relaxed)
+    }
 }
 
-fn wrap_link(inner: Box<dyn Transport>, participant: usize, plan: &FaultPlan) -> Link {
+/// Bumps the shared growth counter when a reused buffer's capacity grew
+/// during the operation bounded by `before`/`after`.
+fn note_growth(growth: &AtomicU64, before: usize, after: usize) {
+    if after > before {
+        growth.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn wrap_link(
+    inner: Box<dyn Transport>,
+    participant: usize,
+    plan: &FaultPlan,
+    time_scale: f64,
+) -> Link {
     ShapedTransport::new(
         FaultyTransport::new(inner, participant, plan),
         f64::MAX,
-        0.0,
+        time_scale,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_one(
     transport: Box<dyn Transport>,
     participant: Participant,
@@ -311,10 +387,22 @@ fn spawn_one(
     dataset: SyntheticDataset,
     fault: ScriptedFault,
     residual: Arc<Mutex<Vec<f32>>>,
+    growth: Arc<AtomicU64>,
 ) -> JoinHandle<()> {
-    std::thread::spawn(move || worker_loop(transport, participant, net, dataset, fault, residual))
+    std::thread::spawn(move || {
+        worker_loop(
+            transport,
+            participant,
+            net,
+            dataset,
+            fault,
+            residual,
+            growth,
+        )
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_channel_workers(
     participants: &[Participant],
     net: &SupernetConfig,
@@ -322,6 +410,8 @@ fn spawn_channel_workers(
     faults: &[ScriptedFault],
     plan: &FaultPlan,
     residuals: &[Arc<Mutex<Vec<f32>>>],
+    growth: &Arc<AtomicU64>,
+    time_scale: f64,
 ) -> Vec<WorkerHandle> {
     participants
         .iter()
@@ -335,9 +425,10 @@ fn spawn_channel_workers(
                 dataset.clone(),
                 faults.get(i).copied().unwrap_or_default(),
                 residuals[i].clone(),
+                growth.clone(),
             );
             WorkerHandle {
-                transport: Some(wrap_link(Box::new(server_end), i, plan)),
+                transport: Some(wrap_link(Box::new(server_end), i, plan, time_scale)),
                 join: Some(join),
                 alive: true,
                 evicted: false,
@@ -348,6 +439,7 @@ fn spawn_channel_workers(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_tcp_workers(
     participants: &[Participant],
     net: &SupernetConfig,
@@ -355,6 +447,8 @@ fn spawn_tcp_workers(
     faults: &[ScriptedFault],
     plan: &FaultPlan,
     residuals: &[Arc<Mutex<Vec<f32>>>],
+    growth: &Arc<AtomicU64>,
+    time_scale: f64,
 ) -> Vec<WorkerHandle> {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
     let addr = listener.local_addr().expect("listener address");
@@ -367,6 +461,7 @@ fn spawn_tcp_workers(
             let dataset = dataset.clone();
             let fault = faults.get(i).copied().unwrap_or_default();
             let residual = residuals[i].clone();
+            let growth = growth.clone();
             let id = p.id();
             std::thread::spawn(move || {
                 let stream = std::net::TcpStream::connect(addr).expect("connect loopback");
@@ -376,7 +471,15 @@ fn spawn_tcp_workers(
                 let _ = transport.send(&encode(&Message::Heartbeat {
                     participant: id as u32,
                 }));
-                worker_loop(transport, participant, net, dataset, fault, residual);
+                worker_loop(
+                    transport,
+                    participant,
+                    net,
+                    dataset,
+                    fault,
+                    residual,
+                    growth,
+                );
             })
         })
         .collect();
@@ -393,7 +496,12 @@ fn spawn_tcp_workers(
             Ok(Message::Heartbeat { participant }) => participant as usize,
             other => panic!("expected handshake heartbeat, got {other:?}"),
         };
-        slots[id] = Some(wrap_link(Box::new(t) as Box<dyn Transport>, id, plan));
+        slots[id] = Some(wrap_link(
+            Box::new(t) as Box<dyn Transport>,
+            id,
+            plan,
+            time_scale,
+        ));
     }
     slots
         .into_iter()
@@ -421,6 +529,7 @@ fn worker_loop(
     dataset: SyntheticDataset,
     fault: ScriptedFault,
     residual: Arc<Mutex<Vec<f32>>>,
+    growth: Arc<AtomicU64>,
 ) {
     let id = participant.id();
     // structure only — every weight is overwritten from the wire
@@ -430,6 +539,15 @@ fn worker_loop(
     // supernet, exactly like the in-process path
     let theta_len = supernet.param_count();
     let mut reply_cache: HashMap<u64, Vec<u8>> = HashMap::new();
+    // grow-only hot-path scratch, reused every round: codec selection
+    // keys, encoded byte run, self-decode output, and the reply frame.
+    // Reuse never changes any output (see `EncodeScratch`), it only
+    // removes steady-state allocations; `growth` counts capacity growth
+    // so a test can assert the buffers actually stabilize.
+    let mut enc_scratch = EncodeScratch::default();
+    let mut coded_buf: Vec<u8> = Vec::new();
+    let mut decoded_buf: Vec<f32> = Vec::new();
+    let mut frame_buf: Vec<u8> = Vec::new();
     // the previous round's honest update, kept for Attack::StaleReplay
     let mut last_honest: Vec<f32> = Vec::new();
     // first round the worker is back up after a scripted crash-restart
@@ -561,15 +679,19 @@ fn worker_loop(
                     .to_vec()
             })
             .unwrap_or_default();
-        let reply = match codec {
-            None => encode(&Message::UploadUpdate {
-                round,
-                participant: id as u32,
-                delta_w: grads,
-                delta_alpha,
-                reward: report.accuracy,
-                loss: report.loss,
-            }),
+        let frame_cap = frame_buf.capacity();
+        match codec {
+            None => encode_into(
+                &Message::UploadUpdate {
+                    round,
+                    participant: id as u32,
+                    delta_w: grads,
+                    delta_alpha,
+                    reward: report.accuracy,
+                    loss: report.loss,
+                },
+                &mut frame_buf,
+            ),
             Some(spec) => {
                 // error feedback: fold the residual of every previous lossy
                 // round into this update before encoding, then remember
@@ -582,32 +704,42 @@ fn worker_loop(
                     res.resize(theta_len, 0.0);
                 }
                 compensate(&mut grads, &res, &ranges);
-                let coded = spec.encode(&grads);
-                let decoded = spec
-                    .decode(&coded, grads.len())
+                let keys_cap = enc_scratch.capacity();
+                let coded_cap = coded_buf.capacity();
+                let dec_cap = decoded_buf.capacity();
+                spec.encode_into(&grads, &mut enc_scratch, &mut coded_buf);
+                spec.decode_into(&coded_buf, grads.len(), &mut decoded_buf)
                     .expect("a codec must decode its own encoding");
-                absorb_residual(&mut res, &grads, &decoded, &ranges);
+                absorb_residual(&mut res, &grads, &decoded_buf, &ranges);
                 drop(res);
-                encode(&Message::UploadUpdateCoded {
+                note_growth(&growth, keys_cap, enc_scratch.capacity());
+                note_growth(&growth, coded_cap, coded_buf.capacity());
+                note_growth(&growth, dec_cap, decoded_buf.capacity());
+                encode_upload_coded_into(
+                    &mut frame_buf,
                     round,
-                    participant: id as u32,
-                    codec_tag: spec.tag(),
-                    codec_param: spec.param(),
-                    orig_len: grads.len() as u32,
-                    coded,
-                    delta_alpha,
-                    reward: report.accuracy,
-                    loss: report.loss,
-                })
+                    id as u32,
+                    spec.tag(),
+                    spec.param(),
+                    grads.len() as u32,
+                    &coded_buf,
+                    &delta_alpha,
+                    report.accuracy,
+                    report.loss,
+                );
             }
         };
+        note_growth(&growth, frame_cap, frame_buf.capacity());
         if reply_cache.len() >= HISTORY_ROUNDS {
             if let Some(oldest) = reply_cache.keys().min().copied() {
                 reply_cache.remove(&oldest);
             }
         }
-        reply_cache.insert(round, reply.clone());
-        let _ = transport.send(&reply);
+        // the cache clone is the one unavoidable per-round allocation on
+        // this path: retransmitted downloads are answered from the cache
+        // after `frame_buf` has been overwritten by a newer round
+        reply_cache.insert(round, frame_buf.clone());
+        let _ = transport.send(&frame_buf);
     }
 }
 
@@ -703,10 +835,371 @@ fn classify_reply(msg: Message, sent: &HashMap<(usize, usize), (ArchMask, usize)
     }
 }
 
+/// Everything one worker's phase-2 interaction produced. Committed into
+/// the round outcome strictly in participant order by
+/// [`merge_worker_round`], so the pipelined engine updates every data
+/// structure the next round reads exactly as the serial reference would.
+#[derive(Default)]
+struct WorkerRound {
+    reports: Vec<BackendReport>,
+    late: Vec<BackendReport>,
+    /// `(round, participant)` keys delivered on this link this round.
+    /// A link only ever carries its own worker's replies, so these keys
+    /// are disjoint across concurrent collectors.
+    delivered: Vec<(usize, usize)>,
+    /// Compression-tally entries for actually-delivered coded replies.
+    comp: Vec<(usize, u64, u64)>,
+    rejects: RejectTally,
+    bytes_up: u64,
+    bytes_down: u64,
+    retransmits: u64,
+    got: bool,
+    rejected: bool,
+    ship_ns: u64,
+    collect_ns: u64,
+    decode_ns: u64,
+    validate_ns: u64,
+}
+
+/// Synchronizes concurrent collectors on the set of successful downloads
+/// so the quorum target is derived from the same population the serial
+/// engine sees: workers that were eligible at ship time *and* whose
+/// download actually went out. Every spawned collector records its send
+/// outcome; [`SendGate::target`] blocks until all have, then computes the
+/// target from the survivors — exactly serial's post-ship `eligible`.
+struct SendGate {
+    spawned: usize,
+    frac: f64,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl SendGate {
+    fn new(spawned: usize, frac: f64) -> Self {
+        SendGate {
+            spawned,
+            frac,
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        }
+    }
+
+    fn record(&self, ok: bool) {
+        if !ok {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.done.fetch_add(1, Ordering::Release);
+    }
+
+    fn target(&self) -> usize {
+        // sends are bounded by the shaped-link sleep, so this settles in
+        // at most one download's transmission time
+        while self.done.load(Ordering::Acquire) < self.spawned {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        let eligible = self.spawned - self.failed.load(Ordering::Relaxed);
+        ((self.frac * eligible as f64).ceil() as usize).clamp(1, eligible.max(1))
+    }
+}
+
+/// Where [`collect_worker`] gets its quorum target from.
+#[derive(Clone, Copy)]
+enum QuorumSource<'a> {
+    /// Precomputed by the caller (serial mode: after the ship loop).
+    Fixed(usize),
+    /// Resolved from a [`SendGate`] once every concurrent download has
+    /// been attempted (pipelined mode).
+    Gate(&'a SendGate),
+}
+
+/// How [`collect_worker`] waits for a reply.
+#[derive(Clone, Copy)]
+enum WaitMode {
+    /// One blocking `recv_timeout` per logical wait; the quorum counter
+    /// is consulted once up front — the serial reference behaviour.
+    Blocking,
+    /// Millisecond-sliced waits that re-check the shared quorum counter
+    /// between slices, so a concurrent collector notices a quorum met by
+    /// its peers and collapses its remaining budget to the drain window.
+    Sliced,
+}
+
+/// One logical wait for a reply frame under the quorum rule: a worker
+/// whose quorum is already met only gets the short [`QUORUM_DRAIN`]
+/// window; otherwise the full per-attempt deadline.
+fn wait_reply(
+    link: &mut Link,
+    mode: WaitMode,
+    on_time: &AtomicUsize,
+    quorum_target: usize,
+    deadline: Duration,
+) -> Result<Vec<u8>, TransportError> {
+    match mode {
+        WaitMode::Blocking => {
+            let met = on_time.load(Ordering::Relaxed) >= quorum_target;
+            let wait = if met { QUORUM_DRAIN } else { deadline };
+            link.recv_timeout(wait)
+        }
+        WaitMode::Sliced => {
+            const SLICE: Duration = Duration::from_millis(1);
+            let mut elapsed = Duration::ZERO;
+            // the drain clock starts when the quorum transition is first
+            // observed — a straggler gets the full `QUORUM_DRAIN` of fresh
+            // waiting from that moment, mirroring the serial engine's
+            // fresh drain window per straggler
+            let mut met_at: Option<Duration> = None;
+            loop {
+                if met_at.is_none() && on_time.load(Ordering::Relaxed) >= quorum_target {
+                    met_at = Some(elapsed);
+                }
+                let (budget, base) = match met_at {
+                    Some(m) => (QUORUM_DRAIN, m),
+                    None => (deadline, Duration::ZERO),
+                };
+                let spent = elapsed - base;
+                if spent >= budget {
+                    return Err(TransportError::Timeout);
+                }
+                let wait = (budget - spent).min(SLICE);
+                match link.recv_timeout(wait) {
+                    Err(TransportError::Timeout) => elapsed += wait,
+                    other => return other,
+                }
+            }
+        }
+    }
+}
+
+/// Phase 2 for a single worker: (optionally) ship its download, then wait
+/// for its reply under deadline + quorum + bounded retry, decoding and
+/// validating whatever arrives. Mutates only this worker's handle; every
+/// cross-worker effect is returned in the [`WorkerRound`] and committed
+/// by [`merge_worker_round`] in participant order. `delivered` is the
+/// global set as of the start of phase 2 — complete for this link's keys
+/// because only this link delivers them (local additions are tracked in
+/// the result).
+#[allow(clippy::too_many_arguments)]
+fn collect_worker(
+    p: usize,
+    t: usize,
+    w: &mut WorkerHandle,
+    config: &RpcConfig,
+    frame: &[u8],
+    expected_len: usize,
+    mask: &ArchMask,
+    sent_masks: &HashMap<(usize, usize), (ArchMask, usize)>,
+    delivered: &HashSet<(usize, usize)>,
+    on_time: &AtomicUsize,
+    quorum: QuorumSource<'_>,
+    bandwidth_mbps: f64,
+    wait: WaitMode,
+    send_first: bool,
+) -> WorkerRound {
+    let mut wr = WorkerRound::default();
+    let transport = w.transport.as_mut().expect("live worker has transport");
+    if send_first {
+        let ship_start = Instant::now();
+        transport.set_mbps(bandwidth_mbps);
+        let sent = transport.send(frame);
+        if let QuorumSource::Gate(gate) = quorum {
+            gate.record(sent.is_ok());
+        }
+        match sent {
+            Ok(()) => wr.bytes_down += frame.len() as u64,
+            Err(_) => {
+                w.alive = false;
+                return wr;
+            }
+        }
+        wr.ship_ns = ship_start.elapsed().as_nanos() as u64;
+    }
+    let quorum_target = match quorum {
+        QuorumSource::Fixed(n) => n,
+        QuorumSource::Gate(gate) => gate.target(),
+    };
+    let mut attempts = 0usize;
+    loop {
+        let wait_start = Instant::now();
+        let received = wait_reply(transport, wait, on_time, quorum_target, config.deadline);
+        wr.collect_ns = wr
+            .collect_ns
+            .saturating_add(wait_start.elapsed().as_nanos() as u64);
+        match received {
+            Ok(frame_in) => {
+                wr.bytes_up += frame_in.len() as u64;
+                let decode_start = Instant::now();
+                let classified = match decode(&frame_in) {
+                    Ok(msg) => classify_reply(msg, sent_masks),
+                    Err(_) => Reply::Noise, // corruption: drop
+                };
+                wr.decode_ns = wr
+                    .decode_ns
+                    .saturating_add(decode_start.elapsed().as_nanos() as u64);
+                let (r, report, comp) = match classified {
+                    Reply::Report { r, report, comp } => (r, report, comp),
+                    Reply::Undecodable { r, pid } => {
+                        // a coded run that does not decode against the
+                        // length the engine shipped is a malformed update —
+                        // reject it before it can reach validation or
+                        // aggregation
+                        if r == t
+                            && !delivered.contains(&(r, pid))
+                            && !wr.delivered.contains(&(r, pid))
+                        {
+                            wr.delivered.push((r, pid));
+                            wr.rejected = true;
+                            wr.rejects.rejected_shape += 1;
+                            break;
+                        }
+                        continue;
+                    }
+                    Reply::Noise => continue, // heartbeat/ack noise
+                };
+                let pid = report.participant;
+                if delivered.contains(&(r, pid)) || wr.delivered.contains(&(r, pid)) {
+                    continue; // duplicate from a retransmitted download
+                }
+                match r.cmp(&t) {
+                    std::cmp::Ordering::Equal => {
+                        wr.delivered.push((r, pid));
+                        if let Some(c) = comp {
+                            wr.comp.push(c);
+                        }
+                        // validation gate: a reply that is the wrong shape,
+                        // non-finite anywhere, or over the norm bound never
+                        // reaches the server; the worker is treated as
+                        // having missed the round. Coded replies were
+                        // decoded above, so the gate sees exactly what
+                        // aggregation would consume.
+                        let gate_start = Instant::now();
+                        let verdict = if report.accuracy.is_finite() && report.loss.is_finite() {
+                            validate_update(&report.grads, expected_len, config.update_norm_bound)
+                        } else {
+                            Err(UpdateRejection::NonFinite)
+                        };
+                        wr.validate_ns = wr
+                            .validate_ns
+                            .saturating_add(gate_start.elapsed().as_nanos() as u64);
+                        match verdict {
+                            Ok(()) => {
+                                wr.reports.push(BackendReport {
+                                    mask: mask.clone(),
+                                    ..report
+                                });
+                                wr.got = true;
+                                on_time.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(UpdateRejection::ShapeMismatch { .. }) => {
+                                wr.rejected = true;
+                                wr.rejects.rejected_shape += 1;
+                            }
+                            Err(UpdateRejection::NonFinite) => {
+                                wr.rejected = true;
+                                wr.rejects.rejected_nonfinite += 1;
+                            }
+                            Err(UpdateRejection::NormExceeded { .. }) => {
+                                wr.rejected = true;
+                                wr.rejects.rejected_norm += 1;
+                            }
+                        }
+                        break;
+                    }
+                    std::cmp::Ordering::Less => {
+                        // a reply that missed an earlier deadline; attribute
+                        // it and keep waiting for round t
+                        if let Some((late_mask, _)) = sent_masks.get(&(r, pid)) {
+                            wr.delivered.push((r, pid));
+                            if let Some(c) = comp {
+                                wr.comp.push(c);
+                            }
+                            wr.late.push(BackendReport {
+                                mask: late_mask.clone(),
+                                ..report
+                            });
+                        }
+                    }
+                    std::cmp::Ordering::Greater => {} // impossible; drop
+                }
+            }
+            Err(TransportError::Timeout) => {
+                let quorum_met = on_time.load(Ordering::Relaxed) >= quorum_target;
+                if !quorum_met && attempts < config.max_retries {
+                    let salt = ((t as u64) << 32) | p as u64;
+                    std::thread::sleep(backoff_delay(config.retry_backoff, attempts, salt));
+                    attempts += 1;
+                    wr.retransmits += 1;
+                    match transport.send(frame) {
+                        Ok(()) => wr.bytes_down += frame.len() as u64,
+                        Err(_) => {
+                            w.alive = false;
+                            break;
+                        }
+                    }
+                } else {
+                    break; // late: the reply, if any, surfaces next round
+                }
+            }
+            Err(_) => {
+                w.alive = false;
+                break;
+            }
+        }
+    }
+    wr
+}
+
+/// Commits one worker's phase-2 results into the round outcome and
+/// applies the miss/reject streak + eviction transition — the same state
+/// commit the serial engine performs inline after each worker's loop.
+fn merge_worker_round(
+    out: &mut RoundOutcome,
+    delivered: &mut HashSet<(usize, usize)>,
+    w: &mut WorkerHandle,
+    wr: WorkerRound,
+    config: &RpcConfig,
+) {
+    out.bytes_up += wr.bytes_up;
+    out.bytes_down += wr.bytes_down;
+    out.faults.retransmits = out.faults.retransmits.saturating_add(wr.retransmits);
+    for key in wr.delivered {
+        delivered.insert(key);
+    }
+    for (c, raw, enc) in wr.comp {
+        out.compression.record(c, raw, enc);
+    }
+    out.reports.extend(wr.reports);
+    out.late.extend(wr.late);
+    out.rejects.merge(&wr.rejects);
+    out.timings.ship_ns = out.timings.ship_ns.saturating_add(wr.ship_ns);
+    out.timings.collect_ns = out.timings.collect_ns.saturating_add(wr.collect_ns);
+    out.timings.decode_ns = out.timings.decode_ns.saturating_add(wr.decode_ns);
+    out.timings.validate_ns = out.timings.validate_ns.saturating_add(wr.validate_ns);
+    if wr.got {
+        w.miss_streak = 0;
+        w.reject_streak = 0;
+    } else if w.alive {
+        w.miss_streak += 1;
+        if wr.rejected {
+            w.reject_streak += 1;
+        }
+        if config.evict_after > 0 && w.miss_streak >= config.evict_after {
+            w.evicted = true;
+            out.faults.evictions = out.faults.evictions.saturating_add(1);
+            if w.reject_streak > 0 {
+                // evicted while its uploads were being refused:
+                // misbehaving, not merely slow
+                out.rejects.suspected_byzantine += 1;
+            }
+        }
+    }
+}
+
 impl RoundBackend for RpcBackend {
     fn run_round(&mut self, request: RoundRequest<'_>) -> RoundOutcome {
         let t = request.round;
         let k = request.masks.len();
+        let masks = request.masks;
+        let bandwidths = request.bandwidths_mbps;
         let mut out = RoundOutcome {
             download_frame_bytes: vec![0; k],
             ..Default::default()
@@ -716,8 +1209,13 @@ impl RoundBackend for RpcBackend {
             config,
             sent_masks,
             delivered,
+            download_frames,
+            weights_buf,
+            buffers_buf,
+            growth,
             ..
         } = self;
+        let config: &RpcConfig = config;
         // prune attribution history beyond the late-reply horizon
         sent_masks.retain(|&(r, _), _| r + HISTORY_ROUNDS > t);
         delivered.retain(|&(r, _)| r + HISTORY_ROUNDS > t);
@@ -764,58 +1262,80 @@ impl RoundBackend for RpcBackend {
                 }
             }
         }
-        // --- phase 1: ship downloads to eligible workers ---
+        // --- phase 1: encode downloads into reusable frame buffers ---
+        // All frames are staged before anything ships, so the pipelined
+        // mode can hand each collector thread an immutable `&[u8]` and the
+        // serial mode replays the exact legacy send loop over them.
+        let prep_start = Instant::now();
+        if download_frames.len() < k {
+            download_frames.resize_with(k, Vec::new);
+        }
         let mut submodels = request.submodels;
-        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(k);
         // a reply's gradient vector must match the shipped sub-model's
         // parameter count exactly; the gate checks against this
         let mut expected_lens: Vec<usize> = Vec::with_capacity(k);
         for (p, sub) in submodels.iter_mut().enumerate() {
-            let mut weights = Vec::new();
-            sub.visit_params(&mut |pp| weights.extend_from_slice(pp.value.as_slice()));
-            expected_lens.push(weights.len());
-            let mut buffers = Vec::new();
-            sub.visit_buffers(&mut |b| buffers.extend_from_slice(b));
-            let frame = if config.codec.is_fp32() {
-                // byte-identical to the pre-codec protocol
-                encode(&Message::DownloadSubmodel {
-                    round: t as u64,
-                    seed_base: request.seed_base,
-                    mask: request.masks[p].clone(),
-                    weights,
-                    buffers,
-                    alpha: request.alpha_logits.to_vec(),
-                })
+            let w_cap = weights_buf.capacity();
+            let b_cap = buffers_buf.capacity();
+            let f_cap = download_frames[p].capacity();
+            weights_buf.clear();
+            sub.visit_params(&mut |pp| weights_buf.extend_from_slice(pp.value.as_slice()));
+            expected_lens.push(weights_buf.len());
+            buffers_buf.clear();
+            sub.visit_buffers(&mut |b| buffers_buf.extend_from_slice(b));
+            // fp32 stays byte-identical to the pre-codec protocol;
+            // otherwise the codec is resolved per participant from this
+            // round's sampled link speed
+            let codec = if config.codec.is_fp32() {
+                None
             } else {
-                // bandwidth-aware: the codec is resolved per participant
-                // from this round's sampled link speed
-                let spec = resolve_codec(config.codec, request.bandwidths_mbps[p]);
-                encode(&Message::DownloadSubmodelCoded {
-                    round: t as u64,
-                    seed_base: request.seed_base,
-                    mask: request.masks[p].clone(),
-                    weights,
-                    buffers,
-                    alpha: request.alpha_logits.to_vec(),
-                    codec_tag: spec.tag(),
-                    codec_param: spec.param(),
-                })
+                let spec = resolve_codec(config.codec, bandwidths[p]);
+                Some((spec.tag(), spec.param()))
             };
-            out.download_frame_bytes[p] = frame.len() as u64;
-            sent_masks.insert((t, p), (request.masks[p].clone(), expected_lens[p]));
-            if let Some(w) = workers.get_mut(p) {
+            encode_download_into(
+                &mut download_frames[p],
+                t as u64,
+                request.seed_base,
+                &masks[p],
+                weights_buf,
+                buffers_buf,
+                request.alpha_logits,
+                codec,
+            );
+            note_growth(growth, w_cap, weights_buf.capacity());
+            note_growth(growth, b_cap, buffers_buf.capacity());
+            note_growth(growth, f_cap, download_frames[p].capacity());
+            out.download_frame_bytes[p] = download_frames[p].len() as u64;
+            sent_masks.insert((t, p), (masks[p].clone(), expected_lens[p]));
+        }
+        out.timings.ship_ns = out
+            .timings
+            .ship_ns
+            .saturating_add(prep_start.elapsed().as_nanos() as u64);
+        let frames: &[Vec<u8>] = download_frames;
+        if config.engine == EngineMode::Serial {
+            // serial reference: ship every download up front, workers
+            // train in parallel, then collect strictly in participant
+            // order below
+            let ship_start = Instant::now();
+            for (p, w) in workers.iter_mut().enumerate().take(k) {
                 if w.alive && !w.evicted {
                     let transport = w.transport.as_mut().expect("live worker has transport");
-                    transport.set_mbps(request.bandwidths_mbps[p]);
-                    match transport.send(&frame) {
-                        Ok(()) => out.bytes_down += frame.len() as u64,
+                    transport.set_mbps(bandwidths[p]);
+                    match transport.send(&frames[p]) {
+                        Ok(()) => out.bytes_down += frames[p].len() as u64,
                         Err(_) => w.alive = false,
                     }
                 }
             }
-            frames.push(frame);
+            out.timings.ship_ns = out
+                .timings
+                .ship_ns
+                .saturating_add(ship_start.elapsed().as_nanos() as u64);
         }
         // --- phase 2: collect replies under deadline + quorum + retry ---
+        // once the quorum has reported, stragglers only get a short drain
+        // window and no retransmissions
         let eligible = workers
             .iter()
             .take(k)
@@ -823,154 +1343,89 @@ impl RoundBackend for RpcBackend {
             .count();
         let quorum_target =
             ((config.quorum_frac * eligible as f64).ceil() as usize).clamp(1, eligible.max(1));
-        let mut on_time = 0usize;
-        for (p, w) in workers.iter_mut().enumerate().take(k) {
-            if !w.alive || w.evicted {
-                continue;
-            }
-            let transport = w.transport.as_mut().expect("live worker has transport");
-            let mut attempts = 0usize;
-            let mut got = false;
-            let mut rejected = false;
-            loop {
-                // once the quorum has reported, stragglers only get a
-                // short drain window and no retransmissions
-                let quorum_met = on_time >= quorum_target;
-                let wait = if quorum_met {
-                    QUORUM_DRAIN
-                } else {
-                    config.deadline
-                };
-                match transport.recv_timeout(wait) {
-                    Ok(frame) => {
-                        out.bytes_up += frame.len() as u64;
-                        let msg = match decode(&frame) {
-                            Ok(m) => m,
-                            Err(_) => continue, // corruption: drop
-                        };
-                        let (r, report, comp) = match classify_reply(msg, sent_masks) {
-                            Reply::Report { r, report, comp } => (r, report, comp),
-                            Reply::Undecodable { r, pid } => {
-                                // a coded run that does not decode against
-                                // the length the engine shipped is a
-                                // malformed update — reject it before it
-                                // can reach validation or aggregation
-                                if r == t && !delivered.contains(&(r, pid)) {
-                                    delivered.insert((r, pid));
-                                    rejected = true;
-                                    out.rejects.rejected_shape += 1;
-                                    break;
-                                }
-                                continue;
-                            }
-                            Reply::Noise => continue, // heartbeat/ack noise
-                        };
-                        let pid = report.participant;
-                        if delivered.contains(&(r, pid)) {
-                            continue; // duplicate from a retransmitted download
-                        }
-                        match r.cmp(&t) {
-                            std::cmp::Ordering::Equal => {
-                                delivered.insert((r, pid));
-                                if let Some((c, raw, enc)) = comp {
-                                    out.compression.record(c, raw, enc);
-                                }
-                                // validation gate: a reply that is the
-                                // wrong shape, non-finite anywhere, or
-                                // over the norm bound never reaches the
-                                // server; the worker is treated as having
-                                // missed the round. Coded replies were
-                                // decoded above, so the gate sees exactly
-                                // what aggregation would consume.
-                                let verdict =
-                                    if report.accuracy.is_finite() && report.loss.is_finite() {
-                                        validate_update(
-                                            &report.grads,
-                                            expected_lens[p],
-                                            config.update_norm_bound,
-                                        )
-                                    } else {
-                                        Err(UpdateRejection::NonFinite)
-                                    };
-                                match verdict {
-                                    Ok(()) => {
-                                        out.reports.push(BackendReport {
-                                            mask: request.masks[p].clone(),
-                                            ..report
-                                        });
-                                        got = true;
-                                        on_time += 1;
-                                    }
-                                    Err(UpdateRejection::ShapeMismatch { .. }) => {
-                                        rejected = true;
-                                        out.rejects.rejected_shape += 1;
-                                    }
-                                    Err(UpdateRejection::NonFinite) => {
-                                        rejected = true;
-                                        out.rejects.rejected_nonfinite += 1;
-                                    }
-                                    Err(UpdateRejection::NormExceeded { .. }) => {
-                                        rejected = true;
-                                        out.rejects.rejected_norm += 1;
-                                    }
-                                }
-                                break;
-                            }
-                            std::cmp::Ordering::Less => {
-                                // a reply that missed an earlier deadline;
-                                // attribute it and keep waiting for round t
-                                if let Some((mask, _)) = sent_masks.get(&(r, pid)) {
-                                    delivered.insert((r, pid));
-                                    if let Some((c, raw, enc)) = comp {
-                                        out.compression.record(c, raw, enc);
-                                    }
-                                    out.late.push(BackendReport {
-                                        mask: mask.clone(),
-                                        ..report
-                                    });
-                                }
-                            }
-                            std::cmp::Ordering::Greater => {} // impossible; drop
-                        }
+        let on_time = AtomicUsize::new(0);
+        match config.engine {
+            EngineMode::Serial => {
+                for (p, w) in workers.iter_mut().enumerate().take(k) {
+                    if !w.alive || w.evicted {
+                        continue;
                     }
-                    Err(TransportError::Timeout) => {
-                        if !quorum_met && attempts < config.max_retries {
-                            let salt = ((t as u64) << 32) | p as u64;
-                            std::thread::sleep(backoff_delay(config.retry_backoff, attempts, salt));
-                            attempts += 1;
-                            out.faults.retransmits = out.faults.retransmits.saturating_add(1);
-                            match transport.send(&frames[p]) {
-                                Ok(()) => out.bytes_down += frames[p].len() as u64,
-                                Err(_) => {
-                                    w.alive = false;
-                                    break;
-                                }
-                            }
-                        } else {
-                            break; // late: the reply, if any, surfaces next round
-                        }
-                    }
-                    Err(_) => {
-                        w.alive = false;
-                        break;
-                    }
+                    let wr = collect_worker(
+                        p,
+                        t,
+                        w,
+                        config,
+                        &frames[p],
+                        expected_lens[p],
+                        &masks[p],
+                        sent_masks,
+                        delivered,
+                        &on_time,
+                        QuorumSource::Fixed(quorum_target),
+                        bandwidths[p],
+                        WaitMode::Blocking,
+                        false,
+                    );
+                    merge_worker_round(&mut out, delivered, w, wr, config);
                 }
             }
-            if got {
-                w.miss_streak = 0;
-                w.reject_streak = 0;
-            } else if w.alive {
-                w.miss_streak += 1;
-                if rejected {
-                    w.reject_streak += 1;
-                }
-                if config.evict_after > 0 && w.miss_streak >= config.evict_after {
-                    w.evicted = true;
-                    out.faults.evictions = out.faults.evictions.saturating_add(1);
-                    if w.reject_streak > 0 {
-                        // evicted while its uploads were being refused:
-                        // misbehaving, not merely slow
-                        out.rejects.suspected_byzantine += 1;
+            EngineMode::Pipelined => {
+                // one scoped collector per eligible worker: the shaped
+                // send, the deadline wait, decode and the validation gate
+                // all overlap across links. Collectors read the global
+                // `sent_masks`/`delivered` snapshots immutably — link p
+                // only ever carries participant p's replies, so local
+                // additions are disjoint — and results are committed in
+                // participant order below, bit-identically to serial.
+                let sent_ref: &HashMap<(usize, usize), (ArchMask, usize)> = sent_masks;
+                let delivered_ref: &HashSet<(usize, usize)> = delivered;
+                let on_time_ref = &on_time;
+                // `eligible` here is the pre-send population — the gate
+                // subtracts failed sends so every collector derives the
+                // same post-ship quorum target the serial engine computes
+                let gate = SendGate::new(eligible, config.quorum_frac);
+                let gate_ref = &gate;
+                let rounds: Vec<Option<WorkerRound>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = workers
+                        .iter_mut()
+                        .enumerate()
+                        .take(k)
+                        .map(|(p, w)| {
+                            if !w.alive || w.evicted {
+                                return None;
+                            }
+                            let frame = &frames[p];
+                            let expected_len = expected_lens[p];
+                            let mask = &masks[p];
+                            let mbps = bandwidths[p];
+                            Some(scope.spawn(move || {
+                                collect_worker(
+                                    p,
+                                    t,
+                                    w,
+                                    config,
+                                    frame,
+                                    expected_len,
+                                    mask,
+                                    sent_ref,
+                                    delivered_ref,
+                                    on_time_ref,
+                                    QuorumSource::Gate(gate_ref),
+                                    mbps,
+                                    WaitMode::Sliced,
+                                    true,
+                                )
+                            }))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().expect("collector thread panicked")))
+                        .collect()
+                });
+                for (p, wr) in rounds.into_iter().enumerate() {
+                    if let Some(wr) = wr {
+                        merge_worker_round(&mut out, delivered, &mut workers[p], wr, config);
                     }
                 }
             }

@@ -349,7 +349,37 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn encode_payload(msg: &Message) -> Vec<u8> {
+/// The shared body of both download flavours (everything but the coded
+/// variant's trailing tag/param pair), appended in wire order.
+#[allow(clippy::too_many_arguments)]
+fn put_download_body(
+    out: &mut Vec<u8>,
+    round: u64,
+    seed_base: u64,
+    mask: &ArchMask,
+    weights: &[f32],
+    buffers: &[f32],
+    alpha: &[f32],
+) {
+    let edges = mask.num_edges();
+    out.reserve(24 + 2 * edges + 4 * (weights.len() + buffers.len() + alpha.len()) + 12);
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&seed_base.to_le_bytes());
+    out.extend_from_slice(&(edges as u32).to_le_bytes());
+    for kind in [
+        fedrlnas_darts::CellKind::Normal,
+        fedrlnas_darts::CellKind::Reduction,
+    ] {
+        for &op in mask.ops(kind) {
+            out.push(op as u8);
+        }
+    }
+    put_f32s(out, weights);
+    put_f32s(out, buffers);
+    put_f32s(out, alpha);
+}
+
+fn encode_payload_into(msg: &Message, out: &mut Vec<u8>) {
     match msg {
         Message::DownloadSubmodel {
             round,
@@ -358,27 +388,7 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             weights,
             buffers,
             alpha,
-        } => {
-            let edges = mask.num_edges();
-            let mut out = Vec::with_capacity(
-                24 + 2 * edges + 4 * (weights.len() + buffers.len() + alpha.len()) + 12,
-            );
-            out.extend_from_slice(&round.to_le_bytes());
-            out.extend_from_slice(&seed_base.to_le_bytes());
-            out.extend_from_slice(&(edges as u32).to_le_bytes());
-            for kind in [
-                fedrlnas_darts::CellKind::Normal,
-                fedrlnas_darts::CellKind::Reduction,
-            ] {
-                for &op in mask.ops(kind) {
-                    out.push(op as u8);
-                }
-            }
-            put_f32s(&mut out, weights);
-            put_f32s(&mut out, buffers);
-            put_f32s(&mut out, alpha);
-            out
-        }
+        } => put_download_body(out, *round, *seed_base, mask, weights, buffers, alpha),
         Message::UploadUpdate {
             round,
             participant,
@@ -387,17 +397,16 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             reward,
             loss,
         } => {
-            let mut out = Vec::with_capacity(20 + 4 * (delta_w.len() + delta_alpha.len()) + 8);
+            out.reserve(20 + 4 * (delta_w.len() + delta_alpha.len()) + 8);
             out.extend_from_slice(&round.to_le_bytes());
             out.extend_from_slice(&participant.to_le_bytes());
-            put_f32s(&mut out, delta_w);
-            put_f32s(&mut out, delta_alpha);
+            put_f32s(out, delta_w);
+            put_f32s(out, delta_alpha);
             out.extend_from_slice(&reward.to_le_bytes());
             out.extend_from_slice(&loss.to_le_bytes());
-            out
         }
-        Message::Ack { round } => round.to_le_bytes().to_vec(),
-        Message::Heartbeat { participant } => participant.to_le_bytes().to_vec(),
+        Message::Ack { round } => out.extend_from_slice(&round.to_le_bytes()),
+        Message::Heartbeat { participant } => out.extend_from_slice(&participant.to_le_bytes()),
         Message::DownloadSubmodelCoded {
             round,
             seed_base,
@@ -408,17 +417,12 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             codec_tag,
             codec_param,
         } => {
-            let mut out = encode_payload(&Message::DownloadSubmodel {
-                round: *round,
-                seed_base: *seed_base,
-                mask: mask.clone(),
-                weights: weights.clone(),
-                buffers: buffers.clone(),
-                alpha: alpha.clone(),
-            });
+            // same body as the legacy download, written in place — the old
+            // implementation cloned the whole sub-model into a temporary
+            // legacy message first
+            put_download_body(out, *round, *seed_base, mask, weights, buffers, alpha);
             out.push(*codec_tag);
             out.extend_from_slice(&codec_param.to_le_bytes());
-            out
         }
         Message::UploadUpdateCoded {
             round,
@@ -431,9 +435,7 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             reward,
             loss,
         } => {
-            let mut out = Vec::with_capacity(
-                8 + 4 + 1 + 4 + 4 + 4 + coded.len() + 4 * delta_alpha.len() + 12,
-            );
+            out.reserve(8 + 4 + 1 + 4 + 4 + 4 + coded.len() + 4 * delta_alpha.len() + 12);
             out.extend_from_slice(&round.to_le_bytes());
             out.extend_from_slice(&participant.to_le_bytes());
             out.push(*codec_tag);
@@ -441,10 +443,9 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(&orig_len.to_le_bytes());
             out.extend_from_slice(&(coded.len() as u32).to_le_bytes());
             out.extend_from_slice(coded);
-            put_f32s(&mut out, delta_alpha);
+            put_f32s(out, delta_alpha);
             out.extend_from_slice(&reward.to_le_bytes());
             out.extend_from_slice(&loss.to_le_bytes());
-            out
         }
     }
 }
@@ -568,15 +569,109 @@ fn decode_payload(version: u8, msg_type: u8, payload: &[u8]) -> Result<Message, 
 /// *lowest* protocol that can carry the message — legacy messages stay
 /// byte-identical to what a version-1 build emits.
 pub fn encode(msg: &Message) -> Vec<u8> {
-    let payload = encode_payload(msg);
-    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    let mut frame = Vec::new();
+    encode_into(msg, &mut frame);
+    frame
+}
+
+/// [`encode`] into a caller-owned buffer (cleared first, grow-only
+/// capacity) — byte-identical output, zero steady-state allocations when
+/// the buffer is reused across rounds. The payload is written directly
+/// into the frame and the length field patched afterwards, so no
+/// intermediate payload vector exists either.
+pub fn encode_into(msg: &Message, frame: &mut Vec<u8>) {
+    frame.clear();
     frame.extend_from_slice(&MAGIC);
     frame.push(msg.version_byte());
     frame.push(msg.type_byte());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-    frame
+    frame.extend_from_slice(&[0u8; 4]); // payload length, patched below
+    encode_payload_into(msg, frame);
+    let payload_len = frame.len() - HEADER_LEN;
+    frame[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc = crc32(&frame[HEADER_LEN..]);
+    frame.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encodes a download frame directly from borrowed payload slices into a
+/// reusable buffer — byte-identical to [`encode_into`] with the
+/// corresponding [`Message`], but without building the message (which
+/// owns its vectors) first. `codec: None` emits the legacy v1
+/// [`Message::DownloadSubmodel`]; `Some((tag, param))` the v2
+/// [`Message::DownloadSubmodelCoded`]. This is the server's per-round
+/// hot path: with a grow-only `frame` the whole encode is allocation-free
+/// at steady state.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_download_into(
+    frame: &mut Vec<u8>,
+    round: u64,
+    seed_base: u64,
+    mask: &ArchMask,
+    weights: &[f32],
+    buffers: &[f32],
+    alpha: &[f32],
+    codec: Option<(u8, f32)>,
+) {
+    frame.clear();
+    frame.extend_from_slice(&MAGIC);
+    match codec {
+        None => {
+            frame.push(1);
+            frame.push(TYPE_DOWNLOAD);
+        }
+        Some(_) => {
+            frame.push(2);
+            frame.push(TYPE_DOWNLOAD_CODED);
+        }
+    }
+    frame.extend_from_slice(&[0u8; 4]); // payload length, patched below
+    put_download_body(frame, round, seed_base, mask, weights, buffers, alpha);
+    if let Some((tag, param)) = codec {
+        frame.push(tag);
+        frame.extend_from_slice(&param.to_le_bytes());
+    }
+    let payload_len = frame.len() - HEADER_LEN;
+    frame[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc = crc32(&frame[HEADER_LEN..]);
+    frame.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encodes a v2 coded-upload frame from a borrowed byte run —
+/// byte-identical to [`encode_into`] with the corresponding
+/// [`Message::UploadUpdateCoded`], but the coded bytes are borrowed, so
+/// the worker hot path can reuse its codec output buffer instead of
+/// moving a fresh vector into a message.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_upload_coded_into(
+    frame: &mut Vec<u8>,
+    round: u64,
+    participant: u32,
+    codec_tag: u8,
+    codec_param: f32,
+    orig_len: u32,
+    coded: &[u8],
+    delta_alpha: &[f32],
+    reward: f32,
+    loss: f32,
+) {
+    frame.clear();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(2);
+    frame.push(TYPE_UPLOAD_CODED);
+    frame.extend_from_slice(&[0u8; 4]); // payload length, patched below
+    frame.extend_from_slice(&round.to_le_bytes());
+    frame.extend_from_slice(&participant.to_le_bytes());
+    frame.push(codec_tag);
+    frame.extend_from_slice(&codec_param.to_le_bytes());
+    frame.extend_from_slice(&orig_len.to_le_bytes());
+    frame.extend_from_slice(&(coded.len() as u32).to_le_bytes());
+    frame.extend_from_slice(coded);
+    put_f32s(frame, delta_alpha);
+    frame.extend_from_slice(&reward.to_le_bytes());
+    frame.extend_from_slice(&loss.to_le_bytes());
+    let payload_len = frame.len() - HEADER_LEN;
+    frame[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let crc = crc32(&frame[HEADER_LEN..]);
+    frame.extend_from_slice(&crc.to_le_bytes());
 }
 
 /// Decodes one complete frame. The input must be exactly one frame —
@@ -808,6 +903,58 @@ mod tests {
             _ => unreachable!(),
         };
         assert_eq!(encode(&up).len(), coded_upload_frame_len(coded_len, 2));
+    }
+
+    #[test]
+    fn borrowed_slice_encoders_match_message_encoders_byte_for_byte() {
+        let mask = ArchMask::new(vec![0, 3, 7, 1], vec![2, 2, 5, 6]);
+        let (weights, buffers, alpha) = (vec![1.0, -2.5, 3.25], vec![0.5, 0.125], vec![0.0f32; 8]);
+        let mut frame = vec![0xFFu8; 3]; // stale content must be cleared
+        encode_download_into(
+            &mut frame,
+            7,
+            0xDEAD_BEEF,
+            &mask,
+            &weights,
+            &buffers,
+            &alpha,
+            None,
+        );
+        assert_eq!(frame, encode(&sample_download()));
+        encode_download_into(
+            &mut frame,
+            7,
+            0xDEAD_BEEF,
+            &mask,
+            &weights,
+            &buffers,
+            &alpha,
+            Some((2, 0.25)),
+        );
+        let coded_msg = Message::DownloadSubmodelCoded {
+            round: 7,
+            seed_base: 0xDEAD_BEEF,
+            mask: mask.clone(),
+            weights,
+            buffers,
+            alpha,
+            codec_tag: 2,
+            codec_param: 0.25,
+        };
+        assert_eq!(frame, encode(&coded_msg));
+        encode_upload_coded_into(
+            &mut frame,
+            11,
+            2,
+            3,
+            0.1,
+            6,
+            &[4, 0, 0, 0, 0xAB, 0xCD],
+            &[0.5, -0.5],
+            0.25,
+            2.0,
+        );
+        assert_eq!(frame, encode(&sample_coded_upload()));
     }
 
     #[test]

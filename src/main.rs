@@ -9,6 +9,7 @@
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
 //!                  [--checkpoint-path PATH] [--checkpoint-every N]
 //!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
+//!                  [--rpc-engine serial|pipelined]
 //!                  [--quorum-frac F] [--evict-after N]
 //!                  [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
 //!                  [--fault-dup P] [--fault-reorder P] [--fault-delay P]
@@ -42,7 +43,7 @@ use fedrlnas::core::{
 use fedrlnas::darts::Genotype;
 use fedrlnas::data::{DatasetSpec, SyntheticDataset};
 use fedrlnas::fed::{AggregatorConfig, FedAvgConfig};
-use fedrlnas::rpc::{FaultPlan, RpcConfig, TransportKind};
+use fedrlnas::rpc::{EngineMode, FaultPlan, RpcConfig, TransportKind};
 use fedrlnas::sync::{StalenessModel, StalenessStrategy};
 use rand::{rngs::StdRng, SeedableRng};
 use std::process::ExitCode;
@@ -185,6 +186,11 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
             Some("tcp") => TransportKind::Tcp,
             Some(other) => return Err(format!("unknown rpc transport {other:?}")),
         };
+        let engine = match flag(argv, "--rpc-engine").as_deref() {
+            None | Some("pipelined") => EngineMode::Pipelined,
+            Some("serial") => EngineMode::Serial,
+            Some(other) => return Err(format!("unknown rpc engine {other:?}")),
+        };
         let deadline_ms: u64 = flag(argv, "--rpc-deadline-ms")
             .map_or(Ok(5000), |s| s.parse())
             .map_err(|e| format!("bad rpc deadline: {e}"))?;
@@ -229,6 +235,7 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         };
         let rpc_config = RpcConfig {
             transport,
+            engine,
             deadline: std::time::Duration::from_millis(deadline_ms),
             quorum_frac,
             evict_after,
@@ -239,7 +246,7 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         let worker_dataset = search.dataset().clone();
         fedrlnas::rpc::install(search.server_mut(), &worker_dataset, rpc_config);
         println!(
-            "rpc runtime: {} transport, {} worker threads, {deadline_ms} ms deadline, quorum {quorum_frac}",
+            "rpc runtime: {} transport, {engine:?} engine, {} worker threads, {deadline_ms} ms deadline, quorum {quorum_frac}",
             search
                 .server_mut()
                 .backend_description()
