@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod protocol;
 
 use fedrlnas_core::Scale;

@@ -5,7 +5,7 @@ use fedrlnas_controller::ControllerConfig;
 use fedrlnas_darts::SupernetConfig;
 use fedrlnas_data::AugmentConfig;
 use fedrlnas_fed::AggregatorConfig;
-use fedrlnas_netsim::{AssignmentStrategy, DeviceProfile};
+use fedrlnas_netsim::{AssignmentStrategy, DeviceProfile, Environment};
 use fedrlnas_nn::SgdConfig;
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
 use serde::{Deserialize, Serialize};
@@ -91,6 +91,12 @@ pub struct SearchConfig {
     /// bandwidth, a pure function of the seeded traces. Lossy codecs keep
     /// a per-participant error-feedback residual that is checkpointed.
     pub codec: CodecConfig,
+    /// Per-participant network environments, cycled by participant id.
+    /// `None` keeps the historical fixed rotation over
+    /// [`Environment::ALL`]. A multi-tenant service pins a profile per job
+    /// so bandwidth-aware codec selection reads that job's own traces
+    /// instead of one process-wide rotation shared by every search.
+    pub environments: Option<Vec<Environment>>,
 }
 
 impl SearchConfig {
@@ -122,6 +128,7 @@ impl SearchConfig {
             aggregator: AggregatorConfig::default(),
             update_norm_bound: None,
             codec: CodecConfig::default(),
+            environments: None,
         }
     }
 
@@ -162,6 +169,7 @@ impl SearchConfig {
             aggregator: AggregatorConfig::default(),
             update_norm_bound: None,
             codec: CodecConfig::default(),
+            environments: None,
         }
     }
 
@@ -189,6 +197,7 @@ impl SearchConfig {
             aggregator: AggregatorConfig::default(),
             update_norm_bound: None,
             codec: CodecConfig::default(),
+            environments: None,
         }
     }
 
@@ -241,6 +250,14 @@ impl SearchConfig {
         self
     }
 
+    /// Builder-style: pin the participant network environments (cycled by
+    /// participant id). The default `None` keeps the historical rotation
+    /// over [`Environment::ALL`].
+    pub fn with_environments(mut self, environments: Vec<Environment>) -> Self {
+        self.environments = Some(environments);
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -269,6 +286,9 @@ impl SearchConfig {
                     "update norm bound must be finite and positive, got {bound}"
                 ));
             }
+        }
+        if matches!(&self.environments, Some(envs) if envs.is_empty()) {
+            return Err("environment profile must name at least one environment".into());
         }
         Ok(())
     }
@@ -337,6 +357,15 @@ mod tests {
             .with_aggregator(AggregatorConfig::parse("clip:1+median").unwrap())
             .with_update_norm_bound(10.0);
         assert!(robust.validate().is_ok());
+    }
+
+    #[test]
+    fn environment_profile_validates() {
+        let pinned = SearchConfig::tiny().with_environments(vec![Environment::Train]);
+        assert!(pinned.validate().is_ok());
+        let mut empty = SearchConfig::tiny();
+        empty.environments = Some(Vec::new());
+        assert!(empty.validate().is_err());
     }
 
     #[test]

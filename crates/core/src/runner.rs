@@ -93,6 +93,11 @@ impl FederatedModelSearch {
         &self.dataset
     }
 
+    /// The underlying server (read-only accessors).
+    pub fn server(&self) -> &SearchServer {
+        &self.server
+    }
+
     /// The underlying server (for fine-grained control).
     pub fn server_mut(&mut self) -> &mut SearchServer {
         &mut self.server
@@ -120,6 +125,63 @@ impl FederatedModelSearch {
         Ok(true)
     }
 
+    /// Resumes from in-memory checkpoint bytes (the multi-job store path):
+    /// restores the server state and the search RNG and records the resume.
+    /// Same ordering constraint as [`FederatedModelSearch::try_resume`]:
+    /// call **before** installing an RPC backend.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] from decoding or restoring.
+    pub fn resume_from_bytes(
+        &mut self,
+        bytes: &[u8],
+        rng: &mut StdRng,
+    ) -> Result<(), CheckpointError> {
+        let cp = Checkpoint::from_bytes(bytes)?;
+        cp.restore(&mut self.server)?;
+        *rng = cp.rng();
+        self.server.comm.record_resume();
+        Ok(())
+    }
+
+    /// Serializes the current search state (and `rng`) to checkpoint
+    /// bytes — [`Checkpoint::capture`] + [`Checkpoint::to_bytes`] without
+    /// touching the filesystem, for stores that frame their own files.
+    pub fn checkpoint_bytes(&mut self, rng: &StdRng) -> Vec<u8> {
+        Checkpoint::capture(&mut self.server, rng).to_bytes()
+    }
+
+    /// Total rounds (warm-up plus search) this configuration runs.
+    pub fn total_rounds(&self) -> usize {
+        self.config.warmup_steps + self.config.search_steps
+    }
+
+    /// Rounds completed so far (survives checkpoint resume).
+    pub fn rounds_completed(&self) -> usize {
+        self.server.rounds_completed()
+    }
+
+    /// `true` once every warm-up and search round has run.
+    pub fn is_complete(&self) -> bool {
+        self.rounds_completed() >= self.total_rounds()
+    }
+
+    /// Runs exactly one round — warm-up while `rounds_completed` is below
+    /// `warmup_steps`, search after — and returns [`Self::is_complete`].
+    /// A no-op once the search is complete. This is the scheduling quantum
+    /// a multi-tenant job manager interleaves: because a search touches no
+    /// state outside itself, any interleaving of `step_round` calls across
+    /// independent searches is serially equivalent to running each to
+    /// completion in isolation.
+    pub fn step_round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if !self.is_complete() {
+            let update_alpha = self.server.rounds_completed() >= self.config.warmup_steps;
+            self.server.run_round(&self.dataset, update_alpha, rng);
+        }
+        self.is_complete()
+    }
+
     /// Runs P1+P2 like [`FederatedModelSearch::run`], but resumable: rounds
     /// already completed (after [`FederatedModelSearch::try_resume`]) are
     /// skipped, and with a [`CheckpointPolicy`] the state is snapshotted
@@ -135,8 +197,34 @@ impl FederatedModelSearch {
         rng: &mut StdRng,
         policy: Option<&CheckpointPolicy>,
     ) -> Result<SearchOutcome, CheckpointError> {
-        let total = self.config.warmup_steps + self.config.search_steps;
+        let outcome = self.run_checkpointed_until(rng, policy, || false)?;
+        Ok(outcome.expect("a never-interrupted run always completes"))
+    }
+
+    /// [`FederatedModelSearch::run_checkpointed`] with a cooperative stop
+    /// signal, polled before every round: when `stop` returns `true` the
+    /// run snapshots to the policy path (so no progress past the previous
+    /// periodic snapshot is lost) and returns `Ok(None)`. A later run with
+    /// the same seed resumes bit-identically. This is the graceful-shutdown
+    /// hook: the CLI points `stop` at its SIGTERM/SIGINT flag.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint write failures; the search state itself stays valid.
+    pub fn run_checkpointed_until(
+        &mut self,
+        rng: &mut StdRng,
+        policy: Option<&CheckpointPolicy>,
+        mut stop: impl FnMut() -> bool,
+    ) -> Result<Option<SearchOutcome>, CheckpointError> {
+        let total = self.total_rounds();
         while self.server.rounds_completed() < total {
+            if stop() {
+                if let Some(p) = policy {
+                    Checkpoint::capture(&mut self.server, rng).save_path(&p.path)?;
+                }
+                return Ok(None);
+            }
             let update_alpha = self.server.rounds_completed() >= self.config.warmup_steps;
             self.server.run_round(&self.dataset, update_alpha, rng);
             if let Some(p) = policy {
@@ -146,10 +234,13 @@ impl FederatedModelSearch {
                 }
             }
         }
-        Ok(self.outcome())
+        Ok(Some(self.outcome()))
     }
 
-    fn outcome(&self) -> SearchOutcome {
+    /// Snapshot of everything the run has produced so far — the same value
+    /// [`FederatedModelSearch::run`] returns, but available at any point,
+    /// including after a resume of an already-completed search.
+    pub fn outcome(&self) -> SearchOutcome {
         SearchOutcome {
             genotype: self.server.derive_genotype(),
             warmup_curve: self.server.warmup_curve().clone(),
@@ -240,5 +331,65 @@ mod tests {
             let s: f32 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn stepped_rounds_are_bit_identical_to_a_straight_run() {
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut a = FederatedModelSearch::new(SearchConfig::tiny(), &mut rng_a);
+        let straight = a.run(&mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut b = FederatedModelSearch::new(SearchConfig::tiny(), &mut rng_b);
+        assert!(!b.is_complete());
+        while !b.step_round(&mut rng_b) {}
+        assert!(b.is_complete());
+        assert!(b.step_round(&mut rng_b), "stepping past the end is a no-op");
+        assert_eq!(b.rounds_completed(), b.total_rounds());
+        let stepped = b.outcome();
+        assert_eq!(straight.genotype, stepped.genotype);
+        assert_eq!(straight.warmup_curve, stepped.warmup_curve);
+        assert_eq!(straight.search_curve, stepped.search_curve);
+        assert_eq!(straight.comm, stepped.comm);
+    }
+
+    #[test]
+    fn interrupted_checkpointed_run_snapshots_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("fedrlnas-runner-stop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("stop.ckpt");
+        let policy = CheckpointPolicy::new(&path, 0);
+        // reference: uninterrupted run
+        let mut rng_ref = StdRng::seed_from_u64(3);
+        let mut reference = FederatedModelSearch::new(SearchConfig::tiny(), &mut rng_ref);
+        let want = reference
+            .run_checkpointed(&mut rng_ref, None)
+            .expect("no checkpoint writes");
+        // interrupted after 4 rounds: a checkpoint lands at the stop point
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut search = FederatedModelSearch::new(SearchConfig::tiny(), &mut rng);
+        let mut budget = 4;
+        let interrupted = search
+            .run_checkpointed_until(&mut rng, Some(&policy), || {
+                if budget == 0 {
+                    return true;
+                }
+                budget -= 1;
+                false
+            })
+            .expect("checkpoint writes succeed");
+        assert!(interrupted.is_none(), "stop signal interrupts the run");
+        assert_eq!(search.rounds_completed(), 4);
+        // a fresh process resumes from the snapshot and finishes identically
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut resumed = FederatedModelSearch::new(SearchConfig::tiny(), &mut rng2);
+        assert!(resumed
+            .try_resume(&path, &mut rng2)
+            .expect("valid snapshot"));
+        let got = resumed
+            .run_checkpointed(&mut rng2, Some(&policy))
+            .expect("checkpoint writes succeed");
+        assert_eq!(want.genotype, got.genotype);
+        assert_eq!(want.search_curve, got.search_curve);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

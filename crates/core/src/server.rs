@@ -118,6 +118,14 @@ impl SearchServer {
             Some(beta) => dirichlet_partition(dataset.labels(), config.num_participants, beta, rng),
             None => iid_partition(dataset.len(), config.num_participants, rng),
         };
+        // each search owns its trace profile: a pinned per-config rotation
+        // when one is configured, the historical process-wide rotation
+        // otherwise — so `auto` codec choice under a multi-tenant service
+        // reads this job's traces, never another tenant's
+        let environment_of = |id: usize| match &config.environments {
+            Some(envs) => envs[id % envs.len()],
+            None => Environment::ALL[id % Environment::ALL.len()],
+        };
         let participants: Vec<Participant> = parts
             .into_iter()
             .enumerate()
@@ -127,7 +135,7 @@ impl SearchServer {
                     indices,
                     config.batch_size,
                     config.augment,
-                    Environment::ALL[id % Environment::ALL.len()],
+                    environment_of(id),
                     1.0,
                     rng,
                 )

@@ -608,7 +608,9 @@ fn worker_loop(
                 }
                 continue;
             }
-            Message::UploadUpdate { .. } | Message::UploadUpdateCoded { .. } => continue,
+            // uploads echo back only under fault injection; control-plane
+            // frames are for the service listener, never a worker
+            _ => continue,
         };
         if let Some(until) = down_until {
             if round < until {

@@ -22,11 +22,12 @@ use fedrlnas_darts::{ArchMask, NUM_OPS};
 pub const MAGIC: [u8; 4] = *b"FRLN";
 /// Highest protocol version this build speaks. Version 1 carries the
 /// four legacy message types; version 2 adds the codec-aware
-/// download/upload pair. Legacy messages still encode as version-1
-/// frames byte-for-byte, so an `fp32` deployment is wire-identical to a
-/// pre-codec fleet and old peers interoperate until a coded frame —
-/// which they refuse with a clean [`WireError::UnsupportedVersion`] —
-/// reaches them.
+/// download/upload pair and the search-service control plane
+/// (submit/status/pause/resume/cancel/list/stats and their replies).
+/// Legacy messages still encode as version-1 frames byte-for-byte, so an
+/// `fp32` deployment is wire-identical to a pre-codec fleet and old peers
+/// interoperate until a v2-only frame — which they refuse with a clean
+/// [`WireError::UnsupportedVersion`] — reaches them.
 pub const VERSION: u8 = 2;
 /// Oldest protocol version this build still decodes.
 pub const MIN_VERSION: u8 = 1;
@@ -184,6 +185,63 @@ pub enum Message {
         /// Codec parameter (`k_frac` for top-k, `0.0` otherwise).
         codec_param: f32,
     },
+    /// Client → server, protocol v2 control plane: submit a new search
+    /// job. The spec is an opaque blob owned by the service layer (the
+    /// wire carries it like a codec run: length-checked before any
+    /// allocation, never interpreted here).
+    SubmitJob {
+        /// Serialized job spec (`fedrlnas-service` encoding).
+        spec: Vec<u8>,
+    },
+    /// Client → server control plane: query one job's state and progress.
+    JobStatus {
+        /// Queried job.
+        job_id: u64,
+    },
+    /// Client → server control plane: pause a queued or running job. The
+    /// scheduler stops giving it rounds; its state stays checkpointed.
+    PauseJob {
+        /// Paused job.
+        job_id: u64,
+    },
+    /// Client → server control plane: resume a paused job.
+    ResumeJob {
+        /// Resumed job.
+        job_id: u64,
+    },
+    /// Client → server control plane: cancel a job. Terminal; the job's
+    /// last checkpoint segment is kept for post-mortem inspection.
+    CancelJob {
+        /// Cancelled job.
+        job_id: u64,
+    },
+    /// Client → server control plane: list every job the server knows.
+    ListJobs,
+    /// Client → server control plane: dump one job's communication
+    /// statistics as JSON (the same serialization the CLI's
+    /// `--stats-json` flag writes).
+    StatsDump {
+        /// Queried job.
+        job_id: u64,
+    },
+    /// Server → client control plane: the reply to every per-job request.
+    /// `state` is the service layer's job-state code; `detail` carries a
+    /// request-specific UTF-8 body (status JSON, stats JSON, or an error
+    /// message when `state` is the error marker `0xFF`).
+    JobReply {
+        /// Job the reply concerns (the assigned id for a submit).
+        job_id: u64,
+        /// Job-state code, or `0xFF` for a request-level error.
+        state: u8,
+        /// Request-specific UTF-8 body.
+        detail: Vec<u8>,
+    },
+    /// Server → client control plane: the reply to [`Message::ListJobs`] —
+    /// `(job id, state code)` per job, ascending by id.
+    JobList {
+        /// `(job id, state code)` pairs, ascending by id.
+        jobs: Vec<(u64, u8)>,
+    },
     /// Participant → server, protocol v2: a local update whose weight
     /// gradients travel as an opaque codec byte run. The wire layer does
     /// **not** decode the run — the engine does, against an expected
@@ -219,6 +277,15 @@ const TYPE_ACK: u8 = 3;
 const TYPE_HEARTBEAT: u8 = 4;
 const TYPE_DOWNLOAD_CODED: u8 = 5;
 const TYPE_UPLOAD_CODED: u8 = 6;
+const TYPE_SUBMIT_JOB: u8 = 7;
+const TYPE_JOB_STATUS: u8 = 8;
+const TYPE_PAUSE_JOB: u8 = 9;
+const TYPE_RESUME_JOB: u8 = 10;
+const TYPE_CANCEL_JOB: u8 = 11;
+const TYPE_LIST_JOBS: u8 = 12;
+const TYPE_STATS_DUMP: u8 = 13;
+const TYPE_JOB_REPLY: u8 = 14;
+const TYPE_JOB_LIST: u8 = 15;
 
 /// Codec tags above this value are not a registered codec
 /// (`fedrlnas_codec::CodecId` has four entries); the wire layer rejects
@@ -234,6 +301,15 @@ impl Message {
             Message::Heartbeat { .. } => TYPE_HEARTBEAT,
             Message::DownloadSubmodelCoded { .. } => TYPE_DOWNLOAD_CODED,
             Message::UploadUpdateCoded { .. } => TYPE_UPLOAD_CODED,
+            Message::SubmitJob { .. } => TYPE_SUBMIT_JOB,
+            Message::JobStatus { .. } => TYPE_JOB_STATUS,
+            Message::PauseJob { .. } => TYPE_PAUSE_JOB,
+            Message::ResumeJob { .. } => TYPE_RESUME_JOB,
+            Message::CancelJob { .. } => TYPE_CANCEL_JOB,
+            Message::ListJobs => TYPE_LIST_JOBS,
+            Message::StatsDump { .. } => TYPE_STATS_DUMP,
+            Message::JobReply { .. } => TYPE_JOB_REPLY,
+            Message::JobList { .. } => TYPE_JOB_LIST,
         }
     }
 
@@ -241,8 +317,11 @@ impl Message {
     /// stamps it into the frame so legacy traffic stays byte-identical.
     fn version_byte(&self) -> u8 {
         match self {
-            Message::DownloadSubmodelCoded { .. } | Message::UploadUpdateCoded { .. } => 2,
-            _ => 1,
+            Message::DownloadSubmodel { .. }
+            | Message::UploadUpdate { .. }
+            | Message::Ack { .. }
+            | Message::Heartbeat { .. } => 1,
+            _ => 2,
         }
     }
 }
@@ -252,6 +331,11 @@ fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
     }
+}
+
+fn put_bytes_run(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
 }
 
 struct Reader<'a> {
@@ -322,6 +406,23 @@ impl<'a> Reader<'a> {
     fn bytes_run(&mut self) -> Result<Vec<u8>, WireError> {
         let n = self.u32()? as usize;
         Ok(self.take(n)?.to_vec())
+    }
+
+    /// A `u32` entry count for a run of 9-byte `(u64, u8)` pairs,
+    /// validated against the remaining frame *before* any allocation is
+    /// sized from it.
+    fn u64_pairs_len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let needed = n
+            .checked_mul(9)
+            .ok_or(WireError::Malformed("pair run overflow"))?;
+        if self.remaining() < needed {
+            return Err(WireError::Truncated {
+                needed: self.pos + needed,
+                got: self.buf.len(),
+            });
+        }
+        Ok(n)
     }
 
     /// One op byte per edge, each validated against [`NUM_OPS`] before the
@@ -447,12 +548,40 @@ fn encode_payload_into(msg: &Message, out: &mut Vec<u8>) {
             out.extend_from_slice(&reward.to_le_bytes());
             out.extend_from_slice(&loss.to_le_bytes());
         }
+        Message::SubmitJob { spec } => put_bytes_run(out, spec),
+        Message::JobStatus { job_id }
+        | Message::PauseJob { job_id }
+        | Message::ResumeJob { job_id }
+        | Message::CancelJob { job_id }
+        | Message::StatsDump { job_id } => out.extend_from_slice(&job_id.to_le_bytes()),
+        Message::ListJobs => {}
+        Message::JobReply {
+            job_id,
+            state,
+            detail,
+        } => {
+            out.reserve(8 + 1 + 4 + detail.len());
+            out.extend_from_slice(&job_id.to_le_bytes());
+            out.push(*state);
+            put_bytes_run(out, detail);
+        }
+        Message::JobList { jobs } => {
+            out.reserve(4 + 9 * jobs.len());
+            out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
+            for (job_id, state) in jobs {
+                out.extend_from_slice(&job_id.to_le_bytes());
+                out.push(*state);
+            }
+        }
     }
 }
 
 fn decode_payload(version: u8, msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
     if matches!(msg_type, TYPE_DOWNLOAD_CODED | TYPE_UPLOAD_CODED) && version < 2 {
         return Err(WireError::Malformed("coded message needs protocol v2"));
+    }
+    if (TYPE_SUBMIT_JOB..=TYPE_JOB_LIST).contains(&msg_type) && version < 2 {
+        return Err(WireError::Malformed("control message needs protocol v2"));
     }
     let mut r = Reader::new(payload);
     let msg = match msg_type {
@@ -558,6 +687,28 @@ fn decode_payload(version: u8, msg_type: u8, payload: &[u8]) -> Result<Message, 
                 reward,
                 loss,
             }
+        }
+        TYPE_SUBMIT_JOB => Message::SubmitJob {
+            spec: r.bytes_run()?,
+        },
+        TYPE_JOB_STATUS => Message::JobStatus { job_id: r.u64()? },
+        TYPE_PAUSE_JOB => Message::PauseJob { job_id: r.u64()? },
+        TYPE_RESUME_JOB => Message::ResumeJob { job_id: r.u64()? },
+        TYPE_CANCEL_JOB => Message::CancelJob { job_id: r.u64()? },
+        TYPE_LIST_JOBS => Message::ListJobs,
+        TYPE_STATS_DUMP => Message::StatsDump { job_id: r.u64()? },
+        TYPE_JOB_REPLY => Message::JobReply {
+            job_id: r.u64()?,
+            state: r.u8()?,
+            detail: r.bytes_run()?,
+        },
+        TYPE_JOB_LIST => {
+            let count = r.u64_pairs_len()?;
+            let mut jobs = Vec::with_capacity(count);
+            for _ in 0..count {
+                jobs.push((r.u64()?, r.u8()?));
+            }
+            Message::JobList { jobs }
         }
         other => return Err(WireError::UnknownType(other)),
     };
@@ -955,6 +1106,56 @@ mod tests {
             2.0,
         );
         assert_eq!(frame, encode(&sample_coded_upload()));
+    }
+
+    #[test]
+    fn control_messages_round_trip_as_version_2() {
+        let msgs = [
+            Message::SubmitJob {
+                spec: vec![1, 2, 3, 4, 5],
+            },
+            Message::JobStatus { job_id: 7 },
+            Message::PauseJob { job_id: u64::MAX },
+            Message::ResumeJob { job_id: 0 },
+            Message::CancelJob { job_id: 9 },
+            Message::ListJobs,
+            Message::StatsDump { job_id: 3 },
+            Message::JobReply {
+                job_id: 7,
+                state: 2,
+                detail: b"{\"rounds\":4}".to_vec(),
+            },
+            Message::JobList {
+                jobs: vec![(1, 0), (2, 3), (u64::MAX, 0xFF)],
+            },
+        ];
+        for msg in msgs {
+            let frame = encode(&msg);
+            assert_eq!(frame[4], 2, "control frames carry version 2");
+            assert_eq!(decode(&frame).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn control_frame_downgraded_to_v1_is_rejected() {
+        let mut frame = encode(&Message::ListJobs);
+        frame[4] = 1;
+        assert_eq!(
+            decode(&frame),
+            Err(WireError::Malformed("control message needs protocol v2"))
+        );
+    }
+
+    #[test]
+    fn hostile_job_list_length_fails_before_allocation() {
+        let mut frame = encode(&Message::JobList {
+            jobs: vec![(1, 0), (2, 1)],
+        });
+        frame[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let len = frame.len();
+        let crc = crc32(&frame[HEADER_LEN..len - TRAILER_LEN]);
+        frame[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -36,6 +36,33 @@ fn codec_fields() -> impl Strategy<Value = (u8, f32)> {
     })
 }
 
+/// Every protocol-v2 control-plane message (wire types 7–15), with
+/// arbitrary ids, state codes, and payload bodies.
+fn control_strategy() -> impl Strategy<Value = Message> {
+    (
+        0usize..9,
+        0u64..u64::MAX,
+        0u8..=255u8,
+        bytes(256),
+        vec((0u64..u64::MAX, 0u8..=255u8), 0..32),
+    )
+        .prop_map(|(variant, job_id, state, payload, jobs)| match variant {
+            0 => Message::SubmitJob { spec: payload },
+            1 => Message::JobStatus { job_id },
+            2 => Message::PauseJob { job_id },
+            3 => Message::ResumeJob { job_id },
+            4 => Message::CancelJob { job_id },
+            5 => Message::ListJobs,
+            6 => Message::StatsDump { job_id },
+            7 => Message::JobReply {
+                job_id,
+                state,
+                detail: payload,
+            },
+            _ => Message::JobList { jobs },
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -140,6 +167,54 @@ proptest! {
         let frame = encode(&msg);
         prop_assert_eq!(frame.len(), coded_upload_frame_len(coded.len(), delta_alpha.len()));
         prop_assert_eq!(decode(&frame).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn control_messages_round_trip(msg in control_strategy()) {
+        prop_assert_eq!(decode(&encode(&msg)).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn truncating_a_control_frame_anywhere_is_a_typed_error(
+        msg in control_strategy(),
+        cut in 0usize..10_000,
+    ) {
+        let frame = encode(&msg);
+        let cut = cut % frame.len();
+        match decode(&frame[..cut]) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+            }
+            other => panic!("truncated control frame decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipping_any_bit_of_a_control_frame_never_panics(
+        msg in control_strategy(),
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode(&msg);
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        let result = decode(&frame);
+        if pos >= HEADER_LEN && pos < frame.len() - 4 {
+            prop_assert!(
+                matches!(result, Err(WireError::ChecksumMismatch { .. })),
+                "payload corruption must fail the checksum, got {:?}",
+                result
+            );
+        } else {
+            // Header bytes are outside the CRC: a type-byte flip may alias
+            // to a *different* valid control message (several share the
+            // bare-`job_id` payload shape), but never to the original.
+            prop_assert!(
+                result != Ok(msg),
+                "corrupt control frame decoded as the original message"
+            );
+        }
     }
 
     #[test]

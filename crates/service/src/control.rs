@@ -1,0 +1,332 @@
+//! The wire control plane: protocol-v2 job-management frames dispatched
+//! against a [`JobManager`], plus the TCP serve loop that interleaves
+//! client handling with scheduling turns.
+//!
+//! Every request gets exactly one reply frame: a
+//! [`Message::JobReply`] (state code `0xFF` marks a request-level error,
+//! with the message in `detail`) or a [`Message::JobList`]. Request
+//! handling is strictly serialized with scheduling, so a status reply
+//! always reflects a round boundary — never a half-run round.
+
+use std::io::ErrorKind;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::time::Duration;
+
+use fedrlnas_rpc::{decode, encode, Message, TcpTransport, Transport, TransportError};
+
+use crate::manager::JobManager;
+use crate::signal::shutdown_requested;
+use crate::spec::JobSpec;
+
+/// `state` code in a [`Message::JobReply`] marking a request-level error.
+pub const REPLY_ERROR: u8 = 0xFF;
+
+/// Dispatches one decoded control frame against the manager and returns
+/// the reply frame. Non-control messages get an error reply rather than
+/// silence, so a confused client always unblocks.
+pub fn handle_message(mgr: &mut JobManager, msg: &Message) -> Message {
+    match msg {
+        Message::SubmitJob { spec } => match JobSpec::decode(spec) {
+            Ok(spec) => match mgr.submit(spec) {
+                Ok(job_id) => reply_ok(mgr, job_id),
+                Err(e) => reply_err(0, &e.to_string()),
+            },
+            Err(e) => reply_err(0, &format!("bad job spec: {e}")),
+        },
+        Message::JobStatus { job_id } => reply_ok(mgr, *job_id),
+        Message::PauseJob { job_id } => match mgr.pause(*job_id) {
+            Ok(()) => reply_ok(mgr, *job_id),
+            Err(e) => reply_err(*job_id, &e.to_string()),
+        },
+        Message::ResumeJob { job_id } => match mgr.resume(*job_id) {
+            Ok(()) => reply_ok(mgr, *job_id),
+            Err(e) => reply_err(*job_id, &e.to_string()),
+        },
+        Message::CancelJob { job_id } => match mgr.cancel(*job_id) {
+            Ok(()) => reply_ok(mgr, *job_id),
+            Err(e) => reply_err(*job_id, &e.to_string()),
+        },
+        Message::ListJobs => Message::JobList { jobs: mgr.list() },
+        Message::StatsDump { job_id } => match mgr.stats_json(*job_id) {
+            Ok(json) => {
+                let state = mgr
+                    .status(*job_id)
+                    .map(|(s, _, _)| s.code())
+                    .unwrap_or(REPLY_ERROR);
+                Message::JobReply {
+                    job_id: *job_id,
+                    state,
+                    detail: json.into_bytes(),
+                }
+            }
+            Err(e) => reply_err(*job_id, &e.to_string()),
+        },
+        _ => reply_err(0, "not a control message"),
+    }
+}
+
+/// The status reply body: state, progress, and — once completed — the
+/// genotype, as a small JSON object.
+fn reply_ok(mgr: &JobManager, job_id: u64) -> Message {
+    match mgr.status(job_id) {
+        Ok((state, rounds, total)) => {
+            let genotype = mgr
+                .genotype(job_id)
+                .ok()
+                .flatten()
+                .map(|g| format!(",\"genotype\":\"{g}\""))
+                .unwrap_or_default();
+            let detail = format!(
+                "{{\"state\":\"{}\",\"rounds_completed\":{rounds},\"total_rounds\":{total}{genotype}}}",
+                state.name()
+            );
+            Message::JobReply {
+                job_id,
+                state: state.code(),
+                detail: detail.into_bytes(),
+            }
+        }
+        Err(e) => reply_err(job_id, &e.to_string()),
+    }
+}
+
+fn reply_err(job_id: u64, detail: &str) -> Message {
+    Message::JobReply {
+        job_id,
+        state: REPLY_ERROR,
+        detail: detail.as_bytes().to_vec(),
+    }
+}
+
+/// Options for [`serve_tcp`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Stop (after checkpointing) once every job is terminal and no
+    /// client is connected — for tests and batch fleets.
+    pub exit_when_idle: bool,
+    /// Sleep this long after every scheduled round — paces the fleet so
+    /// crash tests can reliably interrupt it mid-flight. Pacing never
+    /// affects results: determinism is a function of round count, not
+    /// wall clock.
+    pub round_delay: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            exit_when_idle: false,
+            round_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Serves the control plane on `addr` while driving the job fleet:
+/// accepts connections, drains any pending control frames, runs one
+/// scheduling turn, repeats. Returns after a shutdown signal (or idle
+/// exit) once every job is durably checkpointed. Calls `on_ready` with
+/// the bound address before the first accept.
+///
+/// # Errors
+///
+/// Bind/accept failures and store errors, as strings (the CLI surface).
+pub fn serve_tcp(
+    mgr: &mut JobManager,
+    addr: impl ToSocketAddrs,
+    options: &ServeOptions,
+    on_ready: impl FnOnce(std::net::SocketAddr),
+) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    on_ready(local);
+
+    let mut clients: Vec<TcpTransport> = Vec::new();
+    loop {
+        if shutdown_requested() {
+            break;
+        }
+
+        // Accept every connection waiting right now.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => match TcpTransport::new(stream) {
+                    Ok(t) => clients.push(t),
+                    Err(e) => return Err(format!("accept setup: {e}")),
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+
+        // Drain pending control frames; drop hung-up clients.
+        let mut alive = Vec::with_capacity(clients.len());
+        for mut client in clients.drain(..) {
+            let mut closed = false;
+            loop {
+                match client.recv_timeout(Duration::from_millis(1)) {
+                    Ok(frame) => {
+                        let reply = match decode(&frame) {
+                            Ok(msg) => handle_message(mgr, &msg),
+                            Err(e) => reply_err(0, &format!("bad frame: {e}")),
+                        };
+                        if client.send(&encode(&reply)).is_err() {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    Err(TransportError::Timeout) => break,
+                    Err(_) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            if !closed {
+                alive.push(client);
+            }
+        }
+        clients = alive;
+
+        // One scheduling turn, then pacing.
+        let ran = mgr.tick().map_err(|e| e.to_string())?;
+        if ran && !options.round_delay.is_zero() {
+            std::thread::sleep(options.round_delay);
+        }
+        if !ran {
+            if options.exit_when_idle && mgr.all_terminal() && clients.is_empty() {
+                break;
+            }
+            // Nothing runnable: don't spin against the accept loop.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    mgr.checkpoint_all().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Serves one in-memory transport endpoint until it closes or every job
+/// is terminal — the mem-transport twin of [`serve_tcp`], used by tests
+/// and embedded callers. Same loop structure: drain frames, tick, repeat.
+///
+/// # Errors
+///
+/// Store errors, as strings.
+pub fn serve_transport<T: Transport>(
+    mgr: &mut JobManager,
+    client: &mut T,
+    exit_when_idle: bool,
+) -> Result<(), String> {
+    loop {
+        if shutdown_requested() {
+            break;
+        }
+        loop {
+            match client.recv_timeout(Duration::from_millis(1)) {
+                Ok(frame) => {
+                    let reply = match decode(&frame) {
+                        Ok(msg) => handle_message(mgr, &msg),
+                        Err(e) => reply_err(0, &format!("bad frame: {e}")),
+                    };
+                    if client.send(&encode(&reply)).is_err() {
+                        return finish(mgr);
+                    }
+                }
+                Err(TransportError::Timeout) => break,
+                Err(_) => return finish(mgr),
+            }
+        }
+        let ran = mgr.tick().map_err(|e| e.to_string())?;
+        if !ran && exit_when_idle && mgr.all_terminal() {
+            break;
+        }
+    }
+    finish(mgr)
+}
+
+fn finish(mgr: &mut JobManager) -> Result<(), String> {
+    mgr.checkpoint_all().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobState;
+    use crate::manager::JobQuotas;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fedrlnas-control-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn control_dispatch_covers_the_lifecycle() {
+        let dir = temp_dir("dispatch");
+        let mut mgr = JobManager::open(&dir, JobQuotas::default(), 0).expect("open");
+
+        let spec = JobSpec::tiny(7).encode();
+        let reply = handle_message(&mut mgr, &Message::SubmitJob { spec });
+        let job_id = match reply {
+            Message::JobReply { job_id, state, .. } => {
+                assert_eq!(state, JobState::Queued.code());
+                job_id
+            }
+            other => panic!("unexpected reply {other:?}"),
+        };
+
+        let reply = handle_message(&mut mgr, &Message::PauseJob { job_id });
+        assert!(matches!(
+            reply,
+            Message::JobReply { state, .. } if state == JobState::Paused.code()
+        ));
+        let reply = handle_message(&mut mgr, &Message::ResumeJob { job_id });
+        assert!(matches!(
+            reply,
+            Message::JobReply { state, .. } if state == JobState::Running.code()
+        ));
+        let reply = handle_message(&mut mgr, &Message::ListJobs);
+        assert!(matches!(
+            reply,
+            Message::JobList { jobs } if jobs == vec![(job_id, JobState::Running.code())]
+        ));
+        let reply = handle_message(&mut mgr, &Message::StatsDump { job_id });
+        match reply {
+            Message::JobReply { detail, .. } => {
+                let json = String::from_utf8(detail).expect("utf-8 stats");
+                assert!(json.contains("\"bytes_down\":"), "{json}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let reply = handle_message(&mut mgr, &Message::CancelJob { job_id });
+        assert!(matches!(
+            reply,
+            Message::JobReply { state, .. } if state == JobState::Cancelled.code()
+        ));
+
+        let reply = handle_message(&mut mgr, &Message::JobStatus { job_id: 999 });
+        assert!(matches!(
+            reply,
+            Message::JobReply { state, .. } if state == REPLY_ERROR
+        ));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn non_control_frames_get_an_error_reply() {
+        let dir = temp_dir("noncontrol");
+        let mut mgr = JobManager::open(&dir, JobQuotas::default(), 0).expect("open");
+        let reply = handle_message(&mut mgr, &Message::Ack { round: 0 });
+        assert!(matches!(
+            reply,
+            Message::JobReply { state, .. } if state == REPLY_ERROR
+        ));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,402 @@
+//! The job manager: N independent searches multiplexed over the shared
+//! kernel thread pool with fair round-robin scheduling, per-job quotas,
+//! and durable state in a [`JobStore`].
+//!
+//! # Serial equivalence
+//!
+//! Jobs share no mutable state: each owns its config, dataset, server and
+//! RNG stream, and the kernel thread pool is stateless (GEMM splits row
+//! panels, so results are independent of the thread count). Any
+//! interleaving of `step_round` calls across jobs is therefore equal to
+//! running each job to completion in isolation — which is what the e2e
+//! suites assert, bit for bit, against single-run baselines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::job::{Job, JobState};
+use crate::spec::JobSpec;
+use crate::stats::comm_stats_json;
+use crate::store::{JobStore, StoreError};
+
+/// Per-job resource quotas, applied uniformly to every tenant.
+#[derive(Debug, Clone)]
+pub struct JobQuotas {
+    /// Rounds one job may run per scheduling turn before the rotation
+    /// moves on (the fairness quantum).
+    pub max_rounds_in_flight: usize,
+    /// Kernel thread-pool width while a job's rounds execute (`0` leaves
+    /// the pool at its ambient width). Thread count never affects
+    /// numerics, so this throttles CPU without touching results.
+    pub thread_budget: usize,
+    /// Total traffic (bytes down + up, from the job's `CommStats`) after
+    /// which the job is auto-paused; `None` is unlimited. A paused job
+    /// keeps its durable checkpoint and can be resumed explicitly.
+    pub byte_budget: Option<u64>,
+}
+
+impl Default for JobQuotas {
+    fn default() -> Self {
+        JobQuotas {
+            max_rounds_in_flight: 1,
+            thread_budget: 0,
+            byte_budget: None,
+        }
+    }
+}
+
+/// Why a manager operation failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The durable layer failed.
+    Store(StoreError),
+    /// A job spec failed to decode or validate.
+    Spec(String),
+    /// No such job.
+    UnknownJob(u64),
+    /// The requested lifecycle transition is not allowed from the job's
+    /// current state.
+    InvalidTransition {
+        /// Target job.
+        job_id: u64,
+        /// State the job is in.
+        from: JobState,
+        /// Operation that was refused.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Store(e) => write!(f, "{e}"),
+            ServiceError::Spec(e) => write!(f, "bad job spec: {e}"),
+            ServiceError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServiceError::InvalidTransition { job_id, from, op } => {
+                write!(f, "cannot {op} job {job_id} in state {}", from.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+/// Owns every live job, the scheduler rotation, and the store.
+pub struct JobManager {
+    store: JobStore,
+    jobs: BTreeMap<u64, Job>,
+    quotas: JobQuotas,
+    checkpoint_every: usize,
+    rotation: Vec<u64>,
+    cursor: usize,
+}
+
+impl JobManager {
+    /// Opens the store at `dir`, rebuilds every stored job (resuming each
+    /// from its last checkpoint), and returns the manager. Jobs that were
+    /// `Running` when the previous process died re-enter the rotation and
+    /// continue bit-identically from their last durable snapshot.
+    /// `checkpoint_every` is the per-job snapshot period in rounds (`0`
+    /// snapshots only at completion and shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Store errors; spec or checkpoint corruption for a recovered job.
+    pub fn open(
+        dir: &Path,
+        quotas: JobQuotas,
+        checkpoint_every: usize,
+    ) -> Result<JobManager, ServiceError> {
+        let store = JobStore::open(dir)?;
+        let mut jobs = BTreeMap::new();
+        for (job_id, state_code, generation) in store.list() {
+            let record = store.get(job_id).expect("listed job exists");
+            let spec = JobSpec::decode(&record.spec).map_err(ServiceError::Spec)?;
+            let state = JobState::from_code(state_code)
+                .ok_or_else(|| ServiceError::Spec(format!("bad stored state {state_code}")))?;
+            let job = Job::resume(job_id, spec, generation, state, &record.checkpoint)
+                .map_err(ServiceError::Spec)?;
+            jobs.insert(job_id, job);
+        }
+        let mut mgr = JobManager {
+            store,
+            jobs,
+            quotas,
+            checkpoint_every,
+            rotation: Vec::new(),
+            cursor: 0,
+        };
+        mgr.rebuild_rotation();
+        Ok(mgr)
+    }
+
+    /// Accepts a job: persists the spec (durable before the reply), then
+    /// instantiates the search. Returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation and store errors.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, ServiceError> {
+        spec.build_config().map_err(ServiceError::Spec)?;
+        let bytes = spec.encode();
+        let job_id = self.store.create(&bytes, JobState::Queued.code())?;
+        let job = Job::create(job_id, spec, 1).map_err(ServiceError::Spec)?;
+        self.jobs.insert(job_id, job);
+        self.rebuild_rotation();
+        Ok(job_id)
+    }
+
+    /// Takes a job out of the rotation (durably).
+    ///
+    /// # Errors
+    ///
+    /// Unknown job, terminal-state transition, store errors.
+    pub fn pause(&mut self, job_id: u64) -> Result<(), ServiceError> {
+        self.transition(job_id, JobState::Paused, "pause", |s| {
+            matches!(s, JobState::Queued | JobState::Running)
+        })
+    }
+
+    /// Puts a paused job back into the rotation (durably).
+    ///
+    /// # Errors
+    ///
+    /// Unknown job, terminal-state transition, store errors.
+    pub fn resume(&mut self, job_id: u64) -> Result<(), ServiceError> {
+        self.transition(job_id, JobState::Running, "resume", |s| {
+            matches!(s, JobState::Paused | JobState::Queued)
+        })
+    }
+
+    /// Abandons a job (durably, terminal).
+    ///
+    /// # Errors
+    ///
+    /// Unknown job, already-terminal transition, store errors.
+    pub fn cancel(&mut self, job_id: u64) -> Result<(), ServiceError> {
+        self.transition(job_id, JobState::Cancelled, "cancel", |s| !s.is_terminal())
+    }
+
+    fn transition(
+        &mut self,
+        job_id: u64,
+        to: JobState,
+        op: &'static str,
+        allowed: impl Fn(JobState) -> bool,
+    ) -> Result<(), ServiceError> {
+        let job = self
+            .jobs
+            .get_mut(&job_id)
+            .ok_or(ServiceError::UnknownJob(job_id))?;
+        if !allowed(job.state()) {
+            return Err(ServiceError::InvalidTransition {
+                job_id,
+                from: job.state(),
+                op,
+            });
+        }
+        job.set_state(to);
+        job.generation = self.store.set_state(job_id, to.code())?;
+        self.rebuild_rotation();
+        Ok(())
+    }
+
+    /// A job's `(state, rounds_completed, total_rounds)`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job.
+    pub fn status(&self, job_id: u64) -> Result<(JobState, usize, usize), ServiceError> {
+        let job = self
+            .jobs
+            .get(&job_id)
+            .ok_or(ServiceError::UnknownJob(job_id))?;
+        Ok((job.state(), job.rounds_completed(), job.total_rounds()))
+    }
+
+    /// A completed job's genotype in compact notation (`None` until
+    /// completion) — the parse/compare-friendly form `retrain` accepts.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job.
+    pub fn genotype(&self, job_id: u64) -> Result<Option<String>, ServiceError> {
+        let job = self
+            .jobs
+            .get(&job_id)
+            .ok_or(ServiceError::UnknownJob(job_id))?;
+        if job.state() == JobState::Completed {
+            Ok(Some(job.outcome().genotype.to_compact_string()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The job's communication statistics as JSON (the `StatsDump` /
+    /// `--stats-json` payload).
+    ///
+    /// # Errors
+    ///
+    /// Unknown job.
+    pub fn stats_json(&self, job_id: u64) -> Result<String, ServiceError> {
+        let job = self
+            .jobs
+            .get(&job_id)
+            .ok_or(ServiceError::UnknownJob(job_id))?;
+        Ok(comm_stats_json(
+            job.search().server().comm(),
+            job.rounds_completed(),
+            job.total_rounds(),
+        ))
+    }
+
+    /// `(job_id, state_code)` for every job, id-ordered.
+    pub fn list(&self) -> Vec<(u64, u8)> {
+        self.jobs
+            .values()
+            .map(|j| (j.job_id, j.state().code()))
+            .collect()
+    }
+
+    /// Immutable access to a live job.
+    pub fn job(&self, job_id: u64) -> Option<&Job> {
+        self.jobs.get(&job_id)
+    }
+
+    /// `true` when no job is schedulable (all paused or terminal).
+    pub fn is_idle(&self) -> bool {
+        self.rotation.is_empty()
+    }
+
+    /// `true` once every job reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.jobs.values().all(|j| j.state().is_terminal())
+    }
+
+    /// One scheduling turn: picks the next runnable job in the rotation
+    /// and runs up to `max_rounds_in_flight` rounds of it, snapshotting
+    /// per the checkpoint period, completion, and the byte budget.
+    /// Returns `true` if any round ran.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from persisting snapshots or state flips.
+    pub fn tick(&mut self) -> Result<bool, ServiceError> {
+        let job_id = match self.next_runnable() {
+            Some(id) => id,
+            None => return Ok(false),
+        };
+        if self.quotas.thread_budget > 0 {
+            fedrlnas_tensor::set_num_threads(self.quotas.thread_budget);
+        }
+
+        let burst = self.quotas.max_rounds_in_flight.max(1);
+        let mut ran = false;
+        for _ in 0..burst {
+            let job = self.jobs.get_mut(&job_id).expect("rotation entry exists");
+            if job.state() == JobState::Queued {
+                job.set_state(JobState::Running);
+                job.generation = self.store.set_state(job_id, JobState::Running.code())?;
+            }
+            let done = job.step_round();
+            ran = true;
+            let rounds = job.rounds_completed();
+            let over_budget = self
+                .quotas
+                .byte_budget
+                .is_some_and(|limit| job.bytes_total() > limit);
+
+            if done {
+                self.persist(job_id, JobState::Completed)?;
+                break;
+            }
+            if over_budget {
+                self.persist(job_id, JobState::Paused)?;
+                let job = self.jobs.get_mut(&job_id).expect("still live");
+                job.set_state(JobState::Paused);
+                break;
+            }
+            if self.checkpoint_every > 0 && rounds.is_multiple_of(self.checkpoint_every) {
+                self.persist(job_id, JobState::Running)?;
+            }
+        }
+        self.rebuild_rotation();
+        Ok(ran)
+    }
+
+    /// Runs scheduling turns until no job is runnable (all completed,
+    /// cancelled, or paused by quota).
+    ///
+    /// # Errors
+    ///
+    /// As [`JobManager::tick`].
+    pub fn run_until_idle(&mut self) -> Result<(), ServiceError> {
+        while self.tick()? {}
+        Ok(())
+    }
+
+    /// Durably snapshots every non-terminal job (the graceful-shutdown
+    /// path), then compacts superseded segments.
+    ///
+    /// # Errors
+    ///
+    /// Store errors.
+    pub fn checkpoint_all(&mut self) -> Result<(), ServiceError> {
+        let ids: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| !j.state().is_terminal())
+            .map(|j| j.job_id)
+            .collect();
+        for id in ids {
+            let state = self.jobs[&id].state();
+            self.persist(id, state)?;
+        }
+        self.store.compact()?;
+        Ok(())
+    }
+
+    /// Writes one job's checkpoint + state to the store.
+    fn persist(&mut self, job_id: u64, state: JobState) -> Result<(), ServiceError> {
+        let job = self.jobs.get_mut(&job_id).expect("persist target exists");
+        let ckpt = job.checkpoint_bytes();
+        let expected = job.generation;
+        job.generation = self.store.update(job_id, expected, state.code(), &ckpt)?;
+        Ok(())
+    }
+
+    fn next_runnable(&mut self) -> Option<u64> {
+        if self.rotation.is_empty() {
+            return None;
+        }
+        let id = self.rotation[self.cursor % self.rotation.len()];
+        self.cursor = (self.cursor + 1) % self.rotation.len();
+        Some(id)
+    }
+
+    fn rebuild_rotation(&mut self) {
+        let prev = self
+            .rotation
+            .get(self.cursor % self.rotation.len().max(1))
+            .copied();
+        self.rotation = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state(), JobState::Queued | JobState::Running))
+            .map(|j| j.job_id)
+            .collect();
+        // Keep the rotation position stable across membership changes so
+        // one job finishing never lets another jump the queue.
+        self.cursor = match prev {
+            Some(p) => self.rotation.iter().position(|&id| id >= p).unwrap_or(0),
+            None => 0,
+        };
+    }
+}

@@ -1,0 +1,56 @@
+//! Graceful-shutdown signal plumbing: a process-wide flag flipped by
+//! `SIGINT`/`SIGTERM`, polled by the serve loop and the single-run
+//! checkpoint loop so both checkpoint before exiting.
+//!
+//! Implemented directly against the libc `signal(2)` entry point (the
+//! workspace vendors no `libc` crate); the handler only stores to an
+//! `AtomicBool`, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the `SIGINT`/`SIGTERM` handler (idempotent). On non-unix
+/// targets this is a no-op and [`shutdown_requested`] stays `false`.
+pub fn install_shutdown_handler() {
+    imp::install();
+}
+
+/// `true` once a shutdown signal arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets or clears the flag directly — lets tests (and non-unix builds)
+/// drive the same code path the signal handler does.
+pub fn set_shutdown(value: bool) {
+    SHUTDOWN.store(value, Ordering::SeqCst);
+}

@@ -1,0 +1,368 @@
+//! Job specifications: everything needed to (re)build a search
+//! deterministically, with a compact self-describing binary encoding that
+//! travels in [`SubmitJob`](fedrlnas_rpc::wire::Message::SubmitJob) frames
+//! and is persisted verbatim in the job store, so a recovered job is
+//! reconstructed from exactly the bytes the client submitted.
+
+use fedrlnas_codec::{CodecConfig, CodecSpec};
+use fedrlnas_core::{Scale, SearchConfig};
+use fedrlnas_data::{DatasetSpec, SyntheticDataset};
+use fedrlnas_netsim::Environment;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Current spec encoding version.
+const SPEC_VERSION: u8 = 1;
+
+/// Which synthetic dataset family the job trains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// CIFAR10-like statistics (the default).
+    Cifar10,
+    /// SVHN-like statistics.
+    Svhn,
+}
+
+impl DatasetKind {
+    fn code(self) -> u8 {
+        match self {
+            DatasetKind::Cifar10 => 0,
+            DatasetKind::Svhn => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<DatasetKind> {
+        match code {
+            0 => Some(DatasetKind::Cifar10),
+            1 => Some(DatasetKind::Svhn),
+            _ => None,
+        }
+    }
+}
+
+/// How the job's rounds execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// In-process rounds on the scheduler thread (the default). Because a
+    /// fault-free RPC run is bit-identical to an in-process one, results
+    /// match a `--rpc` single run too.
+    InProcess,
+    /// A dedicated in-memory RPC engine per job: one worker thread per
+    /// participant, private reply caches and error-feedback residual
+    /// namespace — jobs never share engine state.
+    RpcMem,
+}
+
+impl BackendKind {
+    fn code(self) -> u8 {
+        match self {
+            BackendKind::InProcess => 0,
+            BackendKind::RpcMem => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<BackendKind> {
+        match code {
+            0 => Some(BackendKind::InProcess),
+            1 => Some(BackendKind::RpcMem),
+            _ => None,
+        }
+    }
+}
+
+/// A complete, deterministic description of one search job. Two jobs built
+/// from equal specs produce bit-identical genotypes, curves and traffic,
+/// no matter how their rounds interleave with other tenants'.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Search RNG seed; the dataset derives its own stream from
+    /// `seed ^ 0xDA7A`, exactly like the CLI's single-run mode.
+    pub seed: u64,
+    /// Proxy scale preset.
+    pub scale: Scale,
+    /// Synthetic dataset family.
+    pub dataset: DatasetKind,
+    /// Use the Dir(0.5) non-i.i.d. partition.
+    pub non_iid: bool,
+    /// Participant count override (`None` keeps the preset's K).
+    pub participants: Option<u32>,
+    /// Update-compression codec.
+    pub codec: CodecConfig,
+    /// Per-job network trace profile, cycled by participant id. `None`
+    /// keeps the default rotation over every environment.
+    pub environments: Option<Vec<Environment>>,
+    /// Round execution backend.
+    pub backend: BackendKind,
+}
+
+impl JobSpec {
+    /// A spec mirroring `fedrlnas search --scale tiny --seed <seed>`.
+    pub fn tiny(seed: u64) -> JobSpec {
+        JobSpec {
+            seed,
+            scale: Scale::Tiny,
+            dataset: DatasetKind::Cifar10,
+            non_iid: false,
+            participants: None,
+            codec: CodecConfig::default(),
+            environments: None,
+            backend: BackendKind::InProcess,
+        }
+    }
+
+    /// Builds the [`SearchConfig`] this spec describes, mirroring the
+    /// CLI's flag handling order so a job is bit-identical to the
+    /// corresponding single run.
+    ///
+    /// # Errors
+    ///
+    /// The [`SearchConfig::validate`] message for inconsistent specs.
+    pub fn build_config(&self) -> Result<SearchConfig, String> {
+        let mut config = SearchConfig::at_scale(self.scale);
+        if self.non_iid {
+            config = config.non_iid();
+        }
+        if let Some(k) = self.participants {
+            config = config.with_participants(k as usize);
+        }
+        config = config.with_codec(self.codec);
+        if let Some(envs) = &self.environments {
+            config = config.with_environments(envs.clone());
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Generates the job's dataset — same spec, image extent and seed
+    /// derivation as the CLI (`seed ^ 0xDA7A`).
+    pub fn build_dataset(&self, config: &SearchConfig) -> SyntheticDataset {
+        let spec = match self.dataset {
+            DatasetKind::Cifar10 => DatasetSpec::cifar10_like(),
+            DatasetKind::Svhn => DatasetSpec::svhn_like(),
+        }
+        .with_image_hw(config.net.image_hw);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xDA7A);
+        SyntheticDataset::generate(&spec, &mut rng)
+    }
+
+    /// Serializes to the versioned binary layout carried by
+    /// [`SubmitJob`](fedrlnas_rpc::wire::Message::SubmitJob) frames and
+    /// stored in manifest and segment files.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(SPEC_VERSION);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.push(match self.scale {
+            Scale::Tiny => 0,
+            Scale::Small => 1,
+            Scale::Paper => 2,
+        });
+        out.push(self.dataset.code());
+        out.push(self.non_iid as u8);
+        match self.participants {
+            Some(k) => {
+                out.push(1);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        match self.codec {
+            CodecConfig::Auto => {
+                out.push(1);
+                out.push(0);
+                out.extend_from_slice(&0f32.to_le_bytes());
+            }
+            CodecConfig::Fixed(spec) => {
+                out.push(0);
+                out.push(spec.tag());
+                out.extend_from_slice(&spec.param().to_le_bytes());
+            }
+        }
+        match &self.environments {
+            Some(envs) => {
+                out.push(1);
+                out.extend_from_slice(&(envs.len() as u32).to_le_bytes());
+                for env in envs {
+                    let idx = Environment::ALL
+                        .iter()
+                        .position(|e| e == env)
+                        .expect("every environment is in ALL");
+                    out.push(idx as u8);
+                }
+            }
+            None => out.push(0),
+        }
+        out.push(self.backend.code());
+        out
+    }
+
+    /// Decodes a spec previously produced by [`JobSpec::encode`]. Total:
+    /// every malformed input maps to an error message, never a panic, and
+    /// no allocation is sized from an unvalidated length.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn decode(bytes: &[u8]) -> Result<JobSpec, String> {
+        let mut r = SpecReader { bytes, pos: 0 };
+        let version = r.u8()?;
+        if version != SPEC_VERSION {
+            return Err(format!("unsupported job spec version {version}"));
+        }
+        let seed = r.u64()?;
+        let scale = match r.u8()? {
+            0 => Scale::Tiny,
+            1 => Scale::Small,
+            2 => Scale::Paper,
+            other => return Err(format!("unknown scale code {other}")),
+        };
+        let dataset = DatasetKind::from_code(r.u8()?).ok_or("unknown dataset code")?;
+        let non_iid = r.u8()? != 0;
+        let participants = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            other => return Err(format!("bad participants marker {other}")),
+        };
+        let codec = match (r.u8()?, r.u8()?, r.f32()?) {
+            (1, _, _) => CodecConfig::Auto,
+            (0, tag, param) => CodecConfig::Fixed(
+                CodecSpec::from_tag_param(tag, param)
+                    .ok_or_else(|| format!("bad codec tag {tag}"))?,
+            ),
+            (other, _, _) => return Err(format!("bad codec marker {other}")),
+        };
+        let environments = match r.u8()? {
+            0 => None,
+            1 => {
+                let count = r.u32()? as usize;
+                if r.remaining() < count {
+                    return Err("environment list truncated".into());
+                }
+                let mut envs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let idx = r.u8()? as usize;
+                    envs.push(
+                        Environment::ALL
+                            .get(idx)
+                            .copied()
+                            .ok_or_else(|| format!("bad environment index {idx}"))?,
+                    );
+                }
+                Some(envs)
+            }
+            other => return Err(format!("bad environments marker {other}")),
+        };
+        let backend = BackendKind::from_code(r.u8()?).ok_or("unknown backend code")?;
+        if r.remaining() != 0 {
+            return Err("trailing bytes after job spec".into());
+        }
+        Ok(JobSpec {
+            seed,
+            scale,
+            dataset,
+            non_iid,
+            participants,
+            codec,
+            environments,
+            backend,
+        })
+    }
+}
+
+/// Minimal bounds-checked reader (the store and checkpoint layers follow
+/// the same discipline: check length before reading, never panic).
+struct SpecReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl SpecReader<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.remaining() < n {
+            return Err("job spec truncated".into());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 B")))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 B")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobSpec {
+        JobSpec {
+            seed: 0xFEED_F00D,
+            scale: Scale::Tiny,
+            dataset: DatasetKind::Svhn,
+            non_iid: true,
+            participants: Some(6),
+            codec: CodecConfig::Auto,
+            environments: Some(vec![Environment::Train, Environment::Foot]),
+            backend: BackendKind::RpcMem,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        for spec in [sample(), JobSpec::tiny(42)] {
+            let bytes = spec.encode();
+            assert_eq!(JobSpec::decode(&bytes).expect("round trip"), spec);
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_inputs_are_errors() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(JobSpec::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(JobSpec::decode(&long).is_err());
+    }
+
+    #[test]
+    fn bad_codes_are_errors() {
+        let mut bytes = sample().encode();
+        bytes[9] = 9; // scale code
+        assert!(JobSpec::decode(&bytes).is_err());
+        let mut bytes = sample().encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 7; // backend code
+        assert!(JobSpec::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn config_mirrors_cli_construction() {
+        let spec = sample();
+        let config = spec.build_config().expect("valid spec");
+        assert_eq!(config.num_participants, 6);
+        assert_eq!(config.dirichlet_beta, Some(0.5));
+        assert_eq!(config.codec, CodecConfig::Auto);
+        assert_eq!(
+            config.environments.as_deref(),
+            Some(&[Environment::Train, Environment::Foot][..])
+        );
+    }
+}

@@ -1,0 +1,628 @@
+//! Crash-safe multi-job persistence: one directory holding per-job
+//! segment files plus a CRC-protected manifest, written in an order that
+//! makes every crash point recoverable.
+//!
+//! # Layout
+//!
+//! A store directory contains `*.seg` segment files and one `MANIFEST`.
+//! Each segment is a self-describing record of one job at one generation:
+//!
+//! ```text
+//! magic "FRLNJSEG" | version u8 | flags u8 | job_id u64 | generation u64
+//! | state u8 | spec_len u32 | spec | ckpt_len u32 | ckpt | crc32
+//! ```
+//!
+//! The manifest is a rebuildable index — which jobs exist, at which
+//! generation, plus the id allocator — never the only copy of any data:
+//!
+//! ```text
+//! magic "FRLNJMAN" | version u8 | flags u8 | generation u64
+//! | next_job_id u64 | count u32 | (job_id u64, gen u64, state u8)* | crc32
+//! ```
+//!
+//! All integers are little-endian; both CRCs cover every preceding byte of
+//! the file. Files are written to a `.tmp` sibling, fsynced and renamed
+//! into place, matching the single-run checkpoint discipline.
+//!
+//! # Commit protocol and recovery
+//!
+//! A write commits **segment first, manifest second**; a removal deletes
+//! **segment files first, manifest entry second**. Recovery scans every
+//! segment, keeps the highest-generation valid copy per job, and merges
+//! with the manifest under two rules: a valid segment absent from (or
+//! newer than) the manifest is adopted — it is a committed write whose
+//! manifest update was lost; a manifest entry with no surviving valid
+//! segment is dropped — either an interrupted removal or an unrecoverable
+//! corruption, and in both cases there is no bit-trustworthy state to
+//! resume, which the store reports rather than guesses around. Superseded
+//! generations are kept until [`JobStore::compact`] so a torn newest
+//! segment falls back to the previous one.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use fedrlnas_rpc::crc32;
+
+const SEGMENT_MAGIC: &[u8; 8] = b"FRLNJSEG";
+const MANIFEST_MAGIC: &[u8; 8] = b"FRLNJMAN";
+const FORMAT_VERSION: u8 = 1;
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Why a store operation failed. Corruption is an expected failure mode
+/// for a crash-recovery subsystem, never a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A file failed structural validation (bad magic, truncation, CRC).
+    Corrupt(String),
+    /// A write carried a stale per-job generation: another write to the
+    /// same job committed in between.
+    StaleGeneration {
+        /// Job whose update was fenced off.
+        job_id: u64,
+        /// Generation the writer expected to supersede.
+        expected: u64,
+        /// Generation actually on disk.
+        actual: u64,
+    },
+    /// The on-disk manifest advanced past this handle's view: another
+    /// store handle committed. Re-open (or [`JobStore::refresh`]) to
+    /// observe the other writer's state before retrying.
+    ManifestConflict {
+        /// Manifest generation this handle last observed.
+        cached: u64,
+        /// Manifest generation now on disk.
+        disk: u64,
+    },
+    /// The job id is not in the store.
+    UnknownJob(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "job store i/o error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt job store file: {what}"),
+            StoreError::StaleGeneration {
+                job_id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "stale write to job {job_id}: expected generation {expected}, disk has {actual}"
+            ),
+            StoreError::ManifestConflict { cached, disk } => write!(
+                f,
+                "manifest advanced by another writer: cached generation {cached}, disk {disk}"
+            ),
+            StoreError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One job's latest durable record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredJob {
+    /// Store-assigned job id.
+    pub job_id: u64,
+    /// Monotone per-job write counter; each committed segment bumps it.
+    pub generation: u64,
+    /// Opaque lifecycle state code (the service layer's `JobState`).
+    pub state: u8,
+    /// The submitted job spec, verbatim.
+    pub spec: Vec<u8>,
+    /// Latest search checkpoint (empty until the first round snapshot).
+    pub checkpoint: Vec<u8>,
+}
+
+/// A crash-safe multi-job store rooted at one directory. All reads are
+/// served from memory; every mutation is durable before it returns.
+#[derive(Debug)]
+pub struct JobStore {
+    dir: PathBuf,
+    manifest_generation: u64,
+    next_job_id: u64,
+    jobs: BTreeMap<u64, StoredJob>,
+}
+
+impl JobStore {
+    /// Opens (creating if absent) the store at `dir` and runs the
+    /// recovery scan described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors only — corrupt files are skipped, not fatal.
+    pub fn open(dir: &Path) -> Result<JobStore, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = JobStore {
+            dir: dir.to_path_buf(),
+            manifest_generation: 0,
+            next_job_id: 1,
+            jobs: BTreeMap::new(),
+        };
+        store.refresh()?;
+        Ok(store)
+    }
+
+    /// Re-runs the recovery scan, replacing this handle's in-memory view
+    /// with the merged on-disk state. Use after a
+    /// [`StoreError::ManifestConflict`] to adopt another writer's commits.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors only.
+    pub fn refresh(&mut self) -> Result<(), StoreError> {
+        let manifest = read_manifest(&self.dir.join(MANIFEST_NAME));
+        let scanned = scan_segments(&self.dir)?;
+
+        let mut jobs = BTreeMap::new();
+        let mut max_seen_id = 0u64;
+        for (id, job) in scanned {
+            max_seen_id = max_seen_id.max(id);
+            jobs.insert(id, job);
+        }
+        let (manifest_generation, mut next_job_id) = match &manifest {
+            Some(m) => {
+                // Entries without a surviving valid segment are dropped:
+                // interrupted removal or unrecoverable corruption.
+                (m.generation, m.next_job_id)
+            }
+            None => (0, 1),
+        };
+        next_job_id = next_job_id.max(max_seen_id + 1);
+
+        self.manifest_generation = manifest_generation;
+        self.next_job_id = next_job_id;
+        self.jobs = jobs;
+        Ok(())
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current manifest generation (bumps on every committed mutation).
+    pub fn manifest_generation(&self) -> u64 {
+        self.manifest_generation
+    }
+
+    /// Adds a new job and returns its id. The record starts at
+    /// generation 1 with an empty checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ManifestConflict`] if another handle committed since
+    /// this one last observed the manifest; filesystem errors.
+    pub fn create(&mut self, spec: &[u8], state: u8) -> Result<u64, StoreError> {
+        self.check_fence()?;
+        let job_id = self.next_job_id;
+        let job = StoredJob {
+            job_id,
+            generation: 1,
+            state,
+            spec: spec.to_vec(),
+            checkpoint: Vec::new(),
+        };
+        self.write_segment(&job)?;
+        self.next_job_id += 1;
+        self.jobs.insert(job_id, job);
+        self.write_manifest()?;
+        Ok(job_id)
+    }
+
+    /// Replaces a job's state and checkpoint, superseding `expected_gen`.
+    /// Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::StaleGeneration`] if the job moved past
+    /// `expected_gen`; [`StoreError::ManifestConflict`] on cross-handle
+    /// races; [`StoreError::UnknownJob`]; filesystem errors.
+    pub fn update(
+        &mut self,
+        job_id: u64,
+        expected_gen: u64,
+        state: u8,
+        checkpoint: &[u8],
+    ) -> Result<u64, StoreError> {
+        self.check_fence()?;
+        let current = self
+            .jobs
+            .get(&job_id)
+            .ok_or(StoreError::UnknownJob(job_id))?;
+        if current.generation != expected_gen {
+            return Err(StoreError::StaleGeneration {
+                job_id,
+                expected: expected_gen,
+                actual: current.generation,
+            });
+        }
+        let mut job = current.clone();
+        job.generation = expected_gen + 1;
+        job.state = state;
+        job.checkpoint = checkpoint.to_vec();
+        self.write_segment(&job)?;
+        let generation = job.generation;
+        self.jobs.insert(job_id, job);
+        self.write_manifest()?;
+        Ok(generation)
+    }
+
+    /// Updates only the lifecycle state, keeping the stored checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobStore::update`].
+    pub fn set_state(&mut self, job_id: u64, state: u8) -> Result<u64, StoreError> {
+        let (generation, checkpoint) = {
+            let job = self
+                .jobs
+                .get(&job_id)
+                .ok_or(StoreError::UnknownJob(job_id))?;
+            (job.generation, job.checkpoint.clone())
+        };
+        self.update(job_id, generation, state, &checkpoint)
+    }
+
+    /// The latest durable record for `job_id`.
+    pub fn get(&self, job_id: u64) -> Option<&StoredJob> {
+        self.jobs.get(&job_id)
+    }
+
+    /// `(job_id, state, generation)` for every stored job, id-ordered.
+    pub fn list(&self) -> Vec<(u64, u8, u64)> {
+        self.jobs
+            .values()
+            .map(|j| (j.job_id, j.state, j.generation))
+            .collect()
+    }
+
+    /// Deletes a job: segment files first, manifest entry second, so a
+    /// crash in between reads as a completed removal on recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownJob`], fencing errors, filesystem errors.
+    pub fn remove(&mut self, job_id: u64) -> Result<(), StoreError> {
+        self.check_fence()?;
+        if !self.jobs.contains_key(&job_id) {
+            return Err(StoreError::UnknownJob(job_id));
+        }
+        for path in segment_paths(&self.dir, job_id)? {
+            std::fs::remove_file(path)?;
+        }
+        self.jobs.remove(&job_id);
+        self.write_manifest()
+    }
+
+    /// Removes superseded segment generations and stray temp files,
+    /// keeping exactly the latest valid segment per live job. Safe at any
+    /// time: recovery never needs an older generation once a newer one is
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            if !name.ends_with(".seg") {
+                continue;
+            }
+            let keep = match read_segment(&path) {
+                Some(seg) => self
+                    .jobs
+                    .get(&seg.job_id)
+                    .is_some_and(|latest| latest.generation == seg.generation),
+                None => false, // corrupt or torn: superseded by definition
+            };
+            if !keep {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_fence(&self) -> Result<(), StoreError> {
+        let disk = read_manifest(&self.dir.join(MANIFEST_NAME))
+            .map(|m| m.generation)
+            .unwrap_or(0);
+        if disk != self.manifest_generation {
+            return Err(StoreError::ManifestConflict {
+                cached: self.manifest_generation,
+                disk,
+            });
+        }
+        Ok(())
+    }
+
+    fn write_segment(&self, job: &StoredJob) -> Result<(), StoreError> {
+        let name = format!("job-{}-gen-{}.seg", job.job_id, job.generation);
+        let mut body = Vec::with_capacity(40 + job.spec.len() + job.checkpoint.len());
+        body.extend_from_slice(SEGMENT_MAGIC);
+        body.push(FORMAT_VERSION);
+        body.push(0); // flags, reserved
+        body.extend_from_slice(&job.job_id.to_le_bytes());
+        body.extend_from_slice(&job.generation.to_le_bytes());
+        body.push(job.state);
+        body.extend_from_slice(&(job.spec.len() as u32).to_le_bytes());
+        body.extend_from_slice(&job.spec);
+        body.extend_from_slice(&(job.checkpoint.len() as u32).to_le_bytes());
+        body.extend_from_slice(&job.checkpoint);
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        write_atomic(&self.dir.join(name), &body)?;
+        Ok(())
+    }
+
+    fn write_manifest(&mut self) -> Result<(), StoreError> {
+        self.manifest_generation += 1;
+        let mut body = Vec::with_capacity(30 + self.jobs.len() * 17);
+        body.extend_from_slice(MANIFEST_MAGIC);
+        body.push(FORMAT_VERSION);
+        body.push(0); // flags, reserved
+        body.extend_from_slice(&self.manifest_generation.to_le_bytes());
+        body.extend_from_slice(&self.next_job_id.to_le_bytes());
+        body.extend_from_slice(&(self.jobs.len() as u32).to_le_bytes());
+        for job in self.jobs.values() {
+            body.extend_from_slice(&job.job_id.to_le_bytes());
+            body.extend_from_slice(&job.generation.to_le_bytes());
+            body.push(job.state);
+        }
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        write_atomic(&self.dir.join(MANIFEST_NAME), &body)?;
+        Ok(())
+    }
+}
+
+/// Parsed manifest index (structure only; records live in segments).
+struct Manifest {
+    generation: u64,
+    next_job_id: u64,
+}
+
+/// Writes `bytes` to a `.tmp` sibling, fsyncs, renames into place.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and validates the manifest; any malformation reads as "no
+/// manifest" — it is an index the recovery scan can rebuild.
+fn read_manifest(path: &Path) -> Option<Manifest> {
+    let bytes = std::fs::read(path).ok()?;
+    let body = check_framing(&bytes, MANIFEST_MAGIC)?;
+    // magic(8) version(1) flags(1) generation(8) next_id(8) count(4)
+    if body.len() < 30 {
+        return None;
+    }
+    let generation = u64::from_le_bytes(body[10..18].try_into().expect("8 B"));
+    let next_job_id = u64::from_le_bytes(body[18..26].try_into().expect("8 B"));
+    let count = u32::from_le_bytes(body[26..30].try_into().expect("4 B")) as usize;
+    if body.len() != 30 + count * 17 {
+        return None;
+    }
+    Some(Manifest {
+        generation,
+        next_job_id,
+    })
+}
+
+/// Reads and validates one segment file; `None` for any malformation.
+fn read_segment(path: &Path) -> Option<StoredJob> {
+    let bytes = std::fs::read(path).ok()?;
+    let body = check_framing(&bytes, SEGMENT_MAGIC)?;
+    // magic(8) version(1) flags(1) job_id(8) gen(8) state(1) spec_len(4)
+    if body.len() < 31 {
+        return None;
+    }
+    let job_id = u64::from_le_bytes(body[10..18].try_into().expect("8 B"));
+    let generation = u64::from_le_bytes(body[18..26].try_into().expect("8 B"));
+    let state = body[26];
+    let spec_len = u32::from_le_bytes(body[27..31].try_into().expect("4 B")) as usize;
+    let rest = &body[31..];
+    if rest.len() < spec_len + 4 {
+        return None;
+    }
+    let spec = rest[..spec_len].to_vec();
+    let rest = &rest[spec_len..];
+    let ckpt_len = u32::from_le_bytes(rest[..4].try_into().expect("4 B")) as usize;
+    let rest = &rest[4..];
+    if rest.len() != ckpt_len {
+        return None;
+    }
+    Some(StoredJob {
+        job_id,
+        generation,
+        state,
+        spec,
+        checkpoint: rest.to_vec(),
+    })
+}
+
+/// Validates magic + version + trailing CRC; returns the covered body.
+fn check_framing<'a>(bytes: &'a [u8], magic: &[u8; 8]) -> Option<&'a [u8]> {
+    if bytes.len() < 8 + 2 + 4 || &bytes[..8] != magic || bytes[8] != FORMAT_VERSION {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 B"));
+    if crc32(body) != stored {
+        return None;
+    }
+    Some(body)
+}
+
+/// Highest-generation valid segment per job across the whole directory.
+fn scan_segments(dir: &Path) -> Result<BTreeMap<u64, StoredJob>, StoreError> {
+    let mut best: BTreeMap<u64, StoredJob> = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let is_seg = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".seg"));
+        if !is_seg {
+            continue;
+        }
+        if let Some(seg) = read_segment(&path) {
+            match best.get(&seg.job_id) {
+                Some(cur) if cur.generation >= seg.generation => {}
+                _ => {
+                    best.insert(seg.job_id, seg);
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Every segment file (any generation, valid or not) belonging to a job.
+fn segment_paths(dir: &Path, job_id: u64) -> Result<Vec<PathBuf>, StoreError> {
+    let prefix = format!("job-{job_id}-gen-");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let matches = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".seg"));
+        if matches {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fedrlnas-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_update_survive_reopen() {
+        let dir = temp_store_dir("reopen");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(b"spec-bytes", 0).expect("create");
+        let g2 = store.update(id, 1, 1, b"ckpt-v1").expect("update");
+        assert_eq!(g2, 2);
+
+        let reopened = JobStore::open(&dir).expect("reopen");
+        let job = reopened.get(id).expect("job survives");
+        assert_eq!(job.generation, 2);
+        assert_eq!(job.state, 1);
+        assert_eq!(job.spec, b"spec-bytes");
+        assert_eq!(job.checkpoint, b"ckpt-v1");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn stale_generation_is_fenced() {
+        let dir = temp_store_dir("stale");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(b"s", 0).expect("create");
+        store.update(id, 1, 1, b"a").expect("first update");
+        let err = store.update(id, 1, 1, b"b").expect_err("stale fenced");
+        assert!(matches!(err, StoreError::StaleGeneration { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn second_handle_commit_is_a_manifest_conflict() {
+        let dir = temp_store_dir("conflict");
+        let mut a = JobStore::open(&dir).expect("open a");
+        let mut b = JobStore::open(&dir).expect("open b");
+        a.create(b"s", 0).expect("a creates");
+        let err = b.create(b"t", 0).expect_err("b fenced");
+        assert!(matches!(err, StoreError::ManifestConflict { .. }), "{err}");
+        b.refresh().expect("refresh");
+        b.create(b"t", 0).expect("b succeeds after refresh");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_manifest_is_rebuilt_from_segments() {
+        let dir = temp_store_dir("rebuild");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(b"spec", 0).expect("create");
+        store.update(id, 1, 3, b"ck").expect("update");
+        std::fs::remove_file(dir.join(MANIFEST_NAME)).expect("drop index");
+
+        let reopened = JobStore::open(&dir).expect("reopen");
+        let job = reopened.get(id).expect("recovered from segments");
+        assert_eq!((job.generation, job.state), (2, 3));
+        assert_eq!(job.checkpoint, b"ck");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn compaction_keeps_only_latest_segments() {
+        let dir = temp_store_dir("compact");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(b"spec", 0).expect("create");
+        for gen in 1..5 {
+            store.update(id, gen, 1, b"ck").expect("update");
+        }
+        let segs_before = segment_paths(&dir, id).expect("list").len();
+        assert!(
+            segs_before > 1,
+            "superseded segments retained until compact"
+        );
+        store.compact().expect("compact");
+        assert_eq!(segment_paths(&dir, id).expect("list").len(), 1);
+        let reopened = JobStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.get(id).expect("intact").generation, 5);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn remove_deletes_job_durably() {
+        let dir = temp_store_dir("remove");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(b"spec", 0).expect("create");
+        let keep = store.create(b"other", 0).expect("create 2");
+        store.remove(id).expect("remove");
+        assert!(store.get(id).is_none());
+        let reopened = JobStore::open(&dir).expect("reopen");
+        assert!(reopened.get(id).is_none());
+        assert!(reopened.get(keep).is_some());
+        // Ids are never reused after removal.
+        let mut reopened = reopened;
+        let fresh = reopened.create(b"new", 0).expect("create 3");
+        assert!(fresh > keep);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

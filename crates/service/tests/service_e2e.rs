@@ -1,0 +1,257 @@
+//! End-to-end determinism suite for the multi-tenant service: interleaved
+//! fleets are bit-identical to sequential single runs; kill-and-restart
+//! resumes bit-identically; per-job network traces drive per-job codec
+//! choices; byte budgets auto-pause.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fedrlnas_core::{FederatedModelSearch, SearchOutcome};
+use fedrlnas_netsim::Environment;
+use fedrlnas_service::{BackendKind, JobManager, JobQuotas, JobSpec, JobState};
+use rand::{rngs::StdRng, SeedableRng};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("fedrlnas-e2e-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The sequential single-run baseline: the exact construction sequence of
+/// `fedrlnas search` (and of `Job::create`), including the RPC backend
+/// install for RpcMem specs (`fedrlnas search --rpc`).
+fn baseline(spec: &JobSpec) -> SearchOutcome {
+    let config = spec.build_config().expect("valid spec");
+    let dataset = spec.build_dataset(&config);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
+    if spec.backend == BackendKind::RpcMem {
+        let worker_dataset = search.dataset().clone();
+        fedrlnas_rpc::install(
+            search.server_mut(),
+            &worker_dataset,
+            fedrlnas_rpc::RpcConfig::default(),
+        );
+    }
+    search.run(&mut rng)
+}
+
+/// Bit-level equality on everything except wall-clock timings and the
+/// resume counter (a resumed job records its resumes; the baseline has
+/// none — both are metadata, not results).
+fn assert_outcomes_match(got: &SearchOutcome, want: &SearchOutcome, label: &str) {
+    assert_eq!(got.genotype, want.genotype, "{label}: genotype");
+    assert_eq!(
+        got.warmup_curve.steps(),
+        want.warmup_curve.steps(),
+        "{label}: warmup curve"
+    );
+    assert_eq!(
+        got.search_curve.steps(),
+        want.search_curve.steps(),
+        "{label}: search curve"
+    );
+    assert_eq!(
+        got.comm.bytes_down, want.comm.bytes_down,
+        "{label}: bytes down"
+    );
+    assert_eq!(got.comm.bytes_up, want.comm.bytes_up, "{label}: bytes up");
+    assert_eq!(got.comm.rounds, want.comm.rounds, "{label}: rounds");
+    assert_eq!(
+        got.comm.compression, want.comm.compression,
+        "{label}: compression tallies"
+    );
+    assert_eq!(got.alpha_probs, want.alpha_probs, "{label}: alpha");
+}
+
+/// A varied 8-job fleet: different seeds, one non-iid, one SVHN, one with
+/// an explicit environment profile, one on the in-memory RPC backend.
+fn fleet_specs() -> Vec<JobSpec> {
+    let mut specs: Vec<JobSpec> = (0..8u64).map(|i| JobSpec::tiny(1000 + 17 * i)).collect();
+    specs[2].non_iid = true;
+    specs[3].dataset = fedrlnas_service::DatasetKind::Svhn;
+    specs[5].environments = Some(vec![Environment::Car, Environment::Tram]);
+    specs[6].backend = BackendKind::RpcMem;
+    specs
+}
+
+#[test]
+fn interleaved_fleet_matches_sequential_single_runs() {
+    let specs = fleet_specs();
+    let dir = scratch("fleet");
+    let mut mgr = JobManager::open(&dir, JobQuotas::default(), 3).expect("open");
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| mgr.submit(s.clone()).expect("submit"))
+        .collect();
+    mgr.run_until_idle().expect("run fleet");
+    assert!(mgr.all_terminal());
+
+    for (spec, id) in specs.iter().zip(&ids) {
+        let want = baseline(spec);
+        let job = mgr.job(*id).expect("job live");
+        assert_eq!(job.state(), JobState::Completed);
+        assert_outcomes_match(&job.outcome(), &want, &format!("job {id}"));
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn killed_fleet_resumes_bit_identically_from_the_store() {
+    let specs: Vec<JobSpec> = (0..4u64).map(|i| JobSpec::tiny(4000 + 31 * i)).collect();
+    let dir = scratch("resume");
+    {
+        let mut mgr = JobManager::open(&dir, JobQuotas::default(), 2).expect("open");
+        for spec in &specs {
+            mgr.submit(spec.clone()).expect("submit");
+        }
+        // Run part of the fleet, then drop the manager cold — no
+        // checkpoint_all, like a kill -9 between periodic snapshots.
+        for _ in 0..22 {
+            mgr.tick().expect("tick");
+        }
+        assert!(!mgr.all_terminal(), "fleet must die mid-flight");
+    }
+
+    let mut mgr = JobManager::open(&dir, JobQuotas::default(), 2).expect("recover");
+    mgr.run_until_idle().expect("finish fleet");
+    assert!(mgr.all_terminal());
+    for (i, spec) in specs.iter().enumerate() {
+        let id = (i + 1) as u64;
+        let want = baseline(spec);
+        let job = mgr.job(id).expect("job recovered");
+        assert_outcomes_match(&job.outcome(), &want, &format!("resumed job {id}"));
+        assert!(
+            job.outcome().comm.resumes >= 1,
+            "job {id} should have recorded its resume"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Satellite regression: with `codec: Auto`, each job's codec choice must
+/// follow its *own* network trace, not process-global state. A fleet of
+/// one all-Foot (strong links → mild compression) and one all-Train
+/// (weak links → aggressive compression) job must reproduce each job's
+/// isolated tallies exactly, and those tallies must differ.
+#[test]
+fn per_job_traces_drive_per_job_codec_choice() {
+    let mut foot = JobSpec::tiny(777);
+    foot.codec = fedrlnas_codec::CodecConfig::Auto;
+    foot.environments = Some(vec![Environment::Foot]);
+    let mut train = JobSpec::tiny(777);
+    train.codec = fedrlnas_codec::CodecConfig::Auto;
+    train.environments = Some(vec![Environment::Train]);
+
+    let want_foot = baseline(&foot);
+    let want_train = baseline(&train);
+    assert_ne!(
+        want_foot.comm.compression, want_train.comm.compression,
+        "strong and weak traces must produce different codec mixes"
+    );
+
+    let dir = scratch("traces");
+    let mut mgr = JobManager::open(&dir, JobQuotas::default(), 0).expect("open");
+    let id_foot = mgr.submit(foot).expect("submit foot");
+    let id_train = mgr.submit(train).expect("submit train");
+    mgr.run_until_idle().expect("run both");
+
+    assert_outcomes_match(
+        &mgr.job(id_foot).expect("foot").outcome(),
+        &want_foot,
+        "foot-trace job",
+    );
+    assert_outcomes_match(
+        &mgr.job(id_train).expect("train").outcome(),
+        &want_train,
+        "train-trace job",
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn byte_budget_pauses_and_explicit_resume_finishes_identically() {
+    let spec = JobSpec::tiny(99);
+    let want = baseline(&spec);
+
+    let dir = scratch("budget");
+    let quotas = JobQuotas {
+        byte_budget: Some(1), // any traffic at all exhausts it
+        ..JobQuotas::default()
+    };
+    let mut mgr = JobManager::open(&dir, quotas, 0).expect("open");
+    let id = mgr.submit(spec).expect("submit");
+    mgr.run_until_idle().expect("run to auto-pause");
+    let (state, rounds, total) = mgr.status(id).expect("status");
+    assert_eq!(state, JobState::Paused, "over-budget job must pause");
+    assert!(rounds < total);
+
+    // Lifting the quota and resuming finishes the job bit-identically.
+    drop(mgr);
+    let mut mgr = JobManager::open(&dir, JobQuotas::default(), 0).expect("reopen");
+    mgr.resume(id).expect("resume paused job");
+    mgr.run_until_idle().expect("finish");
+    assert_outcomes_match(
+        &mgr.job(id).expect("job").outcome(),
+        &want,
+        "budget-paused job",
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn cancelled_jobs_leave_the_rotation_and_stay_terminal() {
+    let dir = scratch("cancel");
+    let mut mgr = JobManager::open(&dir, JobQuotas::default(), 0).expect("open");
+    let keep = mgr.submit(JobSpec::tiny(1)).expect("submit 1");
+    let kill = mgr.submit(JobSpec::tiny(2)).expect("submit 2");
+    mgr.tick().expect("tick");
+    mgr.cancel(kill).expect("cancel");
+    assert!(mgr.resume(kill).is_err(), "terminal states are sticky");
+    mgr.run_until_idle().expect("run rest");
+    assert_eq!(mgr.status(keep).expect("status").0, JobState::Completed);
+    assert_eq!(mgr.status(kill).expect("status").0, JobState::Cancelled);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The acceptance-scale fleet: 50+ interleaved searches, every one
+/// bit-identical to its sequential single run. Minutes of work — run via
+/// `--ignored` (CI does, in release).
+#[test]
+#[ignore = "acceptance scale; run with --ignored (CI does, in release)"]
+fn fifty_interleaved_jobs_match_their_single_run_baselines() {
+    let specs: Vec<JobSpec> = (0..52u64)
+        .map(|i| {
+            let mut spec = JobSpec::tiny(9000 + 13 * i);
+            if i % 7 == 3 {
+                spec.non_iid = true;
+            }
+            if i % 11 == 5 {
+                spec.environments = Some(vec![Environment::ALL[i as usize % 6]]);
+            }
+            spec
+        })
+        .collect();
+
+    let dir = scratch("fifty");
+    let mut mgr = JobManager::open(&dir, JobQuotas::default(), 5).expect("open");
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| mgr.submit(s.clone()).expect("submit"))
+        .collect();
+    mgr.run_until_idle().expect("run fleet");
+    assert!(mgr.all_terminal());
+
+    for (spec, id) in specs.iter().zip(&ids) {
+        let want = baseline(spec);
+        assert_outcomes_match(
+            &mgr.job(*id).expect("job").outcome(),
+            &want,
+            &format!("job {id}"),
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

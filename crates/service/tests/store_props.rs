@@ -1,0 +1,207 @@
+//! Property tests for the multi-job store: records round-trip through
+//! segment+manifest files; arbitrary truncation or bit-flips of any
+//! on-disk file never panic, never surface corrupt data, and fall back to
+//! the previous generation when one exists; compaction preserves the
+//! latest record of every job; concurrent writers are generation-fenced.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fedrlnas_service::{JobStore, StoreError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per proptest case (cases run sequentially
+/// but must not see each other's files).
+fn scratch(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "fedrlnas-storeprops-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn blob(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    vec(0u8..=255u8, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Manifest + segments round-trip: any set of jobs written through
+    /// the API reads back identically after a reopen.
+    #[test]
+    fn records_round_trip_through_reopen(
+        jobs in vec((blob(64), blob(256), 0u8..5), 1..6),
+    ) {
+        let dir = scratch("roundtrip");
+        let mut store = JobStore::open(&dir).expect("open");
+        let mut expected = Vec::new();
+        for (spec, ckpt, state) in &jobs {
+            let id = store.create(spec, *state).expect("create");
+            let generation = if ckpt.is_empty() {
+                1
+            } else {
+                store.update(id, 1, *state, ckpt).expect("update")
+            };
+            expected.push((id, generation, *state, spec.clone(), ckpt.clone()));
+        }
+
+        let reopened = JobStore::open(&dir).expect("reopen");
+        for (id, generation, state, spec, ckpt) in expected {
+            let job = reopened.get(id).expect("job survives reopen");
+            prop_assert_eq!(job.generation, generation);
+            prop_assert_eq!(job.state, state);
+            prop_assert_eq!(&job.spec, &spec);
+            prop_assert_eq!(&job.checkpoint, &ckpt);
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Truncating any file in the store anywhere: open never panics, and
+    /// every surviving record is one the API actually wrote — the newest
+    /// generation if its file survived, the previous otherwise.
+    #[test]
+    fn truncate_anywhere_recovers_or_degrades(
+        spec in blob(48),
+        ckpt in blob(128),
+        frac in 0.0f64..1.0,
+        pick in 0usize..16,
+    ) {
+        let dir = scratch("truncate");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(&spec, 0).expect("create");
+        store.update(id, 1, 1, &ckpt).expect("update");
+
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        files.sort();
+        let victim = files[pick % files.len()].clone();
+        let bytes = std::fs::read(&victim).expect("read victim");
+        let cut = (bytes.len() as f64 * frac) as usize;
+        std::fs::write(&victim, &bytes[..cut]).expect("truncate");
+
+        let reopened = JobStore::open(&dir).expect("open never fails on corruption");
+        match reopened.get(id) {
+            Some(job) => {
+                // Either the gen-2 record intact, or the gen-1 fallback.
+                if job.generation == 2 {
+                    prop_assert_eq!(&job.checkpoint, &ckpt);
+                } else {
+                    prop_assert_eq!(job.generation, 1);
+                    prop_assert_eq!(job.checkpoint.len(), 0);
+                }
+                prop_assert_eq!(&job.spec, &spec);
+            }
+            None => {
+                // One victim, one file per generation plus the manifest
+                // index: a valid generation always survives.
+                prop_assert!(false, "record lost though a valid generation survived");
+            }
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Flipping any single bit of any file: CRC framing catches it; the
+    /// reopened store never serves the tampered bytes.
+    #[test]
+    fn flip_any_bit_is_detected(
+        spec in blob(48),
+        ckpt in vec(0u8..=255u8, 1..128),
+        bit in 0usize..4096,
+        pick in 0usize..16,
+    ) {
+        let dir = scratch("flip");
+        let mut store = JobStore::open(&dir).expect("open");
+        let id = store.create(&spec, 0).expect("create");
+        store.update(id, 1, 1, &ckpt).expect("update");
+        store.compact().expect("compact to a single segment");
+
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        files.sort();
+        let victim = files[pick % files.len()].clone();
+        let mut bytes = std::fs::read(&victim).expect("read victim");
+        let flip = bit % (bytes.len() * 8);
+        bytes[flip / 8] ^= 1 << (flip % 8);
+        std::fs::write(&victim, &bytes).expect("write tampered");
+
+        let reopened = JobStore::open(&dir).expect("open survives tampering");
+        if let Some(job) = reopened.get(id) {
+            // Only reachable when the manifest was the victim (it is an
+            // index; the segment still authenticates) — data must be the
+            // genuine record, bit for bit.
+            prop_assert_eq!(job.generation, 2);
+            prop_assert_eq!(&job.spec, &spec);
+            prop_assert_eq!(&job.checkpoint, &ckpt);
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Compaction never loses the latest generation of any job.
+    #[test]
+    fn compaction_preserves_latest(
+        specs in vec(blob(32), 1..4),
+        updates in 1usize..5,
+    ) {
+        let dir = scratch("compact");
+        let mut store = JobStore::open(&dir).expect("open");
+        let mut latest = Vec::new();
+        for spec in &specs {
+            let id = store.create(spec, 0).expect("create");
+            let mut generation = 1;
+            for round in 0..updates {
+                let ckpt = vec![round as u8; round + 1];
+                generation = store.update(id, generation, 1, &ckpt).expect("update");
+            }
+            latest.push((id, generation, vec![(updates - 1) as u8; updates]));
+        }
+        store.compact().expect("compact");
+
+        let reopened = JobStore::open(&dir).expect("reopen");
+        for (id, generation, ckpt) in latest {
+            let job = reopened.get(id).expect("latest survives compaction");
+            prop_assert_eq!(job.generation, generation);
+            prop_assert_eq!(&job.checkpoint, &ckpt);
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Two handles on one directory: the second writer is fenced with
+    /// `ManifestConflict` until it refreshes, and a stale per-job
+    /// generation is fenced with `StaleGeneration`.
+    #[test]
+    fn concurrent_writers_are_generation_fenced(
+        spec in blob(32),
+        ckpt in blob(64),
+    ) {
+        let dir = scratch("fence");
+        let mut a = JobStore::open(&dir).expect("open a");
+        let mut b = JobStore::open(&dir).expect("open b");
+
+        let id = a.create(&spec, 0).expect("a creates");
+        let err = b.create(&spec, 0).expect_err("b must be fenced");
+        prop_assert!(matches!(err, StoreError::ManifestConflict { .. }));
+
+        b.refresh().expect("b adopts a's commit");
+        prop_assert_eq!(&b.get(id).expect("visible after refresh").spec, &spec);
+
+        b.update(id, 1, 1, &ckpt).expect("b updates after refresh");
+        // `a` is now stale on both axes: manifest generation first.
+        let err = a.update(id, 1, 1, &ckpt).expect_err("a must be fenced");
+        prop_assert!(matches!(err, StoreError::ManifestConflict { .. }));
+        a.refresh().expect("a adopts b's commit");
+        let err = a.update(id, 1, 2, &ckpt).expect_err("stale generation");
+        prop_assert!(matches!(err, StoreError::StaleGeneration { .. }));
+        a.update(id, 2, 2, &ckpt).expect("correct generation commits");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`sync`] | `fedrlnas-sync` | staleness, memory pools, delay compensation |
 //! | [`core`] | `fedrlnas-core` | Algorithm 1 end-to-end, phases P1–P4 |
 //! | [`rpc`] | `fedrlnas-rpc` | wire format, transports, distributed round engine |
+//! | [`service`] | `fedrlnas-service` | multi-tenant job manager, crash-safe job store, control plane |
 //! | [`baselines`] | `fedrlnas-baselines` | FedAvg/DARTS/ENAS/FedNAS/EvoFedNAS |
 //!
 //! # Quickstart
@@ -53,5 +54,6 @@ pub use fedrlnas_fed as fed;
 pub use fedrlnas_netsim as netsim;
 pub use fedrlnas_nn as nn;
 pub use fedrlnas_rpc as rpc;
+pub use fedrlnas_service as service;
 pub use fedrlnas_sync as sync;
 pub use fedrlnas_tensor as tensor;

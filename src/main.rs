@@ -8,6 +8,7 @@
 //!                  [--reject-norm C] [--codec fp32|fp16|int8|topk[:<f>]|auto]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
 //!                  [--checkpoint-path PATH] [--checkpoint-every N]
+//!                  [--stats-json PATH]
 //!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
 //!                  [--rpc-engine serial|pipelined]
 //!                  [--quorum-frac F] [--evict-after N]
@@ -31,6 +32,24 @@
 //! `topk:<f>` keeps the largest fraction `f` of entries with error feedback,
 //! and `auto` picks a codec per participant from its sampled bandwidth.
 //! The default `fp32` is byte-identical to a build without the codec layer.
+//! `--stats-json` writes the run's communication statistics as JSON (the
+//! same serialization the service control plane's `StatsDump` returns).
+//! `SIGINT`/`SIGTERM` trigger a graceful shutdown: with `--checkpoint-path`
+//! the state is snapshotted before exiting, and a restart resumes
+//! bit-identically.
+//!
+//! fedrlnas serve   --store DIR [--listen ADDR] [--checkpoint-every N]
+//!                  [--max-rounds-in-flight N] [--thread-budget N]
+//!                  [--byte-budget BYTES] [--round-delay-ms N]
+//!                  [--exit-when-idle]
+//!
+//! `serve` runs the multi-tenant search service: jobs are submitted over
+//! the protocol-v2 control plane (see `fedrlnas-service`), scheduled
+//! round-robin with per-job quotas, and checkpointed crash-safely in the
+//! `--store` directory — a `kill -9` mid-fleet resumes every job
+//! bit-identically on restart. The bound address is printed as
+//! `listening on ADDR` once the server is ready.
+//!
 //! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
 //!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
 //! fedrlnas info    [--scale ...]
@@ -44,6 +63,10 @@ use fedrlnas::darts::Genotype;
 use fedrlnas::data::{DatasetSpec, SyntheticDataset};
 use fedrlnas::fed::{AggregatorConfig, FedAvgConfig};
 use fedrlnas::rpc::{EngineMode, FaultPlan, RpcConfig, TransportKind};
+use fedrlnas::service::{
+    comm_stats_json, install_shutdown_handler, serve_tcp, shutdown_requested, JobManager,
+    JobQuotas, ServeOptions,
+};
 use fedrlnas::sync::{StalenessModel, StalenessStrategy};
 use rand::{rngs::StdRng, SeedableRng};
 use std::process::ExitCode;
@@ -61,7 +84,7 @@ fn present(argv: &[String], name: &str) -> bool {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fedrlnas <search|retrain|info> [options]\n\
+        "usage: fedrlnas <search|serve|retrain|info> [options]\n\
          run `fedrlnas info` for the active configuration; see crate docs for all flags"
     );
     ExitCode::FAILURE
@@ -134,7 +157,23 @@ fn dataset_for(
     Ok(SyntheticDataset::generate(&spec, &mut rng))
 }
 
+/// Writes the run's communication statistics when `--stats-json` asked
+/// for them — shared serialization with the service `StatsDump` reply.
+fn write_stats_json(argv: &[String], search: &FederatedModelSearch) -> Result<(), String> {
+    if let Some(path) = flag(argv, "--stats-json") {
+        let json = comm_stats_json(
+            search.server().comm(),
+            search.rounds_completed(),
+            search.total_rounds(),
+        );
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("stats written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_search(argv: &[String]) -> Result<(), String> {
+    install_shutdown_handler();
     let seed: u64 = flag(argv, "--seed")
         .map_or(Ok(42), |s| s.parse())
         .map_err(|e| format!("bad seed: {e}"))?;
@@ -255,9 +294,23 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         );
     }
     let outcome = match &policy {
-        Some(_) => search
-            .run_checkpointed(&mut rng, policy.as_ref())
-            .map_err(|e| format!("checkpointing failed: {e}"))?,
+        Some(_) => {
+            // Interruptible: a SIGINT/SIGTERM mid-run snapshots and exits
+            // cleanly; a rerun resumes bit-identically.
+            match search
+                .run_checkpointed_until(&mut rng, policy.as_ref(), shutdown_requested)
+                .map_err(|e| format!("checkpointing failed: {e}"))?
+            {
+                Some(outcome) => outcome,
+                None => {
+                    println!(
+                        "interrupted after {} rounds; checkpoint saved — rerun to resume",
+                        search.rounds_completed()
+                    );
+                    return write_stats_json(argv, &search);
+                }
+            }
+        }
         None => search.run(&mut rng),
     };
     println!("genotype: {}", outcome.genotype);
@@ -289,6 +342,49 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("checkpoint written to {path}");
     }
+    write_stats_json(argv, &search)
+}
+
+fn cmd_serve(argv: &[String]) -> Result<(), String> {
+    install_shutdown_handler();
+    let store = flag(argv, "--store").ok_or("serve requires --store DIR")?;
+    let listen = flag(argv, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let checkpoint_every: usize = flag(argv, "--checkpoint-every")
+        .map_or(Ok(5), |s| s.parse())
+        .map_err(|e| format!("bad checkpoint interval: {e}"))?;
+    let quotas = JobQuotas {
+        max_rounds_in_flight: flag(argv, "--max-rounds-in-flight")
+            .map_or(Ok(1), |s| s.parse())
+            .map_err(|e| format!("bad rounds-in-flight quota: {e}"))?,
+        thread_budget: flag(argv, "--thread-budget")
+            .map_or(Ok(0), |s| s.parse())
+            .map_err(|e| format!("bad thread budget: {e}"))?,
+        byte_budget: match flag(argv, "--byte-budget") {
+            None => None,
+            Some(s) => Some(s.parse().map_err(|e| format!("bad byte budget: {e}"))?),
+        },
+    };
+    let delay_ms: u64 = flag(argv, "--round-delay-ms")
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|e| format!("bad round delay: {e}"))?;
+    let options = ServeOptions {
+        exit_when_idle: present(argv, "--exit-when-idle"),
+        round_delay: std::time::Duration::from_millis(delay_ms),
+    };
+
+    let mut mgr = JobManager::open(std::path::Path::new(&store), quotas, checkpoint_every)
+        .map_err(|e| format!("open job store {store}: {e}"))?;
+    let recovered = mgr.list().len();
+    if recovered > 0 {
+        println!("recovered {recovered} job(s) from {store}");
+    }
+    serve_tcp(&mut mgr, listen.as_str(), &options, |addr| {
+        // The e2e harnesses parse this line; keep it stable and flushed.
+        println!("listening on {addr}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    })?;
+    println!("all jobs checkpointed; exiting");
     Ok(())
 }
 
@@ -344,6 +440,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some("search") => cmd_search(&argv),
+        Some("serve") => cmd_serve(&argv),
         Some("retrain") => cmd_retrain(&argv),
         Some("info") => cmd_info(&argv),
         _ => return usage(),
