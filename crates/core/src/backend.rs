@@ -18,7 +18,7 @@
 //! crate and installs itself via [`SearchServer::set_backend`](crate::SearchServer::set_backend).
 
 use fedrlnas_darts::{ArchMask, SubModel};
-use fedrlnas_fed::{CompressionTally, FaultTally, RejectTally, RoundTimings};
+use fedrlnas_fed::{ChurnTally, CompressionTally, FaultTally, RejectTally, RoundTimings};
 
 /// One participant's completed local update as delivered by a backend.
 ///
@@ -64,6 +64,12 @@ pub struct RoundRequest<'a> {
     /// stream exactly like the in-process path so both modes are
     /// bit-identical.
     pub seed_base: u64,
+    /// Per-slot participation mask from the population/churn layer.
+    /// `active[p] == false` means slot `p`'s sampled client is out for
+    /// this round: the backend must not ship to it, wait on it, or count
+    /// it toward quorum. `None` means every slot participates (the
+    /// historical fixed-fleet behaviour).
+    pub active: Option<&'a [bool]>,
 }
 
 /// What a backend hands back after driving one round.
@@ -97,6 +103,11 @@ pub struct RoundOutcome {
     /// update delivered this round (on-time or late); empty when the run
     /// is configured for plain `fp32`.
     pub compression: CompressionTally,
+    /// Churn events the engine itself observed this round (currently
+    /// heartbeat re-admissions of previously evicted workers); merged into
+    /// the server's scheduled-churn tally. Empty for fault-free fixed
+    /// fleets, so legacy runs keep their CommStats byte-identical.
+    pub churn: ChurnTally,
     /// Wall-clock the engine spent shipping downloads, collecting replies,
     /// decoding coded runs and validating updates this round. Volatile
     /// observability data (never part of determinism comparisons); the

@@ -14,9 +14,12 @@
 //! aggregation rule; v4 adds the update-compression state — the
 //! compression tallies, each participant's error-feedback residual and
 //! the codec configuration, which restore cross-checks against the server
-//! exactly like the aggregator rule. A search killed after round `t` and
-//! resumed from its round-`t` checkpoint produces the same genotype and
-//! curves as one that never stopped.
+//! exactly like the aggregator rule; v5 adds the population-churn state —
+//! the scheduled-churn tallies, the availability-model spec, the cohort
+//! sampler's RNG cursor and the per-slot eviction streaks, so a resumed
+//! run samples the exact cohorts the uninterrupted run would have. A
+//! search killed after round `t` and resumed from its round-`t` checkpoint
+//! produces the same genotype and curves as one that never stopped.
 //!
 //! The on-disk layout is a little-endian binary body framed by a
 //! magic/version header, an exact body length and a trailing CRC-32:
@@ -39,8 +42,10 @@ use crate::server::{LatencyStats, PendingUpdate, SearchServer};
 use fedrlnas_codec::{CodecConfig, CodecSpec};
 use fedrlnas_darts::{ArchMask, CellKind, NUM_OPS};
 use fedrlnas_fed::{
-    AggregatorConfig, AggregatorKind, CommStats, CompressionTally, FaultTally, RejectTally,
+    AggregatorConfig, AggregatorKind, ChurnTally, CommStats, CompressionTally, FaultTally,
+    RejectTally,
 };
+use fedrlnas_netsim::{AvailabilitySpec, CohortSampler};
 use fedrlnas_sync::RoundSnapshot;
 use fedrlnas_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -50,7 +55,7 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"FRLNCKPT";
 const V1_MAGIC: &[u8; 8] = b"FEDRLNA1";
-const VERSION: u16 = 4;
+const VERSION: u16 = 5;
 /// Header: magic + version + flags + body length.
 const HEADER_LEN: usize = 8 + 2 + 2 + 8;
 
@@ -65,7 +70,8 @@ pub enum CheckpointError {
     BadMagic([u8; 8]),
     /// A checkpoint from an unsupported format version (v1 files report
     /// version 1; v2 files predate the robustness fields; v3 files predate
-    /// the update-compression state).
+    /// the update-compression state; v4 files predate the population-churn
+    /// state).
     UnsupportedVersion(u16),
     /// The file ends before the structure it declares.
     Truncated {
@@ -97,7 +103,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported checkpoint version {v} (this build reads v4)"
+                    "unsupported checkpoint version {v} (this build reads v5)"
                 )
             }
             CheckpointError::Truncated { needed, got } => {
@@ -170,6 +176,26 @@ pub struct ParticipantEntry {
     pub residual: Vec<f32>,
 }
 
+/// Serialized population/churn state (v5): everything the server's churn
+/// layer needs to resume cohort sampling bit-identically after a kill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEntry {
+    /// Enrolled population size.
+    pub population: u64,
+    /// Cohort size — must equal the server's worker-slot count.
+    pub cohort: u64,
+    /// Availability-model spec driving the schedule; restore refuses a
+    /// server configured differently (cohorts would silently diverge).
+    pub spec: AvailabilitySpec,
+    /// Cohort sampler RNG state at capture time (the draw count per round
+    /// depends on availability, so the cursor cannot be recomputed).
+    pub sampler_state: [u64; 4],
+    /// Per-slot consecutive flapped rounds.
+    pub miss_streak: Vec<u64>,
+    /// Per-slot evicted flags.
+    pub evicted: Vec<bool>,
+}
+
 /// A complete, serializable snapshot of the mutable search state (v2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -212,6 +238,9 @@ pub struct Checkpoint {
     /// server configured differently (the error-feedback residuals and
     /// curves would silently diverge).
     pub codec: CodecConfig,
+    /// Population/churn state (`None` for fixed fleets); restore
+    /// cross-checks it against the server's population configuration.
+    pub churn: Option<ChurnEntry>,
 }
 
 impl Checkpoint {
@@ -274,6 +303,14 @@ impl Checkpoint {
             aggregator: server.config.aggregator,
             update_norm_bound: server.config.update_norm_bound,
             codec: server.config.codec,
+            churn: server.churn.as_ref().map(|c| ChurnEntry {
+                population: c.population.size(),
+                cohort: c.miss_streak.len() as u64,
+                spec: *c.population.spec(),
+                sampler_state: c.sampler.state(),
+                miss_streak: c.miss_streak.clone(),
+                evicted: c.evicted.clone(),
+            }),
         }
     }
 
@@ -351,6 +388,37 @@ impl Checkpoint {
                 )));
             }
         }
+        match (&self.churn, &server.config.population) {
+            (None, None) => {}
+            (Some(e), Some(p)) => {
+                if e.population != p.size || e.cohort != p.cohort as u64 || e.spec != p.availability
+                {
+                    return Err(mismatch(format!(
+                        "checkpoint population {}/{} ({}) differs from server {}/{} ({})",
+                        e.population, e.cohort, e.spec, p.size, p.cohort, p.availability
+                    )));
+                }
+                if e.miss_streak.len() != p.cohort || e.evicted.len() != p.cohort {
+                    return Err(mismatch(format!(
+                        "churn state tracks {} slots, cohort is {}",
+                        e.miss_streak.len(),
+                        p.cohort
+                    )));
+                }
+            }
+            (Some(_), None) => {
+                return Err(mismatch(
+                    "checkpoint carries population churn state, server runs a fixed fleet"
+                        .to_string(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(mismatch(
+                    "server expects population churn state the checkpoint does not carry"
+                        .to_string(),
+                ))
+            }
+        }
         // θ
         let mut cursor = 0usize;
         server.supernet.visit_params(&mut |p| {
@@ -403,6 +471,12 @@ impl Checkpoint {
                 .map_err(mismatch)?;
             p.set_bandwidth_mbps(entry.bandwidth_mbps);
             p.set_residual(entry.residual.clone());
+        }
+        // population churn: sampler cursor and per-slot eviction state
+        if let (Some(entry), Some(state)) = (&self.churn, server.churn.as_mut()) {
+            state.sampler = CohortSampler::from_state(entry.sampler_state);
+            state.miss_streak = entry.miss_streak.clone();
+            state.evicted = entry.evicted.clone();
         }
         // tallies, curves, clocks
         server.comm = self.comm;
@@ -636,6 +710,41 @@ impl Checkpoint {
         out.push(mode);
         out.push(ctag);
         out.extend_from_slice(&cparam.to_le_bytes());
+        // v5 churn block: scheduled-churn tallies, then the optional
+        // population/sampler state behind a presence flag
+        for v in [
+            self.comm.churn.sampled,
+            self.comm.churn.unavailable,
+            self.comm.churn.flaps,
+            self.comm.churn.evicted,
+            self.comm.churn.readmitted,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        match &self.churn {
+            None => out.push(0),
+            Some(e) => {
+                out.push(1);
+                out.extend_from_slice(&e.population.to_le_bytes());
+                out.extend_from_slice(&e.cohort.to_le_bytes());
+                out.extend_from_slice(&e.spec.seed.to_le_bytes());
+                out.extend_from_slice(&e.spec.base.to_le_bytes());
+                out.extend_from_slice(&e.spec.amplitude.to_le_bytes());
+                out.extend_from_slice(&e.spec.period.to_le_bytes());
+                out.extend_from_slice(&e.spec.dropout_every.to_le_bytes());
+                out.extend_from_slice(&e.spec.dropout_len.to_le_bytes());
+                out.extend_from_slice(&e.spec.churn.to_le_bytes());
+                out.extend_from_slice(&e.spec.flap.to_le_bytes());
+                for w in e.sampler_state {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+                out.extend_from_slice(&(e.miss_streak.len() as u64).to_le_bytes());
+                for (streak, &evicted) in e.miss_streak.iter().zip(&e.evicted) {
+                    out.extend_from_slice(&streak.to_le_bytes());
+                    out.push(u8::from(evicted));
+                }
+            }
+        }
         out
     }
 
@@ -649,7 +758,7 @@ impl Checkpoint {
         let theta = r.f32s()?;
         let alpha = r.f32s()?;
         let velocity = r.f32s()?;
-        let comm = CommStats {
+        let mut comm = CommStats {
             bytes_down: r.u64()?,
             bytes_up: r.u64()?,
             rounds: r.u64()?,
@@ -674,6 +783,10 @@ impl Checkpoint {
                 encoded_bytes: r.u64()?,
                 frames: [r.u64()?, r.u64()?, r.u64()?, r.u64()?],
             },
+            // the churn tallies live in the v5 block at the end of the
+            // body (so earlier field offsets stayed stable across the
+            // version bump) and are patched in below
+            churn: ChurnTally::default(),
             // wall-clock phase timings are volatile observability data and
             // deliberately never checkpointed: a resumed run starts fresh
             timing: Default::default(),
@@ -782,6 +895,60 @@ impl Checkpoint {
             }
             _ => return Err(CheckpointError::Malformed("unknown codec mode")),
         };
+        // v5 churn block
+        comm.churn = ChurnTally {
+            sampled: r.u64()?,
+            unavailable: r.u64()?,
+            flaps: r.u64()?,
+            evicted: r.u64()?,
+            readmitted: r.u64()?,
+        };
+        let churn = match r.u8()? {
+            0 => None,
+            1 => {
+                let population = r.u64()?;
+                let cohort = r.u64()?;
+                let spec = AvailabilitySpec {
+                    seed: r.u64()?,
+                    base: r.f64()?,
+                    amplitude: r.f64()?,
+                    period: r.u64()?,
+                    dropout_every: r.u64()?,
+                    dropout_len: r.u64()?,
+                    churn: r.f64()?,
+                    flap: r.f64()?,
+                };
+                if spec.validate().is_err() {
+                    return Err(CheckpointError::Malformed("invalid availability spec"));
+                }
+                let sampler_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+                let n_slots = r.len_within(9)?; // streak u64 + evicted u8
+                if n_slots as u64 != cohort {
+                    return Err(CheckpointError::Malformed(
+                        "churn slot count disagrees with cohort",
+                    ));
+                }
+                let mut miss_streak = Vec::with_capacity(n_slots);
+                let mut evicted = Vec::with_capacity(n_slots);
+                for _ in 0..n_slots {
+                    miss_streak.push(r.u64()?);
+                    evicted.push(match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(CheckpointError::Malformed("bad evicted flag")),
+                    });
+                }
+                Some(ChurnEntry {
+                    population,
+                    cohort,
+                    spec,
+                    sampler_state,
+                    miss_streak,
+                    evicted,
+                })
+            }
+            _ => return Err(CheckpointError::Malformed("bad churn presence flag")),
+        };
         r.finish()?;
         Ok(Checkpoint {
             round,
@@ -802,6 +969,7 @@ impl Checkpoint {
             aggregator,
             update_norm_bound,
             codec,
+            churn,
         })
     }
 }

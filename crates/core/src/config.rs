@@ -5,7 +5,7 @@ use fedrlnas_controller::ControllerConfig;
 use fedrlnas_darts::SupernetConfig;
 use fedrlnas_data::AugmentConfig;
 use fedrlnas_fed::AggregatorConfig;
-use fedrlnas_netsim::{AssignmentStrategy, DeviceProfile, Environment};
+use fedrlnas_netsim::{AssignmentStrategy, AvailabilitySpec, DeviceProfile, Environment};
 use fedrlnas_nn::SgdConfig;
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
 use serde::{Deserialize, Serialize};
@@ -31,6 +31,24 @@ impl Scale {
             _ => None,
         }
     }
+}
+
+/// An enrolled client population from which each round's cohort is
+/// sampled (the CLI's `--population N --cohort K --availability <spec>`).
+///
+/// The cohort size doubles as the participant count: each of the `K`
+/// worker slots is bound to a freshly sampled client identity every round,
+/// so a search configured with a population behaves exactly like a
+/// `K`-participant search whose per-round participation is governed by the
+/// deterministic availability model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PopulationConfig {
+    /// Number of enrolled clients.
+    pub size: u64,
+    /// Clients sampled per round (= `num_participants`).
+    pub cohort: usize,
+    /// Deterministic availability model parameters.
+    pub availability: AvailabilitySpec,
 }
 
 /// Full configuration of a federated model search run.
@@ -97,6 +115,9 @@ pub struct SearchConfig {
     /// so bandwidth-aware codec selection reads that job's own traces
     /// instead of one process-wide rotation shared by every search.
     pub environments: Option<Vec<Environment>>,
+    /// Enrolled population to sample per-round cohorts from. `None` (the
+    /// default) keeps the historical fixed participant set.
+    pub population: Option<PopulationConfig>,
 }
 
 impl SearchConfig {
@@ -129,6 +150,7 @@ impl SearchConfig {
             update_norm_bound: None,
             codec: CodecConfig::default(),
             environments: None,
+            population: None,
         }
     }
 
@@ -170,6 +192,7 @@ impl SearchConfig {
             update_norm_bound: None,
             codec: CodecConfig::default(),
             environments: None,
+            population: None,
         }
     }
 
@@ -198,6 +221,7 @@ impl SearchConfig {
             update_norm_bound: None,
             codec: CodecConfig::default(),
             environments: None,
+            population: None,
         }
     }
 
@@ -258,6 +282,15 @@ impl SearchConfig {
         self
     }
 
+    /// Builder-style: sample each round's participants from an enrolled
+    /// population. The cohort size becomes the participant count, so the
+    /// worker fleet is sized to the cohort, not the population.
+    pub fn with_population(mut self, population: PopulationConfig) -> Self {
+        self.num_participants = population.cohort;
+        self.population = Some(population);
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -289,6 +322,24 @@ impl SearchConfig {
         }
         if matches!(&self.environments, Some(envs) if envs.is_empty()) {
             return Err("environment profile must name at least one environment".into());
+        }
+        if let Some(p) = &self.population {
+            if p.cohort == 0 {
+                return Err("cohort must sample at least one client".into());
+            }
+            if p.cohort as u64 > p.size {
+                return Err(format!(
+                    "cohort {} exceeds the enrolled population {}",
+                    p.cohort, p.size
+                ));
+            }
+            if p.cohort != self.num_participants {
+                return Err(format!(
+                    "cohort {} must equal the participant count {}",
+                    p.cohort, self.num_participants
+                ));
+            }
+            p.availability.validate()?;
         }
         Ok(())
     }
@@ -366,6 +417,33 @@ mod tests {
         let mut empty = SearchConfig::tiny();
         empty.environments = Some(Vec::new());
         assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn population_config_validates() {
+        let pop = PopulationConfig {
+            size: 100_000,
+            cohort: 64,
+            availability: AvailabilitySpec::default(),
+        };
+        let c = SearchConfig::tiny().with_population(pop);
+        assert_eq!(c.num_participants, 64, "cohort sizes the worker fleet");
+        assert!(c.validate().is_ok());
+        // cohort larger than the population
+        let mut bad = SearchConfig::tiny().with_population(PopulationConfig {
+            size: 10,
+            cohort: 64,
+            ..pop
+        });
+        assert!(bad.validate().is_err());
+        // participant count drifting away from the cohort
+        bad = SearchConfig::tiny().with_population(pop);
+        bad.num_participants = 8;
+        assert!(bad.validate().is_err());
+        // inconsistent availability spec
+        bad = SearchConfig::tiny().with_population(pop);
+        bad.population.as_mut().unwrap().availability.base = 2.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -34,8 +34,10 @@ mod runner;
 mod server;
 
 pub use backend::{BackendReport, RoundBackend, RoundOutcome, RoundRequest};
-pub use checkpoint::{Checkpoint, CheckpointError, ParticipantEntry, PendingEntry, PoolEntry};
-pub use config::{Scale, SearchConfig};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, ChurnEntry, ParticipantEntry, PendingEntry, PoolEntry,
+};
+pub use config::{PopulationConfig, Scale, SearchConfig};
 pub use metrics::{CurveRecorder, StepMetric};
 pub use phases::{retrain_centralized, retrain_federated, test_error_percent, RetrainReport};
 pub use runner::{CheckpointPolicy, FederatedModelSearch, SearchOutcome};

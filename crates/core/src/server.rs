@@ -2,17 +2,19 @@
 //! delay-compensated soft synchronization.
 
 use crate::backend::{BackendReport, RoundBackend, RoundRequest};
-use crate::config::SearchConfig;
+use crate::config::{PopulationConfig, SearchConfig};
 use crate::metrics::{CurveRecorder, StepMetric};
 use fedrlnas_codec::{absorb_residual, compensate, Codec};
 use fedrlnas_controller::{Alpha, ReinforceController};
 use fedrlnas_darts::{ArchMask, Genotype, Supernet};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
 use fedrlnas_fed::{
-    validate_update, CommStats, Participant, RejectTally, RoundTimings, SparseUpdate,
+    validate_update, ChurnTally, CommStats, Participant, RejectTally, RoundTimings, SparseUpdate,
     StreamingAccumulator,
 };
-use fedrlnas_netsim::{assign, resolve_codec, transmission_secs, Environment};
+use fedrlnas_netsim::{
+    assign, resolve_codec, transmission_secs, CohortSampler, Environment, Population,
+};
 use fedrlnas_nn::Sgd;
 use fedrlnas_sync::{
     compensate_alpha_gradient, compensate_gradient, MemoryPools, RoundSnapshot, StalenessDraw,
@@ -53,6 +55,97 @@ pub(crate) struct PendingUpdate {
     pub(crate) accuracy: f32,
 }
 
+/// Consecutive flapped rounds after which a cohort slot is evicted from
+/// participation until its sampled client is reachable again. Matches the
+/// spirit of the engine's `evict_after` but lives server-side so the
+/// decision is checkpointed and kill-and-resume replays it exactly.
+const CHURN_EVICT_AFTER: u64 = 2;
+
+/// Salt separating the cohort sampler's RNG stream from the availability
+/// hash streams derived from the same spec seed.
+const COHORT_SAMPLER_SALT: u64 = 0x00C0_4082_5EED_CAFE;
+
+/// Mutable population/churn state driving per-round cohort sampling.
+///
+/// Lives on the server (not the engine) so that every scheduled-churn
+/// decision — which clients were sampled, which flapped, which slots are
+/// evicted — is part of the checkpointed state: the engine's worker slots
+/// are rebuilt fresh on resume, so any participation decision taken there
+/// would diverge after a kill -9. `pub(crate)` so checkpointing can
+/// capture and restore it.
+pub(crate) struct ChurnState {
+    /// The enrolled fleet (pure function of the spec; not checkpointed).
+    pub(crate) population: Population,
+    /// Cohort sampler; its RNG cursor travels through checkpoints because
+    /// the draw count per round depends on how many clients were available.
+    pub(crate) sampler: CohortSampler,
+    /// Consecutive flapped rounds per cohort slot.
+    pub(crate) miss_streak: Vec<u64>,
+    /// Slots currently sitting out after too many flaps.
+    pub(crate) evicted: Vec<bool>,
+}
+
+impl ChurnState {
+    pub(crate) fn new(config: &PopulationConfig) -> ChurnState {
+        ChurnState {
+            population: Population::new(config.size, config.availability),
+            sampler: CohortSampler::new(config.availability.seed ^ COHORT_SAMPLER_SALT),
+            miss_streak: vec![0; config.cohort],
+            evicted: vec![false; config.cohort],
+        }
+    }
+
+    /// Samples this round's cohort and resolves scheduled participation:
+    /// draws `k` available clients, binds them to worker slots in order,
+    /// re-admits evicted slots whose client holds steady, marks flapping
+    /// slots inactive and evicts slots that flapped too many rounds in a
+    /// row. Returns the per-slot active mask and the round's churn tally.
+    fn begin_round(&mut self, round: u64) -> (Vec<bool>, ChurnTally) {
+        let k = self.miss_streak.len();
+        let draw = self.sampler.sample(&self.population, round, k);
+        let mut tally = ChurnTally {
+            sampled: draw.cohort.len() as u64,
+            unavailable: self.population.size() - draw.available,
+            ..ChurnTally::default()
+        };
+        let mut active = vec![false; k];
+        for (slot, active_slot) in active.iter_mut().enumerate() {
+            // undersized cohort (mass outage): unbound slots sit the round
+            // out without touching their streaks
+            let Some(&client) = draw.cohort.get(slot) else {
+                continue;
+            };
+            let flap = self.population.flaps_mid_round(client, round);
+            if self.evicted[slot] && !flap {
+                // the freshly bound client is reachable and holds steady:
+                // the slot rejoins immediately
+                self.evicted[slot] = false;
+                self.miss_streak[slot] = 0;
+                tally.readmitted += 1;
+            }
+            *active_slot = !self.evicted[slot] && !flap;
+            if flap {
+                tally.flaps += 1;
+                self.miss_streak[slot] += 1;
+                if self.miss_streak[slot] >= CHURN_EVICT_AFTER && !self.evicted[slot] {
+                    self.evicted[slot] = true;
+                    tally.evicted += 1;
+                }
+            } else if *active_slot {
+                self.miss_streak[slot] = 0;
+            }
+        }
+        (active, tally)
+    }
+}
+
+/// Whether cohort slot `p` participates this round (`true` when no
+/// population is configured — the historical fixed fleet).
+fn slot_active(mask: &Option<Vec<bool>>, p: usize) -> bool {
+    mask.as_ref()
+        .is_none_or(|m| m.get(p).copied().unwrap_or(false))
+}
+
 /// One computed local update ready for aggregation.
 struct Arrival {
     computed_at: usize,
@@ -83,6 +176,7 @@ pub struct SearchServer {
     pub(crate) theta_sgd: Sgd,
     pub(crate) round: usize,
     pub(crate) sim_seconds: f64,
+    pub(crate) churn: Option<ChurnState>,
     initial_theta: Vec<f32>,
     /// Optional wire backend; `None` trains participants in-process.
     backend: Option<Box<dyn RoundBackend>>,
@@ -144,6 +238,7 @@ impl SearchServer {
         let mut initial_theta = Vec::new();
         supernet.visit_params(&mut |p| initial_theta.extend_from_slice(p.value.as_slice()));
         let theta_sgd = Sgd::new(config.theta_sgd);
+        let churn = config.population.as_ref().map(ChurnState::new);
         SearchServer {
             config,
             supernet,
@@ -158,6 +253,7 @@ impl SearchServer {
             theta_sgd,
             round: 0,
             sim_seconds: 0.0,
+            churn,
             initial_theta,
             backend: None,
         }
@@ -347,6 +443,17 @@ impl SearchServer {
     ) {
         let t = self.round;
         let k = self.participants.len();
+        // --- population churn: sample this round's cohort and resolve
+        // scheduled participation. Runs before any draw on the main RNG
+        // (the sampler owns its own stream), so fixed-fleet runs keep
+        // their historical RNG shape bit for bit. ---
+        let (active_mask, mut churn_tally) = match self.churn.as_mut() {
+            Some(churn) => {
+                let (active, tally) = churn.begin_round(t as u64);
+                (Some(active), tally)
+            }
+            None => (None, ChurnTally::default()),
+        };
         // Ablation: without weight sharing, every round starts from the
         // initial (untrained) supernet weights.
         if !self.config.weight_sharing {
@@ -377,6 +484,15 @@ impl SearchServer {
         // the assignment estimates; a wire backend replaces them below with
         // measured frame bytes over the same sampled bandwidths.
         let mut latencies = outcome.latencies.clone();
+        // inactive slots ship nothing, so they contribute no latency (the
+        // wire backend reaches the same numbers via zero measured frames)
+        if let Some(active) = &active_mask {
+            for (p, latency) in latencies.iter_mut().enumerate() {
+                if !active.get(p).copied().unwrap_or(false) {
+                    *latency = 0.0;
+                }
+            }
+        }
         // mask each participant actually trains
         let assigned_masks: Vec<ArchMask> = (0..k)
             .map(|p| masks[outcome.model_for_participant[p]].clone())
@@ -416,6 +532,7 @@ impl SearchServer {
                 alpha_logits: &alpha_logits,
                 bandwidths_mbps: &bandwidths,
                 seed_base,
+                active: active_mask.as_deref(),
             });
             // communication: the bytes that actually crossed the wire,
             // including retransmissions and late uploads
@@ -424,6 +541,7 @@ impl SearchServer {
             self.comm.record_faults(&out.faults);
             self.comm.record_rejects(&out.rejects);
             self.comm.record_compression(&out.compression);
+            churn_tally.merge(&out.churn);
             round_timings.merge(&out.timings);
             // transmission latency: measured download frame bytes over the
             // sampled link bandwidth
@@ -438,6 +556,9 @@ impl SearchServer {
             // same state). This keeps the server's participants
             // authoritative for checkpoint/resume in backend mode.
             for p in self.participants.iter_mut() {
+                if !slot_active(&active_mask, p.id()) {
+                    continue; // no worker trained for this slot this round
+                }
                 let mut prng = rand::rngs::StdRng::seed_from_u64(
                     seed_base ^ (p.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
@@ -450,6 +571,7 @@ impl SearchServer {
                     .participants
                     .iter_mut()
                     .zip(submodels.iter_mut())
+                    .filter(|(p, _)| slot_active(&active_mask, p.id()))
                     .map(|(p, sub)| {
                         scope.spawn(move |_| {
                             let mut prng = rand::rngs::StdRng::seed_from_u64(
@@ -480,14 +602,38 @@ impl SearchServer {
                     delta_alpha: Vec::new(),
                 })
                 .collect();
-            // downlink (estimated): one sub-model per participant
-            for size in &sizes {
-                self.comm.record_down(*size);
+            // downlink (estimated): one sub-model per *participating* slot
+            match &active_mask {
+                None => {
+                    for size in &sizes {
+                        self.comm.record_down(*size);
+                    }
+                }
+                Some(active) => {
+                    for p in 0..k {
+                        if active[p] {
+                            self.comm
+                                .record_down(sizes[outcome.model_for_participant[p]]);
+                        }
+                    }
+                }
             }
             if self.config.codec.is_fp32() {
                 // uplink (estimated): raw gradients + reward
-                for size in &sizes {
-                    self.comm.record_up(*size + 4);
+                match &active_mask {
+                    None => {
+                        for size in &sizes {
+                            self.comm.record_up(*size + 4);
+                        }
+                    }
+                    Some(active) => {
+                        for p in 0..k {
+                            if active[p] {
+                                self.comm
+                                    .record_up(sizes[outcome.model_for_participant[p]] + 4);
+                            }
+                        }
+                    }
                 }
             } else {
                 // Simulate the codec each upload would cross the wire with:
@@ -533,6 +679,9 @@ impl SearchServer {
         // depth against a buggy backend) ---
         let reports = self.gate_reports(reports);
         let late_reports = self.gate_reports(late_reports);
+        if churn_tally.any() {
+            self.comm.record_churn(&churn_tally);
+        }
         self.latency
             .max_per_round
             .push(latencies.iter().copied().fold(0.0, f64::max));
@@ -543,6 +692,9 @@ impl SearchServer {
         // overhead
         let mut round_secs = 0.0f64;
         for (p, mask) in assigned_masks.iter().enumerate().take(k) {
+            if !slot_active(&active_mask, p) {
+                continue; // sat the round out: no compute, no transmission
+            }
             let macs = self.supernet.flops_masked(mask) * self.config.batch_size as u64;
             let compute =
                 self.config.device.train_step_secs(macs) / self.participants[p].speed_factor();

@@ -7,10 +7,12 @@ use std::sync::OnceLock;
 
 use fedrlnas_codec::{CodecConfig, CodecSpec};
 use fedrlnas_core::{
-    Checkpoint, CheckpointError, CheckpointPolicy, FederatedModelSearch, SearchConfig,
+    Checkpoint, CheckpointError, CheckpointPolicy, FederatedModelSearch, PopulationConfig,
+    SearchConfig,
 };
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
 use fedrlnas_fed::AggregatorConfig;
+use fedrlnas_netsim::AvailabilitySpec;
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -218,6 +220,110 @@ fn v3_checkpoints_are_refused_cleanly() {
     match Checkpoint::from_bytes(&bytes) {
         Err(CheckpointError::UnsupportedVersion(3)) => {}
         other => panic!("expected UnsupportedVersion(3), got {other:?}"),
+    }
+}
+
+#[test]
+fn v4_checkpoints_are_refused_cleanly() {
+    // v5 appended the churn block; a v4 file must be reported as an
+    // unsupported version, not read past its end
+    let mut bytes = sample_bytes().to_vec();
+    bytes[8] = 4;
+    match Checkpoint::from_bytes(&bytes) {
+        Err(CheckpointError::UnsupportedVersion(4)) => {}
+        other => panic!("expected UnsupportedVersion(4), got {other:?}"),
+    }
+}
+
+/// A population whose availability model actually churns within a few
+/// warm-up rounds, so the captured streaks and tallies are non-trivial.
+fn churned_config() -> SearchConfig {
+    config().with_population(PopulationConfig {
+        size: 500,
+        cohort: 6,
+        availability: AvailabilitySpec {
+            seed: 11,
+            base: 0.6,
+            amplitude: 0.2,
+            period: 4,
+            dropout_every: 0,
+            dropout_len: 0,
+            churn: 0.1,
+            flap: 0.3,
+        },
+    })
+}
+
+#[test]
+fn churn_state_round_trips_through_bytes() {
+    let cfg = churned_config();
+    let data = dataset(&cfg);
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    search.server_mut().run_warmup(&data, 4, &mut rng);
+    let cp = Checkpoint::capture(search.server_mut(), &rng);
+    let entry = cp.churn.as_ref().expect("churned server must capture");
+    assert_eq!(entry.population, 500);
+    assert_eq!(entry.cohort, 6);
+    assert_eq!(entry.miss_streak.len(), 6);
+    assert!(cp.comm.churn.any(), "the fleet must actually churn");
+    let bytes = cp.to_bytes();
+    let back = Checkpoint::from_bytes(&bytes).expect("round trip");
+    assert_eq!(back, cp);
+    assert_eq!(back.to_bytes(), bytes, "round trip must be exact");
+}
+
+#[test]
+fn restore_refuses_mismatched_churn_state() {
+    let cfg = churned_config();
+    let data = dataset(&cfg);
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut search = FederatedModelSearch::with_dataset(cfg.clone(), data.clone(), &mut rng);
+    search.server_mut().run_warmup(&data, 2, &mut rng);
+    let cp = Checkpoint::capture(search.server_mut(), &rng);
+
+    // a churned checkpoint cannot land on a fixed-fleet server (same
+    // fleet width, so only the churn state disagrees)
+    let mut rng2 = StdRng::seed_from_u64(31);
+    let mut fixed =
+        FederatedModelSearch::with_dataset(config().with_participants(6), data.clone(), &mut rng2);
+    match cp.restore(fixed.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("fixed fleet"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+
+    // ...nor on a server enrolled under a different availability model
+    let mut other = churned_config();
+    other
+        .population
+        .as_mut()
+        .expect("population set")
+        .availability
+        .seed = 12;
+    let mut rng3 = StdRng::seed_from_u64(31);
+    let mut reseeded = FederatedModelSearch::with_dataset(other, data.clone(), &mut rng3);
+    match cp.restore(reseeded.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("population"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+
+    // ...and a fixed-fleet checkpoint cannot land on a churned server
+    let mut rng4 = StdRng::seed_from_u64(31);
+    let mut plain =
+        FederatedModelSearch::with_dataset(config().with_participants(6), data.clone(), &mut rng4);
+    plain.server_mut().run_warmup(&data, 2, &mut rng4);
+    let fixed_cp = Checkpoint::capture(plain.server_mut(), &rng4);
+    let mut rng5 = StdRng::seed_from_u64(31);
+    let mut churned = FederatedModelSearch::with_dataset(cfg, data, &mut rng5);
+    match fixed_cp.restore(churned.server_mut()) {
+        Err(CheckpointError::StateMismatch(msg)) => {
+            assert!(msg.contains("does not carry"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
     }
 }
 

@@ -97,6 +97,48 @@ impl RejectTally {
     }
 }
 
+/// Tally of the population/churn layer: how many clients were sampled
+/// into cohorts, how many were unreachable when the cohort was drawn, and
+/// the flap → eviction → re-admission traffic the scheduled churn caused.
+/// All zero when no enrolled population is configured, so legacy runs keep
+/// their rendering and equality untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChurnTally {
+    /// Clients sampled into a round cohort.
+    pub sampled: u64,
+    /// Enrolled clients that were unavailable when a cohort was drawn.
+    pub unavailable: u64,
+    /// Sampled clients that went dark mid-round before reporting.
+    pub flaps: u64,
+    /// Cohort slots evicted after consecutive flapped rounds.
+    pub evicted: u64,
+    /// Evicted slots re-admitted once their client was reachable again
+    /// (includes engine heartbeat re-admissions).
+    pub readmitted: u64,
+}
+
+impl ChurnTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another tally into this one (saturating, like every counter in
+    /// this module).
+    pub fn merge(&mut self, other: &ChurnTally) {
+        self.sampled = self.sampled.saturating_add(other.sampled);
+        self.unavailable = self.unavailable.saturating_add(other.unavailable);
+        self.flaps = self.flaps.saturating_add(other.flaps);
+        self.evicted = self.evicted.saturating_add(other.evicted);
+        self.readmitted = self.readmitted.saturating_add(other.readmitted);
+    }
+
+    /// Returns `true` when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != ChurnTally::default()
+    }
+}
+
 /// Number of distinct update codecs tracked by [`CompressionTally`]
 /// (fp32 / fp16 / int8 / top-k, in wire-tag order).
 pub const NUM_CODECS: usize = 4;
@@ -225,6 +267,9 @@ pub struct CommStats {
     /// Update-compression accounting: raw vs encoded bytes and per-codec
     /// frame counts (all zero while the fp32 identity codec is in use).
     pub compression: CompressionTally,
+    /// Population/churn accounting: cohort sampling, flaps, evictions and
+    /// re-admissions (all zero without an enrolled population).
+    pub churn: ChurnTally,
     /// Times this run was resumed from an on-disk checkpoint.
     pub resumes: u64,
     /// Per-phase wall-clock spent in the round hot path. Volatile
@@ -245,6 +290,7 @@ impl PartialEq for CommStats {
             && self.faults == other.faults
             && self.rejects == other.rejects
             && self.compression == other.compression
+            && self.churn == other.churn
             && self.resumes == other.resumes
     }
 }
@@ -296,6 +342,7 @@ impl CommStats {
         self.faults.merge(&other.faults);
         self.rejects.merge(&other.rejects);
         self.compression.merge(&other.compression);
+        self.churn.merge(&other.churn);
         self.resumes = self.resumes.saturating_add(other.resumes);
         self.timing.merge(&other.timing);
         // rounds are counted by the server loop, not merged from workers
@@ -319,6 +366,11 @@ impl CommStats {
     /// Folds one round's update-compression accounting into the tally.
     pub fn record_compression(&mut self, delta: &CompressionTally) {
         self.compression.merge(delta);
+    }
+
+    /// Folds one round's population/churn accounting into the tally.
+    pub fn record_churn(&mut self, delta: &ChurnTally) {
+        self.churn.merge(delta);
     }
 
     /// Marks a resume from an on-disk checkpoint (saturating).
@@ -375,6 +427,14 @@ impl std::fmt::Display for CommStats {
                     write!(f, ", {frames} {name}")?;
                 }
             }
+        }
+        if self.churn.any() {
+            let c = &self.churn;
+            write!(
+                f,
+                "; churn: {} sampled / {} unavailable, {} flaps, {} evicted, {} readmitted",
+                c.sampled, c.unavailable, c.flaps, c.evicted, c.readmitted
+            )?;
         }
         if self.resumes > 0 {
             write!(f, "; resumed from checkpoint {}x", self.resumes)?;
@@ -668,6 +728,74 @@ mod tests {
         let mut merged = CommStats::new();
         merged.merge(&s);
         assert_eq!(merged.compression, s.compression);
+    }
+
+    #[test]
+    fn churn_free_display_is_unchanged_and_churn_surfaces() {
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.end_round();
+        // no enrolled population: the legacy rendering, byte for byte
+        assert_eq!(s.to_string(), "2.00 MB down, 0.00 MB up over 1 rounds");
+        s.record_churn(&ChurnTally {
+            sampled: 64,
+            unavailable: 40_000,
+            flaps: 7,
+            evicted: 2,
+            readmitted: 1,
+        });
+        let text = s.to_string();
+        assert!(text.contains("64 sampled"), "{text}");
+        assert!(text.contains("40000 unavailable"), "{text}");
+        assert!(text.contains("7 flaps"), "{text}");
+        assert!(text.contains("2 evicted"), "{text}");
+        assert!(text.contains("1 readmitted"), "{text}");
+    }
+
+    #[test]
+    fn churn_tally_merge_saturates() {
+        let mut a = ChurnTally {
+            sampled: u64::MAX,
+            flaps: 1,
+            ..ChurnTally::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.sampled, u64::MAX);
+        assert_eq!(a.flaps, 2);
+        assert!(a.any());
+        assert!(!ChurnTally::new().any());
+    }
+
+    #[test]
+    fn churn_interleaves_with_other_tallies_and_affects_equality() {
+        // churn deltas never leak into byte totals or other tallies, and a
+        // run that saw churn compares unequal to one that did not
+        let mut s = CommStats::new();
+        let mut sampled = 0u64;
+        for i in 0..8u64 {
+            s.record_down(100);
+            s.record_churn(&ChurnTally {
+                sampled: 64,
+                unavailable: 10,
+                ..ChurnTally::default()
+            });
+            sampled += 64;
+            s.record_faults(&FaultTally {
+                frames_dropped: 1,
+                ..FaultTally::default()
+            });
+            s.end_round();
+            assert_eq!(s.churn.sampled, sampled);
+            assert_eq!(s.bytes_down, (i + 1) * 100);
+            assert_eq!(s.faults.frames_dropped, i + 1);
+        }
+        let mut quiet = s;
+        quiet.churn = ChurnTally::default();
+        assert_ne!(s, quiet, "churn must participate in equality");
+        let mut merged = CommStats::new();
+        merged.merge(&s);
+        assert_eq!(merged.churn, s.churn);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   statistics of that dataset (cars/trains vary far more than walking);
 //! * [`DeviceProfile`] — an analytic compute model (effective MAC/s plus
 //!   per-round overhead) used to convert measured workload FLOPs into
-//!   simulated search hours.
+//!   simulated search hours;
+//! * [`Population`] / [`CohortSampler`] — a deterministic enrolled fleet
+//!   with diurnal cycles, correlated dropouts and device-class churn, from
+//!   which a per-round cohort is sampled.
 //!
 //! # Example
 //!
@@ -32,11 +35,16 @@
 #![warn(missing_docs)]
 
 mod assign;
+mod churn;
 mod device;
 mod trace;
 
 pub use assign::{
     assign, resolve_codec, select_codec, transmission_secs, AssignmentOutcome, AssignmentStrategy,
+};
+pub use churn::{
+    AvailabilitySpec, ClientTraits, CohortDraw, CohortSampler, Population, NUM_DEVICE_CLASSES,
+    NUM_TIMEZONES,
 };
 pub use device::{DeviceProfile, SearchWorkload};
 pub use trace::{BandwidthTrace, Environment};

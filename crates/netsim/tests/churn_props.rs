@@ -1,0 +1,138 @@
+//! Properties of the availability model: the schedule is a pure function
+//! of `(seed, client_id, round)`, the availability fraction stays inside
+//! the configured diurnal band, and a correlated dropout takes out exactly
+//! the targeted `(timezone, device-class)` slice — nothing more.
+
+use fedrlnas_netsim::{AvailabilitySpec, CohortSampler, Population};
+use proptest::prelude::*;
+
+fn specs() -> impl Strategy<Value = AvailabilitySpec> {
+    (
+        (0u64..u64::MAX, 0.2f64..0.8, 0.0f64..0.2, 1u64..48),
+        (0u64..2, 8u64..64, 0.0f64..0.3, 0.0f64..0.5),
+    )
+        .prop_map(
+            |((seed, base, amplitude, period), (drop_on, every, churn, flap))| {
+                let (dropout_every, dropout_len) = if drop_on == 0 {
+                    (0, 0)
+                } else {
+                    (every, every / 2)
+                };
+                AvailabilitySpec {
+                    seed,
+                    base,
+                    amplitude,
+                    period,
+                    dropout_every,
+                    dropout_len,
+                    churn,
+                    flap,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two independently constructed models with the same spec agree on
+    /// every availability and flap bit: the schedule carries no hidden
+    /// state.
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_client_round(
+        spec in specs(),
+        client in 0u64..1_000_000,
+        round in 0u64..10_000,
+    ) {
+        let a = Population::new(1_000_000, spec);
+        let b = Population::new(1_000_000, spec);
+        prop_assert_eq!(a.is_available(client, round), b.is_available(client, round));
+        prop_assert_eq!(a.flaps_mid_round(client, round), b.flaps_mid_round(client, round));
+        prop_assert_eq!(a.traits(client), b.traits(client));
+    }
+
+    /// With churn and dropouts disabled, the fraction of available clients
+    /// stays inside the configured diurnal band (sampling slack included):
+    /// every client's per-round probability is `base ± amplitude`.
+    #[test]
+    fn availability_fraction_stays_in_the_diurnal_band(
+        seed in 0u64..u64::MAX,
+        base in 0.3f64..0.7,
+        amplitude in 0.0f64..0.25,
+        round in 0u64..200,
+    ) {
+        let spec = AvailabilitySpec {
+            seed,
+            base,
+            amplitude,
+            period: 24,
+            dropout_every: 0,
+            dropout_len: 0,
+            churn: 0.0,
+            flap: 0.0,
+        };
+        let pop = Population::new(20_000, spec);
+        let frac = pop.available_count(round) as f64 / pop.size() as f64;
+        prop_assert!(
+            frac >= base - amplitude - 0.05 && frac <= base + amplitude + 0.05,
+            "fraction {frac} outside band {base} ± {amplitude}"
+        );
+    }
+
+    /// During a dropout window every client in the targeted slice is
+    /// unavailable, and every other client's schedule matches a model with
+    /// dropouts disabled exactly — the outage is surgically correlated.
+    #[test]
+    fn correlated_dropout_takes_out_exactly_the_targeted_slice(
+        seed in 0u64..u64::MAX,
+        round in 0u64..500,
+    ) {
+        let with = AvailabilitySpec {
+            seed,
+            dropout_every: 50,
+            dropout_len: 50, // a window is always open
+            ..AvailabilitySpec::default()
+        };
+        let without = AvailabilitySpec {
+            dropout_every: 0,
+            dropout_len: 0,
+            ..with
+        };
+        let hit = Population::new(5_000, with);
+        let calm = Population::new(5_000, without);
+        let (tz, class) = hit.dropout_slice(round).expect("window always open");
+        for client in 0..5_000 {
+            let t = hit.traits(client);
+            if t.timezone == tz && t.device_class == class {
+                prop_assert!(
+                    !hit.is_available(client, round),
+                    "client {client} in the dropped slice must be down"
+                );
+            } else {
+                prop_assert_eq!(
+                    hit.is_available(client, round),
+                    calm.is_available(client, round),
+                    "client {} outside the slice must be untouched",
+                    client
+                );
+            }
+        }
+    }
+
+    /// Same-seed samplers replay the same cohort sequence; a cohort only
+    /// ever contains available clients.
+    #[test]
+    fn cohort_sampling_is_deterministic(spec in specs(), seed in 0u64..u64::MAX) {
+        let pop = Population::new(10_000, spec);
+        let mut a = CohortSampler::new(seed);
+        let mut b = CohortSampler::new(seed);
+        for round in 0..4 {
+            let da = a.sample(&pop, round, 64);
+            let db = b.sample(&pop, round, 64);
+            prop_assert_eq!(&da, &db);
+            for &c in &da.cohort {
+                prop_assert!(pop.is_available(c, round));
+            }
+        }
+    }
+}

@@ -17,6 +17,17 @@
 //! the engine drains its link, attributes any buffered late replies, and
 //! sends a liveness probe; a heartbeat reply re-admits it.
 //!
+//! Population churn: when the server samples a per-round cohort from an
+//! enrolled population, [`RoundRequest::active`] marks the slots whose
+//! sampled client is out this round. Inactive slots are skipped entirely
+//! — no download, no wait, no quorum membership — and the quorum target
+//! is derived from the *active* eligible workers only. Scheduled churn is
+//! decided (and checkpointed) server-side; the engine's own timeout →
+//! staleness → eviction machinery keeps handling transport-level faults,
+//! and heartbeat re-admission composes with the availability schedule
+//! because an evicted worker's link is only serviced on rounds its slot
+//! is active. Re-admission itself is a fresh start — see [`readmit`].
+//!
 //! Determinism: worker `p` derives its training RNG exactly like the
 //! in-process path (`seed_base ^ p · φ64`), performs the same
 //! `local_update` call on the same shipped weights, and reports are sorted
@@ -1150,6 +1161,20 @@ fn collect_worker(
     wr
 }
 
+/// Re-admits an evicted worker after a heartbeat. Re-admission is a
+/// fresh start: besides the miss streak, the *reject* streak is cleared
+/// too, so Byzantine suspicion must be re-earned by fresh misbehaviour —
+/// a flapping but honest client is never permanently poisoned by the
+/// rejections that preceded an earlier eviction. `suspected_byzantine`
+/// counts eviction *events* that happened while replies were being
+/// refused; clearing the streak here never un-counts those events.
+fn readmit(w: &mut WorkerHandle, out: &mut RoundOutcome) {
+    w.evicted = false;
+    w.miss_streak = 0;
+    w.reject_streak = 0;
+    out.churn.readmitted += 1;
+}
+
 /// Commits one worker's phase-2 results into the round outcome and
 /// applies the miss/reject streak + eviction transition — the same state
 /// commit the serial engine performs inline after each worker's loop.
@@ -1202,6 +1227,8 @@ impl RoundBackend for RpcBackend {
         let k = request.masks.len();
         let masks = request.masks;
         let bandwidths = request.bandwidths_mbps;
+        let active_slots = request.active;
+        let is_active = |p: usize| active_slots.is_none_or(|a| a.get(p).copied().unwrap_or(true));
         let mut out = RoundOutcome {
             download_frame_bytes: vec![0; k],
             ..Default::default()
@@ -1224,20 +1251,25 @@ impl RoundBackend for RpcBackend {
         // --- phase 0: service evicted workers ---
         // Drain whatever their links buffered (late replies are attributed,
         // a heartbeat re-admits), then probe the still-evicted for life.
-        for w in workers.iter_mut() {
-            if !w.alive || !w.evicted {
+        // Slots whose sampled client is out this round are skipped: an
+        // unavailable client can neither be probed nor heartbeat back, so
+        // re-admission composes with the availability schedule.
+        for (p, w) in workers.iter_mut().enumerate() {
+            if !w.alive || !w.evicted || !is_active(p) {
                 continue;
             }
-            let transport = w.transport.as_mut().expect("live worker has transport");
-            while let Ok(frame) = transport.recv_timeout(EVICTED_DRAIN) {
+            loop {
+                let transport = w.transport.as_mut().expect("live worker has transport");
+                let Ok(frame) = transport.recv_timeout(EVICTED_DRAIN) else {
+                    break;
+                };
                 out.bytes_up += frame.len() as u64;
                 let msg = match decode(&frame) {
                     Ok(m) => m,
                     Err(_) => continue,
                 };
                 if let Message::Heartbeat { .. } = msg {
-                    w.evicted = false;
-                    w.miss_streak = 0;
+                    readmit(w, &mut out);
                     continue;
                 }
                 if let Reply::Report { r, report, comp } = classify_reply(msg, sent_masks) {
@@ -1257,6 +1289,7 @@ impl RoundBackend for RpcBackend {
                 }
             }
             if w.evicted {
+                let transport = w.transport.as_mut().expect("live worker has transport");
                 let probe = encode(&Message::Ack { round: t as u64 });
                 match transport.send(&probe) {
                     Ok(()) => out.bytes_down += probe.len() as u64,
@@ -1277,6 +1310,13 @@ impl RoundBackend for RpcBackend {
         // parameter count exactly; the gate checks against this
         let mut expected_lens: Vec<usize> = Vec::with_capacity(k);
         for (p, sub) in submodels.iter_mut().enumerate() {
+            if !is_active(p) {
+                // nothing ships to an inactive slot: no frame, no
+                // sent-mask entry (there is no reply to attribute), zero
+                // measured download bytes
+                expected_lens.push(0);
+                continue;
+            }
             let w_cap = weights_buf.capacity();
             let b_cap = buffers_buf.capacity();
             let f_cap = download_frames[p].capacity();
@@ -1321,7 +1361,7 @@ impl RoundBackend for RpcBackend {
             // order below
             let ship_start = Instant::now();
             for (p, w) in workers.iter_mut().enumerate().take(k) {
-                if w.alive && !w.evicted {
+                if w.alive && !w.evicted && is_active(p) {
                     let transport = w.transport.as_mut().expect("live worker has transport");
                     transport.set_mbps(bandwidths[p]);
                     match transport.send(&frames[p]) {
@@ -1340,8 +1380,9 @@ impl RoundBackend for RpcBackend {
         // window and no retransmissions
         let eligible = workers
             .iter()
+            .enumerate()
             .take(k)
-            .filter(|w| w.alive && !w.evicted)
+            .filter(|(p, w)| w.alive && !w.evicted && is_active(*p))
             .count();
         let quorum_target =
             ((config.quorum_frac * eligible as f64).ceil() as usize).clamp(1, eligible.max(1));
@@ -1349,7 +1390,7 @@ impl RoundBackend for RpcBackend {
         match config.engine {
             EngineMode::Serial => {
                 for (p, w) in workers.iter_mut().enumerate().take(k) {
-                    if !w.alive || w.evicted {
+                    if !w.alive || w.evicted || !is_active(p) {
                         continue;
                     }
                     let wr = collect_worker(
@@ -1393,7 +1434,7 @@ impl RoundBackend for RpcBackend {
                         .enumerate()
                         .take(k)
                         .map(|(p, w)| {
-                            if !w.alive || w.evicted {
+                            if !w.alive || w.evicted || !is_active(p) {
                                 return None;
                             }
                             let frame = &frames[p];
@@ -1553,5 +1594,59 @@ mod tests {
         for attempt in 0..5 {
             assert!(backoff_delay(base, attempt + 1, 9) > backoff_delay(base, attempt, 9));
         }
+    }
+
+    /// Pins the `suspected_byzantine` semantics across re-admission:
+    /// the counter tallies eviction *events* with a live reject streak,
+    /// and a heartbeat re-admission clears that streak — suspicion must
+    /// be re-earned, so a later silence-only eviction adds nothing.
+    #[test]
+    fn readmission_clears_byzantine_suspicion_streak() {
+        let config = RpcConfig {
+            evict_after: 2,
+            ..RpcConfig::default()
+        };
+        let mut w = WorkerHandle {
+            transport: None,
+            join: None,
+            alive: true,
+            evicted: false,
+            miss_streak: 0,
+            reject_streak: 0,
+        };
+        let mut out = RoundOutcome::default();
+        let mut delivered: HashSet<(usize, usize)> = HashSet::new();
+        // two rounds of rejected replies: streaks build, the eviction is
+        // flagged as suspected Byzantine
+        for _ in 0..2 {
+            let wr = WorkerRound {
+                rejected: true,
+                ..WorkerRound::default()
+            };
+            merge_worker_round(&mut out, &mut delivered, &mut w, wr, &config);
+        }
+        assert!(w.evicted);
+        assert_eq!(out.rejects.suspected_byzantine, 1);
+        // heartbeat re-admission: a fresh start on every streak
+        readmit(&mut w, &mut out);
+        assert!(!w.evicted);
+        assert_eq!(w.miss_streak, 0);
+        assert_eq!(w.reject_streak, 0);
+        assert_eq!(out.churn.readmitted, 1);
+        // evicted again for mere silence: no new Byzantine suspicion
+        for _ in 0..2 {
+            merge_worker_round(
+                &mut out,
+                &mut delivered,
+                &mut w,
+                WorkerRound::default(),
+                &config,
+            );
+        }
+        assert!(w.evicted);
+        assert_eq!(
+            out.rejects.suspected_byzantine, 1,
+            "suspicion must be re-earned after re-admission"
+        );
     }
 }

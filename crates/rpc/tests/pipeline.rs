@@ -208,6 +208,7 @@ fn scratch_buffers_stop_growing_after_warmup() {
             alpha_logits: &alpha_logits,
             bandwidths_mbps: &bandwidths,
             seed_base: SEED ^ t as u64,
+            active: None,
         });
         assert_eq!(out.reports.len(), k, "round {t} must be full strength");
         if t == 3 {

@@ -5,13 +5,15 @@
 //! reconstructed from exactly the bytes the client submitted.
 
 use fedrlnas_codec::{CodecConfig, CodecSpec};
-use fedrlnas_core::{Scale, SearchConfig};
+use fedrlnas_core::{PopulationConfig, Scale, SearchConfig};
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
-use fedrlnas_netsim::Environment;
+use fedrlnas_netsim::{AvailabilitySpec, Environment};
 use rand::{rngs::StdRng, SeedableRng};
 
-/// Current spec encoding version.
-const SPEC_VERSION: u8 = 1;
+/// Current spec encoding version. v2 appends the optional population-churn
+/// block after the backend code; v1 bodies (no block) still decode, with
+/// `population: None`.
+const SPEC_VERSION: u8 = 2;
 
 /// Which synthetic dataset family the job trains on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,10 @@ pub struct JobSpec {
     pub environments: Option<Vec<Environment>>,
     /// Round execution backend.
     pub backend: BackendKind,
+    /// Population churn: enroll a simulated fleet and sample a fresh
+    /// cohort every round under a deterministic availability model.
+    /// `None` (and every v1 spec) keeps the fixed historical fleet.
+    pub population: Option<PopulationConfig>,
 }
 
 impl JobSpec {
@@ -106,6 +112,7 @@ impl JobSpec {
             codec: CodecConfig::default(),
             environments: None,
             backend: BackendKind::InProcess,
+            population: None,
         }
     }
 
@@ -127,6 +134,9 @@ impl JobSpec {
         config = config.with_codec(self.codec);
         if let Some(envs) = &self.environments {
             config = config.with_environments(envs.clone());
+        }
+        if let Some(population) = self.population {
+            config = config.with_population(population);
         }
         config.validate()?;
         Ok(config)
@@ -192,6 +202,24 @@ impl JobSpec {
             None => out.push(0),
         }
         out.push(self.backend.code());
+        // v2: population-churn block, appended after the v1 tail so old
+        // fields keep their offsets
+        match &self.population {
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.size.to_le_bytes());
+                out.extend_from_slice(&(p.cohort as u32).to_le_bytes());
+                out.extend_from_slice(&p.availability.seed.to_le_bytes());
+                out.extend_from_slice(&p.availability.base.to_le_bytes());
+                out.extend_from_slice(&p.availability.amplitude.to_le_bytes());
+                out.extend_from_slice(&p.availability.period.to_le_bytes());
+                out.extend_from_slice(&p.availability.dropout_every.to_le_bytes());
+                out.extend_from_slice(&p.availability.dropout_len.to_le_bytes());
+                out.extend_from_slice(&p.availability.churn.to_le_bytes());
+                out.extend_from_slice(&p.availability.flap.to_le_bytes());
+            }
+            None => out.push(0),
+        }
         out
     }
 
@@ -205,7 +233,7 @@ impl JobSpec {
     pub fn decode(bytes: &[u8]) -> Result<JobSpec, String> {
         let mut r = SpecReader { bytes, pos: 0 };
         let version = r.u8()?;
-        if version != SPEC_VERSION {
+        if version != 1 && version != SPEC_VERSION {
             return Err(format!("unsupported job spec version {version}"));
         }
         let seed = r.u64()?;
@@ -252,6 +280,37 @@ impl JobSpec {
             other => return Err(format!("bad environments marker {other}")),
         };
         let backend = BackendKind::from_code(r.u8()?).ok_or("unknown backend code")?;
+        // v1 bodies end here; v2 appends the population-churn block
+        let population = if version == 1 {
+            None
+        } else {
+            match r.u8()? {
+                0 => None,
+                1 => {
+                    let size = r.u64()?;
+                    let cohort = r.u32()? as usize;
+                    let availability = AvailabilitySpec {
+                        seed: r.u64()?,
+                        base: r.f64()?,
+                        amplitude: r.f64()?,
+                        period: r.u64()?,
+                        dropout_every: r.u64()?,
+                        dropout_len: r.u64()?,
+                        churn: r.f64()?,
+                        flap: r.f64()?,
+                    };
+                    availability
+                        .validate()
+                        .map_err(|e| format!("bad availability spec: {e}"))?;
+                    Some(PopulationConfig {
+                        size,
+                        cohort,
+                        availability,
+                    })
+                }
+                other => return Err(format!("bad population marker {other}")),
+            }
+        };
         if r.remaining() != 0 {
             return Err("trailing bytes after job spec".into());
         }
@@ -264,6 +323,7 @@ impl JobSpec {
             codec,
             environments,
             backend,
+            population,
         })
     }
 }
@@ -304,6 +364,10 @@ impl SpecReader<'_> {
     fn f32(&mut self) -> Result<f32, String> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 B")))
     }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 B")))
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +384,11 @@ mod tests {
             codec: CodecConfig::Auto,
             environments: Some(vec![Environment::Train, Environment::Foot]),
             backend: BackendKind::RpcMem,
+            population: Some(PopulationConfig {
+                size: 1_000,
+                cohort: 6,
+                availability: AvailabilitySpec::default(),
+            }),
         }
     }
 
@@ -347,10 +416,43 @@ mod tests {
         let mut bytes = sample().encode();
         bytes[9] = 9; // scale code
         assert!(JobSpec::decode(&bytes).is_err());
-        let mut bytes = sample().encode();
-        let last = bytes.len() - 1;
-        bytes[last] = 7; // backend code
+        let fixed = JobSpec {
+            population: None,
+            ..sample()
+        };
+        let mut bytes = fixed.encode();
+        let backend_at = bytes.len() - 2; // backend code precedes the population marker
+        bytes[backend_at] = 7;
         assert!(JobSpec::decode(&bytes).is_err());
+        let mut bytes = fixed.encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 9; // population marker
+        assert!(JobSpec::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn v1_bodies_decode_as_fixed_fleet() {
+        let spec = JobSpec {
+            population: None,
+            ..sample()
+        };
+        let mut bytes = spec.encode();
+        assert_eq!(bytes.pop(), Some(0)); // v1 bodies end at the backend code
+        bytes[0] = 1;
+        assert_eq!(JobSpec::decode(&bytes).expect("v1 body"), spec);
+    }
+
+    #[test]
+    fn invalid_availability_is_rejected_on_decode() {
+        let mut spec = sample();
+        spec.population
+            .as_mut()
+            .expect("sample has one")
+            .availability
+            .base = 7.0;
+        let bytes = spec.encode();
+        let err = JobSpec::decode(&bytes).expect_err("base out of range");
+        assert!(err.contains("bad availability spec"), "{err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
 //!                  [--aggregator mean|median|trimmed:<k>|krum:<m>|clip:<c>[+...]]
 //!                  [--reject-norm C] [--codec fp32|fp16|int8|topk[:<f>]|auto]
+//!                  [--population N] [--cohort K] [--availability SPEC]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
 //!                  [--checkpoint-path PATH] [--checkpoint-every N]
 //!                  [--stats-json PATH]
@@ -32,6 +33,14 @@
 //! `topk:<f>` keeps the largest fraction `f` of entries with error feedback,
 //! and `auto` picks a codec per participant from its sampled bandwidth.
 //! The default `fp32` is byte-identical to a build without the codec layer.
+//! `--population N` enrolls a simulated fleet of `N` clients and samples a
+//! fresh cohort of `--cohort K` (default: the participant count) every
+//! round under the deterministic availability model described by
+//! `--availability` — a comma-separated `key=value` spec with keys `seed`,
+//! `base`, `amp`, `period`, `dropout=EVERYxLEN`, `churn` and `flap`
+//! (unset keys keep the defaults; see `fedrlnas-netsim`). The schedule is
+//! a pure function of `(seed, client, round)`, so same-seed runs sample
+//! identical cohorts and kill-and-resume is bit-identical.
 //! `--stats-json` writes the run's communication statistics as JSON (the
 //! same serialization the service control plane's `StatsDump` returns).
 //! `SIGINT`/`SIGTERM` trigger a graceful shutdown: with `--checkpoint-path`
@@ -138,6 +147,24 @@ fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
     if let Some(spec) = flag(argv, "--codec") {
         config = config.with_codec(fedrlnas::codec::CodecConfig::parse(&spec)?);
     }
+    if let Some(n) = flag(argv, "--population") {
+        let size: u64 = n.parse().map_err(|e| format!("bad population size: {e}"))?;
+        let cohort: usize = match flag(argv, "--cohort") {
+            Some(c) => c.parse().map_err(|e| format!("bad cohort size: {e}"))?,
+            None => config.num_participants,
+        };
+        let availability = match flag(argv, "--availability") {
+            Some(spec) => fedrlnas::netsim::AvailabilitySpec::parse(&spec)?,
+            None => fedrlnas::netsim::AvailabilitySpec::default(),
+        };
+        config = config.with_population(fedrlnas::core::PopulationConfig {
+            size,
+            cohort,
+            availability,
+        });
+    } else if flag(argv, "--cohort").is_some() || flag(argv, "--availability").is_some() {
+        return Err("--cohort/--availability require --population N".to_string());
+    }
     config.validate()?;
     Ok(config)
 }
@@ -195,6 +222,12 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
     }
     if !config.codec.is_fp32() {
         println!("update compression: codec {}", config.codec);
+    }
+    if let Some(p) = &config.population {
+        println!(
+            "population churn armed: {} clients enrolled, cohort {} per round, availability {}",
+            p.size, p.cohort, p.availability
+        );
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut search = FederatedModelSearch::with_dataset(config, dataset, &mut rng);
