@@ -50,7 +50,6 @@ use fedrlnas_sync::RoundSnapshot;
 use fedrlnas_tensor::Tensor;
 use rand::rngs::StdRng;
 use std::fmt;
-use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"FRLNCKPT";
@@ -571,32 +570,35 @@ impl Checkpoint {
     }
 
     /// Atomically writes the checkpoint to `path`: the bytes land in a
-    /// sibling temp file first, are fsynced, and replace `path` with a
-    /// rename — a crash mid-write leaves the previous checkpoint intact.
+    /// sibling temp file first, are fsynced, replace `path` with a
+    /// rename, and the parent directory is fsynced so the rename itself
+    /// survives power loss — a crash at any point leaves either the
+    /// previous checkpoint or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save_path(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = match (path.parent(), path.file_name()) {
-            (Some(dir), Some(name)) => {
-                let mut tmp_name = name.to_os_string();
-                tmp_name.push(".tmp");
-                dir.join(tmp_name)
-            }
-            _ => {
-                return Err(CheckpointError::Malformed(
-                    "checkpoint path has no file name",
-                ))
-            }
-        };
-        let bytes = self.to_bytes();
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
+        self.save_path_vfs(&mut crate::vfs::StdVfs, path)
+    }
+
+    /// [`Checkpoint::save_path`] through an explicit [`crate::Vfs`] —
+    /// the seam the storage fault-injection suites drive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_path_vfs(
+        &self,
+        vfs: &mut dyn crate::vfs::Vfs,
+        path: &Path,
+    ) -> Result<(), CheckpointError> {
+        if path.file_name().is_none() {
+            return Err(CheckpointError::Malformed(
+                "checkpoint path has no file name",
+            ));
         }
-        std::fs::rename(&tmp, path)?;
+        crate::vfs::write_atomic(vfs, path, &self.to_bytes())?;
         Ok(())
     }
 
@@ -787,9 +789,11 @@ impl Checkpoint {
             // body (so earlier field offsets stayed stable across the
             // version bump) and are patched in below
             churn: ChurnTally::default(),
-            // wall-clock phase timings are volatile observability data and
-            // deliberately never checkpointed: a resumed run starts fresh
+            // wall-clock phase timings and storage-fault tallies are
+            // volatile observability data and deliberately never
+            // checkpointed: a resumed run starts fresh
             timing: Default::default(),
+            io: Default::default(),
         };
         let latency = LatencyStats {
             max_per_round: r.f64s()?,

@@ -32,6 +32,7 @@ mod metrics;
 mod phases;
 mod runner;
 mod server;
+mod vfs;
 
 pub use backend::{BackendReport, RoundBackend, RoundOutcome, RoundRequest};
 pub use checkpoint::{
@@ -42,3 +43,4 @@ pub use metrics::{CurveRecorder, StepMetric};
 pub use phases::{retrain_centralized, retrain_federated, test_error_percent, RetrainReport};
 pub use runner::{CheckpointPolicy, FederatedModelSearch, SearchOutcome};
 pub use server::{LatencyStats, SearchServer};
+pub use vfs::{write_atomic, FaultyVfs, IoFaultPlan, StdVfs, Vfs};

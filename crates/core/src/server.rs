@@ -317,6 +317,14 @@ impl SearchServer {
         &self.comm
     }
 
+    /// Folds a storage fault-injection delta into the communication
+    /// tally. Storage faults are environmental observability data
+    /// (excluded from `CommStats` equality and checkpoints), so this
+    /// never perturbs determinism comparisons.
+    pub fn record_io_faults(&mut self, delta: &fedrlnas_fed::IoFaultTally) {
+        self.comm.record_io_faults(delta);
+    }
+
     /// Transmission latency statistics (Fig. 7).
     pub fn latency(&self) -> &LatencyStats {
         &self.latency

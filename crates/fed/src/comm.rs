@@ -139,6 +139,67 @@ impl ChurnTally {
     }
 }
 
+/// Tally of the storage fault-injection layer and the self-healing
+/// machinery it exercises: faults injected by a seeded `FaultyVfs`
+/// (torn writes, dropped fsyncs, transient EIO, disk-full) and the
+/// recovery actions the store/manager took (persist retries, job
+/// quarantines, scrub repairs). Storage faults are environmental, not
+/// traffic, so — like [`RoundTimings`] — this tally is **excluded** from
+/// `CommStats` equality and from checkpoints: a job that survived disk
+/// chaos still compares bit-identical to its fault-free baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoFaultTally {
+    /// Writes that landed only a prefix of their payload (caught later by
+    /// segment/checkpoint CRC framing).
+    pub torn_writes: u64,
+    /// fsync calls that returned success without making data durable.
+    pub dropped_fsyncs: u64,
+    /// Operations failed with an injected transient I/O error.
+    pub io_errors: u64,
+    /// Writes refused with an injected ENOSPC (disk full).
+    pub disk_full: u64,
+    /// Persist attempts retried after a storage error.
+    pub retries: u64,
+    /// Jobs moved to the sticky `Quarantined` state.
+    pub quarantined: u64,
+    /// Jobs repaired by a scrub pass from their newest valid generation.
+    pub scrub_repaired: u64,
+}
+
+impl IoFaultTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another tally into this one (saturating, like every counter in
+    /// this module).
+    pub fn merge(&mut self, other: &IoFaultTally) {
+        self.torn_writes = self.torn_writes.saturating_add(other.torn_writes);
+        self.dropped_fsyncs = self.dropped_fsyncs.saturating_add(other.dropped_fsyncs);
+        self.io_errors = self.io_errors.saturating_add(other.io_errors);
+        self.disk_full = self.disk_full.saturating_add(other.disk_full);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
+        self.scrub_repaired = self.scrub_repaired.saturating_add(other.scrub_repaired);
+    }
+
+    /// Returns `true` when any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != IoFaultTally::default()
+    }
+
+    /// Total faults injected by the storage layer, across all kinds
+    /// (saturating). Recovery counters (retries/quarantines/repairs) are
+    /// deliberately excluded: they measure the response, not the fault.
+    pub fn total_injected(&self) -> u64 {
+        self.torn_writes
+            .saturating_add(self.dropped_fsyncs)
+            .saturating_add(self.io_errors)
+            .saturating_add(self.disk_full)
+    }
+}
+
 /// Number of distinct update codecs tracked by [`CompressionTally`]
 /// (fp32 / fp16 / int8 / top-k, in wire-tag order).
 pub const NUM_CODECS: usize = 4;
@@ -277,10 +338,16 @@ pub struct CommStats {
     /// checkpoint writer lists `CommStats` fields explicitly) and ignored
     /// by equality.
     pub timing: RoundTimings,
+    /// Storage-fault accounting: injected I/O faults and the self-healing
+    /// actions they triggered. Environmental, like `timing`: absent from
+    /// checkpoints and ignored by equality, so a job that rode out disk
+    /// chaos still compares bit-identical to its fault-free baseline.
+    pub io: IoFaultTally,
 }
 
-/// Equality deliberately ignores [`CommStats::timing`]: wall-clock phase
-/// timings differ between otherwise bit-identical runs, and determinism
+/// Equality deliberately ignores [`CommStats::timing`] and
+/// [`CommStats::io`]: wall-clock phase timings and injected storage
+/// faults differ between otherwise bit-identical runs, and determinism
 /// tests compare `CommStats` across execution modes.
 impl PartialEq for CommStats {
     fn eq(&self, other: &Self) -> bool {
@@ -345,6 +412,7 @@ impl CommStats {
         self.churn.merge(&other.churn);
         self.resumes = self.resumes.saturating_add(other.resumes);
         self.timing.merge(&other.timing);
+        self.io.merge(&other.io);
         // rounds are counted by the server loop, not merged from workers
     }
 
@@ -376,6 +444,11 @@ impl CommStats {
     /// Marks a resume from an on-disk checkpoint (saturating).
     pub fn record_resume(&mut self) {
         self.resumes = self.resumes.saturating_add(1);
+    }
+
+    /// Folds a storage fault-injection delta into the tally.
+    pub fn record_io_faults(&mut self, delta: &IoFaultTally) {
+        self.io.merge(delta);
     }
 }
 
@@ -450,6 +523,20 @@ impl std::fmt::Display for CommStats {
                 ms(t.decode_ns),
                 ms(t.validate_ns),
                 ms(t.aggregate_ns)
+            )?;
+        }
+        if self.io.any() {
+            let io = &self.io;
+            write!(
+                f,
+                "; io: {} torn / {} fsync-dropped / {} eio / {} enospc, {} retries, {} quarantined, {} scrub-repaired",
+                io.torn_writes,
+                io.dropped_fsyncs,
+                io.io_errors,
+                io.disk_full,
+                io.retries,
+                io.quarantined,
+                io.scrub_repaired
             )?;
         }
         Ok(())
@@ -835,6 +922,90 @@ mod tests {
         });
         assert_eq!(t.ship_ns, u64::MAX);
         assert_eq!(t.collect_ns, 2);
+    }
+
+    #[test]
+    fn io_tally_merge_saturates() {
+        let mut a = IoFaultTally {
+            torn_writes: u64::MAX,
+            retries: 1,
+            ..IoFaultTally::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.torn_writes, u64::MAX);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.total_injected(), u64::MAX);
+        assert!(a.any());
+        assert!(!IoFaultTally::new().any());
+        // recovery counters never count as injected faults
+        let recovery_only = IoFaultTally {
+            retries: 3,
+            quarantined: 1,
+            scrub_repaired: 2,
+            ..IoFaultTally::default()
+        };
+        assert_eq!(recovery_only.total_injected(), 0);
+        assert!(recovery_only.any());
+    }
+
+    #[test]
+    fn io_free_display_is_unchanged_and_io_faults_surface() {
+        let mut s = CommStats::new();
+        s.record_down(2_000_000);
+        s.end_round();
+        // no storage faults: the legacy rendering, byte for byte
+        assert_eq!(s.to_string(), "2.00 MB down, 0.00 MB up over 1 rounds");
+        s.record_io_faults(&IoFaultTally {
+            torn_writes: 2,
+            dropped_fsyncs: 3,
+            io_errors: 1,
+            disk_full: 4,
+            retries: 5,
+            quarantined: 1,
+            scrub_repaired: 2,
+        });
+        let text = s.to_string();
+        assert!(text.contains("2 torn"), "{text}");
+        assert!(text.contains("3 fsync-dropped"), "{text}");
+        assert!(text.contains("1 eio"), "{text}");
+        assert!(text.contains("4 enospc"), "{text}");
+        assert!(text.contains("5 retries"), "{text}");
+        assert!(text.contains("1 quarantined"), "{text}");
+        assert!(text.contains("2 scrub-repaired"), "{text}");
+    }
+
+    #[test]
+    fn io_tally_interleaves_and_never_affects_equality() {
+        // storage-fault deltas never leak into byte totals or other
+        // tallies, and — like timing — never participate in equality: the
+        // chaos suites compare fault-ridden runs against clean baselines
+        let mut s = CommStats::new();
+        let mut torn = 0u64;
+        for i in 0..8u64 {
+            s.record_down(100);
+            s.record_io_faults(&IoFaultTally {
+                torn_writes: 1,
+                retries: 2,
+                ..IoFaultTally::default()
+            });
+            torn += 1;
+            s.record_faults(&FaultTally {
+                frames_dropped: 1,
+                ..FaultTally::default()
+            });
+            s.end_round();
+            assert_eq!(s.io.torn_writes, torn);
+            assert_eq!(s.io.retries, 2 * torn);
+            assert_eq!(s.bytes_down, (i + 1) * 100);
+            assert_eq!(s.faults.frames_dropped, i + 1);
+        }
+        let mut clean = s;
+        clean.io = IoFaultTally::default();
+        assert_eq!(s, clean, "io tally must not participate in equality");
+        let mut merged = CommStats::new();
+        merged.merge(&s);
+        assert_eq!(merged.io, s.io);
     }
 
     #[test]

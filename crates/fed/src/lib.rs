@@ -37,8 +37,8 @@ mod rounds;
 mod trainable;
 
 pub use comm::{
-    ChurnTally, CommStats, CompressionTally, FaultTally, RejectTally, RoundTimings, CODEC_NAMES,
-    NUM_CODECS,
+    ChurnTally, CommStats, CompressionTally, FaultTally, IoFaultTally, RejectTally, RoundTimings,
+    CODEC_NAMES, NUM_CODECS,
 };
 pub use fedsgd::{FedSgdConfig, FedSgdTrainer};
 pub use participant::{LocalReport, Participant};

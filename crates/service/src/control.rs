@@ -15,7 +15,7 @@ use std::time::Duration;
 use fedrlnas_rpc::{decode, encode, Message, TcpTransport, Transport, TransportError};
 
 use crate::manager::JobManager;
-use crate::signal::shutdown_requested;
+use crate::signal::{shutdown_requested, take_scrub_requested};
 use crate::spec::JobSpec;
 
 /// `state` code in a [`Message::JobReply`] marking a request-level error.
@@ -65,8 +65,8 @@ pub fn handle_message(mgr: &mut JobManager, msg: &Message) -> Message {
     }
 }
 
-/// The status reply body: state, progress, and — once completed — the
-/// genotype, as a small JSON object.
+/// The status reply body: state, progress, once completed the genotype,
+/// and for quarantined jobs the typed reason, as a small JSON object.
 fn reply_ok(mgr: &JobManager, job_id: u64) -> Message {
     match mgr.status(job_id) {
         Ok((state, rounds, total)) => {
@@ -76,8 +76,18 @@ fn reply_ok(mgr: &JobManager, job_id: u64) -> Message {
                 .flatten()
                 .map(|g| format!(",\"genotype\":\"{g}\""))
                 .unwrap_or_default();
+            let quarantine = mgr
+                .quarantine_reason(job_id)
+                .map(|r| {
+                    format!(
+                        ",\"quarantine\":{{\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                        r.kind(),
+                        json_escape(&r.to_string())
+                    )
+                })
+                .unwrap_or_default();
             let detail = format!(
-                "{{\"state\":\"{}\",\"rounds_completed\":{rounds},\"total_rounds\":{total}{genotype}}}",
+                "{{\"state\":\"{}\",\"rounds_completed\":{rounds},\"total_rounds\":{total}{genotype}{quarantine}}}",
                 state.name()
             );
             Message::JobReply {
@@ -88,6 +98,21 @@ fn reply_ok(mgr: &JobManager, job_id: u64) -> Message {
         }
         Err(e) => reply_err(job_id, &e.to_string()),
     }
+}
+
+/// Minimal JSON string escaping for reason details (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn reply_err(job_id: u64, detail: &str) -> Message {
@@ -101,8 +126,9 @@ fn reply_err(job_id: u64, detail: &str) -> Message {
 /// Options for [`serve_tcp`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Stop (after checkpointing) once every job is terminal and no
-    /// client is connected — for tests and batch fleets.
+    /// Stop (after checkpointing) once every job is settled — terminal
+    /// or quarantined — and no client is connected; for tests and batch
+    /// fleets.
     pub exit_when_idle: bool,
     /// Sleep this long after every scheduled round — paces the fleet so
     /// crash tests can reliably interrupt it mid-flight. Pacing never
@@ -148,6 +174,15 @@ pub fn serve_tcp(
     loop {
         if shutdown_requested() {
             break;
+        }
+        if take_scrub_requested() {
+            match mgr.scrub() {
+                Ok(report) => eprintln!(
+                    "scrub: checked {} segment(s), repaired {:?}, lost {:?}, removed {} tmp file(s)",
+                    report.segments_checked, report.repaired, report.lost, report.tmp_removed
+                ),
+                Err(e) => eprintln!("scrub failed: {e}"),
+            }
         }
 
         // Accept every connection waiting right now.
@@ -197,7 +232,9 @@ pub fn serve_tcp(
             std::thread::sleep(options.round_delay);
         }
         if !ran {
-            if options.exit_when_idle && mgr.all_terminal() && clients.is_empty() {
+            // Settled, not terminal: a quarantined tenant must not keep
+            // the whole service alive forever.
+            if options.exit_when_idle && mgr.all_settled() && clients.is_empty() {
                 break;
             }
             // Nothing runnable: don't spin against the accept loop.
@@ -241,7 +278,7 @@ pub fn serve_transport<T: Transport>(
             }
         }
         let ran = mgr.tick().map_err(|e| e.to_string())?;
-        if !ran && exit_when_idle && mgr.all_terminal() {
+        if !ran && exit_when_idle && mgr.all_settled() {
             break;
         }
     }

@@ -6,18 +6,24 @@
 //! ```text
 //!          submit            schedule           last round
 //! (none) ────────▶ Queued ────────────▶ Running ──────────▶ Completed
-//!                    │                  ▲     │
-//!                    │           resume │     │ pause / byte budget
-//!                    │                  └─────┤
-//!                    │ cancel                 │ cancel
-//!                    ▼                        ▼
-//!                Cancelled ◀──────────── Cancelled
+//!                    │                  ▲     │ │
+//!                    │           resume │     │ │ persistent store
+//!                    │                  └─────┤ │ failure
+//!                    │ cancel   pause / byte  │ ▼            resume
+//!                    │          budget        │ Quarantined ───────▶ ✗
+//!                    ▼                        ▼      │   (refused until
+//!                Cancelled ◀──────────── Cancelled ◀─┘    a scrub clears)
 //! ```
 //!
-//! `Completed` and `Cancelled` are terminal. A crash can interrupt a job
-//! in any state; recovery rebuilds it from the store and re-enters the
-//! same state, with `Running` jobs resuming from their last checkpoint
-//! bit-identically.
+//! `Completed` and `Cancelled` are terminal. `Quarantined` is *sticky but
+//! not terminal*: a job lands there when its durable record cannot be
+//! trusted (persistent write failure, disk full, or a record that fails
+//! validation), carries a typed [`QuarantineReason`], and refuses every
+//! transition except `cancel` until a store scrub re-verifies its record
+//! — then `resume` rebuilds it from the verified bytes. A crash can
+//! interrupt a job in any state; recovery rebuilds it from the store and
+//! re-enters the same state, with `Running` jobs resuming from their last
+//! checkpoint bit-identically.
 
 use fedrlnas_core::{FederatedModelSearch, SearchOutcome};
 use fedrlnas_rpc::{install, RpcConfig, TransportKind};
@@ -40,6 +46,10 @@ pub enum JobState {
     Completed = 3,
     /// Abandoned on request; terminal.
     Cancelled = 4,
+    /// Isolated after its durable record could not be written or
+    /// trusted; sticky (only `cancel`, or `resume` after a successful
+    /// scrub, can leave it). Not terminal.
+    Quarantined = 5,
 }
 
 impl JobState {
@@ -56,6 +66,7 @@ impl JobState {
             2 => Some(JobState::Paused),
             3 => Some(JobState::Completed),
             4 => Some(JobState::Cancelled),
+            5 => Some(JobState::Quarantined),
             _ => None,
         }
     }
@@ -68,12 +79,81 @@ impl JobState {
             JobState::Paused => "paused",
             JobState::Completed => "completed",
             JobState::Cancelled => "cancelled",
+            JobState::Quarantined => "quarantined",
         }
     }
 
     /// `true` for states no schedule or control message can leave.
     pub fn is_terminal(self) -> bool {
         matches!(self, JobState::Completed | JobState::Cancelled)
+    }
+
+    /// `true` for states the scheduler will never run again on its own:
+    /// terminal states plus [`JobState::Quarantined`] (which needs an
+    /// operator-triggered scrub to leave). The serve loop's exit
+    /// condition, where a disk-broken job must not keep the service
+    /// alive forever.
+    pub fn is_settled(self) -> bool {
+        self.is_terminal() || self == JobState::Quarantined
+    }
+}
+
+/// Why a job was quarantined. The `u8` codes persist in the segment
+/// flags byte, so the reason survives restarts; 0 means "not
+/// quarantined".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Persistent I/O failure while persisting the job's record.
+    Io(String),
+    /// The disk reported out of space while persisting the record.
+    DiskFull(String),
+    /// No bit-valid durable record for the job survives on disk.
+    Corrupt(String),
+}
+
+impl QuarantineReason {
+    /// The store/wire code for this reason kind.
+    pub fn code(&self) -> u8 {
+        match self {
+            QuarantineReason::Io(_) => 1,
+            QuarantineReason::DiskFull(_) => 2,
+            QuarantineReason::Corrupt(_) => 3,
+        }
+    }
+
+    /// Rebuilds a (detail-free) reason from a stored code.
+    pub fn from_code(code: u8) -> Option<QuarantineReason> {
+        match code {
+            1 => Some(QuarantineReason::Io(String::from(
+                "persistent i/o failure (restored from store)",
+            ))),
+            2 => Some(QuarantineReason::DiskFull(String::from(
+                "disk full (restored from store)",
+            ))),
+            3 => Some(QuarantineReason::Corrupt(String::from(
+                "no valid durable record (restored from store)",
+            ))),
+            _ => None,
+        }
+    }
+
+    /// Short machine-friendly kind tag (status JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QuarantineReason::Io(_) => "io",
+            QuarantineReason::DiskFull(_) => "disk-full",
+            QuarantineReason::Corrupt(_) => "corrupt",
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::Io(d) => write!(f, "io: {d}"),
+            QuarantineReason::DiskFull(d) => write!(f, "disk-full: {d}"),
+            QuarantineReason::Corrupt(d) => write!(f, "corrupt: {d}"),
+        }
     }
 }
 
@@ -153,11 +233,19 @@ impl Job {
         self.state
     }
 
-    /// Moves to `next`; terminal states are sticky.
+    /// Moves to `next`; terminal states and quarantine are sticky (the
+    /// manager leaves quarantine only through its scrub-gated paths,
+    /// which use [`Job::force_state`]).
     pub fn set_state(&mut self, next: JobState) {
-        if !self.state.is_terminal() {
+        if !self.state.is_settled() {
             self.state = next;
         }
+    }
+
+    /// Moves to `next` unconditionally: the manager's quarantine entry /
+    /// exit paths, where the legality check has already happened.
+    pub(crate) fn force_state(&mut self, next: JobState) {
+        self.state = next;
     }
 
     /// Rounds completed so far.

@@ -7,7 +7,11 @@
 //! - [`store`]: one directory of per-job atomic segment files plus a
 //!   CRC-protected manifest; segment-first commit order makes every crash
 //!   point recoverable, generation numbers fence concurrent writers, and
-//!   compaction reclaims superseded segments.
+//!   compaction reclaims superseded segments. Every mutation goes through
+//!   a swappable `Vfs`, so the disk-chaos suites inject deterministic
+//!   torn writes, dropped fsyncs, EIO and ENOSPC; persistent write
+//!   failure degrades the store to read-only, and `scrub` CRC-verifies
+//!   and repairs every record from its newest valid generation.
 //! - [`spec`]: the deterministic job description ([`JobSpec`]) and its
 //!   wire/store encoding — seed, scale, dataset, codec, per-job network
 //!   environments, backend.
@@ -18,6 +22,9 @@
 //! - [`manager`]: fair round-robin scheduling with per-job quotas
 //!   ([`JobQuotas`]): a rounds-per-turn fairness quantum, a kernel
 //!   thread budget, and a byte budget that auto-pauses over-quota jobs.
+//!   Storage failures are isolated per tenant: bounded deterministic
+//!   retries, then a sticky `Quarantined` state with a typed reason —
+//!   one job's disk trouble never aborts the serve loop.
 //! - [`control`]: the protocol-v2 control plane (submit / status / pause
 //!   / resume / cancel / list / stats) served over the rpc transports,
 //!   and the `serve` loop the CLI wraps.
@@ -43,9 +50,12 @@ pub mod stats;
 pub mod store;
 
 pub use control::{handle_message, serve_tcp, serve_transport, ServeOptions, REPLY_ERROR};
-pub use job::{Job, JobState};
+pub use job::{Job, JobState, QuarantineReason};
 pub use manager::{JobManager, JobQuotas, ServiceError};
-pub use signal::{install_shutdown_handler, set_shutdown, shutdown_requested};
+pub use signal::{
+    install_shutdown_handler, set_scrub_requested, set_shutdown, shutdown_requested,
+    take_scrub_requested,
+};
 pub use spec::{BackendKind, DatasetKind, JobSpec};
 pub use stats::comm_stats_json;
-pub use store::{JobStore, StoreError, StoredJob};
+pub use store::{JobStore, ScrubReport, StoreError, StoredJob};

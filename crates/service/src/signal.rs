@@ -1,14 +1,17 @@
-//! Graceful-shutdown signal plumbing: a process-wide flag flipped by
-//! `SIGINT`/`SIGTERM`, polled by the serve loop and the single-run
-//! checkpoint loop so both checkpoint before exiting.
+//! Signal plumbing: a process-wide shutdown flag flipped by
+//! `SIGINT`/`SIGTERM` (polled by the serve loop and the single-run
+//! checkpoint loop so both checkpoint before exiting), and a scrub flag
+//! flipped by `SIGUSR1` (the serve loop runs a store scrub at the next
+//! round boundary — the operator's "the disk is fixed, re-verify" knob).
 //!
 //! Implemented directly against the libc `signal(2)` entry point (the
-//! workspace vendors no `libc` crate); the handler only stores to an
+//! workspace vendors no `libc` crate); the handlers only store to an
 //! `AtomicBool`, which is async-signal-safe.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SCRUB: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod imp {
@@ -19,16 +22,22 @@ mod imp {
     }
 
     const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10;
     const SIGTERM: i32 = 15;
 
     extern "C" fn on_signal(_signum: i32) {
         super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
+    extern "C" fn on_scrub(_signum: i32) {
+        super::SCRUB.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
     pub(super) fn install() {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGUSR1, on_scrub);
         }
     }
 }
@@ -53,4 +62,16 @@ pub fn shutdown_requested() -> bool {
 /// drive the same code path the signal handler does.
 pub fn set_shutdown(value: bool) {
     SHUTDOWN.store(value, Ordering::SeqCst);
+}
+
+/// Consumes a pending `SIGUSR1` scrub request: `true` at most once per
+/// signal.
+pub fn take_scrub_requested() -> bool {
+    SCRUB.swap(false, Ordering::SeqCst)
+}
+
+/// Raises (or clears) the scrub request directly — tests and non-unix
+/// builds.
+pub fn set_scrub_requested(value: bool) {
+    SCRUB.store(value, Ordering::SeqCst);
 }

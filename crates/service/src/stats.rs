@@ -61,6 +61,16 @@ pub fn comm_stats_json(comm: &CommStats, rounds_completed: usize, total_rounds: 
     push_u64(&mut out, "aggregate", comm.timing.aggregate_ns);
     close_object(&mut out);
 
+    out.push_str("\"io\":{");
+    push_u64(&mut out, "torn_writes", comm.io.torn_writes);
+    push_u64(&mut out, "dropped_fsyncs", comm.io.dropped_fsyncs);
+    push_u64(&mut out, "io_errors", comm.io.io_errors);
+    push_u64(&mut out, "disk_full", comm.io.disk_full);
+    push_u64(&mut out, "retries", comm.io.retries);
+    push_u64(&mut out, "quarantined", comm.io.quarantined);
+    push_u64(&mut out, "scrub_repaired", comm.io.scrub_repaired);
+    close_object(&mut out);
+
     // Drop the trailing separator left by the last nested object.
     debug_assert!(out.ends_with(','));
     out.pop();
@@ -114,6 +124,9 @@ mod tests {
             "topk",
             "timing_ns",
             "aggregate",
+            "\"io\":",
+            "torn_writes",
+            "scrub_repaired",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

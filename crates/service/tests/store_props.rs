@@ -2,11 +2,19 @@
 //! segment+manifest files; arbitrary truncation or bit-flips of any
 //! on-disk file never panic, never surface corrupt data, and fall back to
 //! the previous generation when one exists; compaction preserves the
-//! latest record of every job; concurrent writers are generation-fenced.
+//! latest record of every job; concurrent writers are generation-fenced;
+//! and recovery after any seeded `FaultyVfs` history (honest EIO/ENOSPC
+//! or lying torn-write/dropped-fsync faults plus a crash) never adopts a
+//! torn segment and never serves bytes that were not an attempted write.
 
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use fedrlnas_core::{FaultyVfs, IoFaultPlan, Vfs};
+use fedrlnas_fed::IoFaultTally;
 use fedrlnas_service::{JobStore, StoreError};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -27,6 +35,124 @@ fn scratch(tag: &str) -> PathBuf {
 
 fn blob(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     vec(0u8..=255u8, 0..max_len)
+}
+
+/// A [`Vfs`] handle the test keeps shared ownership of, so it can crash
+/// the simulated disk after dropping the store that owns the box.
+#[derive(Debug, Clone)]
+struct SharedVfs(Arc<Mutex<FaultyVfs>>);
+
+impl SharedVfs {
+    fn new(plan: IoFaultPlan) -> Self {
+        SharedVfs(Arc::new(Mutex::new(FaultyVfs::new(plan))))
+    }
+
+    fn simulate_crash(&self) {
+        self.0
+            .lock()
+            .expect("vfs lock")
+            .simulate_crash()
+            .expect("crash simulation");
+    }
+}
+
+impl Vfs for SharedVfs {
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        self.0.lock().expect("vfs lock").read(path)
+    }
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.0.lock().expect("vfs lock").write_file(path, bytes)
+    }
+    fn fsync(&mut self, path: &Path) -> io::Result<()> {
+        self.0.lock().expect("vfs lock").fsync(path)
+    }
+    fn fsync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        self.0.lock().expect("vfs lock").fsync_dir(dir)
+    }
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.0.lock().expect("vfs lock").rename(from, to)
+    }
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.0.lock().expect("vfs lock").remove(path)
+    }
+    fn read_dir(&mut self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.0.lock().expect("vfs lock").read_dir(dir)
+    }
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
+        self.0.lock().expect("vfs lock").create_dir_all(dir)
+    }
+    fn take_fault_tally(&mut self) -> IoFaultTally {
+        self.0.lock().expect("vfs lock").take_fault_tally()
+    }
+}
+
+/// One attempted write of a job record: the full payload `update` tried
+/// to commit, whether or not the store reported success.
+#[derive(Debug, Clone, PartialEq)]
+struct Attempt {
+    state: u8,
+    spec: Vec<u8>,
+    checkpoint: Vec<u8>,
+}
+
+/// Runs `ops` as an update history against a store opened over `plan`,
+/// crashes the disk, and returns (per-(job, generation) attempted writes,
+/// last generation each job acked, the job ids). Jobs are created
+/// fault-free first so the history is purely the update stream.
+#[allow(clippy::type_complexity)]
+fn fault_history(
+    dir: &Path,
+    n_jobs: usize,
+    ops: &[(usize, u8, Vec<u8>)],
+    plan: IoFaultPlan,
+) -> (
+    BTreeMap<(u64, u64), Vec<Attempt>>,
+    BTreeMap<u64, u64>,
+    Vec<u64>,
+) {
+    let mut attempts: BTreeMap<(u64, u64), Vec<Attempt>> = BTreeMap::new();
+    let mut acked: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut ids = Vec::new();
+    {
+        let mut store = JobStore::open(dir).expect("fault-free open");
+        for j in 0..n_jobs {
+            let spec = vec![0xA0 | j as u8; 8];
+            let id = store.create(&spec, 0).expect("fault-free create");
+            attempts.entry((id, 1)).or_default().push(Attempt {
+                state: 0,
+                spec,
+                checkpoint: Vec::new(),
+            });
+            acked.insert(id, 1);
+            ids.push(id);
+        }
+    }
+
+    let vfs = SharedVfs::new(plan);
+    {
+        let mut store = JobStore::open_with(dir, Box::new(vfs.clone())).expect("open under faults");
+        for (pick, state, ckpt) in ops {
+            let id = ids[pick % ids.len()];
+            let Some(record) = store.get(id) else {
+                continue;
+            };
+            let generation = record.generation;
+            let spec = record.spec.clone();
+            attempts
+                .entry((id, generation + 1))
+                .or_default()
+                .push(Attempt {
+                    state: *state,
+                    spec,
+                    checkpoint: ckpt.clone(),
+                });
+            if store.update(id, generation, *state, ckpt).is_ok() {
+                acked.insert(id, generation + 1);
+            }
+        }
+    }
+    vfs.simulate_crash();
+    (attempts, acked, ids)
 }
 
 proptest! {
@@ -202,6 +328,110 @@ proptest! {
         let err = a.update(id, 1, 2, &ckpt).expect_err("stale generation");
         prop_assert!(matches!(err, StoreError::StaleGeneration { .. }));
         a.update(id, 2, 2, &ckpt).expect("correct generation commits");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Honest fault plans (EIO/ENOSPC report their failures; nothing
+    /// lies): after any update history plus a crash, no job ever recovers
+    /// below its last acked generation, and whatever generation recovery
+    /// adopts is byte-identical to a write that was actually attempted —
+    /// a failed update whose segment committed before the manifest write
+    /// failed may legitimately be adopted, but fabricated or torn bytes
+    /// never are.
+    #[test]
+    fn honest_fault_history_never_loses_an_acked_generation(
+        seed in 0u64..u64::MAX,
+        io_error in 0.0f64..0.35,
+        disk_full in 0.0f64..0.25,
+        n_jobs in 1usize..3,
+        ops in vec((0usize..3, 0u8..3, blob(96)), 1..14),
+    ) {
+        let dir = scratch("honest");
+        let plan = IoFaultPlan {
+            seed,
+            io_error,
+            disk_full,
+            ..IoFaultPlan::none()
+        };
+        let (attempts, acked, ids) = fault_history(&dir, n_jobs, &ops, plan);
+
+        let recovered = JobStore::open(&dir).expect("recovery never fails");
+        for id in ids {
+            let job = recovered.get(id);
+            prop_assert!(job.is_some(), "honest faults must not lose job {id}");
+            let job = job.expect("checked");
+            let acked_generation = acked[&id];
+            prop_assert!(
+                job.generation >= acked_generation,
+                "job {id}: recovered generation {} below acked {}",
+                job.generation,
+                acked_generation,
+            );
+            let candidates = attempts
+                .get(&(id, job.generation))
+                .expect("recovered generation was never attempted");
+            let got = Attempt {
+                state: job.state,
+                spec: job.spec.clone(),
+                checkpoint: job.checkpoint.clone(),
+            };
+            prop_assert!(
+                candidates.contains(&got),
+                "job {id} gen {}: recovered bytes match no attempted write",
+                job.generation,
+            );
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Any fault plan — including lying torn writes and dropped fsyncs —
+    /// plus a crash: recovery never panics, never adopts a torn segment,
+    /// and never serves bytes that were not an attempted write. (Lying
+    /// faults can roll acked generations back — a disk that lies about
+    /// fsync beats any store — but what survives always authenticates.)
+    #[test]
+    fn any_fault_history_only_recovers_attempted_writes(
+        seed in 0u64..u64::MAX,
+        torn_write in 0.0f64..0.3,
+        drop_fsync in 0.0f64..0.35,
+        io_error in 0.0f64..0.25,
+        disk_full in 0.0f64..0.2,
+        n_jobs in 1usize..3,
+        ops in vec((0usize..3, 0u8..3, blob(96)), 1..14),
+    ) {
+        let dir = scratch("lying");
+        let plan = IoFaultPlan {
+            seed,
+            torn_write,
+            drop_fsync,
+            io_error,
+            disk_full,
+            ..IoFaultPlan::none()
+        };
+        let (attempts, _acked, ids) = fault_history(&dir, n_jobs, &ops, plan);
+
+        let recovered = JobStore::open(&dir).expect("recovery never fails");
+        for id in ids {
+            // The fault-free create predates the faulty vfs, so its
+            // generation-1 segment always survives as a floor.
+            let job = recovered.get(id);
+            prop_assert!(job.is_some(), "job {id} lost despite a durable gen-1 segment");
+            let job = job.expect("checked");
+            let candidates = attempts
+                .get(&(id, job.generation))
+                .expect("recovered generation was never attempted");
+            let got = Attempt {
+                state: job.state,
+                spec: job.spec.clone(),
+                checkpoint: job.checkpoint.clone(),
+            };
+            prop_assert!(
+                candidates.contains(&got),
+                "job {id} gen {}: recovered bytes match no attempted write \
+                 (a torn segment was adopted?)",
+                job.generation,
+            );
+        }
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

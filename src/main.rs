@@ -50,14 +50,22 @@
 //! fedrlnas serve   --store DIR [--listen ADDR] [--checkpoint-every N]
 //!                  [--max-rounds-in-flight N] [--thread-budget N]
 //!                  [--byte-budget BYTES] [--round-delay-ms N]
-//!                  [--exit-when-idle]
+//!                  [--exit-when-idle] [--io-fault-seed N]
+//!                  [--io-fault-spec "torn=P,fsync=P,eio=P,enospc=P,full=FROMxLEN"]
 //!
 //! `serve` runs the multi-tenant search service: jobs are submitted over
 //! the protocol-v2 control plane (see `fedrlnas-service`), scheduled
 //! round-robin with per-job quotas, and checkpointed crash-safely in the
 //! `--store` directory — a `kill -9` mid-fleet resumes every job
 //! bit-identically on restart. The bound address is printed as
-//! `listening on ADDR` once the server is ready.
+//! `listening on ADDR` once the server is ready. `--io-fault-spec` (or
+//! `--io-fault-seed` alone, for the light default plan) routes the store
+//! through a deterministic storage fault injector — torn writes, dropped
+//! fsyncs, transient EIO, ENOSPC windows, all a pure function of (seed,
+//! path, op index). Jobs whose records persistently fail to commit are
+//! quarantined with a typed reason instead of crashing the serve loop;
+//! `SIGUSR1` triggers a store scrub (CRC-verify + repair), after which
+//! quarantined jobs accept `resume`.
 //!
 //! fedrlnas retrain --genotype "<compact>" [--scale ...] [--seed N]
 //!                  [--federated] [--non-iid] [--steps N] [--dataset ...]
@@ -65,8 +73,8 @@
 //! ```
 
 use fedrlnas::core::{
-    retrain_centralized, retrain_federated, Checkpoint, CheckpointPolicy, FederatedModelSearch,
-    Scale, SearchConfig,
+    retrain_centralized, retrain_federated, Checkpoint, CheckpointPolicy, FaultyVfs,
+    FederatedModelSearch, IoFaultPlan, Scale, SearchConfig, StdVfs, Vfs,
 };
 use fedrlnas::darts::Genotype;
 use fedrlnas::data::{DatasetSpec, SyntheticDataset};
@@ -74,7 +82,7 @@ use fedrlnas::fed::{AggregatorConfig, FedAvgConfig};
 use fedrlnas::rpc::{EngineMode, FaultPlan, RpcConfig, TransportKind};
 use fedrlnas::service::{
     comm_stats_json, install_shutdown_handler, serve_tcp, shutdown_requested, JobManager,
-    JobQuotas, ServeOptions,
+    JobQuotas, JobState, ServeOptions,
 };
 use fedrlnas::sync::{StalenessModel, StalenessStrategy};
 use rand::{rngs::StdRng, SeedableRng};
@@ -404,12 +412,40 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         exit_when_idle: present(argv, "--exit-when-idle"),
         round_delay: std::time::Duration::from_millis(delay_ms),
     };
+    let fault_seed: u64 = flag(argv, "--io-fault-seed")
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|e| format!("bad io fault seed: {e}"))?;
+    let fault_plan = match flag(argv, "--io-fault-spec") {
+        Some(spec) => IoFaultPlan::parse(&spec, fault_seed)
+            .map_err(|e| format!("bad --io-fault-spec: {e}"))?,
+        None if present(argv, "--io-fault-seed") => IoFaultPlan::light(fault_seed),
+        None => IoFaultPlan::none(),
+    };
+    let vfs: Box<dyn Vfs> = if fault_plan.is_active() {
+        println!("io fault injection active: {fault_plan}");
+        Box::new(FaultyVfs::new(fault_plan))
+    } else {
+        Box::new(StdVfs)
+    };
 
-    let mut mgr = JobManager::open(std::path::Path::new(&store), quotas, checkpoint_every)
-        .map_err(|e| format!("open job store {store}: {e}"))?;
+    let mut mgr =
+        JobManager::open_with(std::path::Path::new(&store), quotas, checkpoint_every, vfs)
+            .map_err(|e| format!("open job store {store}: {e}"))?;
     let recovered = mgr.list().len();
     if recovered > 0 {
         println!("recovered {recovered} job(s) from {store}");
+    }
+    let quarantined: Vec<u64> = mgr
+        .list()
+        .iter()
+        .filter(|(_, code)| *code == JobState::Quarantined.code())
+        .map(|(id, _)| *id)
+        .collect();
+    if !quarantined.is_empty() {
+        println!(
+            "{} job(s) quarantined: {quarantined:?} (scrub with SIGUSR1, then resume)",
+            quarantined.len()
+        );
     }
     serve_tcp(&mut mgr, listen.as_str(), &options, |addr| {
         // The e2e harnesses parse this line; keep it stable and flushed.
@@ -417,6 +453,20 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
     })?;
+    let tally = mgr.io_tally();
+    if tally.any() {
+        println!(
+            "io fault tally: {} torn / {} fsync-dropped / {} eio / {} enospc, \
+             {} retries, {} quarantined, {} scrub-repaired",
+            tally.torn_writes,
+            tally.dropped_fsyncs,
+            tally.io_errors,
+            tally.disk_full,
+            tally.retries,
+            tally.quarantined,
+            tally.scrub_repaired
+        );
+    }
     println!("all jobs checkpointed; exiting");
     Ok(())
 }
