@@ -63,6 +63,22 @@ impl Transport for LossyTransport {
         }
         Ok(reply)
     }
+
+    fn poll_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.inner.poll_recv()? {
+            None => Ok(None),
+            Some(reply) => {
+                if self
+                    .lose
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(TransportError::Closed);
+                }
+                Ok(Some(reply))
+            }
+        }
+    }
 }
 
 #[test]

@@ -4,7 +4,7 @@ use fedrlnas_codec::CodecConfig;
 use fedrlnas_controller::ControllerConfig;
 use fedrlnas_darts::SupernetConfig;
 use fedrlnas_data::AugmentConfig;
-use fedrlnas_fed::AggregatorConfig;
+use fedrlnas_fed::{AggregatorConfig, ShardTopology};
 use fedrlnas_netsim::{AssignmentStrategy, AvailabilitySpec, DeviceProfile, Environment};
 use fedrlnas_nn::SgdConfig;
 use fedrlnas_sync::{StalenessModel, StalenessStrategy};
@@ -118,6 +118,15 @@ pub struct SearchConfig {
     /// Enrolled population to sample per-round cohorts from. `None` (the
     /// default) keeps the historical fixed participant set.
     pub population: Option<PopulationConfig>,
+    /// Two-tier aggregation topology: `flat` (the default) folds every
+    /// report into one accumulator; `shards:<s>` partitions the cohort
+    /// round-robin across `s` shard aggregators whose per-shard results a
+    /// root merge combines. Bit-identical for the weighted mean (sharding
+    /// is an optimization boundary there, not a semantic one); robust
+    /// rules become per-shard — see DESIGN.md §4j for the f-bound caveat.
+    /// An execution-layout knob like the engine mode, so it is NOT
+    /// checkpointed: resuming under a different topology is legal.
+    pub topology: ShardTopology,
 }
 
 impl SearchConfig {
@@ -151,6 +160,7 @@ impl SearchConfig {
             codec: CodecConfig::default(),
             environments: None,
             population: None,
+            topology: ShardTopology::flat(),
         }
     }
 
@@ -193,6 +203,7 @@ impl SearchConfig {
             codec: CodecConfig::default(),
             environments: None,
             population: None,
+            topology: ShardTopology::flat(),
         }
     }
 
@@ -222,6 +233,7 @@ impl SearchConfig {
             codec: CodecConfig::default(),
             environments: None,
             population: None,
+            topology: ShardTopology::flat(),
         }
     }
 
@@ -291,6 +303,12 @@ impl SearchConfig {
         self
     }
 
+    /// Builder-style: select the two-tier aggregation topology.
+    pub fn with_topology(mut self, topology: ShardTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -313,6 +331,7 @@ impl SearchConfig {
         }
         self.aggregator.validate()?;
         self.codec.validate()?;
+        self.topology.validate()?;
         if let Some(bound) = self.update_norm_bound {
             if !(bound.is_finite() && bound > 0.0) {
                 return Err(format!(

@@ -9,8 +9,8 @@ use fedrlnas_controller::{Alpha, ReinforceController};
 use fedrlnas_darts::{ArchMask, Genotype, Supernet};
 use fedrlnas_data::{dirichlet_partition, iid_partition, SyntheticDataset};
 use fedrlnas_fed::{
-    validate_update, ChurnTally, CommStats, Participant, RejectTally, RoundTimings, SparseUpdate,
-    StreamingAccumulator,
+    validate_update, ChurnTally, CommStats, Participant, RejectTally, RoundTimings,
+    ShardedAccumulator, SparseUpdate,
 };
 use fedrlnas_netsim::{
     assign, resolve_codec, transmission_secs, CohortSampler, Environment, Population,
@@ -786,7 +786,11 @@ impl SearchServer {
         // plain/clipped mean folds immediately; order-sensitive rules
         // buffer internally). Pushes happen in arrival order — the same
         // order the old batch call saw — so the result is bit-identical.
-        let mut theta_acc = StreamingAccumulator::new(&self.config.aggregator, theta_len);
+        // Under a sharded topology the arrivals are partitioned round-robin
+        // across shard aggregators with a root merge (flat + mean rules
+        // route through the identical flat fold — see `ShardedAccumulator`).
+        let mut theta_acc =
+            ShardedAccumulator::new(&self.config.aggregator, self.config.topology, theta_len);
         let mut aggregate_ns = 0u64;
         let mut alpha_grad = Tensor::zeros(self.controller.alpha().logits().dims());
         let mut m = 0usize;

@@ -34,6 +34,7 @@ mod fedsgd;
 mod participant;
 mod robust;
 mod rounds;
+mod shard;
 mod trainable;
 
 pub use comm::{
@@ -47,6 +48,7 @@ pub use robust::{
     Krum, NormClip, SparseUpdate, StreamingAccumulator, TrimmedMean, UpdateRejection, WeightedMean,
 };
 pub use rounds::{FedAvgConfig, FedAvgTrainer, RoundMetrics};
+pub use shard::{ShardTopology, ShardedAccumulator};
 pub use trainable::{
     average_flat, evaluate_model, flat_params, flat_state, set_flat_params, set_flat_state,
     TrainableModel,

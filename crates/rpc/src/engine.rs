@@ -81,8 +81,9 @@ const HISTORY_ROUNDS: usize = 16;
 /// Hard cap on any single backoff sleep.
 const MAX_BACKOFF: Duration = Duration::from_secs(2);
 
-/// How long a straggler's link is drained once the quorum is already met.
-const QUORUM_DRAIN: Duration = Duration::from_millis(5);
+/// Default for [`RpcConfig::quorum_drain`]: how long a straggler's link
+/// is drained once the quorum is already met.
+pub(crate) const QUORUM_DRAIN: Duration = Duration::from_millis(5);
 
 /// How long an evicted worker's link is drained per round.
 const EVICTED_DRAIN: Duration = Duration::from_millis(2);
@@ -116,6 +117,16 @@ pub enum EngineMode {
     /// other instead of summing.
     #[default]
     Pipelined,
+    /// The event-driven implementation: a bounded pool of collector
+    /// threads (see [`RpcConfig::reactor_threads`]) drives *all*
+    /// participant links through nonblocking [`Transport::poll_recv`]
+    /// readiness sweeps, with per-link deadline/retry/drain state
+    /// machines replacing per-link blocking waits — thread count stays
+    /// flat as the cohort grows to 10k. Same quorum, drain and eviction
+    /// semantics; effects still commit in participant order, so
+    /// fault-free full-quorum rounds are bit-identical to the other two
+    /// modes (see `crate::reactor`).
+    Reactor,
 }
 
 /// Round-engine tuning knobs.
@@ -141,6 +152,14 @@ pub struct RpcConfig {
     /// Fraction of eligible workers whose on-time reply commits the round
     /// (`1.0`, the default, waits for everyone — the legacy behaviour).
     pub quorum_frac: f64,
+    /// How long a straggler's link is drained once the quorum is already
+    /// met (defaults to the legacy 5ms constant, so existing byte-identity
+    /// suites are unaffected).
+    pub quorum_drain: Duration,
+    /// Collector/worker pool size for [`EngineMode::Reactor`]. `0` (the
+    /// default) resolves from `FEDRLNAS_NUM_THREADS`, falling back to the
+    /// machine's available parallelism. Ignored by the other modes.
+    pub reactor_threads: usize,
     /// Consecutive missed rounds after which a worker is evicted
     /// (`0` disables eviction).
     pub evict_after: usize,
@@ -170,6 +189,8 @@ impl Default for RpcConfig {
             retry_backoff: Duration::from_millis(10),
             real_time_scale: 0.0,
             quorum_frac: 1.0,
+            quorum_drain: QUORUM_DRAIN,
+            reactor_threads: 0,
             evict_after: 3,
             fault: FaultPlan::none(),
             update_norm_bound: None,
@@ -229,32 +250,39 @@ impl Transport for Box<dyn Transport> {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
         (**self).recv_timeout(timeout)
     }
+
+    fn poll_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        (**self).poll_recv()
+    }
 }
 
 /// Server-side link to one worker: bandwidth shaping over fault injection
 /// over the raw transport.
-type Link = ShapedTransport<FaultyTransport<Box<dyn Transport>>>;
+pub(crate) type Link = ShapedTransport<FaultyTransport<Box<dyn Transport>>>;
 
-struct WorkerHandle {
-    transport: Option<Link>,
-    join: Option<JoinHandle<()>>,
+pub(crate) struct WorkerHandle {
+    pub(crate) transport: Option<Link>,
+    pub(crate) join: Option<JoinHandle<()>>,
     /// `false` once the link itself is dead (peer hung up / socket error);
     /// a dead worker never comes back.
-    alive: bool,
+    pub(crate) alive: bool,
     /// Evicted for missing too many consecutive rounds; still probed each
     /// round and re-admitted on a heartbeat.
-    evicted: bool,
+    pub(crate) evicted: bool,
     /// Consecutive rounds without an on-time reply.
-    miss_streak: usize,
+    pub(crate) miss_streak: usize,
     /// Consecutive rounds whose reply the validation gate refused; an
     /// eviction while this is non-zero marks the worker suspected
     /// Byzantine.
-    reject_streak: usize,
+    pub(crate) reject_streak: usize,
 }
 
 /// The server-side round engine; implements [`RoundBackend`].
 pub struct RpcBackend {
     workers: Vec<WorkerHandle>,
+    /// Join handles for the reactor's pooled worker-fleet threads (one per
+    /// pool thread, not per participant); empty in the other modes.
+    pool_joins: Vec<JoinHandle<()>>,
     config: RpcConfig,
     /// Mask and expected flat-gradient length shipped to each
     /// (round, participant) — late replies carry only the round number, so
@@ -273,6 +301,10 @@ pub struct RpcBackend {
     /// sub-model currently being encoded.
     weights_buf: Vec<f32>,
     buffers_buf: Vec<f32>,
+    /// Per-participant expected flat-gradient lengths, reused across
+    /// rounds so phase 1 allocates nothing at steady state even at 10k
+    /// participants.
+    expected_lens: Vec<usize>,
     /// Times any reusable hot-path buffer (server download frames and
     /// staging above, worker codec/frame scratch) grew its capacity;
     /// shared with every worker thread. Debug observability for the
@@ -310,8 +342,11 @@ impl RpcBackend {
             .map(|p| Arc::new(Mutex::new(p.residual().to_vec())))
             .collect();
         let growth = Arc::new(AtomicU64::new(0));
-        let workers = match config.transport {
-            TransportKind::InMemory => spawn_channel_workers(
+        let n = participants.len();
+        // the reactor drives all participants from a bounded pool; the
+        // other modes keep the legacy thread-per-participant fleet
+        let (workers, pool_joins) = if config.engine == EngineMode::Reactor {
+            crate::reactor::spawn_pooled_workers(
                 participants,
                 net,
                 dataset,
@@ -320,27 +355,47 @@ impl RpcBackend {
                 &residuals,
                 &growth,
                 config.real_time_scale,
-            ),
-            TransportKind::Tcp => spawn_tcp_workers(
-                participants,
-                net,
-                dataset,
-                faults,
-                &config.fault,
-                &residuals,
-                &growth,
-                config.real_time_scale,
-            ),
+                config.transport,
+                config.reactor_threads,
+            )
+        } else {
+            let workers = match config.transport {
+                TransportKind::InMemory => spawn_channel_workers(
+                    participants,
+                    net,
+                    dataset,
+                    faults,
+                    &config.fault,
+                    &residuals,
+                    &growth,
+                    config.real_time_scale,
+                ),
+                TransportKind::Tcp => spawn_tcp_workers(
+                    participants,
+                    net,
+                    dataset,
+                    faults,
+                    &config.fault,
+                    &residuals,
+                    &growth,
+                    config.real_time_scale,
+                ),
+            };
+            (workers, Vec::new())
         };
         RpcBackend {
             workers,
+            pool_joins,
             config,
-            sent_masks: HashMap::new(),
-            delivered: HashSet::new(),
+            // pre-sized from the cohort: at n=10k a lazily grown map or
+            // frame table would dominate round-1 allocation spikes
+            sent_masks: HashMap::with_capacity(2 * n),
+            delivered: HashSet::with_capacity(2 * n),
             residuals,
-            download_frames: Vec::new(),
+            download_frames: vec![Vec::new(); n],
             weights_buf: Vec::new(),
             buffers_buf: Vec::new(),
+            expected_lens: Vec::with_capacity(n),
             growth,
         }
     }
@@ -377,7 +432,7 @@ fn note_growth(growth: &AtomicU64, before: usize, after: usize) {
     }
 }
 
-fn wrap_link(
+pub(crate) fn wrap_link(
     inner: Box<dyn Transport>,
     participant: usize,
     plan: &FaultPlan,
@@ -528,47 +583,86 @@ fn spawn_tcp_workers(
         .collect()
 }
 
-/// The participant side: blocks on downloads, trains, replies. Replies
-/// are cached per round so a retransmitted download is answered from the
-/// cache instead of being recomputed (idempotence under retry). A
-/// scripted crash-restart makes the worker go silent for a window of
-/// rounds and resume when a liveness probe shows the window has passed.
-fn worker_loop(
-    mut transport: Box<dyn Transport>,
-    mut participant: Participant,
-    net: SupernetConfig,
-    dataset: SyntheticDataset,
+/// What [`WorkerState::handle_frame`] tells the worker's drive loop to do.
+pub(crate) enum FrameOutcome {
+    /// Keep servicing this participant's link.
+    Continue,
+    /// The scripted `die_at_round` fired: drop the link, no reply.
+    Exit,
+}
+
+/// The participant side of one link, factored out of the per-worker
+/// thread loop so the reactor's pooled fleet can drive many participants
+/// from one thread. All per-participant state lives here (reply cache,
+/// codec scratch, crash script, attack memory); the supernet *structure*
+/// is shared by every participant on a pool thread because weights always
+/// arrive over the wire — nothing training-relevant ever persists in it.
+pub(crate) struct WorkerState {
+    participant: Participant,
     fault: ScriptedFault,
     residual: Arc<Mutex<Vec<f32>>>,
     growth: Arc<AtomicU64>,
-) {
-    let id = participant.id();
-    // structure only — every weight is overwritten from the wire
-    let mut structure_rng = StdRng::seed_from_u64(0x5EED ^ id as u64);
-    let mut supernet = Supernet::new(net, &mut structure_rng);
-    // full flat-θ length — the error-feedback residual spans the whole
-    // supernet, exactly like the in-process path
-    let theta_len = supernet.param_count();
-    let mut reply_cache: HashMap<u64, Vec<u8>> = HashMap::new();
+    reply_cache: HashMap<u64, Vec<u8>>,
     // grow-only hot-path scratch, reused every round: codec selection
     // keys, encoded byte run, self-decode output, and the reply frame.
     // Reuse never changes any output (see `EncodeScratch`), it only
     // removes steady-state allocations; `growth` counts capacity growth
     // so a test can assert the buffers actually stabilize.
-    let mut enc_scratch = EncodeScratch::default();
-    let mut coded_buf: Vec<u8> = Vec::new();
-    let mut decoded_buf: Vec<f32> = Vec::new();
-    let mut frame_buf: Vec<u8> = Vec::new();
+    enc_scratch: EncodeScratch,
+    coded_buf: Vec<u8>,
+    decoded_buf: Vec<f32>,
+    frame_buf: Vec<u8>,
     // the previous round's honest update, kept for Attack::StaleReplay
-    let mut last_honest: Vec<f32> = Vec::new();
+    last_honest: Vec<f32>,
     // first round the worker is back up after a scripted crash-restart
-    let mut down_until: Option<u64> = None;
-    let mut crashed = false;
-    // loop ends when the server hangs up or the socket dies
-    while let Ok(frame) = transport.recv() {
-        let msg = match decode(&frame) {
+    down_until: Option<u64>,
+    crashed: bool,
+}
+
+impl WorkerState {
+    pub(crate) fn new(
+        participant: Participant,
+        fault: ScriptedFault,
+        residual: Arc<Mutex<Vec<f32>>>,
+        growth: Arc<AtomicU64>,
+    ) -> Self {
+        WorkerState {
+            participant,
+            fault,
+            residual,
+            growth,
+            reply_cache: HashMap::new(),
+            enc_scratch: EncodeScratch::default(),
+            coded_buf: Vec::new(),
+            decoded_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            last_honest: Vec::new(),
+            down_until: None,
+            crashed: false,
+        }
+    }
+
+    /// Services one inbound frame: heartbeats/probes are answered inline,
+    /// downloads run one local training step and reply with the update.
+    /// Replies are cached per round so a retransmitted download is
+    /// answered from the cache instead of being recomputed (idempotence
+    /// under retry). A scripted crash-restart makes the worker go silent
+    /// for a window of rounds and resume when a liveness probe shows the
+    /// window has passed. `theta_len` is the full flat-θ length — the
+    /// error-feedback residual spans the whole supernet, exactly like the
+    /// in-process path.
+    pub(crate) fn handle_frame(
+        &mut self,
+        supernet: &mut Supernet,
+        theta_len: usize,
+        dataset: &SyntheticDataset,
+        transport: &mut dyn Transport,
+        frame: &[u8],
+    ) -> FrameOutcome {
+        let id = self.participant.id();
+        let msg = match decode(frame) {
             Ok(m) => m,
-            Err(_) => continue, // corrupt frame: drop, await retransmission
+            Err(_) => return FrameOutcome::Continue, // corrupt: await retransmission
         };
         // both download flavours share one training path; the coded one
         // additionally carries the codec the upload must be encoded with
@@ -593,60 +687,60 @@ fn worker_loop(
             } => {
                 let spec = match CodecSpec::from_tag_param(codec_tag, codec_param) {
                     Some(s) => s,
-                    None => continue, // nonsense codec instruction: refuse
+                    None => return FrameOutcome::Continue, // nonsense codec: refuse
                 };
                 (round, seed_base, mask, weights, buffers, alpha, Some(spec))
             }
             Message::Heartbeat { .. } => {
-                if down_until.is_none() {
+                if self.down_until.is_none() {
                     let _ = transport.send(&encode(&Message::Heartbeat {
                         participant: id as u32,
                     }));
                 }
-                continue;
+                return FrameOutcome::Continue;
             }
             Message::Ack { round } => {
                 // liveness probe: answer with a heartbeat unless still in
                 // the scripted downtime window
-                match down_until {
+                match self.down_until {
                     Some(until) if round < until => {}
                     _ => {
-                        down_until = None;
+                        self.down_until = None;
                         let _ = transport.send(&encode(&Message::Heartbeat {
                             participant: id as u32,
                         }));
                     }
                 }
-                continue;
+                return FrameOutcome::Continue;
             }
             // uploads echo back only under fault injection; control-plane
             // frames are for the service listener, never a worker
-            _ => continue,
+            _ => return FrameOutcome::Continue,
         };
-        if let Some(until) = down_until {
+        if let Some(until) = self.down_until {
             if round < until {
-                continue; // crashed: downloads fall on the floor
+                return FrameOutcome::Continue; // crashed: downloads fall on the floor
             }
-            down_until = None;
+            self.down_until = None;
         }
-        if !crashed {
-            if let Some((r, d)) = fault.crash_restart {
+        if !self.crashed {
+            if let Some((r, d)) = self.fault.crash_restart {
                 if r == round as usize {
-                    crashed = true;
-                    reply_cache.clear(); // a crash loses in-memory state
-                    down_until = Some(round + d as u64);
-                    continue;
+                    self.crashed = true;
+                    self.reply_cache.clear(); // a crash loses in-memory state
+                    self.down_until = Some(round + d as u64);
+                    return FrameOutcome::Continue;
                 }
             }
         }
-        if let Some(cached) = reply_cache.get(&round) {
+        if let Some(cached) = self.reply_cache.get(&round) {
             let _ = transport.send(cached);
-            continue;
+            return FrameOutcome::Continue;
         }
-        if fault.die_at_round == Some(round as usize) {
-            return; // simulated crash: no reply, connection drops
+        if self.fault.die_at_round == Some(round as usize) {
+            return FrameOutcome::Exit; // simulated crash: no reply
         }
-        if let Some((r, d)) = fault.delay {
+        if let Some((r, d)) = self.fault.delay {
             if r == round as usize {
                 std::thread::sleep(d);
             }
@@ -657,7 +751,7 @@ fn worker_loop(
         let mut expected_b = 0;
         sub.visit_buffers(&mut |b| expected_b += b.len());
         if weights.len() != expected_w || buffers.len() != expected_b {
-            continue; // shape mismatch: refuse rather than panic
+            return FrameOutcome::Continue; // shape mismatch: refuse rather than panic
         }
         let mut wc = 0;
         sub.visit_params(&mut |p| {
@@ -674,11 +768,11 @@ fn worker_loop(
         // identical RNG derivation to the in-process path
         let mut prng =
             StdRng::seed_from_u64(seed_base ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let report = participant.local_update(&mut sub, &dataset, &mut prng);
+        let report = self.participant.local_update(&mut sub, dataset, &mut prng);
         let mut grads = Vec::new();
         sub.visit_params(&mut |p| grads.extend_from_slice(p.grad.as_slice()));
-        if let Some(attack) = fault.attack {
-            let honest = std::mem::replace(&mut last_honest, grads.clone());
+        if let Some(attack) = self.fault.attack {
+            let honest = std::mem::replace(&mut self.last_honest, grads.clone());
             apply_attack(attack, round, id as u64, &mut grads, &honest);
         }
         let edges = mask.num_edges();
@@ -692,7 +786,7 @@ fn worker_loop(
                     .to_vec()
             })
             .unwrap_or_default();
-        let frame_cap = frame_buf.capacity();
+        let frame_cap = self.frame_buf.capacity();
         match codec {
             None => encode_into(
                 &Message::UploadUpdate {
@@ -703,7 +797,7 @@ fn worker_loop(
                     reward: report.accuracy,
                     loss: report.loss,
                 },
-                &mut frame_buf,
+                &mut self.frame_buf,
             ),
             Some(spec) => {
                 // error feedback: fold the residual of every previous lossy
@@ -712,47 +806,76 @@ fn worker_loop(
                 // order as the in-process simulation, so the two execution
                 // modes stay bit-identical.
                 let ranges = supernet.submodel_param_ranges(&mask);
-                let mut res = residual.lock().expect("residual lock");
+                let mut res = self.residual.lock().expect("residual lock");
                 if res.len() != theta_len {
                     res.resize(theta_len, 0.0);
                 }
                 compensate(&mut grads, &res, &ranges);
-                let keys_cap = enc_scratch.capacity();
-                let coded_cap = coded_buf.capacity();
-                let dec_cap = decoded_buf.capacity();
-                spec.encode_into(&grads, &mut enc_scratch, &mut coded_buf);
-                spec.decode_into(&coded_buf, grads.len(), &mut decoded_buf)
+                let keys_cap = self.enc_scratch.capacity();
+                let coded_cap = self.coded_buf.capacity();
+                let dec_cap = self.decoded_buf.capacity();
+                spec.encode_into(&grads, &mut self.enc_scratch, &mut self.coded_buf);
+                spec.decode_into(&self.coded_buf, grads.len(), &mut self.decoded_buf)
                     .expect("a codec must decode its own encoding");
-                absorb_residual(&mut res, &grads, &decoded_buf, &ranges);
+                absorb_residual(&mut res, &grads, &self.decoded_buf, &ranges);
                 drop(res);
-                note_growth(&growth, keys_cap, enc_scratch.capacity());
-                note_growth(&growth, coded_cap, coded_buf.capacity());
-                note_growth(&growth, dec_cap, decoded_buf.capacity());
+                note_growth(&self.growth, keys_cap, self.enc_scratch.capacity());
+                note_growth(&self.growth, coded_cap, self.coded_buf.capacity());
+                note_growth(&self.growth, dec_cap, self.decoded_buf.capacity());
                 encode_upload_coded_into(
-                    &mut frame_buf,
+                    &mut self.frame_buf,
                     round,
                     id as u32,
                     spec.tag(),
                     spec.param(),
                     grads.len() as u32,
-                    &coded_buf,
+                    &self.coded_buf,
                     &delta_alpha,
                     report.accuracy,
                     report.loss,
                 );
             }
         };
-        note_growth(&growth, frame_cap, frame_buf.capacity());
-        if reply_cache.len() >= HISTORY_ROUNDS {
-            if let Some(oldest) = reply_cache.keys().min().copied() {
-                reply_cache.remove(&oldest);
+        note_growth(&self.growth, frame_cap, self.frame_buf.capacity());
+        if self.reply_cache.len() >= HISTORY_ROUNDS {
+            if let Some(oldest) = self.reply_cache.keys().min().copied() {
+                self.reply_cache.remove(&oldest);
             }
         }
         // the cache clone is the one unavoidable per-round allocation on
         // this path: retransmitted downloads are answered from the cache
         // after `frame_buf` has been overwritten by a newer round
-        reply_cache.insert(round, frame_buf.clone());
-        let _ = transport.send(&frame_buf);
+        self.reply_cache.insert(round, self.frame_buf.clone());
+        let _ = transport.send(&self.frame_buf);
+        FrameOutcome::Continue
+    }
+}
+
+/// The per-participant worker thread: blocks on downloads and drives a
+/// dedicated [`WorkerState`]. The reactor's pooled fleet replaces this
+/// blocking loop with readiness sweeps over many states per thread.
+fn worker_loop(
+    mut transport: Box<dyn Transport>,
+    participant: Participant,
+    net: SupernetConfig,
+    dataset: SyntheticDataset,
+    fault: ScriptedFault,
+    residual: Arc<Mutex<Vec<f32>>>,
+    growth: Arc<AtomicU64>,
+) {
+    let id = participant.id();
+    // structure only — every weight is overwritten from the wire
+    let mut structure_rng = StdRng::seed_from_u64(0x5EED ^ id as u64);
+    let mut supernet = Supernet::new(net, &mut structure_rng);
+    let theta_len = supernet.param_count();
+    let mut state = WorkerState::new(participant, fault, residual, growth);
+    // loop ends when the server hangs up or the socket dies
+    while let Ok(frame) = transport.recv() {
+        if let FrameOutcome::Exit =
+            state.handle_frame(&mut supernet, theta_len, &dataset, &mut transport, &frame)
+        {
+            return;
+        }
     }
 }
 
@@ -853,25 +976,25 @@ fn classify_reply(msg: Message, sent: &HashMap<(usize, usize), (ArchMask, usize)
 /// [`merge_worker_round`], so the pipelined engine updates every data
 /// structure the next round reads exactly as the serial reference would.
 #[derive(Default)]
-struct WorkerRound {
-    reports: Vec<BackendReport>,
-    late: Vec<BackendReport>,
+pub(crate) struct WorkerRound {
+    pub(crate) reports: Vec<BackendReport>,
+    pub(crate) late: Vec<BackendReport>,
     /// `(round, participant)` keys delivered on this link this round.
     /// A link only ever carries its own worker's replies, so these keys
     /// are disjoint across concurrent collectors.
-    delivered: Vec<(usize, usize)>,
+    pub(crate) delivered: Vec<(usize, usize)>,
     /// Compression-tally entries for actually-delivered coded replies.
-    comp: Vec<(usize, u64, u64)>,
-    rejects: RejectTally,
-    bytes_up: u64,
-    bytes_down: u64,
-    retransmits: u64,
-    got: bool,
-    rejected: bool,
-    ship_ns: u64,
-    collect_ns: u64,
-    decode_ns: u64,
-    validate_ns: u64,
+    pub(crate) comp: Vec<(usize, u64, u64)>,
+    pub(crate) rejects: RejectTally,
+    pub(crate) bytes_up: u64,
+    pub(crate) bytes_down: u64,
+    pub(crate) retransmits: u64,
+    pub(crate) got: bool,
+    pub(crate) rejected: bool,
+    pub(crate) ship_ns: u64,
+    pub(crate) collect_ns: u64,
+    pub(crate) decode_ns: u64,
+    pub(crate) validate_ns: u64,
 }
 
 /// Synchronizes concurrent collectors on the set of successful downloads
@@ -880,7 +1003,7 @@ struct WorkerRound {
 /// download actually went out. Every spawned collector records its send
 /// outcome; [`SendGate::target`] blocks until all have, then computes the
 /// target from the survivors — exactly serial's post-ship `eligible`.
-struct SendGate {
+pub(crate) struct SendGate {
     spawned: usize,
     frac: f64,
     done: AtomicUsize,
@@ -888,7 +1011,7 @@ struct SendGate {
 }
 
 impl SendGate {
-    fn new(spawned: usize, frac: f64) -> Self {
+    pub(crate) fn new(spawned: usize, frac: f64) -> Self {
         SendGate {
             spawned,
             frac,
@@ -897,14 +1020,14 @@ impl SendGate {
         }
     }
 
-    fn record(&self, ok: bool) {
+    pub(crate) fn record(&self, ok: bool) {
         if !ok {
             self.failed.fetch_add(1, Ordering::Relaxed);
         }
         self.done.fetch_add(1, Ordering::Release);
     }
 
-    fn target(&self) -> usize {
+    pub(crate) fn target(&self) -> usize {
         // sends are bounded by the shaped-link sleep, so this settles in
         // at most one download's transmission time
         while self.done.load(Ordering::Acquire) < self.spawned {
@@ -938,26 +1061,27 @@ enum WaitMode {
 }
 
 /// One logical wait for a reply frame under the quorum rule: a worker
-/// whose quorum is already met only gets the short [`QUORUM_DRAIN`]
-/// window; otherwise the full per-attempt deadline.
+/// whose quorum is already met only gets the short `drain` window
+/// ([`RpcConfig::quorum_drain`]); otherwise the full per-attempt deadline.
 fn wait_reply(
     link: &mut Link,
     mode: WaitMode,
     on_time: &AtomicUsize,
     quorum_target: usize,
     deadline: Duration,
+    drain: Duration,
 ) -> Result<Vec<u8>, TransportError> {
     match mode {
         WaitMode::Blocking => {
             let met = on_time.load(Ordering::Relaxed) >= quorum_target;
-            let wait = if met { QUORUM_DRAIN } else { deadline };
+            let wait = if met { drain } else { deadline };
             link.recv_timeout(wait)
         }
         WaitMode::Sliced => {
             const SLICE: Duration = Duration::from_millis(1);
             let mut elapsed = Duration::ZERO;
             // the drain clock starts when the quorum transition is first
-            // observed — a straggler gets the full `QUORUM_DRAIN` of fresh
+            // observed — a straggler gets the full drain window of fresh
             // waiting from that moment, mirroring the serial engine's
             // fresh drain window per straggler
             let mut met_at: Option<Duration> = None;
@@ -966,7 +1090,7 @@ fn wait_reply(
                     met_at = Some(elapsed);
                 }
                 let (budget, base) = match met_at {
-                    Some(m) => (QUORUM_DRAIN, m),
+                    Some(m) => (drain, m),
                     None => (deadline, Duration::ZERO),
                 };
                 let spent = elapsed - base;
@@ -980,6 +1104,126 @@ fn wait_reply(
                 }
             }
         }
+    }
+}
+
+/// What [`absorb_reply_frame`] tells the caller to do next.
+#[derive(PartialEq, Eq)]
+pub(crate) enum FrameStep {
+    /// This link's round is settled (on-time report accepted or rejected);
+    /// stop waiting on it.
+    Done,
+    /// The frame was noise, a duplicate or a late reply — keep waiting.
+    KeepWaiting,
+}
+
+/// Absorbs one received reply frame into a [`WorkerRound`]: decode,
+/// classify, deduplicate, late-attribute, and run the validation gate on
+/// on-time reports. This is the single shared frame path for all three
+/// engine modes — blocking collectors call it from their wait loop, the
+/// reactor calls it from its readiness sweep — so classification and gate
+/// semantics cannot drift between modes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn absorb_reply_frame(
+    wr: &mut WorkerRound,
+    frame_in: &[u8],
+    t: usize,
+    expected_len: usize,
+    mask: &ArchMask,
+    sent_masks: &HashMap<(usize, usize), (ArchMask, usize)>,
+    delivered: &HashSet<(usize, usize)>,
+    on_time: &AtomicUsize,
+    update_norm_bound: Option<f32>,
+) -> FrameStep {
+    wr.bytes_up += frame_in.len() as u64;
+    let decode_start = Instant::now();
+    let classified = match decode(frame_in) {
+        Ok(msg) => classify_reply(msg, sent_masks),
+        Err(_) => Reply::Noise, // corruption: drop
+    };
+    wr.decode_ns = wr
+        .decode_ns
+        .saturating_add(decode_start.elapsed().as_nanos() as u64);
+    let (r, report, comp) = match classified {
+        Reply::Report { r, report, comp } => (r, report, comp),
+        Reply::Undecodable { r, pid } => {
+            // a coded run that does not decode against the length the
+            // engine shipped is a malformed update — reject it before it
+            // can reach validation or aggregation
+            if r == t && !delivered.contains(&(r, pid)) && !wr.delivered.contains(&(r, pid)) {
+                wr.delivered.push((r, pid));
+                wr.rejected = true;
+                wr.rejects.rejected_shape += 1;
+                return FrameStep::Done;
+            }
+            return FrameStep::KeepWaiting;
+        }
+        Reply::Noise => return FrameStep::KeepWaiting, // heartbeat/ack noise
+    };
+    let pid = report.participant;
+    if delivered.contains(&(r, pid)) || wr.delivered.contains(&(r, pid)) {
+        return FrameStep::KeepWaiting; // duplicate from a retransmitted download
+    }
+    match r.cmp(&t) {
+        std::cmp::Ordering::Equal => {
+            wr.delivered.push((r, pid));
+            if let Some(c) = comp {
+                wr.comp.push(c);
+            }
+            // validation gate: a reply that is the wrong shape, non-finite
+            // anywhere, or over the norm bound never reaches the server;
+            // the worker is treated as having missed the round. Coded
+            // replies were decoded above, so the gate sees exactly what
+            // aggregation would consume.
+            let gate_start = Instant::now();
+            let verdict = if report.accuracy.is_finite() && report.loss.is_finite() {
+                validate_update(&report.grads, expected_len, update_norm_bound)
+            } else {
+                Err(UpdateRejection::NonFinite)
+            };
+            wr.validate_ns = wr
+                .validate_ns
+                .saturating_add(gate_start.elapsed().as_nanos() as u64);
+            match verdict {
+                Ok(()) => {
+                    wr.reports.push(BackendReport {
+                        mask: mask.clone(),
+                        ..report
+                    });
+                    wr.got = true;
+                    on_time.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(UpdateRejection::ShapeMismatch { .. }) => {
+                    wr.rejected = true;
+                    wr.rejects.rejected_shape += 1;
+                }
+                Err(UpdateRejection::NonFinite) => {
+                    wr.rejected = true;
+                    wr.rejects.rejected_nonfinite += 1;
+                }
+                Err(UpdateRejection::NormExceeded { .. }) => {
+                    wr.rejected = true;
+                    wr.rejects.rejected_norm += 1;
+                }
+            }
+            FrameStep::Done
+        }
+        std::cmp::Ordering::Less => {
+            // a reply that missed an earlier deadline; attribute it and
+            // keep waiting for round t
+            if let Some((late_mask, _)) = sent_masks.get(&(r, pid)) {
+                wr.delivered.push((r, pid));
+                if let Some(c) = comp {
+                    wr.comp.push(c);
+                }
+                wr.late.push(BackendReport {
+                    mask: late_mask.clone(),
+                    ..report
+                });
+            }
+            FrameStep::KeepWaiting
+        }
+        std::cmp::Ordering::Greater => FrameStep::KeepWaiting, // impossible; drop
     }
 }
 
@@ -1033,105 +1277,32 @@ fn collect_worker(
     let mut attempts = 0usize;
     loop {
         let wait_start = Instant::now();
-        let received = wait_reply(transport, wait, on_time, quorum_target, config.deadline);
+        let received = wait_reply(
+            transport,
+            wait,
+            on_time,
+            quorum_target,
+            config.deadline,
+            config.quorum_drain,
+        );
         wr.collect_ns = wr
             .collect_ns
             .saturating_add(wait_start.elapsed().as_nanos() as u64);
         match received {
             Ok(frame_in) => {
-                wr.bytes_up += frame_in.len() as u64;
-                let decode_start = Instant::now();
-                let classified = match decode(&frame_in) {
-                    Ok(msg) => classify_reply(msg, sent_masks),
-                    Err(_) => Reply::Noise, // corruption: drop
-                };
-                wr.decode_ns = wr
-                    .decode_ns
-                    .saturating_add(decode_start.elapsed().as_nanos() as u64);
-                let (r, report, comp) = match classified {
-                    Reply::Report { r, report, comp } => (r, report, comp),
-                    Reply::Undecodable { r, pid } => {
-                        // a coded run that does not decode against the
-                        // length the engine shipped is a malformed update —
-                        // reject it before it can reach validation or
-                        // aggregation
-                        if r == t
-                            && !delivered.contains(&(r, pid))
-                            && !wr.delivered.contains(&(r, pid))
-                        {
-                            wr.delivered.push((r, pid));
-                            wr.rejected = true;
-                            wr.rejects.rejected_shape += 1;
-                            break;
-                        }
-                        continue;
-                    }
-                    Reply::Noise => continue, // heartbeat/ack noise
-                };
-                let pid = report.participant;
-                if delivered.contains(&(r, pid)) || wr.delivered.contains(&(r, pid)) {
-                    continue; // duplicate from a retransmitted download
-                }
-                match r.cmp(&t) {
-                    std::cmp::Ordering::Equal => {
-                        wr.delivered.push((r, pid));
-                        if let Some(c) = comp {
-                            wr.comp.push(c);
-                        }
-                        // validation gate: a reply that is the wrong shape,
-                        // non-finite anywhere, or over the norm bound never
-                        // reaches the server; the worker is treated as
-                        // having missed the round. Coded replies were
-                        // decoded above, so the gate sees exactly what
-                        // aggregation would consume.
-                        let gate_start = Instant::now();
-                        let verdict = if report.accuracy.is_finite() && report.loss.is_finite() {
-                            validate_update(&report.grads, expected_len, config.update_norm_bound)
-                        } else {
-                            Err(UpdateRejection::NonFinite)
-                        };
-                        wr.validate_ns = wr
-                            .validate_ns
-                            .saturating_add(gate_start.elapsed().as_nanos() as u64);
-                        match verdict {
-                            Ok(()) => {
-                                wr.reports.push(BackendReport {
-                                    mask: mask.clone(),
-                                    ..report
-                                });
-                                wr.got = true;
-                                on_time.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(UpdateRejection::ShapeMismatch { .. }) => {
-                                wr.rejected = true;
-                                wr.rejects.rejected_shape += 1;
-                            }
-                            Err(UpdateRejection::NonFinite) => {
-                                wr.rejected = true;
-                                wr.rejects.rejected_nonfinite += 1;
-                            }
-                            Err(UpdateRejection::NormExceeded { .. }) => {
-                                wr.rejected = true;
-                                wr.rejects.rejected_norm += 1;
-                            }
-                        }
-                        break;
-                    }
-                    std::cmp::Ordering::Less => {
-                        // a reply that missed an earlier deadline; attribute
-                        // it and keep waiting for round t
-                        if let Some((late_mask, _)) = sent_masks.get(&(r, pid)) {
-                            wr.delivered.push((r, pid));
-                            if let Some(c) = comp {
-                                wr.comp.push(c);
-                            }
-                            wr.late.push(BackendReport {
-                                mask: late_mask.clone(),
-                                ..report
-                            });
-                        }
-                    }
-                    std::cmp::Ordering::Greater => {} // impossible; drop
+                match absorb_reply_frame(
+                    &mut wr,
+                    &frame_in,
+                    t,
+                    expected_len,
+                    mask,
+                    sent_masks,
+                    delivered,
+                    on_time,
+                    config.update_norm_bound,
+                ) {
+                    FrameStep::Done => break,
+                    FrameStep::KeepWaiting => {}
                 }
             }
             Err(TransportError::Timeout) => {
@@ -1241,6 +1412,7 @@ impl RoundBackend for RpcBackend {
             download_frames,
             weights_buf,
             buffers_buf,
+            expected_lens,
             growth,
             ..
         } = self;
@@ -1308,7 +1480,7 @@ impl RoundBackend for RpcBackend {
         let mut submodels = request.submodels;
         // a reply's gradient vector must match the shipped sub-model's
         // parameter count exactly; the gate checks against this
-        let mut expected_lens: Vec<usize> = Vec::with_capacity(k);
+        expected_lens.clear();
         for (p, sub) in submodels.iter_mut().enumerate() {
             if !is_active(p) {
                 // nothing ships to an inactive slot: no frame, no
@@ -1472,6 +1644,64 @@ impl RoundBackend for RpcBackend {
                     }
                 }
             }
+            EngineMode::Reactor => {
+                // bounded collector pool: T scoped threads, each driving a
+                // contiguous chunk of links through nonblocking readiness
+                // sweeps with per-link deadline/retry/drain state machines.
+                // Shared snapshots and the send gate work exactly as in
+                // pipelined mode; chunks are contiguous and each returns
+                // its results in participant order, so the commit loop
+                // below is the same in-order merge as the other modes.
+                let kk = k.min(workers.len());
+                let eligibility: Vec<bool> = workers
+                    .iter()
+                    .enumerate()
+                    .take(kk)
+                    .map(|(p, w)| w.alive && !w.evicted && is_active(p))
+                    .collect();
+                let threads = crate::reactor::pool_size(config.reactor_threads, eligible.max(1));
+                let chunk_len = kk.div_ceil(threads).max(1);
+                let sent_ref: &HashMap<(usize, usize), (ArchMask, usize)> = sent_masks;
+                let delivered_ref: &HashSet<(usize, usize)> = delivered;
+                let on_time_ref = &on_time;
+                let gate = SendGate::new(eligible, config.quorum_frac);
+                let gate_ref = &gate;
+                let lens: &[usize] = expected_lens;
+                let elig_ref: &[bool] = &eligibility;
+                let rounds: Vec<(usize, WorkerRound)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = workers[..kk]
+                        .chunks_mut(chunk_len)
+                        .enumerate()
+                        .map(|(ci, chunk)| {
+                            let base = ci * chunk_len;
+                            scope.spawn(move || {
+                                crate::reactor::collect_chunk(
+                                    chunk,
+                                    base,
+                                    t,
+                                    config,
+                                    frames,
+                                    lens,
+                                    masks,
+                                    sent_ref,
+                                    delivered_ref,
+                                    on_time_ref,
+                                    gate_ref,
+                                    bandwidths,
+                                    elig_ref,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("reactor collector panicked"))
+                        .collect()
+                });
+                for (p, wr) in rounds {
+                    merge_worker_round(&mut out, delivered, &mut workers[p], wr, config);
+                }
+            }
         }
         // fold per-link injected-fault counters into the round outcome
         for w in workers.iter_mut() {
@@ -1516,6 +1746,10 @@ impl Drop for RpcBackend {
             if let Some(join) = w.join.take() {
                 let _ = join.join();
             }
+        }
+        // the reactor's pooled fleet exits once every link reports Closed
+        for join in self.pool_joins.drain(..) {
+            let _ = join.join();
         }
     }
 }

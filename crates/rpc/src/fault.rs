@@ -376,6 +376,48 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             }
         }
     }
+
+    fn poll_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        // the same receive-side fault pipeline as `recv_timeout`, driven
+        // by readiness: each available inner frame is drawn through the
+        // schedule, and the probe reports idle once the inner link does
+        loop {
+            if let Some(ready) = self.rx_queue.pop_front() {
+                return Ok(Some(ready));
+            }
+            let frame = match self.inner.poll_recv()? {
+                Some(f) => f,
+                None => return Ok(None),
+            };
+            match self.rx.next_fault() {
+                FrameFault::Drop => continue,
+                FrameFault::Corrupt(bit) => {
+                    let mut bad = frame;
+                    flip_bit(&mut bad, bit);
+                    return Ok(Some(bad));
+                }
+                FrameFault::Duplicate => {
+                    self.rx_queue.push_back(frame.clone());
+                    return Ok(Some(frame));
+                }
+                FrameFault::Reorder => match self.rx_held.take() {
+                    Some(held) => {
+                        self.rx_queue.push_back(held);
+                        return Ok(Some(frame));
+                    }
+                    None => {
+                        self.rx_held = Some(frame);
+                        continue;
+                    }
+                },
+                FrameFault::Delay(d) => {
+                    std::thread::sleep(d);
+                    self.release_after(frame);
+                }
+                FrameFault::None => self.release_after(frame),
+            }
+        }
+    }
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -386,6 +428,14 @@ impl<T: Transport> FaultyTransport<T> {
         if let Some(held) = self.rx_held.take() {
             self.rx_queue.push_back(held);
         }
+    }
+
+    /// Releases a receive-side frame held back by a reorder fault — the
+    /// poll path's analogue of the deadline-expiry release in
+    /// [`Transport::recv_timeout`], called by the reactor when a link's
+    /// wait budget runs out so a held frame is never lost.
+    pub fn release_held(&mut self) -> Option<Vec<u8>> {
+        self.rx_held.take()
     }
 }
 

@@ -52,6 +52,7 @@
 pub mod adversary;
 pub mod engine;
 pub mod fault;
+pub(crate) mod reactor;
 pub mod transport;
 pub mod wire;
 

@@ -7,13 +7,35 @@
 use fedrlnas_codec::{CodecConfig, CodecSpec};
 use fedrlnas_core::{PopulationConfig, Scale, SearchConfig};
 use fedrlnas_data::{DatasetSpec, SyntheticDataset};
+use fedrlnas_fed::ShardTopology;
 use fedrlnas_netsim::{AvailabilitySpec, Environment};
+use fedrlnas_rpc::EngineMode;
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Current spec encoding version. v2 appends the optional population-churn
-/// block after the backend code; v1 bodies (no block) still decode, with
-/// `population: None`.
-const SPEC_VERSION: u8 = 2;
+/// block after the backend code; v3 appends the round-engine code and the
+/// aggregation shard count after that. Older bodies still decode, with
+/// `population: None`, the pipelined engine and the flat topology.
+const SPEC_VERSION: u8 = 3;
+
+/// Wire code for a round-engine mode (v3 spec tail).
+fn engine_code(engine: EngineMode) -> u8 {
+    match engine {
+        EngineMode::Serial => 0,
+        EngineMode::Pipelined => 1,
+        EngineMode::Reactor => 2,
+    }
+}
+
+/// Decodes a round-engine wire code.
+fn engine_from_code(code: u8) -> Option<EngineMode> {
+    match code {
+        0 => Some(EngineMode::Serial),
+        1 => Some(EngineMode::Pipelined),
+        2 => Some(EngineMode::Reactor),
+        _ => None,
+    }
+}
 
 /// Which synthetic dataset family the job trains on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +120,12 @@ pub struct JobSpec {
     /// cohort every round under a deterministic availability model.
     /// `None` (and every v1 spec) keeps the fixed historical fleet.
     pub population: Option<PopulationConfig>,
+    /// Round engine for RPC-backed jobs (ignored by
+    /// [`BackendKind::InProcess`]). Pre-v3 bodies decode as
+    /// [`EngineMode::Pipelined`], the historical RpcMem engine.
+    pub engine: EngineMode,
+    /// Two-tier aggregation topology; pre-v3 bodies decode as flat.
+    pub topology: ShardTopology,
 }
 
 impl JobSpec {
@@ -113,6 +141,8 @@ impl JobSpec {
             environments: None,
             backend: BackendKind::InProcess,
             population: None,
+            engine: EngineMode::Pipelined,
+            topology: ShardTopology::flat(),
         }
     }
 
@@ -138,6 +168,7 @@ impl JobSpec {
         if let Some(population) = self.population {
             config = config.with_population(population);
         }
+        config = config.with_topology(self.topology);
         config.validate()?;
         Ok(config)
     }
@@ -220,6 +251,9 @@ impl JobSpec {
             }
             None => out.push(0),
         }
+        // v3: round engine and aggregation shard count
+        out.push(engine_code(self.engine));
+        out.extend_from_slice(&(self.topology.shards as u32).to_le_bytes());
         out
     }
 
@@ -233,7 +267,7 @@ impl JobSpec {
     pub fn decode(bytes: &[u8]) -> Result<JobSpec, String> {
         let mut r = SpecReader { bytes, pos: 0 };
         let version = r.u8()?;
-        if version != 1 && version != SPEC_VERSION {
+        if !(1..=SPEC_VERSION).contains(&version) {
             return Err(format!("unsupported job spec version {version}"));
         }
         let seed = r.u64()?;
@@ -311,6 +345,22 @@ impl JobSpec {
                 other => return Err(format!("bad population marker {other}")),
             }
         };
+        // v2 bodies end here; v3 appends the engine and shard count
+        let (engine, topology) = if version < 3 {
+            (EngineMode::Pipelined, ShardTopology::flat())
+        } else {
+            let engine = {
+                let code = r.u8()?;
+                engine_from_code(code).ok_or_else(|| format!("unknown engine code {code}"))?
+            };
+            let topology = ShardTopology {
+                shards: r.u32()? as usize,
+            };
+            topology
+                .validate()
+                .map_err(|e| format!("bad shard topology: {e}"))?;
+            (engine, topology)
+        };
         if r.remaining() != 0 {
             return Err("trailing bytes after job spec".into());
         }
@@ -324,6 +374,8 @@ impl JobSpec {
             environments,
             backend,
             population,
+            engine,
+            topology,
         })
     }
 }
@@ -389,6 +441,8 @@ mod tests {
                 cohort: 6,
                 availability: AvailabilitySpec::default(),
             }),
+            engine: EngineMode::Reactor,
+            topology: ShardTopology::sharded(2),
         }
     }
 
@@ -411,6 +465,10 @@ mod tests {
         assert!(JobSpec::decode(&long).is_err());
     }
 
+    /// v3 bodies end with `[engine u8][shards u32]`, preceded by the
+    /// population marker when no population block is present.
+    const V3_TAIL: usize = 5;
+
     #[test]
     fn bad_codes_are_errors() {
         let mut bytes = sample().encode();
@@ -421,12 +479,20 @@ mod tests {
             ..sample()
         };
         let mut bytes = fixed.encode();
-        let backend_at = bytes.len() - 2; // backend code precedes the population marker
+        let backend_at = bytes.len() - 2 - V3_TAIL; // backend code precedes the population marker
         bytes[backend_at] = 7;
         assert!(JobSpec::decode(&bytes).is_err());
         let mut bytes = fixed.encode();
-        let last = bytes.len() - 1;
-        bytes[last] = 9; // population marker
+        let marker_at = bytes.len() - 1 - V3_TAIL; // population marker
+        bytes[marker_at] = 9;
+        assert!(JobSpec::decode(&bytes).is_err());
+        let mut bytes = fixed.encode();
+        let engine_at = bytes.len() - V3_TAIL; // engine code
+        bytes[engine_at] = 7;
+        assert!(JobSpec::decode(&bytes).is_err());
+        let mut bytes = fixed.encode();
+        let shards_at = bytes.len() - 4; // shard count; zero is invalid
+        bytes[shards_at..].copy_from_slice(&0u32.to_le_bytes());
         assert!(JobSpec::decode(&bytes).is_err());
     }
 
@@ -434,12 +500,27 @@ mod tests {
     fn v1_bodies_decode_as_fixed_fleet() {
         let spec = JobSpec {
             population: None,
+            engine: EngineMode::Pipelined,
+            topology: ShardTopology::flat(),
             ..sample()
         };
         let mut bytes = spec.encode();
-        assert_eq!(bytes.pop(), Some(0)); // v1 bodies end at the backend code
+        bytes.truncate(bytes.len() - 1 - V3_TAIL); // v1 bodies end at the backend code
         bytes[0] = 1;
         assert_eq!(JobSpec::decode(&bytes).expect("v1 body"), spec);
+    }
+
+    #[test]
+    fn v2_bodies_decode_with_the_pipelined_engine_and_flat_topology() {
+        let spec = JobSpec {
+            engine: EngineMode::Pipelined,
+            topology: ShardTopology::flat(),
+            ..sample()
+        };
+        let mut bytes = spec.encode();
+        bytes.truncate(bytes.len() - V3_TAIL); // v2 bodies end at the population block
+        bytes[0] = 2;
+        assert_eq!(JobSpec::decode(&bytes).expect("v2 body"), spec);
     }
 
     #[test]
@@ -466,5 +547,6 @@ mod tests {
             config.environments.as_deref(),
             Some(&[Environment::Train, Environment::Foot][..])
         );
+        assert_eq!(config.topology, ShardTopology::sharded(2));
     }
 }

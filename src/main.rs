@@ -5,14 +5,15 @@
 //!                  [--participants K] [--staleness none|slight|severe]
 //!                  [--strategy hard|use|throw|dc] [--assignment adaptive|average|random]
 //!                  [--aggregator mean|median|trimmed:<k>|krum:<m>|clip:<c>[+...]]
+//!                  [--topology flat|shards:<s>]
 //!                  [--reject-norm C] [--codec fp32|fp16|int8|topk[:<f>]|auto]
 //!                  [--population N] [--cohort K] [--availability SPEC]
 //!                  [--dataset cifar10|svhn] [--checkpoint PATH] [--curve PATH]
 //!                  [--checkpoint-path PATH] [--checkpoint-every N]
 //!                  [--stats-json PATH]
 //!                  [--rpc] [--rpc-transport mem|tcp] [--rpc-deadline-ms N]
-//!                  [--rpc-engine serial|pipelined]
-//!                  [--quorum-frac F] [--evict-after N]
+//!                  [--rpc-engine serial|pipelined|reactor] [--reactor-threads N]
+//!                  [--quorum-frac F] [--quorum-drain-ms N] [--evict-after N]
 //!                  [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
 //!                  [--fault-dup P] [--fault-reorder P] [--fault-delay P]
 //!                  [--fault-max-delay-ms N]
@@ -29,6 +30,16 @@
 //! composes with any of them (e.g. `clip:10+median`). `--reject-norm C`
 //! arms the validation gate: updates over L2 norm `C` (or malformed /
 //! non-finite ones) are rejected before aggregation and tallied.
+//! `--topology shards:<s>` splits aggregation into `s` shard aggregators
+//! merged at a root — bit-identical for the weighted mean, and the path
+//! large cohorts take; robust rules then apply their outlier bound per
+//! shard (see the design notes).
+//! `--rpc-engine reactor` drives all participant links from a bounded
+//! pool of event-loop threads (`--reactor-threads`, default: the
+//! `FEDRLNAS_NUM_THREADS` heuristic) instead of a thread per participant;
+//! fault-free runs are bit-identical across engines. `--quorum-drain-ms`
+//! tunes the grace window granted to in-flight stragglers once the round
+//! quorum is met (default 5 ms).
 //! `--codec` compresses uploaded model updates: `fp16` and `int8` quantize,
 //! `topk:<f>` keeps the largest fraction `f` of entries with error feedback,
 //! and `auto` picks a codec per participant from its sampled bandwidth.
@@ -147,6 +158,9 @@ fn build_config(argv: &[String]) -> Result<SearchConfig, String> {
     }
     if let Some(spec) = flag(argv, "--aggregator") {
         config = config.with_aggregator(AggregatorConfig::parse(&spec)?);
+    }
+    if let Some(spec) = flag(argv, "--topology") {
+        config = config.with_topology(fedrlnas::fed::ShardTopology::parse(&spec)?);
     }
     if let Some(c) = flag(argv, "--reject-norm") {
         let bound: f32 = c.parse().map_err(|e| format!("bad norm bound: {e}"))?;
@@ -269,8 +283,12 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         let engine = match flag(argv, "--rpc-engine").as_deref() {
             None | Some("pipelined") => EngineMode::Pipelined,
             Some("serial") => EngineMode::Serial,
+            Some("reactor") => EngineMode::Reactor,
             Some(other) => return Err(format!("unknown rpc engine {other:?}")),
         };
+        let reactor_threads: usize = flag(argv, "--reactor-threads")
+            .map_or(Ok(0), |s| s.parse())
+            .map_err(|e| format!("bad reactor thread count: {e}"))?;
         let deadline_ms: u64 = flag(argv, "--rpc-deadline-ms")
             .map_or(Ok(5000), |s| s.parse())
             .map_err(|e| format!("bad rpc deadline: {e}"))?;
@@ -280,6 +298,12 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         if !(0.0..=1.0).contains(&quorum_frac) {
             return Err(format!("quorum fraction {quorum_frac} outside [0, 1]"));
         }
+        let quorum_drain = match flag(argv, "--quorum-drain-ms") {
+            None => RpcConfig::default().quorum_drain,
+            Some(s) => std::time::Duration::from_millis(
+                s.parse().map_err(|e| format!("bad quorum drain: {e}"))?,
+            ),
+        };
         let evict_after: usize = flag(argv, "--evict-after")
             .map_or(Ok(3), |s| s.parse())
             .map_err(|e| format!("bad eviction threshold: {e}"))?;
@@ -316,8 +340,10 @@ fn cmd_search(argv: &[String]) -> Result<(), String> {
         let rpc_config = RpcConfig {
             transport,
             engine,
+            reactor_threads,
             deadline: std::time::Duration::from_millis(deadline_ms),
             quorum_frac,
+            quorum_drain,
             evict_after,
             fault,
             update_norm_bound: norm_bound,
